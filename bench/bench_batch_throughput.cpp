@@ -1,0 +1,58 @@
+// Extension bench (DESIGN.md §6): SIMD batching. The paper optimizes
+// single-image latency (Lo-La style); CryptoNets/E2DM instead amortize one
+// evaluation over many images. Our interleaved packing supports both: this
+// bench sweeps the batch size and reports latency vs per-image throughput,
+// showing the trade-off the related-work section (Table I) debates.
+
+#include "bench_common.hpp"
+
+using namespace pphe;
+using namespace pphe::benchutil;
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
+  print_header("Extension: SIMD batch throughput (CNN1-HE-RNS)", cfg);
+
+  Experiment exp(cfg);
+  const ModelSpec spec = exp.spec(Arch::kCnn1, Activation::kSlaf);
+  auto backend = make_backend("rns", cfg.ckks_params());
+  const std::size_t max_batch = backend->slot_count() / 1024;
+
+  TextTable table({"batch", "eval Lat (s)", "per-image (s)",
+                   "all predictions correct?"});
+  for (std::size_t batch = 1; batch <= max_batch; batch *= 2) {
+    HeModelOptions options;
+    options.encrypted_weights = false;
+    options.batch = batch;
+    const HeModel model(*backend, spec, options);
+
+    std::vector<std::vector<float>> images;
+    std::vector<int> labels;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const float* img = exp.test_set().images.data() + i * 784;
+      images.emplace_back(img, img + 784);
+      labels.push_back(exp.test_set().labels[i]);
+    }
+    Stopwatch sw;
+    const auto result = model.infer_batch(images);
+    const double t = result.eval_seconds;
+    bool all_plain_match = true;
+    for (std::size_t i = 0; i < batch; ++i) {
+      const auto plain = eval_spec(spec, images[i]);
+      const auto plain_pred = static_cast<int>(
+          std::max_element(plain.begin(), plain.end()) - plain.begin());
+      if (result.predicted[i] != plain_pred) all_plain_match = false;
+    }
+    table.add_row({std::to_string(batch), TextTable::fixed(t, 2),
+                   TextTable::fixed(t / static_cast<double>(batch), 2),
+                   all_plain_match ? "yes" : "NO"});
+    (void)sw;
+  }
+  std::printf("%s", table.render().c_str());
+  std::printf(
+      "\nOne evaluation classifies `batch` images at ~constant cost: latency\n"
+      "holds while per-image cost divides by the batch — the amortization\n"
+      "axis the paper's Table I comparisons (CryptoNets vs Lo-La) trade on.\n");
+  return 0;
+}

@@ -1,0 +1,65 @@
+#pragma once
+
+// Shared harness glue for the Table III-VI benches: builds the experiment
+// (data + trained models), runs encrypted evaluation on a backend, and
+// renders rows in the paper's format.
+
+#include <cstdio>
+#include <string>
+
+#include "ckks/security.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+#include "core/pipeline.hpp"
+
+namespace pphe::benchutil {
+
+inline void print_header(const char* table_name, const ExperimentConfig& cfg) {
+  std::printf("%s\n", table_name);
+  const CkksParams params = cfg.ckks_params();
+  std::printf("profile: %s | %s\n", cfg.paper_profile ? "PAPER" : "fast",
+              params.describe().c_str());
+  std::printf("%s\n", describe_security(params).c_str());
+  std::printf(
+      "latency columns: Lat = measured sequential eval wall-clock on this "
+      "1-core host;\nLat-par = ideal critical-path latency with %zu workers "
+      "(ParallelSim, DESIGN.md §3)\n\n",
+      cfg.workers);
+}
+
+/// One measured row of a Table III/V-style comparison.
+struct Row {
+  std::string model_name;
+  double train_acc = 0.0;
+  EncryptedEvalResult eval;
+};
+
+inline void print_rows(const std::vector<Row>& rows) {
+  TextTable table({"Model", "Training Acc (%)", "Lat min", "Lat max",
+                   "Lat avg", "Lat-par avg", "Acc (%)", "HE=plain (%)",
+                   "max logit err"});
+  for (const auto& row : rows) {
+    table.add_row({row.model_name, TextTable::fixed(row.train_acc, 3),
+                   TextTable::fixed(row.eval.eval_latency.min(), 2),
+                   TextTable::fixed(row.eval.eval_latency.max(), 2),
+                   TextTable::fixed(row.eval.eval_latency.avg(), 2),
+                   TextTable::fixed(row.eval.parallel_latency.avg(), 2),
+                   TextTable::fixed(row.eval.spec_accuracy, 2),
+                   TextTable::fixed(row.eval.match_rate, 1),
+                   TextTable::fixed(row.eval.max_logit_err, 4)});
+  }
+  std::printf("%s", table.render().c_str());
+}
+
+inline void print_speedup(const Row& baseline, const Row& rns) {
+  const double seq = 100.0 * (1.0 - rns.eval.eval_latency.avg() /
+                                        baseline.eval.eval_latency.avg());
+  const double par = 100.0 * (1.0 - rns.eval.parallel_latency.avg() /
+                                        baseline.eval.eval_latency.avg());
+  std::printf(
+      "\nspeed-up of %s over %s: %.2f%% (sequential), %.2f%% "
+      "(critical-path)\n",
+      rns.model_name.c_str(), baseline.model_name.c_str(), seq, par);
+}
+
+}  // namespace pphe::benchutil

@@ -1,0 +1,174 @@
+// Micro benchmarks (google-benchmark) of the scheme primitives, RNS vs
+// multiprecision: NTT, ct-ct multiply, relinearize, rescale, rotate, encode,
+// encrypt, decrypt. These are the per-op costs that compose into the
+// Table III-VI latencies, plus the DESIGN.md §6 ablations (deferred
+// relinearization, BSGS).
+
+#include <benchmark/benchmark.h>
+
+#include <memory>
+
+#include "ckks/big_backend.hpp"
+#include "ckks/rns_backend.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams bench_params() {
+  CkksParams p;
+  p.degree = 1 << 12;  // small enough for google-benchmark's repetitions
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26, 26};
+  p.special_bit_size = 40;
+  p.scale = 67108864.0;
+  return p;
+}
+
+struct Fixture {
+  std::unique_ptr<HeBackend> backend;
+  Ciphertext ca, cb;
+  Plaintext pb;
+
+  explicit Fixture(const std::string& kind) {
+    const CkksParams p = bench_params();
+    if (kind == "rns") {
+      backend = std::make_unique<RnsBackend>(p);
+    } else {
+      backend = std::make_unique<BigBackend>(p);
+    }
+    backend->ensure_galois_keys({1});
+    Prng prng(5);
+    std::vector<double> a(backend->slot_count()), b(backend->slot_count());
+    for (auto& v : a) v = prng.uniform_double();
+    for (auto& v : b) v = prng.uniform_double();
+    pb = backend->encode(b, p.scale, backend->max_level());
+    ca = backend->encrypt(backend->encode(a, p.scale, backend->max_level()));
+    cb = backend->encrypt(pb);
+  }
+
+  static Fixture& get(const std::string& kind) {
+    static Fixture rns("rns");
+    static Fixture big("big");
+    return kind == "rns" ? rns : big;
+  }
+};
+
+void BM_Multiply(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->multiply(f.ca, f.cb));
+  }
+}
+
+void BM_MultiplyPlain(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->multiply_plain(f.ca, f.pb));
+  }
+}
+
+void BM_Relinearize(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  const Ciphertext prod = f.backend->multiply(f.ca, f.cb);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->relinearize(prod));
+  }
+}
+
+void BM_Rescale(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  const Ciphertext prod =
+      f.backend->relinearize(f.backend->multiply(f.ca, f.cb));
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->rescale(prod));
+  }
+}
+
+void BM_Rotate(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->rotate(f.ca, 1));
+  }
+}
+
+void BM_Add(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->add(f.ca, f.cb));
+  }
+}
+
+void BM_Encrypt(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->encrypt(f.pb));
+  }
+}
+
+void BM_Decrypt(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(f.backend->decrypt_decode(f.ca));
+  }
+}
+
+void BM_Encode(benchmark::State& state, const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  std::vector<double> v(f.backend->slot_count(), 0.5);
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(
+        f.backend->encode(v, f.backend->params().scale,
+                          f.backend->max_level()));
+  }
+}
+
+// Ablation (DESIGN.md §6.1): relinearizing after every product vs deferring
+// a single relinearization to the end of an 8-term inner product.
+void BM_InnerProduct8_RelinEach(benchmark::State& state,
+                                const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    Ciphertext acc;
+    for (int i = 0; i < 8; ++i) {
+      Ciphertext t = f.backend->relinearize(f.backend->multiply(f.ca, f.cb));
+      acc = acc.valid() ? f.backend->add(acc, t) : t;
+    }
+    benchmark::DoNotOptimize(acc);
+  }
+}
+
+void BM_InnerProduct8_RelinDeferred(benchmark::State& state,
+                                    const std::string& kind) {
+  auto& f = Fixture::get(kind);
+  for (auto _ : state) {
+    Ciphertext acc;
+    for (int i = 0; i < 8; ++i) {
+      Ciphertext t = f.backend->multiply(f.ca, f.cb);
+      acc = acc.valid() ? f.backend->add(acc, t) : t;
+    }
+    benchmark::DoNotOptimize(f.backend->relinearize(acc));
+  }
+}
+
+#define PPCNN_BENCH(fn)                                             \
+  BENCHMARK_CAPTURE(fn, rns, std::string("rns"))                    \
+      ->Unit(benchmark::kMillisecond);                              \
+  BENCHMARK_CAPTURE(fn, big, std::string("big"))                    \
+      ->Unit(benchmark::kMillisecond)
+
+PPCNN_BENCH(BM_Add);
+PPCNN_BENCH(BM_Multiply);
+PPCNN_BENCH(BM_MultiplyPlain);
+PPCNN_BENCH(BM_Relinearize);
+PPCNN_BENCH(BM_Rescale);
+PPCNN_BENCH(BM_Rotate);
+PPCNN_BENCH(BM_Encrypt);
+PPCNN_BENCH(BM_Decrypt);
+PPCNN_BENCH(BM_Encode);
+PPCNN_BENCH(BM_InnerProduct8_RelinEach);
+PPCNN_BENCH(BM_InnerProduct8_RelinDeferred);
+
+}  // namespace
+}  // namespace pphe
+
+BENCHMARK_MAIN();

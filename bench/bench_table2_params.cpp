@@ -1,0 +1,73 @@
+// Reproduces TABLE II (CKKS-RNS security settings): builds the parameter set,
+// verifies the generated moduli chain against the published shape, and checks
+// the lambda = 128 claim against the HE security standard the paper cites.
+
+#include <cmath>
+#include <cstdio>
+
+#include "ckks/params.hpp"
+#include "ckks/rns_backend.hpp"
+#include "ckks/security.hpp"
+#include "common/cli.hpp"
+#include "common/table.hpp"
+
+using namespace pphe;
+
+namespace {
+
+void report(const char* title, const CkksParams& params) {
+  std::printf("\n=== %s ===\n", title);
+  TextTable table({"Parameter", "Value (paper)", "Value (this build)"});
+  table.add_row({"lambda", "128",
+                 std::to_string(estimate_security_level(
+                     params.degree, params.log_q_with_special()))});
+  table.add_row({"N", "2^14 = 16384", std::to_string(params.degree)});
+  table.add_row({"Delta", "2^26",
+                 "2^" + TextTable::fixed(std::log2(params.scale), 0)});
+  table.add_row({"log q", "366",
+                 std::to_string(params.log_q_with_special())});
+  table.add_row({"L (moduli)", "13",
+                 std::to_string(params.chain_length() + 1)});
+  std::string chain = "[";
+  for (std::size_t i = 0; i < params.q_bit_sizes.size(); ++i) {
+    chain += std::to_string(params.q_bit_sizes[i]) + ", ";
+  }
+  chain += std::to_string(params.special_bit_size) + "]";
+  table.add_row({"q (bit sizes)", "[40, 26, ..., 26, 40]", chain});
+  std::printf("%s", table.render().c_str());
+  std::printf("security: %s\n", describe_security(params).c_str());
+
+  // Instantiate the backend to prove the chain actually exists: distinct
+  // NTT-friendly primes of exactly the requested widths.
+  const RnsBackend backend(params);
+  std::printf("generated %zu ciphertext primes + 1 key-switching prime, "
+              "all distinct, all = 1 mod 2N:\n  ",
+              backend.q_moduli().size());
+  for (const auto& m : backend.q_moduli()) {
+    std::printf("%llu ", static_cast<unsigned long long>(m.value()));
+  }
+  std::printf("| special %llu\n",
+              static_cast<unsigned long long>(backend.special_modulus()));
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  std::printf("TABLE II reproduction: CKKS-RNS security settings\n");
+
+  report("paper profile (Table II exactly)", CkksParams::paper_table2());
+  if (!flags.get_bool("paper-only", false)) {
+    report("fast profile (smaller ring, same chain; default for benches)",
+           CkksParams::fast_profile());
+  }
+
+  std::printf("\nHE-standard maximum log q at lambda=128:\n");
+  TextTable bounds({"N", "max log q (classical, ternary secret)"});
+  for (const std::size_t n : {1024u, 2048u, 4096u, 8192u, 16384u, 32768u}) {
+    bounds.add_row({std::to_string(n),
+                    std::to_string(he_standard_max_log_q(n, 128))});
+  }
+  std::printf("%s", bounds.render().c_str());
+  return 0;
+}

@@ -1,0 +1,16 @@
+#!/bin/bash
+# Runs every bench binary in sequence (fast ones first), mirroring
+# `for b in build/bench/*; do $b; done` but ordered for early signal.
+set -u
+cd /root/repo
+for b in bench_table2_params bench_sec3c_errors bench_fig2_rns \
+         bench_fig34_arch bench_fig1_pipeline bench_batch_throughput \
+         bench_table3_cnn1 bench_table4_cnn1_moduli bench_fig5_parallel \
+         bench_table5_cnn2 bench_table6_cnn2_moduli bench_table1_sota \
+         bench_micro_primitives; do
+  echo "==================================================================="
+  echo "=== $b"
+  echo "==================================================================="
+  ./build/bench/$b 2>&1
+  echo
+done

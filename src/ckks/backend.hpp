@@ -1,0 +1,166 @@
+#pragma once
+
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <span>
+#include <string>
+#include <vector>
+
+#include "ckks/params.hpp"
+
+namespace pphe {
+
+/// Opaque ciphertext handle; the payload type belongs to the backend that
+/// produced it (RnsBackend or BigBackend) and handles are not interchangeable
+/// across backends. Scale/level/size are mirrored here so generic code (the
+/// CNN-HE engine) can plan rescaling without knowing the representation.
+class Ciphertext {
+ public:
+  Ciphertext() = default;
+  Ciphertext(std::shared_ptr<void> impl, double scale, int level,
+             std::size_t size)
+      : impl_(std::move(impl)), scale_(scale), level_(level), size_(size) {}
+
+  bool valid() const { return impl_ != nullptr; }
+  double scale() const { return scale_; }
+  /// Remaining rescale budget: index of the last usable ciphertext prime.
+  int level() const { return level_; }
+  /// Number of polynomial components (2 normally, 3 before relinearization).
+  std::size_t size() const { return size_; }
+
+  const std::shared_ptr<void>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<void> impl_;
+  double scale_ = 0.0;
+  int level_ = 0;
+  std::size_t size_ = 0;
+};
+
+/// Opaque plaintext (encoded polynomial) handle.
+class Plaintext {
+ public:
+  Plaintext() = default;
+  Plaintext(std::shared_ptr<void> impl, double scale, int level)
+      : impl_(std::move(impl)), scale_(scale), level_(level) {}
+
+  bool valid() const { return impl_ != nullptr; }
+  double scale() const { return scale_; }
+  int level() const { return level_; }
+  const std::shared_ptr<void>& impl() const { return impl_; }
+
+ private:
+  std::shared_ptr<void> impl_;
+  double scale_ = 0.0;
+  int level_ = 0;
+};
+
+/// Abstract CKKS evaluator: the primitives of §II of the paper (KeyGen at
+/// construction, Encrypt/Decrypt, Add, Mult, Resc, Rot) plus the plaintext
+/// variants every CNN-HE engine needs. Two implementations exist:
+///
+///  * RnsBackend  — CKKS-RNS (double-CRT), the paper's proposal;
+///  * BigBackend  — single composite modulus with multiprecision coefficient
+///                  arithmetic, the paper's non-RNS "CNN-HE" baseline.
+///
+/// Both own their key material (generated deterministically from the params
+/// seed) so an experiment is one object; the pipeline example narrates the
+/// client/cloud split explicitly.
+class HeBackend {
+ public:
+  virtual ~HeBackend() = default;
+
+  virtual std::string name() const = 0;
+  virtual const CkksParams& params() const = 0;
+  virtual std::size_t slot_count() const = 0;
+  virtual int max_level() const = 0;
+  /// Value of ciphertext prime q_level (what rescale at that level divides
+  /// the scale by) — the level planner needs this to schedule rescales.
+  virtual double level_prime(int level) const = 0;
+
+  // --- encode / encrypt / decrypt -------------------------------------
+  virtual Plaintext encode(std::span<const double> values, double scale,
+                           int level) const = 0;
+  virtual Ciphertext encrypt(const Plaintext& pt) const = 0;
+  virtual std::vector<double> decrypt_decode(const Ciphertext& ct) const = 0;
+
+  // --- homomorphic operations -----------------------------------------
+  virtual Ciphertext add(const Ciphertext& a, const Ciphertext& b) const = 0;
+  virtual Ciphertext sub(const Ciphertext& a, const Ciphertext& b) const = 0;
+  virtual Ciphertext add_plain(const Ciphertext& a,
+                               const Plaintext& b) const = 0;
+  virtual Ciphertext negate(const Ciphertext& a) const = 0;
+  /// Tensor product WITHOUT relinearization (result has size 3); callers
+  /// accumulate products and relinearize once (the deferred-relinearization
+  /// optimization of DESIGN.md §6.1).
+  virtual Ciphertext multiply(const Ciphertext& a,
+                              const Ciphertext& b) const = 0;
+  virtual Ciphertext multiply_plain(const Ciphertext& a,
+                                    const Plaintext& b) const = 0;
+  virtual Ciphertext relinearize(const Ciphertext& a) const = 0;
+  virtual Ciphertext rescale(const Ciphertext& a) const = 0;
+  /// Drops moduli without scaling (level alignment before mult).
+  virtual Ciphertext mod_drop_to(const Ciphertext& a, int level) const = 0;
+  /// Cyclic left rotation of the slot vector by `step` (may be negative).
+  /// Requires the corresponding Galois key (ensure_galois_keys).
+  virtual Ciphertext rotate(const Ciphertext& a, int step) const = 0;
+
+  /// Rotations of the SAME ciphertext by several steps. Backends may hoist
+  /// the shared key-switching work (decompose + NTT once, permute per step);
+  /// the default just loops. Order of results matches `steps`.
+  virtual std::vector<Ciphertext> rotate_batch(
+      const Ciphertext& a, const std::vector<int>& steps) const {
+    std::vector<Ciphertext> out;
+    out.reserve(steps.size());
+    for (const int s : steps) out.push_back(rotate(a, s));
+    return out;
+  }
+
+  /// acc += a * b (tensor product accumulated without materializing the
+  /// product): the hot operation of the diagonal method. If acc is invalid
+  /// it becomes the product. Backends may override with a fused kernel.
+  virtual void multiply_acc(Ciphertext& acc, const Ciphertext& a,
+                            const Ciphertext& b) const {
+    const Ciphertext prod = multiply(a, b);
+    acc = acc.valid() ? add(acc, prod) : prod;
+  }
+  virtual void multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
+                                  const Plaintext& b) const {
+    const Ciphertext prod = multiply_plain(a, b);
+    acc = acc.valid() ? add(acc, prod) : prod;
+  }
+
+  /// Pre-generates Galois keys for the given rotation steps (idempotent).
+  virtual void ensure_galois_keys(const std::vector<int>& steps) = 0;
+
+  // --- convenience (non-virtual) ---------------------------------------
+  /// Encodes at the ciphertext's own scale and level, then multiplies.
+  Ciphertext multiply_scalar(const Ciphertext& a, double value) const {
+    const Plaintext pt = encode_repeated(value, a.scale(), a.level());
+    return multiply_plain(a, pt);
+  }
+  Ciphertext add_scalar(const Ciphertext& a, double value) const {
+    const Plaintext pt = encode_repeated(value, a.scale(), a.level());
+    return add_plain(a, pt);
+  }
+  Plaintext encode_repeated(double value, double scale, int level) const {
+    const std::vector<double> v(slot_count(), value);
+    return encode(v, scale, level);
+  }
+
+  // --- instrumentation --------------------------------------------------
+  /// Cumulative homomorphic-op counts since the last reset (op name -> n).
+  const std::map<std::string, std::uint64_t>& op_counts() const {
+    return op_counts_;
+  }
+  void reset_op_counts() { op_counts_.clear(); }
+
+ protected:
+  void count_op(const std::string& op) const { ++op_counts_[op]; }
+
+ private:
+  mutable std::map<std::string, std::uint64_t> op_counts_;
+};
+
+}  // namespace pphe

@@ -1,0 +1,105 @@
+#include "ckks/encoder.hpp"
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+CkksEncoder::CkksEncoder(std::size_t degree) : n_(degree), fft_(degree) {
+  PPHE_CHECK(degree >= 4 && (degree & (degree - 1)) == 0,
+             "degree must be a power of two, at least 4");
+  const std::size_t two_n = 2 * n_;
+  slot_to_bin_.resize(slot_count());
+  conj_slot_to_bin_.resize(slot_count());
+  std::size_t e = 1;  // 5^j mod 2N
+  for (std::size_t j = 0; j < slot_count(); ++j) {
+    slot_to_bin_[j] = (e - 1) / 2;                 // e = 2f + 1
+    conj_slot_to_bin_[j] = (two_n - e - 1) / 2;    // -e mod 2N, also odd
+    e = (e * 5) % two_n;
+  }
+  twist_.resize(n_);
+  untwist_.resize(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double angle =
+        std::numbers::pi * static_cast<double>(k) / static_cast<double>(n_);
+    twist_[k] = std::polar(1.0, angle);     // ζ^k
+    untwist_[k] = std::polar(1.0, -angle);  // ζ^{-k}
+  }
+}
+
+std::vector<double> CkksEncoder::embed_unrounded(
+    std::span<const std::complex<double>> values, double scale) const {
+  PPHE_CHECK(values.size() <= slot_count(), "too many slot values");
+  PPHE_CHECK(scale > 0.0, "scale must be positive");
+
+  // Fill the twisted spectrum: bin f_j gets z_j, the conjugate bin gets
+  // conj(z_j); every other bin of the length-N spectrum is covered because
+  // {±5^j} enumerates all odd residues mod 2N.
+  std::vector<std::complex<double>> spec(n_, {0.0, 0.0});
+  for (std::size_t j = 0; j < values.size(); ++j) {
+    spec[slot_to_bin_[j]] = values[j];
+    spec[conj_slot_to_bin_[j]] = std::conj(values[j]);
+  }
+  // The embedding evaluates with POSITIVE exponent (slot_j = Σ t_k ω^{+f k});
+  // its inverse is therefore the negative-exponent transform scaled by 1/N,
+  // i.e. Fft::forward with an explicit 1/N.
+  fft_.forward(spec);
+  const double inv_n = 1.0 / static_cast<double>(n_);
+  std::vector<double> coeffs(n_);
+  for (std::size_t k = 0; k < n_; ++k) {
+    // Untwist; imaginary parts cancel by conjugate symmetry (up to fp error).
+    coeffs[k] = (spec[k] * untwist_[k]).real() * inv_n * scale;
+  }
+  return coeffs;
+}
+
+std::vector<std::int64_t> CkksEncoder::encode(
+    std::span<const std::complex<double>> values, double scale) const {
+  const std::vector<double> real_coeffs = embed_unrounded(values, scale);
+  std::vector<std::int64_t> out(n_);
+  constexpr double kLimit = 4.611686018427387904e18;  // 2^62
+  for (std::size_t k = 0; k < n_; ++k) {
+    const double c = real_coeffs[k];
+    PPHE_CHECK(std::abs(c) < kLimit,
+               "encoded coefficient exceeds 2^62; lower the scale");
+    out[k] = static_cast<std::int64_t>(std::llround(c));
+  }
+  return out;
+}
+
+std::vector<std::int64_t> CkksEncoder::encode(std::span<const double> values,
+                                              double scale) const {
+  std::vector<std::complex<double>> complex_values(values.size());
+  for (std::size_t i = 0; i < values.size(); ++i) {
+    complex_values[i] = {values[i], 0.0};
+  }
+  return encode(std::span<const std::complex<double>>(complex_values), scale);
+}
+
+std::vector<std::complex<double>> CkksEncoder::decode(
+    std::span<const double> coefficients, double scale) const {
+  PPHE_CHECK(coefficients.size() == n_, "coefficient count mismatch");
+  PPHE_CHECK(scale > 0.0, "scale must be positive");
+  std::vector<std::complex<double>> t(n_);
+  for (std::size_t k = 0; k < n_; ++k) t[k] = coefficients[k] * twist_[k];
+  // Positive-exponent evaluation = n * Fft::inverse (which carries a 1/n).
+  fft_.inverse(t);
+  const double n_over_scale = static_cast<double>(n_) / scale;
+  std::vector<std::complex<double>> slots(slot_count());
+  for (std::size_t j = 0; j < slot_count(); ++j) {
+    slots[j] = t[slot_to_bin_[j]] * n_over_scale;
+  }
+  return slots;
+}
+
+std::vector<double> CkksEncoder::decode_real(
+    std::span<const double> coefficients, double scale) const {
+  const auto slots = decode(coefficients, scale);
+  std::vector<double> out(slots.size());
+  for (std::size_t i = 0; i < slots.size(); ++i) out[i] = slots[i].real();
+  return out;
+}
+
+}  // namespace pphe

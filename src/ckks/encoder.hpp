@@ -1,0 +1,63 @@
+#pragma once
+
+#include <complex>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/fft.hpp"
+
+namespace pphe {
+
+/// CKKS encoder: the canonical embedding τ of §II of the paper.
+///
+/// A vector of N/2 complex (here: real) slot values is mapped to the unique
+/// real polynomial m ∈ R[X]/(X^N+1) with m(ζ^{5^j}) = z_j for the primitive
+/// 2N-th root ζ = exp(iπ/N) (conjugate slots are implied by realness), then
+/// scaled by Δ and rounded to integer coefficients: encode(z) = ⌈Δ·τ⁻¹(z)⌋.
+///
+/// The orbit of 5 in (Z/2N)* together with negation covers every odd residue,
+/// so the N/2 evaluation constraints plus conjugate symmetry pin all N real
+/// coefficients; rotating slots left by r corresponds to the ring
+/// automorphism X → X^{5^r mod 2N}, and conjugation to X → X^{2N-1}.
+///
+/// Evaluation at the special points is done with one size-N complex FFT on a
+/// ζ^k-twisted sequence (O(N log N)), not the O(N²) Vandermonde product.
+class CkksEncoder {
+ public:
+  explicit CkksEncoder(std::size_t degree);
+
+  std::size_t degree() const { return n_; }
+  std::size_t slot_count() const { return n_ / 2; }
+
+  /// Encodes at the given scale Δ. `values` may be shorter than slot_count();
+  /// missing slots are zero. Throws if any rounded coefficient would exceed
+  /// 2^62 in magnitude (the backends then could not represent it exactly).
+  std::vector<std::int64_t> encode(std::span<const double> values,
+                                   double scale) const;
+  std::vector<std::int64_t> encode(std::span<const std::complex<double>> values,
+                                   double scale) const;
+
+  /// Inverse map: centered real coefficients (already divided by nothing) and
+  /// the scale they carry; returns the slot values m(ζ^{5^j}) / Δ.
+  std::vector<std::complex<double>> decode(std::span<const double> coefficients,
+                                           double scale) const;
+  /// Convenience: real parts only.
+  std::vector<double> decode_real(std::span<const double> coefficients,
+                                  double scale) const;
+
+  /// Exact (unrounded) embedding τ⁻¹ — exposed for the §III.C error analysis,
+  /// which studies the gap between Δ·τ⁻¹(z) and its rounding.
+  std::vector<double> embed_unrounded(std::span<const std::complex<double>> values,
+                                      double scale) const;
+
+ private:
+  std::size_t n_;
+  Fft fft_;
+  std::vector<std::size_t> slot_to_bin_;       // f_j with 5^j = 2 f_j + 1
+  std::vector<std::size_t> conj_slot_to_bin_;  // bin of -5^j mod 2N
+  std::vector<std::complex<double>> twist_;    // ζ^k
+  std::vector<std::complex<double>> untwist_;  // ζ^{-k}
+};
+
+}  // namespace pphe

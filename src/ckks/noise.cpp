@@ -1,0 +1,89 @@
+#include "ckks/noise.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+NoiseTracker::NoiseTracker(const CkksParams& params) : params_(params) {
+  params_.validate();
+
+}
+
+double NoiseTracker::fresh_encryption() const {
+  // c = v*pk + (m + e0, e1), v ternary, pk noise e: the coefficient noise is
+  // v*e + e0 + e1*s. In the slot (canonical-embedding) domain each term
+  // gains a sqrt(N) evaluation factor on top of the per-coefficient RMS:
+  //   v*e :  sigma * sqrt(2N/3) per coeff -> sigma * N * sqrt(2/3) in slots
+  //   e0  :  sigma                        -> sigma * sqrt(N)
+  //   e1*s:  sigma * sqrt(h)              -> sigma * sqrt(N h)
+  // multiplied by the 6-sigma tail bound.
+  const double sigma = params_.noise_sigma;
+  const auto n = static_cast<double>(params_.degree);
+  const auto h = static_cast<double>(params_.hamming_weight);
+  return 6.0 * sigma *
+         (n * std::sqrt(2.0 / 3.0) + std::sqrt(n) + std::sqrt(n * h));
+}
+
+double NoiseTracker::multiply(double na, double nb, double scale_a,
+                              double scale_b, double value_bound_a,
+                              double value_bound_b) const {
+  // Slot domain: slot(ab) = slot(a) * slot(b), so
+  // (m_a + e_a)(m_b + e_b) = m_a m_b + m_a e_b + m_b e_a + e_a e_b
+  // holds per slot with |slot m| <= scale * value_bound. No extra ring
+  // expansion factor: the embedding is multiplicative.
+  const double ma = scale_a * value_bound_a;
+  const double mb = scale_b * value_bound_b;
+  return ma * nb + mb * na + na * nb;
+}
+
+double NoiseTracker::multiply_plain(double n, double pt_scale,
+                                    double pt_value_bound) const {
+  return n * pt_scale * pt_value_bound;
+}
+
+double NoiseTracker::key_switch(int level) const {
+  PPHE_CHECK(level >= 0, "negative level");
+  // One digit per prime, special prime p >= every q_j: the mod-down divides
+  // the accumulated digit noise by p, leaving ~ (l+1) * 6 sigma * sqrt(N) *
+  // (q_max / p) plus the rounding term sqrt(N/12) * (1 + sqrt(h)).
+  const double l1 = static_cast<double>(level + 1);
+  const auto n = static_cast<double>(params_.degree);
+  const auto h = static_cast<double>(params_.hamming_weight);
+  // Digit j contributes digit_j * e_j / p with |digit| < q_j <= p: slot-
+  // domain magnitude ~ 6 sigma N per digit (conservative q_max/p = 1).
+  const double digit_term = l1 * 6.0 * params_.noise_sigma * n;
+  // Mod-down rounding: per-coefficient uniform(1/12) plus its s-convolution,
+  // lifted to slots: 6 * sqrt(N (1 + h) / 12).
+  const double rounding = 6.0 * std::sqrt(n * (1.0 + h) / 12.0);
+  return digit_term + rounding;
+}
+
+double NoiseTracker::rescale(double n, double prime) const {
+  const auto degree = static_cast<double>(params_.degree);
+  const auto h = static_cast<double>(params_.hamming_weight);
+  const double rounding = 6.0 * std::sqrt(degree * (1.0 + h) / 12.0);
+  return n / prime + rounding;
+}
+
+double measured_slot_error(const HeBackend& backend, const Ciphertext& ct,
+                           std::span<const double> expected) {
+  const auto got = backend.decrypt_decode(ct);
+  PPHE_CHECK(got.size() >= expected.size(), "expected vector too long");
+  double max_err = 0.0;
+  for (std::size_t i = 0; i < expected.size(); ++i) {
+    max_err = std::max(max_err, std::abs(got[i] - expected[i]));
+  }
+  return max_err;
+}
+
+double noise_budget_bits(const HeBackend& backend, const Ciphertext& ct) {
+  double modulus_bits = 0.0;
+  for (int l = 0; l <= ct.level(); ++l) {
+    modulus_bits += std::log2(backend.level_prime(l));
+  }
+  return modulus_bits - std::log2(ct.scale()) - 1.0;  // 1 bit for the sign
+}
+
+}  // namespace pphe

@@ -1,0 +1,75 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+#include "ckks/backend.hpp"
+#include "ckks/params.hpp"
+
+namespace pphe {
+
+/// Analytic CKKS noise model (§III.C of the paper: "the implementation of
+/// CNN-HE should consider rounding errors"). Tracks a high-probability bound
+/// on the invariant noise of a ciphertext — the error e with
+/// m_decrypted = m_true + e, expressed in coefficient units — through the
+/// §II primitives, using the standard heuristic bounds (canonical-embedding
+/// norm, sigma = params.noise_sigma, secret Hamming weight h).
+///
+/// The tracker is intentionally pessimistic-but-simple: it exists so tests
+/// and benches can assert that MEASURED noise stays below the PREDICTED
+/// bound, and so parameter planning can check that the end-of-pipeline
+/// signal-to-noise ratio supports the claimed precision.
+class NoiseTracker {
+ public:
+  explicit NoiseTracker(const CkksParams& params);
+
+  /// Bound on fresh public-key encryption noise (coefficient units).
+  double fresh_encryption() const;
+
+  /// Noise after adding two ciphertexts with bounds na, nb.
+  static double add(double na, double nb) { return na + nb; }
+
+  /// Noise after a ct-ct tensor product: each message is bounded by
+  /// scale * value_bound in coefficient units.
+  double multiply(double na, double nb, double scale_a, double scale_b,
+                  double value_bound_a, double value_bound_b) const;
+
+  /// Noise after multiplying by a plaintext of the given scale and value
+  /// bound (no fresh noise, but the existing noise is amplified).
+  double multiply_plain(double n, double pt_scale,
+                        double pt_value_bound) const;
+
+  /// Additive noise contributed by one key switching (relinearization or
+  /// rotation) with the single-special-prime RNS gadget at `level`.
+  double key_switch(int level) const;
+
+  /// Noise after rescaling by the prime at `level`: the old noise divides by
+  /// the prime and the rounding adds ~sqrt(N/12)*(1 + h) in coefficient
+  /// units.
+  double rescale(double n, double prime) const;
+
+  /// Value-domain error corresponding to slot-domain noise n at `scale`
+  /// (what decode reports): |value error| <= n / scale. All bounds above are
+  /// already expressed in the slot domain (the canonical-embedding sqrt(N)
+  /// evaluation factors are folded into fresh/key_switch/rescale).
+  static double slot_error(double n, double scale) { return n / scale; }
+
+  const CkksParams& params() const { return params_; }
+
+ private:
+  CkksParams params_;
+
+};
+
+/// Measured noise: decrypts `ct`, compares against `expected` slot values,
+/// and returns the maximum absolute slot error. Utility for tests/benches.
+double measured_slot_error(const HeBackend& backend, const Ciphertext& ct,
+                           std::span<const double> expected);
+
+/// Remaining "noise budget" in bits at the ciphertext's level: how many bits
+/// of modulus are left above the scale (once 0, decryption wraps). Mirrors
+/// SEAL's invariant-noise-budget diagnostic, adapted to CKKS.
+double noise_budget_bits(const HeBackend& backend, const Ciphertext& ct);
+
+}  // namespace pphe

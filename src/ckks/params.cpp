@@ -1,0 +1,103 @@
+#include "ckks/params.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+int CkksParams::log_q() const {
+  return std::accumulate(q_bit_sizes.begin(), q_bit_sizes.end(), 0);
+}
+
+int CkksParams::log_q_with_special() const {
+  return log_q() + special_bit_size;
+}
+
+void CkksParams::validate() const {
+  PPHE_CHECK(degree >= 8 && (degree & (degree - 1)) == 0,
+             "degree must be a power of two, at least 8");
+  PPHE_CHECK(!q_bit_sizes.empty(), "at least one ciphertext prime required");
+  for (const int bits : q_bit_sizes) {
+    PPHE_CHECK(bits >= 12 && bits <= 60, "prime sizes must be in [12, 60]");
+  }
+  PPHE_CHECK(special_bit_size >= *std::max_element(q_bit_sizes.begin(),
+                                                   q_bit_sizes.end()),
+             "key-switching prime must be at least as wide as every "
+             "ciphertext prime (noise bound of the RNS decomposition)");
+  PPHE_CHECK(special_bit_size <= 60, "special prime size must be <= 60");
+  PPHE_CHECK(scale >= 2.0, "scale must be at least 2");
+  PPHE_CHECK(hamming_weight >= 1 && hamming_weight <= degree,
+             "invalid secret-key Hamming weight");
+  PPHE_CHECK(noise_sigma > 0.0, "noise sigma must be positive");
+}
+
+std::string CkksParams::describe() const {
+  std::ostringstream os;
+  os << "N=" << degree << " logq=" << log_q() << "(+" << special_bit_size
+     << " special) L=" << q_bit_sizes.size() << " Delta=2^"
+     << std::log2(scale) << " h=" << hamming_weight << " sigma=" << noise_sigma;
+  return os.str();
+}
+
+CkksParams CkksParams::paper_table2() {
+  CkksParams p;
+  p.degree = std::size_t{1} << 14;
+  // q = [40, 26, ..., 26, 40]: log q = 40 + 11*26 + 40 = 366 (Table II).
+  // The trailing 40-bit modulus is the key-switching prime; the 12 leading
+  // primes carry the ciphertext through the networks' multiplicative depth.
+  p.q_bit_sizes.assign(12, 26);
+  p.q_bit_sizes.front() = 40;
+  p.special_bit_size = 40;
+  p.scale = 67108864.0;  // 2^26
+  return p;
+}
+
+CkksParams CkksParams::fast_profile() {
+  CkksParams p = paper_table2();
+  p.degree = std::size_t{1} << 12;
+  return p;
+}
+
+CkksParams CkksParams::test_small() {
+  CkksParams p;
+  p.degree = std::size_t{1} << 11;
+  p.q_bit_sizes = {40, 26, 26, 26, 26};
+  p.special_bit_size = 40;
+  p.scale = 67108864.0;
+  p.hamming_weight = 32;
+  return p;
+}
+
+CkksParams CkksParams::with_chain_length(std::size_t length,
+                                         std::size_t degree,
+                                         std::size_t depth_needed) {
+  PPHE_CHECK(length >= 2, "RNS chains need at least 2 primes; chain length 1 "
+                          "is the multiprecision (non-RNS) backend");
+  PPHE_CHECK(depth_needed >= 1, "depth must be at least 1");
+  CkksParams p;
+  p.degree = degree;
+  if (length - 1 >= depth_needed + 1) {
+    // Enough levels for one rescale per multiplication at the paper's Δ=2^26.
+    p.q_bit_sizes.assign(length, 26);
+    p.q_bit_sizes.front() = 40;
+    p.scale = 67108864.0;
+  } else {
+    // Short chain: wide (58-bit) primes with lazy rescaling. The scale must
+    // shrink so `depth_needed` multiplications fit in the total modulus
+    // budget — the precision cost of short chains the paper's Tables IV/VI
+    // do not report (see EXPERIMENTS.md).
+    p.q_bit_sizes.assign(length, 58);
+    const int budget = 58 * static_cast<int>(length) - 24;
+    int bits = budget / static_cast<int>(depth_needed + 1);
+    bits = std::clamp(bits, 8, 26);
+    p.scale = std::ldexp(1.0, bits);
+  }
+  p.special_bit_size = 60;
+  return p;
+}
+
+}  // namespace pphe

@@ -1,0 +1,61 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+namespace pphe {
+
+/// CKKS(-RNS) parameter set, mirroring Table II of the paper.
+///
+/// `q_bit_sizes` are the ciphertext-modulus primes (the "moduli chain" in the
+/// paper's terminology, built by generate_moduli_chain — our equivalent of
+/// SEAL's co-prime generation tool). The key-switching ("special") modulus is
+/// on top of these: the RNS backend uses one `special_bit_size` prime, the
+/// multiprecision backend a product of special primes covering log q, exactly
+/// as the original non-RNS scheme's evaluation key lives mod q_L^2.
+struct CkksParams {
+  std::size_t degree = std::size_t{1} << 13;  // N
+  std::vector<int> q_bit_sizes;               // ciphertext primes, q_0 first
+  int special_bit_size = 60;                  // RNS key-switching prime
+  double scale = 67108864.0;                  // Δ = 2^26 (Table II)
+  std::size_t hamming_weight = 64;            // h of χ_key = HW(h)
+  double noise_sigma = 3.2;                   // σ of χ_err (HE standard)
+  std::uint64_t seed = 0x5eed;                // PRNG seed (reproducibility)
+
+  /// Σ q_bit_sizes — the paper's "log q" (366 in Table II).
+  int log_q() const;
+  /// log q plus the key-switching modulus width (what security bounds see).
+  int log_q_with_special() const;
+  std::size_t chain_length() const { return q_bit_sizes.size(); }
+  std::size_t slot_count() const { return degree / 2; }
+
+  /// Throws if the configuration is internally inconsistent.
+  void validate() const;
+
+  std::string describe() const;
+
+  /// The paper's Table II setting: λ=128, N=2^14, Δ=2^26, log q = 366,
+  /// L = 13 moduli, q = [40, 26, …, 26, 40] (the trailing 40-bit prime is the
+  /// key-switching modulus).
+  static CkksParams paper_table2();
+
+  /// Same chain shape at N=2^13 — the fast profile used by default in tests
+  /// and benches so the full suite runs in minutes on one core. NOTE: at this
+  /// ring degree the chain exceeds the 128-bit HE-standard bound; the benches
+  /// print the actual estimated level (use --paper for the 128-bit profile).
+  static CkksParams fast_profile();
+
+  /// Tiny parameters for unit tests (N=2^11, short chain).
+  static CkksParams test_small();
+
+  /// Chain of `length` ciphertext primes for the Table IV/VI sweeps: evenly
+  /// sized primes (≤ 60 bits each) chosen so the CNN pipelines still have the
+  /// multiplicative budget they need; `scale` is adapted accordingly (shorter
+  /// chains force a smaller Δ, see EXPERIMENTS.md discussion).
+  static CkksParams with_chain_length(std::size_t length, std::size_t degree,
+                                      std::size_t depth_needed);
+};
+
+}  // namespace pphe

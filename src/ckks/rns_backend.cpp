@@ -1,0 +1,911 @@
+#include "ckks/rns_backend.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/parallel_sim.hpp"
+#include "common/stats.hpp"
+#include "common/thread_pool.hpp"
+#include "math/primes.hpp"
+#include "math/sampling.hpp"
+
+namespace pphe {
+namespace {
+
+/// Runs fn(c) for every channel through the global pool and records the
+/// section in ParallelSim (fan-out = channel count): residue channels are
+/// the independent work units of the RNS representation.
+void parallel_channels(std::size_t k, const std::function<void(std::size_t)>& fn) {
+  Stopwatch sw;
+  ThreadPool::global().parallel_for(k, fn);
+  ParallelSim::global().record_parallel(k, sw.seconds());
+}
+
+double relative_diff(double a, double b) {
+  const double m = std::max(std::abs(a), std::abs(b));
+  return m == 0.0 ? 0.0 : std::abs(a - b) / m;
+}
+
+const RnsCtBody& body(const Ciphertext& ct) {
+  PPHE_CHECK(ct.valid(), "invalid ciphertext handle");
+  return *static_cast<const RnsCtBody*>(ct.impl().get());
+}
+
+const RnsPtBody& body(const Plaintext& pt) {
+  PPHE_CHECK(pt.valid(), "invalid plaintext handle");
+  return *static_cast<const RnsPtBody*>(pt.impl().get());
+}
+
+}  // namespace
+
+RnsBackend::RnsBackend(const CkksParams& params)
+    : params_(params), encoder_(params.degree), special_(2),
+      prng_(params.seed) {
+  params_.validate();
+
+  // One downward prime sweep covering the ciphertext chain AND the
+  // key-switching prime, so all moduli are distinct even at equal widths.
+  std::vector<int> sizes = params_.q_bit_sizes;
+  sizes.push_back(params_.special_bit_size);
+  const auto primes = generate_moduli_chain(params_.degree, sizes);
+  for (std::size_t i = 0; i < params_.q_bit_sizes.size(); ++i) {
+    q_moduli_.emplace_back(primes[i]);
+    q_ntt_.emplace_back(params_.degree, q_moduli_.back());
+  }
+  special_ = Modulus(primes.back());
+  special_ntt_ = std::make_unique<NttTable>(params_.degree, special_);
+
+  p_mod_q_.resize(q_moduli_.size());
+  inv_p_mod_q_.resize(q_moduli_.size());
+  for (std::size_t i = 0; i < q_moduli_.size(); ++i) {
+    p_mod_q_[i] = q_moduli_[i].reduce(special_.value());
+    inv_p_mod_q_[i] = q_moduli_[i].inv(p_mod_q_[i]);
+  }
+  inv_q_mod_q_.resize(q_moduli_.size());
+  for (std::size_t l = 1; l < q_moduli_.size(); ++l) {
+    inv_q_mod_q_[l].resize(l);
+    for (std::size_t i = 0; i < l; ++i) {
+      inv_q_mod_q_[l][i] =
+          q_moduli_[i].inv(q_moduli_[i].reduce(q_moduli_[l].value()));
+    }
+  }
+  for (std::size_t l = 0; l < q_moduli_.size(); ++l) {
+    std::vector<std::uint64_t> mods(l + 1);
+    for (std::size_t i = 0; i <= l; ++i) mods[i] = q_moduli_[i].value();
+    level_bases_.push_back(std::make_unique<RnsBase>(mods));
+  }
+
+  generate_keys();
+}
+
+// ---------------------------------------------------------------------------
+// Poly helpers
+// ---------------------------------------------------------------------------
+
+const Modulus& RnsBackend::mod_for(const RnsPoly& p, std::size_t c) const {
+  return (p.has_special && c == p.channels() - 1) ? special_ : q_moduli_[c];
+}
+
+const NttTable& RnsBackend::ntt_for(const RnsPoly& p, std::size_t c) const {
+  return (p.has_special && c == p.channels() - 1) ? *special_ntt_ : q_ntt_[c];
+}
+
+RnsPoly RnsBackend::zero_poly(int level, bool with_special, bool ntt) const {
+  RnsPoly p;
+  const std::size_t channels =
+      static_cast<std::size_t>(level) + 1 + (with_special ? 1 : 0);
+  p.ch.assign(channels, std::vector<std::uint64_t>(params_.degree, 0));
+  p.ntt = ntt;
+  p.has_special = with_special;
+  return p;
+}
+
+namespace {
+
+/// Channel c of `a` and channel c of `b` must refer to the same modulus:
+/// plain channels align positionally, and a special channel can only meet a
+/// special channel. `b` may have more (higher) channels than `a`.
+void check_channel_compat(const RnsPoly& a, const RnsPoly& b,
+                          std::size_t channels_used) {
+  for (std::size_t c = 0; c < channels_used; ++c) {
+    const bool a_special = a.has_special && c == a.channels() - 1;
+    const bool b_special = b.has_special && c == b.channels() - 1;
+    PPHE_CHECK(a_special == b_special, "RNS channel layout mismatch");
+  }
+}
+
+}  // namespace
+
+void RnsBackend::to_ntt(RnsPoly& p) const {
+  if (p.ntt) return;
+  parallel_channels(p.channels(),
+                    [&](std::size_t c) { ntt_for(p, c).forward(p.ch[c]); });
+  p.ntt = true;
+}
+
+void RnsBackend::to_coeff(RnsPoly& p) const {
+  if (!p.ntt) return;
+  parallel_channels(p.channels(),
+                    [&](std::size_t c) { ntt_for(p, c).inverse(p.ch[c]); });
+  p.ntt = false;
+}
+
+RnsPoly RnsBackend::lift_signed(std::span<const std::int64_t> coeffs,
+                                int level, bool with_special) const {
+  PPHE_CHECK(coeffs.size() == params_.degree, "coefficient count mismatch");
+  RnsPoly p = zero_poly(level, with_special, /*ntt=*/false);
+  parallel_channels(p.channels(), [&](std::size_t c) {
+    const Modulus& mod = mod_for(p, c);
+    auto& dst = p.ch[c];
+    for (std::size_t i = 0; i < coeffs.size(); ++i) {
+      const std::int64_t v = coeffs[i];
+      dst[i] = v >= 0
+                   ? mod.reduce(static_cast<std::uint64_t>(v))
+                   : mod.neg(mod.reduce(static_cast<std::uint64_t>(-v)));
+    }
+  });
+  return p;
+}
+
+RnsPoly RnsBackend::uniform_poly(int level, bool with_special) const {
+  RnsPoly p = zero_poly(level, with_special, /*ntt=*/true);
+  for (std::size_t c = 0; c < p.channels(); ++c) {
+    const Modulus& mod = mod_for(p, c);
+    for (auto& v : p.ch[c]) v = prng_.uniform_below(mod.value());
+  }
+  return p;
+}
+
+RnsPoly RnsBackend::automorphism(const RnsPoly& p,
+                                 std::uint64_t exponent) const {
+  PPHE_CHECK(!p.ntt, "automorphism expects coefficient form");
+  const std::size_t n = params_.degree;
+  const std::size_t two_n = 2 * n;
+  PPHE_CHECK(exponent % 2 == 1 && exponent < two_n, "bad Galois exponent");
+  RnsPoly out = p;
+  parallel_channels(p.channels(), [&](std::size_t c) {
+    const Modulus& mod = mod_for(p, c);
+    const auto& src = p.ch[c];
+    auto& dst = out.ch[c];
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::size_t j = (i * exponent) % two_n;
+      if (j < n) {
+        dst[j] = src[i];
+      } else {
+        dst[j - n] = mod.neg(src[i]);
+      }
+    }
+  });
+  return out;
+}
+
+void RnsBackend::add_inplace(RnsPoly& a, const RnsPoly& b) const {
+  PPHE_CHECK(a.ntt == b.ntt, "representation mismatch in add");
+  const std::size_t k = std::min(a.channels(), b.channels());
+  check_channel_compat(a, b, k);
+  parallel_channels(k, [&](std::size_t c) {
+    const Modulus& mod = mod_for(a, c);
+    auto& dst = a.ch[c];
+    const auto& src = b.ch[c];
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = mod.add(dst[i], src[i]);
+    }
+  });
+}
+
+void RnsBackend::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
+  PPHE_CHECK(a.ntt == b.ntt, "representation mismatch in sub");
+  const std::size_t k = std::min(a.channels(), b.channels());
+  check_channel_compat(a, b, k);
+  parallel_channels(k, [&](std::size_t c) {
+    const Modulus& mod = mod_for(a, c);
+    auto& dst = a.ch[c];
+    const auto& src = b.ch[c];
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = mod.sub(dst[i], src[i]);
+    }
+  });
+}
+
+void RnsBackend::negate_inplace(RnsPoly& a) const {
+  parallel_channels(a.channels(), [&](std::size_t c) {
+    const Modulus& mod = mod_for(a, c);
+    for (auto& v : a.ch[c]) v = mod.neg(v);
+  });
+}
+
+void RnsBackend::pointwise_inplace(RnsPoly& a, const RnsPoly& b) const {
+  PPHE_CHECK(a.ntt && b.ntt, "pointwise product expects NTT form");
+  const std::size_t k = std::min(a.channels(), b.channels());
+  check_channel_compat(a, b, k);
+  parallel_channels(k, [&](std::size_t c) {
+    const Modulus& mod = mod_for(a, c);
+    auto& dst = a.ch[c];
+    const auto& src = b.ch[c];
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = mod.mul(dst[i], src[i]);
+    }
+  });
+}
+
+RnsPoly RnsBackend::pointwise(const RnsPoly& a, const RnsPoly& b) const {
+  RnsPoly out = a;
+  if (out.channels() > b.channels()) {
+    out.ch.resize(b.channels());
+    // Truncation removes the trailing special channel, if there was one.
+    out.has_special = false;
+  }
+  pointwise_inplace(out, b);
+  return out;
+}
+
+// ---------------------------------------------------------------------------
+// Key generation
+// ---------------------------------------------------------------------------
+
+void RnsBackend::generate_keys() {
+  const int top = max_level();
+  // Secret key s <- HW(h), lifted to every channel (q primes + special).
+  const auto s = sample_hwt(prng_, params_.degree, params_.hamming_weight);
+  std::vector<std::int64_t> s64(s.begin(), s.end());
+  sk_coeff_ = lift_signed(s64, top, /*with_special=*/true);
+  sk_ntt_ = sk_coeff_;
+  to_ntt(sk_ntt_);
+
+  // Public key (b, a): b = -a s + e over the q primes.
+  pk_a_ = uniform_poly(top, /*with_special=*/false);
+  const auto e = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+  RnsPoly e_poly = lift_signed(e, top, /*with_special=*/false);
+  to_ntt(e_poly);
+  pk_b_ = pointwise(pk_a_, sk_ntt_);
+  negate_inplace(pk_b_);
+  add_inplace(pk_b_, e_poly);
+
+  // Relinearization key: targets s^2.
+  RnsPoly s2 = pointwise(sk_ntt_, sk_ntt_);
+  relin_key_ = make_ksw_key(s2);
+}
+
+RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
+  PPHE_CHECK(target_ntt.ntt && target_ntt.channels() == q_moduli_.size() + 1,
+             "key-switch target must be NTT over all channels");
+  const int top = max_level();
+  KswKey key;
+  key.digits.resize(q_moduli_.size());
+  for (std::size_t j = 0; j < q_moduli_.size(); ++j) {
+    RnsPoly a_j = uniform_poly(top, /*with_special=*/true);
+    const auto e = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+    RnsPoly e_j = lift_signed(e, top, /*with_special=*/true);
+    to_ntt(e_j);
+    // b_j = -a_j s + e_j + (p mod q_j) * target  [only on channel j].
+    RnsPoly b_j = pointwise(a_j, sk_ntt_);
+    negate_inplace(b_j);
+    add_inplace(b_j, e_j);
+    const Modulus& mod_j = q_moduli_[j];
+    const std::uint64_t p_j = p_mod_q_[j];
+    auto& bch = b_j.ch[j];
+    const auto& tch = target_ntt.ch[j];
+    for (std::size_t i = 0; i < bch.size(); ++i) {
+      bch[i] = mod_j.add(bch[i], mod_j.mul(p_j, tch[i]));
+    }
+    key.digits[j] = {std::move(b_j), std::move(a_j)};
+  }
+  return key;
+}
+
+// ---------------------------------------------------------------------------
+// Key switching
+// ---------------------------------------------------------------------------
+
+std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
+                                                   const KswKey& key) const {
+  PPHE_CHECK(!d.ntt, "key_switch expects coefficient form");
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+  PPHE_CHECK(d.channels() >= q_channels, "digit source too small");
+  const std::size_t n = params_.degree;
+  const std::size_t key_special = q_moduli_.size();  // key channel index of p
+
+  RnsPoly acc0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+  RnsPoly acc1 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+  const std::size_t channels = acc0.channels();  // q_channels + 1
+
+  // One digit per prime (the RNS gadget of Cheon et al. [9] / SEAL): digit j
+  // is the residue of d mod q_j, lifted to every channel, NTT'd, and dotted
+  // with the key. Digit loop bodies over channels are the parallel units.
+  std::vector<std::uint64_t> lifted(n);
+  for (std::size_t j = 0; j < q_channels; ++j) {
+    const auto& digit = d.ch[j];
+    Stopwatch sw;
+    ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
+      const bool is_special = c == channels - 1;
+      const Modulus& mod = is_special ? special_ : q_moduli_[c];
+      const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
+      const std::size_t key_c = is_special ? key_special : c;
+
+      std::vector<std::uint64_t> lift(n);
+      if (!is_special && c == j) {
+        lift = digit;
+      } else {
+        for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
+      }
+      ntt.forward(lift);
+      const auto& kb = key.digits[j][0].ch[key_c];
+      const auto& ka = key.digits[j][1].ch[key_c];
+      auto& a0 = acc0.ch[c];
+      auto& a1 = acc1.ch[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        a0[i] = mod.add(a0[i], mod.mul(lift[i], kb[i]));
+        a1[i] = mod.add(a1[i], mod.mul(lift[i], ka[i]));
+      }
+    });
+    ParallelSim::global().record_parallel(channels, sw.seconds());
+  }
+
+  // Mod-down: out = round(acc / p) over the q channels.
+  to_coeff(acc0);
+  to_coeff(acc1);
+  const std::uint64_t p = special_.value();
+  const std::uint64_t half_p = p >> 1;
+  std::pair<RnsPoly, RnsPoly> out{zero_poly(level, false, false),
+                                  zero_poly(level, false, false)};
+  for (int comp = 0; comp < 2; ++comp) {
+    RnsPoly& acc = comp == 0 ? acc0 : acc1;
+    RnsPoly& dst = comp == 0 ? out.first : out.second;
+    // r' = (acc + p/2) mod p, taken from the special channel.
+    auto& rp = acc.ch[channels - 1];
+    for (auto& v : rp) v = special_.add(v, half_p);
+    parallel_channels(q_channels, [&](std::size_t c) {
+      const Modulus& mod = q_moduli_[c];
+      const std::uint64_t half_mod = mod.reduce(half_p);
+      const std::uint64_t inv_p = inv_p_mod_q_[c];
+      const auto& src = acc.ch[c];
+      auto& d_out = dst.ch[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        const std::uint64_t num =
+            mod.sub(mod.add(src[i], half_mod), mod.reduce(rp[i]));
+        d_out[i] = mod.mul(num, inv_p);
+      }
+    });
+  }
+  return out;
+}
+
+std::uint64_t RnsBackend::rotation_exponent(int step) const {
+  const auto slots = static_cast<long long>(slot_count());
+  long long s = step % slots;
+  if (s < 0) s += slots;
+  PPHE_CHECK(s != 0, "rotation step must be non-zero modulo slot count");
+  const std::uint64_t two_n = 2 * params_.degree;
+  std::uint64_t g = 1;
+  for (long long i = 0; i < s; ++i) g = (g * 5) % two_n;
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// Public API
+// ---------------------------------------------------------------------------
+
+Ciphertext RnsBackend::wrap(std::vector<RnsPoly> polys, double scale,
+                            int level) const {
+  auto impl = std::make_shared<RnsCtBody>();
+  const std::size_t size = polys.size();
+  impl->polys = std::move(polys);
+  return Ciphertext(std::move(impl), scale, level, size);
+}
+
+Plaintext RnsBackend::encode(std::span<const double> values, double scale,
+                             int level) const {
+  count_op("encode");
+  PPHE_CHECK(level >= 0 && level <= max_level(), "level out of range");
+  const auto coeffs = encoder_.encode(values, scale);
+  RnsPoly p = lift_signed(coeffs, level, /*with_special=*/false);
+  to_ntt(p);
+  auto impl = std::make_shared<RnsPtBody>();
+  impl->poly = std::move(p);
+  return Plaintext(std::move(impl), scale, level);
+}
+
+Ciphertext RnsBackend::encrypt(const Plaintext& pt) const {
+  count_op("encrypt");
+  const RnsPtBody& ptb = body(pt);
+  const int level = pt.level();
+
+  const auto u = sample_ternary(prng_, params_.degree);
+  std::vector<std::int64_t> u64v(u.begin(), u.end());
+  RnsPoly u_poly = lift_signed(u64v, level, false);
+  to_ntt(u_poly);
+  RnsPoly e0 = lift_signed(
+      sample_gaussian(prng_, params_.degree, params_.noise_sigma), level,
+      false);
+  to_ntt(e0);
+  RnsPoly e1 = lift_signed(
+      sample_gaussian(prng_, params_.degree, params_.noise_sigma), level,
+      false);
+  to_ntt(e1);
+
+  RnsPoly c0 = pointwise(pk_b_, u_poly);
+  add_inplace(c0, e0);
+  add_inplace(c0, ptb.poly);
+  RnsPoly c1 = pointwise(pk_a_, u_poly);
+  add_inplace(c1, e1);
+
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(c0));
+  polys.push_back(std::move(c1));
+  return wrap(std::move(polys), pt.scale(), level);
+}
+
+std::vector<double> RnsBackend::decrypt_coefficients(
+    const Ciphertext& ct) const {
+  const RnsCtBody& c = body(ct);
+  const int level = ct.level();
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+
+  RnsPoly m = c.polys[0];
+  PPHE_CHECK(m.ntt, "ciphertexts are stored in NTT form");
+  RnsPoly s_power = sk_ntt_;  // use channels 0..level
+  for (std::size_t t = 1; t < c.polys.size(); ++t) {
+    RnsPoly term = c.polys[t];
+    pointwise_inplace(term, s_power);
+    add_inplace(m, term);
+    if (t + 1 < c.polys.size()) pointwise_inplace(s_power, sk_ntt_);
+  }
+  to_coeff(m);
+
+  const RnsBase& base = *level_bases_[level];
+  const BigUInt& q = base.product();
+  const BigUInt half_q = q >> 1;
+  std::vector<double> out(params_.degree);
+  std::vector<std::uint64_t> residues(q_channels);
+  for (std::size_t i = 0; i < params_.degree; ++i) {
+    for (std::size_t ch = 0; ch < q_channels; ++ch) residues[ch] = m.ch[ch][i];
+    const BigUInt v = base.compose(residues);
+    out[i] = v > half_q ? -(q - v).to_double() : v.to_double();
+  }
+  return out;
+}
+
+std::vector<double> RnsBackend::decrypt_decode(const Ciphertext& ct) const {
+  count_op("decrypt");
+  const auto coeffs = decrypt_coefficients(ct);
+  return encoder_.decode_real(coeffs, ct.scale());
+}
+
+Ciphertext RnsBackend::add(const Ciphertext& a, const Ciphertext& b) const {
+  count_op("add");
+  const Ciphertext* pa = &a;
+  const Ciphertext* pb = &b;
+  Ciphertext dropped;
+  if (a.level() != b.level()) {
+    // Align automatically: drop the one with more remaining primes.
+    if (a.level() > b.level()) {
+      dropped = mod_drop_to(a, b.level());
+      pa = &dropped;
+    } else {
+      dropped = mod_drop_to(b, a.level());
+      pb = &dropped;
+    }
+  }
+  PPHE_CHECK(relative_diff(pa->scale(), pb->scale()) < 1e-9,
+             "scale mismatch in add");
+  const RnsCtBody& ba = body(*pa);
+  const RnsCtBody& bb = body(*pb);
+  const std::size_t size = std::max(ba.polys.size(), bb.polys.size());
+  std::vector<RnsPoly> polys;
+  polys.reserve(size);
+  for (std::size_t i = 0; i < size; ++i) {
+    if (i < ba.polys.size() && i < bb.polys.size()) {
+      RnsPoly p = ba.polys[i];
+      add_inplace(p, bb.polys[i]);
+      polys.push_back(std::move(p));
+    } else if (i < ba.polys.size()) {
+      polys.push_back(ba.polys[i]);
+    } else {
+      polys.push_back(bb.polys[i]);
+    }
+  }
+  return wrap(std::move(polys), pa->scale(), pa->level());
+}
+
+Ciphertext RnsBackend::sub(const Ciphertext& a, const Ciphertext& b) const {
+  count_op("sub");
+  return add(a, negate(b));
+}
+
+Ciphertext RnsBackend::negate(const Ciphertext& a) const {
+  count_op("negate");
+  const RnsCtBody& ba = body(a);
+  std::vector<RnsPoly> polys = ba.polys;
+  for (auto& p : polys) negate_inplace(p);
+  return wrap(std::move(polys), a.scale(), a.level());
+}
+
+Ciphertext RnsBackend::add_plain(const Ciphertext& a,
+                                 const Plaintext& b) const {
+  count_op("add_plain");
+  PPHE_CHECK(b.level() >= a.level(),
+             "plaintext encoded at a lower level than the ciphertext");
+  PPHE_CHECK(relative_diff(a.scale(), b.scale()) < 1e-9,
+             "scale mismatch in add_plain");
+  const RnsCtBody& ba = body(a);
+  std::vector<RnsPoly> polys = ba.polys;
+  add_inplace(polys[0], body(b).poly);
+  return wrap(std::move(polys), a.scale(), a.level());
+}
+
+Ciphertext RnsBackend::multiply(const Ciphertext& a,
+                                const Ciphertext& b) const {
+  count_op("multiply");
+  const Ciphertext* pa = &a;
+  const Ciphertext* pb = &b;
+  Ciphertext dropped;
+  if (a.level() != b.level()) {
+    if (a.level() > b.level()) {
+      dropped = mod_drop_to(a, b.level());
+      pa = &dropped;
+    } else {
+      dropped = mod_drop_to(b, a.level());
+      pb = &dropped;
+    }
+  }
+  const RnsCtBody& ba = body(*pa);
+  const RnsCtBody& bb = body(*pb);
+  PPHE_CHECK(ba.polys.size() == 2 && bb.polys.size() == 2,
+             "multiply expects size-2 ciphertexts (relinearize first)");
+
+  RnsPoly d0 = pointwise(ba.polys[0], bb.polys[0]);
+  RnsPoly d1 = pointwise(ba.polys[0], bb.polys[1]);
+  RnsPoly cross = pointwise(ba.polys[1], bb.polys[0]);
+  add_inplace(d1, cross);
+  RnsPoly d2 = pointwise(ba.polys[1], bb.polys[1]);
+
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(d0));
+  polys.push_back(std::move(d1));
+  polys.push_back(std::move(d2));
+  return wrap(std::move(polys), pa->scale() * pb->scale(), pa->level());
+}
+
+Ciphertext RnsBackend::multiply_plain(const Ciphertext& a,
+                                      const Plaintext& b) const {
+  count_op("multiply_plain");
+  PPHE_CHECK(b.level() >= a.level(),
+             "plaintext encoded at a lower level than the ciphertext");
+  const RnsCtBody& ba = body(a);
+  std::vector<RnsPoly> polys;
+  polys.reserve(ba.polys.size());
+  for (const auto& p : ba.polys) polys.push_back(pointwise(p, body(b).poly));
+  return wrap(std::move(polys), a.scale() * b.scale(), a.level());
+}
+
+Ciphertext RnsBackend::relinearize(const Ciphertext& a) const {
+  count_op("relinearize");
+  const RnsCtBody& ba = body(a);
+  if (ba.polys.size() == 2) return a;
+  PPHE_CHECK(ba.polys.size() == 3, "can only relinearize size-3 ciphertexts");
+
+  RnsPoly d2 = ba.polys[2];
+  to_coeff(d2);
+  auto [k0, k1] = key_switch(d2, a.level(), relin_key_);
+  to_ntt(k0);
+  to_ntt(k1);
+  add_inplace(k0, ba.polys[0]);
+  add_inplace(k1, ba.polys[1]);
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(k0));
+  polys.push_back(std::move(k1));
+  return wrap(std::move(polys), a.scale(), a.level());
+}
+
+Ciphertext RnsBackend::rescale(const Ciphertext& a) const {
+  count_op("rescale");
+  PPHE_CHECK(a.level() > 0, "no prime left to rescale by");
+  const RnsCtBody& ba = body(a);
+  const auto l = static_cast<std::size_t>(a.level());
+  const Modulus& q_last = q_moduli_[l];
+  const std::uint64_t half = q_last.value() >> 1;
+
+  std::vector<RnsPoly> polys;
+  polys.reserve(ba.polys.size());
+  for (const auto& src_poly : ba.polys) {
+    RnsPoly p = src_poly;
+    to_coeff(p);
+    // r' = (c + q_l/2) mod q_l from the dropped channel.
+    auto& rl = p.ch[l];
+    for (auto& v : rl) v = q_last.add(v, half);
+    RnsPoly out = zero_poly(a.level() - 1, false, false);
+    parallel_channels(l, [&](std::size_t c) {
+      const Modulus& mod = q_moduli_[c];
+      const std::uint64_t half_mod = mod.reduce(half);
+      const std::uint64_t inv = inv_q_mod_q_[l][c];
+      const auto& src = p.ch[c];
+      auto& dst = out.ch[c];
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        const std::uint64_t num =
+            mod.sub(mod.add(src[i], half_mod), mod.reduce(rl[i]));
+        dst[i] = mod.mul(num, inv);
+      }
+    });
+    to_ntt(out);
+    polys.push_back(std::move(out));
+  }
+  const double new_scale = a.scale() / static_cast<double>(q_last.value());
+  return wrap(std::move(polys), new_scale, a.level() - 1);
+}
+
+Ciphertext RnsBackend::mod_drop_to(const Ciphertext& a, int level) const {
+  count_op("mod_drop");
+  PPHE_CHECK(level >= 0 && level <= a.level(), "invalid mod-drop target");
+  if (level == a.level()) return a;
+  const RnsCtBody& ba = body(a);
+  std::vector<RnsPoly> polys = ba.polys;
+  for (auto& p : polys) p.ch.resize(static_cast<std::size_t>(level) + 1);
+  return wrap(std::move(polys), a.scale(), level);
+}
+
+Ciphertext RnsBackend::apply_automorphism_ct(const Ciphertext& a,
+                                             std::uint64_t exponent,
+                                             const KswKey& key,
+                                             const char* op_name) const {
+  count_op(op_name);
+  const RnsCtBody& ba = body(a);
+  PPHE_CHECK(ba.polys.size() == 2,
+             "rotate/conjugate expects size-2 ciphertexts (relinearize first)");
+  RnsPoly c0 = ba.polys[0];
+  RnsPoly c1 = ba.polys[1];
+  to_coeff(c0);
+  to_coeff(c1);
+  RnsPoly c0g = automorphism(c0, exponent);
+  RnsPoly c1g = automorphism(c1, exponent);
+  auto [k0, k1] = key_switch(c1g, a.level(), key);
+  add_inplace(k0, c0g);
+  to_ntt(k0);
+  to_ntt(k1);
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(k0));
+  polys.push_back(std::move(k1));
+  return wrap(std::move(polys), a.scale(), a.level());
+}
+
+const std::vector<std::uint32_t>& RnsBackend::ntt_permutation(
+    std::uint64_t exponent) const {
+  auto it = ntt_perms_.find(exponent);
+  if (it != ntt_perms_.end()) return it->second;
+
+  const std::size_t n = params_.degree;
+  const std::size_t two_n = 2 * n;
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  auto brv = [bits](std::size_t x) {
+    std::size_t r = 0;
+    for (int b = 0; b < bits; ++b) {
+      r = (r << 1) | (x & 1);
+      x >>= 1;
+    }
+    return r;
+  };
+  // Forward-NTT output index j holds the evaluation at psi^(2*brv(j)+1);
+  // sigma(x)(psi^e) = x(psi^(e*g)), so output j reads input index j' with
+  // 2*brv(j')+1 = (2*brv(j)+1)*g (mod 2n).
+  std::vector<std::uint32_t> perm(n);
+  for (std::size_t j = 0; j < n; ++j) {
+    const std::size_t e = (2 * brv(j) + 1) * exponent % two_n;
+    perm[j] = static_cast<std::uint32_t>(brv((e - 1) / 2));
+  }
+  return ntt_perms_.emplace(exponent, std::move(perm)).first->second;
+}
+
+std::vector<Ciphertext> RnsBackend::rotate_batch(
+    const Ciphertext& a, const std::vector<int>& steps) const {
+  if (steps.size() <= 1) {
+    return HeBackend::rotate_batch(a, steps);
+  }
+  const RnsCtBody& ba = body(a);
+  PPHE_CHECK(ba.polys.size() == 2, "rotate expects size-2 ciphertexts");
+  PPHE_CHECK(ba.polys[0].ntt && ba.polys[1].ntt,
+             "ciphertexts are stored in NTT form");
+  const auto level = a.level();
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+  const std::size_t n = params_.degree;
+  const std::size_t channels = q_channels + 1;  // + special
+
+  // Hoist: decompose c1 once, lift every digit to every channel, NTT.
+  RnsPoly c1 = ba.polys[1];
+  to_coeff(c1);
+  // digits_ntt[j][c]: digit j lifted to channel c (special last), NTT form.
+  std::vector<std::vector<std::vector<std::uint64_t>>> digits_ntt(q_channels);
+  {
+    Stopwatch sw;
+    for (std::size_t j = 0; j < q_channels; ++j) {
+      digits_ntt[j].resize(channels);
+      ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
+        const bool is_special = c == channels - 1;
+        const Modulus& mod = is_special ? special_ : q_moduli_[c];
+        const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
+        auto& lift = digits_ntt[j][c];
+        if (!is_special && c == j) {
+          lift = c1.ch[j];
+        } else {
+          lift.resize(n);
+          for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(c1.ch[j][i]);
+        }
+        ntt.forward(lift);
+      });
+    }
+    ParallelSim::global().record_parallel(q_channels * channels, sw.seconds());
+  }
+
+  const std::uint64_t p = special_.value();
+  const std::uint64_t half_p = p >> 1;
+
+  std::vector<Ciphertext> out;
+  out.reserve(steps.size());
+  for (const int step : steps) {
+    count_op("rotate_hoisted");
+    const std::uint64_t exponent = rotation_exponent(step);
+    auto key_it = galois_keys_.find(exponent);
+    PPHE_CHECK(key_it != galois_keys_.end(),
+               "missing Galois key for step " + std::to_string(step));
+    const KswKey& key = key_it->second;
+    const auto& perm = ntt_permutation(exponent);
+
+    RnsPoly acc0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+    RnsPoly acc1 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+    Stopwatch sw;
+    ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
+      const bool is_special = c == channels - 1;
+      const Modulus& mod = is_special ? special_ : q_moduli_[c];
+      const std::size_t key_c = is_special ? q_moduli_.size() : c;
+      auto& a0 = acc0.ch[c];
+      auto& a1 = acc1.ch[c];
+      for (std::size_t j = 0; j < q_channels; ++j) {
+        const auto& dj = digits_ntt[j][c];
+        const auto& kb = key.digits[j][0].ch[key_c];
+        const auto& ka = key.digits[j][1].ch[key_c];
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t v = dj[perm[i]];
+          a0[i] = mod.add(a0[i], mod.mul(v, kb[i]));
+          a1[i] = mod.add(a1[i], mod.mul(v, ka[i]));
+        }
+      }
+    });
+    ParallelSim::global().record_parallel(channels, sw.seconds());
+
+    // Mod-down by the special prime (rounded), as in key_switch().
+    to_coeff(acc0);
+    to_coeff(acc1);
+    RnsPoly out0 = zero_poly(level, false, false);
+    RnsPoly out1 = zero_poly(level, false, false);
+    for (int comp = 0; comp < 2; ++comp) {
+      RnsPoly& acc = comp == 0 ? acc0 : acc1;
+      RnsPoly& dst = comp == 0 ? out0 : out1;
+      auto& rp = acc.ch[channels - 1];
+      for (auto& v : rp) v = special_.add(v, half_p);
+      parallel_channels(q_channels, [&](std::size_t c) {
+        const Modulus& mod = q_moduli_[c];
+        const std::uint64_t half_mod = mod.reduce(half_p);
+        const std::uint64_t inv_p = inv_p_mod_q_[c];
+        const auto& src = acc.ch[c];
+        auto& d_out = dst.ch[c];
+        for (std::size_t i = 0; i < n; ++i) {
+          const std::uint64_t num =
+              mod.sub(mod.add(src[i], half_mod), mod.reduce(rp[i]));
+          d_out[i] = mod.mul(num, inv_p);
+        }
+      });
+    }
+    to_ntt(out0);
+    to_ntt(out1);
+    // Add sigma(c0), applied directly in the NTT domain via the permutation.
+    parallel_channels(q_channels, [&](std::size_t c) {
+      const Modulus& mod = q_moduli_[c];
+      const auto& src = ba.polys[0].ch[c];
+      auto& dst = out0.ch[c];
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = mod.add(dst[i], src[perm[i]]);
+      }
+    });
+    std::vector<RnsPoly> polys;
+    polys.push_back(std::move(out0));
+    polys.push_back(std::move(out1));
+    out.push_back(wrap(std::move(polys), a.scale(), level));
+  }
+  return out;
+}
+
+void RnsBackend::multiply_acc(Ciphertext& acc, const Ciphertext& a,
+                              const Ciphertext& b) const {
+  if (!acc.valid() || acc.impl().use_count() != 1 ||
+      acc.level() != a.level() || a.level() != b.level() ||
+      relative_diff(acc.scale(), a.scale() * b.scale()) > 1e-9) {
+    HeBackend::multiply_acc(acc, a, b);
+    return;
+  }
+  count_op("multiply_acc");
+  const RnsCtBody& ba = body(a);
+  const RnsCtBody& bb = body(b);
+  PPHE_CHECK(ba.polys.size() == 2 && bb.polys.size() == 2,
+             "multiply_acc expects size-2 operands");
+  auto& bacc = *static_cast<RnsCtBody*>(
+      const_cast<void*>(static_cast<const void*>(acc.impl().get())));
+  PPHE_CHECK(bacc.polys.size() == 3, "accumulator must be a size-3 product");
+  const std::size_t k = bacc.polys[0].channels();
+  Stopwatch sw;
+  ThreadPool::global().parallel_for(k, [&](std::size_t c) {
+    const Modulus& mod = q_moduli_[c];
+    const auto& a0 = ba.polys[0].ch[c];
+    const auto& a1 = ba.polys[1].ch[c];
+    const auto& b0 = bb.polys[0].ch[c];
+    const auto& b1 = bb.polys[1].ch[c];
+    auto& d0 = bacc.polys[0].ch[c];
+    auto& d1 = bacc.polys[1].ch[c];
+    auto& d2 = bacc.polys[2].ch[c];
+    for (std::size_t i = 0; i < d0.size(); ++i) {
+      d0[i] = mod.add(d0[i], mod.mul(a0[i], b0[i]));
+      d1[i] = mod.add(d1[i],
+                      mod.add(mod.mul(a0[i], b1[i]), mod.mul(a1[i], b0[i])));
+      d2[i] = mod.add(d2[i], mod.mul(a1[i], b1[i]));
+    }
+  });
+  ParallelSim::global().record_parallel(k, sw.seconds());
+}
+
+void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
+                                    const Plaintext& b) const {
+  if (!acc.valid() || acc.impl().use_count() != 1 ||
+      acc.level() != a.level() || acc.size() != a.size() ||
+      relative_diff(acc.scale(), a.scale() * b.scale()) > 1e-9) {
+    HeBackend::multiply_plain_acc(acc, a, b);
+    return;
+  }
+  count_op("multiply_plain_acc");
+  const RnsCtBody& ba = body(a);
+  const RnsPoly& pt = body(b).poly;
+  auto& bacc = *static_cast<RnsCtBody*>(
+      const_cast<void*>(static_cast<const void*>(acc.impl().get())));
+  const std::size_t k = bacc.polys[0].channels();
+  Stopwatch sw;
+  ThreadPool::global().parallel_for(k, [&](std::size_t c) {
+    const Modulus& mod = q_moduli_[c];
+    const auto& w = pt.ch[c];
+    for (std::size_t t = 0; t < bacc.polys.size(); ++t) {
+      const auto& src = ba.polys[t].ch[c];
+      auto& dst = bacc.polys[t].ch[c];
+      for (std::size_t i = 0; i < dst.size(); ++i) {
+        dst[i] = mod.add(dst[i], mod.mul(src[i], w[i]));
+      }
+    }
+  });
+  ParallelSim::global().record_parallel(k, sw.seconds());
+}
+
+Ciphertext RnsBackend::rotate(const Ciphertext& a, int step) const {
+  const std::uint64_t exponent = rotation_exponent(step);
+  auto it = galois_keys_.find(exponent);
+  PPHE_CHECK(it != galois_keys_.end(),
+             "missing Galois key for step " + std::to_string(step) +
+                 "; call ensure_galois_keys first");
+  return apply_automorphism_ct(a, exponent, it->second, "rotate");
+}
+
+Ciphertext RnsBackend::conjugate(const Ciphertext& a) const {
+  const std::uint64_t exponent = 2 * params_.degree - 1;
+  auto it = galois_keys_.find(exponent);
+  PPHE_CHECK(it != galois_keys_.end(),
+             "missing conjugation key; call ensure_galois_keys({0})");
+  return apply_automorphism_ct(a, exponent, it->second, "conjugate");
+}
+
+void RnsBackend::ensure_galois_keys(const std::vector<int>& steps) {
+  for (const int step : steps) {
+    // Step 0 requests the conjugation key by convention.
+    const std::uint64_t exponent =
+        step == 0 ? 2 * params_.degree - 1 : rotation_exponent(step);
+    if (galois_keys_.count(exponent) != 0) continue;
+    RnsPoly s_g = automorphism(sk_coeff_, exponent);
+    to_ntt(s_g);
+    galois_keys_.emplace(exponent, make_ksw_key(s_g));
+  }
+}
+
+}  // namespace pphe

@@ -1,0 +1,62 @@
+#include "ckks/security.hpp"
+
+#include <sstream>
+
+#include "ckks/params.hpp"
+
+namespace pphe {
+namespace {
+
+struct Row {
+  std::size_t degree;
+  int max_128;
+  int max_192;
+  int max_256;
+};
+
+// Table 1 of the HE security standard (classical security, ternary secret).
+constexpr Row kStandardTable[] = {
+    {1024, 27, 19, 14},    {2048, 54, 37, 29},    {4096, 109, 75, 58},
+    {8192, 218, 152, 118}, {16384, 438, 305, 237}, {32768, 881, 611, 476},
+};
+
+}  // namespace
+
+int he_standard_max_log_q(std::size_t degree, int lambda) {
+  for (const auto& row : kStandardTable) {
+    if (row.degree == degree) {
+      switch (lambda) {
+        case 128: return row.max_128;
+        case 192: return row.max_192;
+        case 256: return row.max_256;
+        default: return 0;
+      }
+    }
+  }
+  return 0;
+}
+
+int estimate_security_level(std::size_t degree, int log_q_total) {
+  for (const int lambda : {256, 192, 128}) {
+    const int bound = he_standard_max_log_q(degree, lambda);
+    if (bound != 0 && log_q_total <= bound) return lambda;
+  }
+  return 0;
+}
+
+std::string describe_security(const CkksParams& params) {
+  const int total = params.log_q_with_special();
+  const int level = estimate_security_level(params.degree, total);
+  std::ostringstream os;
+  os << "N=" << params.degree << ", total log q (incl. special) = " << total
+     << " bits: ";
+  if (level >= 128) {
+    os << "meets the HE-standard lambda=" << level << " bound";
+  } else {
+    os << "BELOW the HE-standard 128-bit bound (fast/experimental profile "
+          "only; use the paper_table2 parameters for lambda=128)";
+  }
+  return os.str();
+}
+
+}  // namespace pphe

@@ -1,0 +1,28 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+
+namespace pphe {
+
+struct CkksParams;
+
+/// Security bounds from the Homomorphic Encryption Security Standard
+/// (homomorphicencryption.org, 2018) — the reference the paper's §V.B cites
+/// for its λ=128 guarantee. Values are the maximum total modulus width
+/// (log q, INCLUDING the key-switching modulus) admissible for a given ring
+/// degree under classical attacks with a ternary secret distribution.
+///
+/// Returns 0 if the degree is outside the standard's table (then no claim is
+/// made). Supported λ: 128, 192, 256.
+int he_standard_max_log_q(std::size_t degree, int lambda);
+
+/// Largest λ in {256, 192, 128} for which (degree, log_q_total) satisfies the
+/// standard's bound, or 0 if even the 128-bit bound is exceeded.
+int estimate_security_level(std::size_t degree, int log_q_total);
+
+/// Human-readable security assessment of a parameter set, used by the
+/// Table II bench and printed by the examples.
+std::string describe_security(const CkksParams& params);
+
+}  // namespace pphe

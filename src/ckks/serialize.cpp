@@ -1,0 +1,195 @@
+#include "ckks/serialize.hpp"
+
+#include <cstring>
+#include <istream>
+#include <ostream>
+#include <sstream>
+
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+constexpr std::uint32_t kMagicParams = 0x70706331;  // "ppc1"
+constexpr std::uint32_t kMagicCipher = 0x70706332;
+constexpr std::uint32_t kMagicPlain = 0x70706333;
+constexpr std::uint32_t kVersion = 1;
+
+template <typename T>
+void write_pod(std::ostream& out, T value) {
+  out.write(reinterpret_cast<const char*>(&value), sizeof(T));
+}
+
+template <typename T>
+T read_pod(std::istream& in) {
+  T value{};
+  in.read(reinterpret_cast<char*>(&value), sizeof(T));
+  PPHE_CHECK(static_cast<bool>(in), "truncated serialized stream");
+  return value;
+}
+
+void write_header(std::ostream& out, std::uint32_t magic) {
+  write_pod(out, magic);
+  write_pod(out, kVersion);
+}
+
+void read_header(std::istream& in, std::uint32_t magic) {
+  PPHE_CHECK(read_pod<std::uint32_t>(in) == magic,
+             "bad magic in serialized stream");
+  PPHE_CHECK(read_pod<std::uint32_t>(in) == kVersion,
+             "unsupported serialization version");
+}
+
+void write_poly(std::ostream& out, const RnsPoly& poly) {
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(poly.channels()));
+  write_pod<std::uint8_t>(out, poly.ntt ? 1 : 0);
+  write_pod<std::uint8_t>(out, poly.has_special ? 1 : 0);
+  for (const auto& ch : poly.ch) {
+    out.write(reinterpret_cast<const char*>(ch.data()),
+              static_cast<std::streamsize>(ch.size() * sizeof(std::uint64_t)));
+  }
+}
+
+RnsPoly read_poly(std::istream& in, const RnsBackend& backend,
+                  std::size_t expected_channels) {
+  RnsPoly poly;
+  const auto channels = read_pod<std::uint32_t>(in);
+  PPHE_CHECK(channels == expected_channels,
+             "serialized channel count does not match the level");
+  poly.ntt = read_pod<std::uint8_t>(in) != 0;
+  poly.has_special = read_pod<std::uint8_t>(in) != 0;
+  PPHE_CHECK(!poly.has_special,
+             "transport streams never carry the key-switching channel");
+  const std::size_t n = backend.params().degree;
+  poly.ch.assign(channels, std::vector<std::uint64_t>(n));
+  for (auto& ch : poly.ch) {
+    in.read(reinterpret_cast<char*>(ch.data()),
+            static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
+    PPHE_CHECK(static_cast<bool>(in), "truncated polynomial data");
+  }
+  // Validate residues against the moduli so corrupted streams are rejected.
+  for (std::size_t c = 0; c < channels; ++c) {
+    const std::uint64_t q = backend.q_moduli()[c].value();
+    for (const auto v : poly.ch[c]) {
+      PPHE_CHECK(v < q, "serialized residue out of range");
+    }
+  }
+  return poly;
+}
+
+}  // namespace
+
+void write_params(std::ostream& out, const CkksParams& params) {
+  write_header(out, kMagicParams);
+  write_pod<std::uint64_t>(out, params.degree);
+  write_pod<std::uint32_t>(out,
+                           static_cast<std::uint32_t>(params.q_bit_sizes.size()));
+  for (const int b : params.q_bit_sizes) write_pod<std::int32_t>(out, b);
+  write_pod<std::int32_t>(out, params.special_bit_size);
+  write_pod<double>(out, params.scale);
+  write_pod<std::uint64_t>(out, params.hamming_weight);
+  write_pod<double>(out, params.noise_sigma);
+  write_pod<std::uint64_t>(out, params.seed);
+  PPHE_CHECK(static_cast<bool>(out), "failed writing parameters");
+}
+
+CkksParams read_params(std::istream& in) {
+  read_header(in, kMagicParams);
+  CkksParams params;
+  params.degree = read_pod<std::uint64_t>(in);
+  const auto count = read_pod<std::uint32_t>(in);
+  PPHE_CHECK(count >= 1 && count <= 64, "implausible chain length");
+  params.q_bit_sizes.resize(count);
+  for (auto& b : params.q_bit_sizes) b = read_pod<std::int32_t>(in);
+  params.special_bit_size = read_pod<std::int32_t>(in);
+  params.scale = read_pod<double>(in);
+  params.hamming_weight = read_pod<std::uint64_t>(in);
+  params.noise_sigma = read_pod<double>(in);
+  params.seed = read_pod<std::uint64_t>(in);
+  params.validate();
+  return params;
+}
+
+void write_ciphertext(std::ostream& out, const RnsBackend& backend,
+                      const Ciphertext& ct) {
+  PPHE_CHECK(ct.valid(), "invalid ciphertext");
+  const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
+  write_header(out, kMagicCipher);
+  write_pod<std::uint64_t>(out, backend.params().degree);
+  write_pod<std::int32_t>(out, ct.level());
+  write_pod<double>(out, ct.scale());
+  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(body.polys.size()));
+  for (const auto& poly : body.polys) write_poly(out, poly);
+  PPHE_CHECK(static_cast<bool>(out), "failed writing ciphertext");
+}
+
+Ciphertext read_ciphertext(std::istream& in, const RnsBackend& backend) {
+  read_header(in, kMagicCipher);
+  PPHE_CHECK(read_pod<std::uint64_t>(in) == backend.params().degree,
+             "ciphertext was produced under a different ring degree");
+  const auto level = read_pod<std::int32_t>(in);
+  PPHE_CHECK(level >= 0 && level <= backend.max_level(),
+             "ciphertext level outside this backend's chain");
+  const double scale = read_pod<double>(in);
+  PPHE_CHECK(scale > 0.0, "non-positive scale");
+  const auto size = read_pod<std::uint32_t>(in);
+  PPHE_CHECK(size == 2 || size == 3, "ciphertext must have 2 or 3 components");
+
+  auto impl = std::make_shared<RnsCtBody>();
+  const auto channels = static_cast<std::size_t>(level) + 1;
+  for (std::uint32_t i = 0; i < size; ++i) {
+    impl->polys.push_back(read_poly(in, backend, channels));
+  }
+  return Ciphertext(std::move(impl), scale, level, size);
+}
+
+void write_plaintext(std::ostream& out, const RnsBackend& backend,
+                     const Plaintext& pt) {
+  PPHE_CHECK(pt.valid(), "invalid plaintext");
+  const auto& body = *static_cast<const RnsPtBody*>(pt.impl().get());
+  write_header(out, kMagicPlain);
+  write_pod<std::uint64_t>(out, backend.params().degree);
+  write_pod<std::int32_t>(out, pt.level());
+  write_pod<double>(out, pt.scale());
+  write_poly(out, body.poly);
+  PPHE_CHECK(static_cast<bool>(out), "failed writing plaintext");
+}
+
+Plaintext read_plaintext(std::istream& in, const RnsBackend& backend) {
+  read_header(in, kMagicPlain);
+  PPHE_CHECK(read_pod<std::uint64_t>(in) == backend.params().degree,
+             "plaintext was produced under a different ring degree");
+  const auto level = read_pod<std::int32_t>(in);
+  PPHE_CHECK(level >= 0 && level <= backend.max_level(), "bad level");
+  const double scale = read_pod<double>(in);
+  auto impl = std::make_shared<RnsPtBody>();
+  impl->poly =
+      read_poly(in, backend, static_cast<std::size_t>(level) + 1);
+  return Plaintext(std::move(impl), scale, level);
+}
+
+std::string ciphertext_to_string(const RnsBackend& backend,
+                                 const Ciphertext& ct) {
+  std::ostringstream out(std::ios::binary);
+  write_ciphertext(out, backend, ct);
+  return std::move(out).str();
+}
+
+Ciphertext ciphertext_from_string(const std::string& bytes,
+                                  const RnsBackend& backend) {
+  std::istringstream in(bytes, std::ios::binary);
+  return read_ciphertext(in, backend);
+}
+
+std::size_t ciphertext_byte_size(const RnsBackend& backend,
+                                 const Ciphertext& ct) {
+  const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
+  std::size_t total = 8 + 8 + 4 + 8 + 4;  // headers + metadata
+  for (const auto& poly : body.polys) {
+    total += 6 + poly.channels() * backend.params().degree * 8;
+  }
+  return total;
+}
+
+}  // namespace pphe

@@ -1,0 +1,48 @@
+#pragma once
+
+#include <iosfwd>
+#include <string>
+
+#include "ckks/backend.hpp"
+#include "ckks/params.hpp"
+
+namespace pphe {
+
+class RnsBackend;
+
+/// Binary wire format for the Fig. 1 round trip: the client ships encrypted
+/// inputs (and, in the paper's eq. (1) setting, encrypted weights) to the
+/// cloud and receives encrypted logits back. Covers parameters, plaintexts
+/// and ciphertexts of the RNS backend — the deployed representation; the
+/// multiprecision backend is a baseline for measurement, not transport.
+///
+/// Format: magic + version header, then little-endian fixed-width fields.
+/// Readers validate structure (sizes, levels, flags) against the backend's
+/// parameters and throw pphe::Error on any mismatch — ciphertexts from a
+/// different parameter set are rejected, not misinterpreted.
+
+/// Parameters round-trip independently of any backend.
+void write_params(std::ostream& out, const CkksParams& params);
+CkksParams read_params(std::istream& in);
+
+/// Ciphertexts/plaintexts are tied to the backend that produced them.
+void write_ciphertext(std::ostream& out, const RnsBackend& backend,
+                      const Ciphertext& ct);
+Ciphertext read_ciphertext(std::istream& in, const RnsBackend& backend);
+
+void write_plaintext(std::ostream& out, const RnsBackend& backend,
+                     const Plaintext& pt);
+Plaintext read_plaintext(std::istream& in, const RnsBackend& backend);
+
+/// Convenience: (de)serialize through a byte string (e.g. for a socket).
+std::string ciphertext_to_string(const RnsBackend& backend,
+                                 const Ciphertext& ct);
+Ciphertext ciphertext_from_string(const std::string& bytes,
+                                  const RnsBackend& backend);
+
+/// Serialized size in bytes of a ciphertext at its current level (what the
+/// client/cloud link transports per Fig. 1 message).
+std::size_t ciphertext_byte_size(const RnsBackend& backend,
+                                 const Ciphertext& ct);
+
+}  // namespace pphe

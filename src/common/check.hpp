@@ -1,0 +1,37 @@
+#pragma once
+
+#include <sstream>
+#include <stdexcept>
+#include <string>
+
+namespace pphe {
+
+/// Error thrown by PPHE_CHECK failures: invalid arguments, broken invariants,
+/// incompatible ciphertext parameters, etc. All library preconditions are
+/// enforced with this (never assert()), so callers can recover.
+class Error : public std::runtime_error {
+ public:
+  explicit Error(const std::string& what) : std::runtime_error(what) {}
+};
+
+namespace detail {
+[[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
+                                             int line, const std::string& msg) {
+  std::ostringstream os;
+  os << "check failed: " << expr << " at " << file << ":" << line;
+  if (!msg.empty()) os << " — " << msg;
+  throw Error(os.str());
+}
+}  // namespace detail
+
+}  // namespace pphe
+
+/// Precondition / invariant check that throws pphe::Error. The message
+/// argument is a string expression, evaluated lazily only on failure.
+#define PPHE_CHECK(cond, msg)                                             \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pphe::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                          (msg));                         \
+    }                                                                     \
+  } while (0)

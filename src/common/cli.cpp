@@ -1,0 +1,65 @@
+#include "common/cli.hpp"
+
+#include <cstdlib>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+CliFlags::CliFlags(int argc, char** argv) {
+  for (int i = 1; i < argc; ++i) {
+    std::string arg = argv[i];
+    if (arg.rfind("--", 0) != 0) {
+      positional_.push_back(std::move(arg));
+      continue;
+    }
+    arg = arg.substr(2);
+    const auto eq = arg.find('=');
+    if (eq != std::string::npos) {
+      flags_[arg.substr(0, eq)] = arg.substr(eq + 1);
+    } else if (i + 1 < argc && std::string(argv[i + 1]).rfind("--", 0) != 0) {
+      flags_[arg] = argv[++i];
+    } else {
+      flags_[arg] = "true";
+    }
+  }
+}
+
+bool CliFlags::has(const std::string& name) const {
+  return flags_.count(name) != 0;
+}
+
+std::string CliFlags::get(const std::string& name,
+                          const std::string& fallback) const {
+  const auto it = flags_.find(name);
+  return it == flags_.end() ? fallback : it->second;
+}
+
+std::int64_t CliFlags::get_int(const std::string& name,
+                               std::int64_t fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const long long v = std::strtoll(it->second.c_str(), &end, 10);
+  PPHE_CHECK(end != it->second.c_str() && *end == '\0',
+             "flag --" + name + " is not an integer: " + it->second);
+  return v;
+}
+
+double CliFlags::get_double(const std::string& name, double fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  char* end = nullptr;
+  const double v = std::strtod(it->second.c_str(), &end);
+  PPHE_CHECK(end != it->second.c_str() && *end == '\0',
+             "flag --" + name + " is not a number: " + it->second);
+  return v;
+}
+
+bool CliFlags::get_bool(const std::string& name, bool fallback) const {
+  const auto it = flags_.find(name);
+  if (it == flags_.end()) return fallback;
+  return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+}  // namespace pphe

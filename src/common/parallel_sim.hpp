@@ -1,0 +1,93 @@
+#pragma once
+
+#include <cstddef>
+#include <map>
+#include <mutex>
+
+namespace pphe {
+
+/// Records how much of a computation was channel-parallelizable work vs
+/// inherently serial work, so the benches can report the critical-path
+/// latency an ideal P-worker execution would achieve.
+///
+/// Rationale (DESIGN.md §3): the paper's evaluation ran on a 16-core Xeon and
+/// attributes part of the RNS speedup to processing residue channels in
+/// parallel. This container has one core, so instead of thread wall-time we
+/// measure each parallel section sequentially, remember its fan-out k, and
+/// compute simulate(P) = serial + Σ_sections time·ceil(k/P)/k — an ideal
+/// work-conserving schedule with zero synchronization cost (an upper bound on
+/// real speedup, printed alongside the measured sequential wall time).
+///
+/// Instrumentation assumes sections are measured sequentially (the library
+/// runs its channel loops inline when the global thread pool has one worker).
+class ParallelSim {
+ public:
+  void record_parallel(std::size_t fanout, double seconds) {
+    std::lock_guard lock(mutex_);
+    parallel_[fanout * fanout_multiplier()] += seconds;
+  }
+
+  /// RAII multiplier for nested parallelism: while alive, recorded fan-outs
+  /// are multiplied by `mult`. Used by the CNN-HE-RNS branch loop (Fig. 5):
+  /// the k residue branches are independent, so channel work inside branch m
+  /// could run on k times as many workers.
+  class FanoutScope {
+   public:
+    explicit FanoutScope(std::size_t mult) : prev_(fanout_multiplier()) {
+      fanout_multiplier() = prev_ * (mult == 0 ? 1 : mult);
+    }
+    ~FanoutScope() { fanout_multiplier() = prev_; }
+    FanoutScope(const FanoutScope&) = delete;
+    FanoutScope& operator=(const FanoutScope&) = delete;
+
+   private:
+    std::size_t prev_;
+  };
+  void record_serial(double seconds) {
+    std::lock_guard lock(mutex_);
+    serial_ += seconds;
+  }
+  void reset() {
+    std::lock_guard lock(mutex_);
+    parallel_.clear();
+    serial_ = 0.0;
+  }
+
+  /// Total measured (sequential) time.
+  double sequential_seconds() const {
+    std::lock_guard lock(mutex_);
+    double total = serial_;
+    for (const auto& [k, t] : parallel_) total += t;
+    return total;
+  }
+
+  /// Ideal critical-path latency with `workers` parallel workers.
+  double simulate(std::size_t workers) const {
+    std::lock_guard lock(mutex_);
+    if (workers == 0) workers = 1;
+    double total = serial_;
+    for (const auto& [k, t] : parallel_) {
+      const std::size_t waves = (k + workers - 1) / workers;
+      total += t * static_cast<double>(waves) / static_cast<double>(k);
+    }
+    return total;
+  }
+
+  /// Process-wide recorder used by the CKKS backends.
+  static ParallelSim& global() {
+    static ParallelSim sim;
+    return sim;
+  }
+
+ private:
+  static std::size_t& fanout_multiplier() {
+    thread_local std::size_t mult = 1;
+    return mult;
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::size_t, double> parallel_;
+  double serial_ = 0.0;
+};
+
+}  // namespace pphe

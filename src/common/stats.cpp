@@ -1,0 +1,59 @@
+#include "common/stats.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <iomanip>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+void LatencyStats::add(double seconds) { samples_.push_back(seconds); }
+
+double LatencyStats::min() const {
+  PPHE_CHECK(!samples_.empty(), "no samples");
+  return *std::min_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::max() const {
+  PPHE_CHECK(!samples_.empty(), "no samples");
+  return *std::max_element(samples_.begin(), samples_.end());
+}
+
+double LatencyStats::avg() const {
+  PPHE_CHECK(!samples_.empty(), "no samples");
+  return std::accumulate(samples_.begin(), samples_.end(), 0.0) /
+         static_cast<double>(samples_.size());
+}
+
+double LatencyStats::stddev() const {
+  PPHE_CHECK(!samples_.empty(), "no samples");
+  if (samples_.size() == 1) return 0.0;
+  const double mean = avg();
+  double acc = 0.0;
+  for (const double s : samples_) acc += (s - mean) * (s - mean);
+  return std::sqrt(acc / static_cast<double>(samples_.size() - 1));
+}
+
+double LatencyStats::percentile(double q) const {
+  PPHE_CHECK(!samples_.empty(), "no samples");
+  PPHE_CHECK(q >= 0.0 && q <= 1.0, "percentile out of range");
+  std::vector<double> sorted = samples_;
+  std::sort(sorted.begin(), sorted.end());
+  const double pos = q * static_cast<double>(sorted.size() - 1);
+  const auto lo = static_cast<std::size_t>(pos);
+  const auto hi = std::min(lo + 1, sorted.size() - 1);
+  const double frac = pos - static_cast<double>(lo);
+  return sorted[lo] * (1.0 - frac) + sorted[hi] * frac;
+}
+
+std::string LatencyStats::summary(int precision) const {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << min() << "/" << max()
+     << "/" << avg();
+  return os.str();
+}
+
+}  // namespace pphe

@@ -1,0 +1,51 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pphe {
+
+/// Wall-clock stopwatch with microsecond resolution.
+class Stopwatch {
+ public:
+  Stopwatch() : start_(clock::now()) {}
+
+  void reset() { start_ = clock::now(); }
+
+  /// Seconds elapsed since construction or the last reset().
+  double seconds() const {
+    return std::chrono::duration<double>(clock::now() - start_).count();
+  }
+
+ private:
+  using clock = std::chrono::steady_clock;
+  clock::time_point start_;
+};
+
+/// Accumulates latency samples and reports the min/max/avg trio the paper's
+/// Tables III and V use, plus dispersion measures for our own analysis.
+class LatencyStats {
+ public:
+  void add(double seconds);
+
+  std::size_t count() const { return samples_.size(); }
+  bool empty() const { return samples_.empty(); }
+  double min() const;
+  double max() const;
+  double avg() const;
+  double stddev() const;
+  /// q in [0,1]; linear interpolation between order statistics.
+  double percentile(double q) const;
+
+  const std::vector<double>& samples() const { return samples_; }
+
+  /// "min/max/avg" rendered with the given precision, for table rows.
+  std::string summary(int precision = 2) const;
+
+ private:
+  std::vector<double> samples_;
+};
+
+}  // namespace pphe

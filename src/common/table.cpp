@@ -1,0 +1,55 @@
+#include "common/table.hpp"
+
+#include <algorithm>
+#include <iomanip>
+#include <sstream>
+
+namespace pphe {
+
+TextTable::TextTable(std::vector<std::string> header)
+    : header_(std::move(header)) {}
+
+void TextTable::add_row(std::vector<std::string> row) {
+  rows_.push_back(std::move(row));
+}
+
+std::string TextTable::render() const {
+  std::vector<std::size_t> widths(header_.size());
+  for (std::size_t c = 0; c < header_.size(); ++c) widths[c] = header_[c].size();
+  for (const auto& row : rows_) {
+    for (std::size_t c = 0; c < row.size() && c < widths.size(); ++c) {
+      widths[c] = std::max(widths[c], row[c].size());
+    }
+  }
+
+  auto emit_row = [&](std::ostringstream& os,
+                      const std::vector<std::string>& row) {
+    os << "|";
+    for (std::size_t c = 0; c < widths.size(); ++c) {
+      const std::string cell = c < row.size() ? row[c] : std::string();
+      os << " " << std::left << std::setw(static_cast<int>(widths[c])) << cell
+         << " |";
+    }
+    os << "\n";
+  };
+
+  std::ostringstream os;
+  emit_row(os, header_);
+  os << "|";
+  for (const auto w : widths) os << std::string(w + 2, '-') << "|";
+  os << "\n";
+  for (const auto& row : rows_) emit_row(os, row);
+  return os.str();
+}
+
+std::string TextTable::fixed(double value, int precision) {
+  std::ostringstream os;
+  os << std::fixed << std::setprecision(precision) << value;
+  return os.str();
+}
+
+std::string TextTable::integer(long long value) {
+  return std::to_string(value);
+}
+
+}  // namespace pphe

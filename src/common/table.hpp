@@ -1,0 +1,29 @@
+#pragma once
+
+#include <string>
+#include <vector>
+
+namespace pphe {
+
+/// Fixed-width ASCII table printer used by the bench harness to render the
+/// paper's tables (Tables I–VI) with the same row/column structure.
+class TextTable {
+ public:
+  explicit TextTable(std::vector<std::string> header);
+
+  void add_row(std::vector<std::string> row);
+
+  /// Renders with a box-drawing rule under the header; columns are sized to
+  /// their widest cell. Missing trailing cells render empty.
+  std::string render() const;
+
+  // Cell formatting helpers.
+  static std::string fixed(double value, int precision);
+  static std::string integer(long long value);
+
+ private:
+  std::vector<std::string> header_;
+  std::vector<std::vector<std::string>> rows_;
+};
+
+}  // namespace pphe

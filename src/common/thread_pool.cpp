@@ -1,0 +1,118 @@
+#include "common/thread_pool.hpp"
+
+#include <atomic>
+#include <exception>
+#include <memory>
+
+namespace pphe {
+
+ThreadPool::ThreadPool(std::size_t num_threads) {
+  if (num_threads <= 1) return;  // inline mode
+  workers_.reserve(num_threads);
+  for (std::size_t i = 0; i < num_threads; ++i) {
+    workers_.emplace_back([this] { worker_loop(); });
+  }
+}
+
+ThreadPool::~ThreadPool() {
+  {
+    std::lock_guard lock(mutex_);
+    stop_ = true;
+  }
+  cv_.notify_all();
+  for (auto& w : workers_) w.join();
+}
+
+void ThreadPool::worker_loop() {
+  for (;;) {
+    std::function<void()> task;
+    {
+      std::unique_lock lock(mutex_);
+      cv_.wait(lock, [this] { return stop_ || !tasks_.empty(); });
+      if (stop_ && tasks_.empty()) return;
+      task = std::move(tasks_.front());
+      tasks_.pop();
+    }
+    task();
+  }
+}
+
+namespace {
+
+/// Shared between the calling thread and helper tasks. Held by shared_ptr so
+/// a helper that starts late (even after parallel_for returned) still sees
+/// valid state and exits immediately.
+struct ForState {
+  std::size_t count = 0;
+  const std::function<void(std::size_t)>* fn = nullptr;
+  std::atomic<std::size_t> next{0};
+  std::atomic<std::size_t> done{0};
+  std::exception_ptr first_error;
+  std::mutex error_mutex;
+  std::condition_variable done_cv;
+  std::mutex done_mutex;
+
+  void drain() {
+    for (;;) {
+      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
+      if (i >= count) break;
+      try {
+        (*fn)(i);
+      } catch (...) {
+        std::lock_guard lock(error_mutex);
+        if (!first_error) first_error = std::current_exception();
+      }
+      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+        std::lock_guard lock(done_mutex);
+        done_cv.notify_all();
+      }
+    }
+  }
+};
+
+}  // namespace
+
+void ThreadPool::parallel_for(std::size_t count,
+                              const std::function<void(std::size_t)>& fn) {
+  if (count == 0) return;
+  if (workers_.empty() || count == 1) {
+    for (std::size_t i = 0; i < count; ++i) fn(i);
+    return;
+  }
+
+  auto state = std::make_shared<ForState>();
+  state->count = count;
+  state->fn = &fn;  // valid until every iteration completed (we wait below)
+
+  const std::size_t helpers = std::min(workers_.size(), count);
+  {
+    std::lock_guard lock(mutex_);
+    for (std::size_t i = 0; i < helpers; ++i) {
+      tasks_.emplace([state] { state->drain(); });
+    }
+  }
+  cv_.notify_all();
+  state->drain();  // the calling thread participates
+
+  {
+    std::unique_lock lock(state->done_mutex);
+    state->done_cv.wait(lock, [&] {
+      return state->done.load(std::memory_order_acquire) == count;
+    });
+  }
+  // All `count` iterations have finished, so &fn is no longer dereferenced;
+  // late-started helper tasks see next >= count and return immediately.
+  if (state->first_error) std::rethrow_exception(state->first_error);
+}
+
+std::size_t ThreadPool::default_thread_count() {
+  const unsigned hw = std::thread::hardware_concurrency();
+  return hw == 0 ? 1 : hw;
+}
+
+ThreadPool& ThreadPool::global() {
+  static ThreadPool pool(default_thread_count());
+  return pool;
+}
+
+}  // namespace pphe

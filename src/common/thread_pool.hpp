@@ -1,0 +1,53 @@
+#pragma once
+
+#include <condition_variable>
+#include <cstddef>
+#include <functional>
+#include <mutex>
+#include <queue>
+#include <thread>
+#include <vector>
+
+namespace pphe {
+
+/// Fixed-size worker pool used to run per-residue work of the RNS
+/// representation in parallel (the parallelism the paper's Fig. 5 relies on).
+///
+/// With `num_threads == 0` (or 1) the pool degenerates to inline execution so
+/// single-core machines pay no synchronization overhead; the benches then use
+/// measured per-branch critical-path latency to report what a multi-core run
+/// would achieve (see DESIGN.md §3).
+class ThreadPool {
+ public:
+  explicit ThreadPool(std::size_t num_threads = default_thread_count());
+  ~ThreadPool();
+
+  ThreadPool(const ThreadPool&) = delete;
+  ThreadPool& operator=(const ThreadPool&) = delete;
+
+  /// Number of worker threads (0 means inline execution).
+  std::size_t size() const { return workers_.size(); }
+
+  /// Runs fn(i) for i in [0, count) and blocks until all iterations finish.
+  /// Iterations must be independent. Exceptions from iterations are rethrown
+  /// (the first one observed) after the loop completes.
+  void parallel_for(std::size_t count,
+                    const std::function<void(std::size_t)>& fn);
+
+  /// Hardware concurrency, at least 1.
+  static std::size_t default_thread_count();
+
+  /// Process-wide pool shared by library internals.
+  static ThreadPool& global();
+
+ private:
+  void worker_loop();
+
+  std::vector<std::thread> workers_;
+  std::queue<std::function<void()>> tasks_;
+  std::mutex mutex_;
+  std::condition_variable cv_;
+  bool stop_ = false;
+};
+
+}  // namespace pphe

@@ -1,0 +1,740 @@
+#include "core/he_model.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <map>
+#include <set>
+
+#include "ckks/noise.hpp"
+#include "common/check.hpp"
+#include "common/parallel_sim.hpp"
+#include "common/stats.hpp"
+
+namespace pphe {
+namespace {
+
+std::size_t next_pow2(std::size_t x) {
+  std::size_t p = 1;
+  while (p < x) p <<= 1;
+  return p;
+}
+
+double close_enough(double a, double b) {
+  return std::abs(a - b) <= 1e-6 * std::max(std::abs(a), std::abs(b));
+}
+
+}  // namespace
+
+HeModel::HeModel(HeBackend& backend, const ModelSpec& spec,
+                 HeModelOptions options)
+    : backend_(backend), spec_(spec), options_(options) {
+  PPHE_CHECK(options_.rns_branches >= 1, "need at least one branch");
+  PPHE_CHECK(options_.pixel_levels >= 2, "invalid pixel quantization");
+  // Start at the lowest level that still fits the model's depth: fewer
+  // residue channels per operation at identical (better) security. Scale
+  // drift can occasionally demand one more level than depth(); retry upward.
+  input_level_ = std::min<int>(backend_.max_level(),
+                               static_cast<int>(spec_.depth()));
+  for (;;) {
+    try {
+      plan();
+      break;
+    } catch (const Error&) {
+      stages_.clear();
+      rotation_steps_.clear();
+      if (input_level_ >= backend_.max_level()) throw;
+      ++input_level_;
+    }
+  }
+}
+
+// ---------------------------------------------------------------------------
+// Planning
+// ---------------------------------------------------------------------------
+
+void HeModel::simulate_rescale(int& level, double& scale) const {
+  const double delta = backend_.params().scale;
+  while (level > 0 && scale / backend_.level_prime(level) >= 0.5 * delta) {
+    scale /= backend_.level_prime(level);
+    --level;
+  }
+  // The accumulated scale (plus value range and noise headroom) must still
+  // fit under the remaining modulus, or decryption wraps.
+  double bits_available = 0.0;
+  for (int i = 0; i <= level; ++i) {
+    bits_available += std::log2(backend_.level_prime(i));
+  }
+  PPHE_CHECK(std::log2(scale) + 12.0 <= bits_available,
+             "model depth exceeds the moduli chain (spec needs more rescale "
+             "levels than the parameters provide)");
+}
+
+HeModel::WeightOperand HeModel::make_weight(const std::vector<double>& values,
+                                            double scale, int level) const {
+  const Plaintext pt = backend_.encode(values, scale, level);
+  if (options_.encrypted_weights) return backend_.encrypt(pt);
+  return pt;
+}
+
+void HeModel::plan() {
+  const std::size_t slots = backend_.slot_count();
+  const double delta = backend_.params().scale;
+
+  // One global tile covering every stage dimension (see DESIGN.md §4).
+  // batch == 1: replicated packing (slots/tile identical copies) keeps
+  //             rotations cyclic within the tile;
+  // batch > 1:  interleaved packing (image index = slot mod batch) makes a
+  //             rotation by step*batch act as a per-image feature rotation
+  //             with period slots/batch, so the tile is widened to that.
+  std::size_t tile = 1;
+  for (const auto& stage : spec_.stages) {
+    if (stage.kind == ModelSpec::Stage::Kind::kLinear) {
+      tile = std::max(tile, next_pow2(std::max(stage.linear.in_dim,
+                                               stage.linear.out_dim)));
+    }
+  }
+  const std::size_t batch = options_.batch;
+  std::size_t rot_mult = 1;
+  if (batch > 1) {
+    PPHE_CHECK((batch & (batch - 1)) == 0, "batch must be a power of two");
+    PPHE_CHECK(tile * batch <= slots,
+               "batch * layer dimension exceeds slot capacity");
+    tile = slots / batch;
+    rot_mult = batch;
+  }
+  PPHE_CHECK(tile <= slots, "model dimensions exceed slot capacity");
+  input_tile_ = tile;
+  const std::size_t copies = batch > 1 ? batch : slots / tile;
+  // Writes value v into the slot(s) representing logical position t of every
+  // copy/image, under the active layout.
+  auto fill_slot = [&](std::vector<double>& vec, std::size_t t, double v) {
+    if (batch > 1) {
+      for (std::size_t b = 0; b < batch; ++b) vec[t * batch + b] = v;
+    } else {
+      for (std::size_t c = 0; c < copies; ++c) vec[c * tile + t] = v;
+    }
+  };
+
+  // Digit base for the Fig. 5 branch decomposition: smallest B with
+  // B^k >= pixel_levels.
+  const std::size_t k = options_.rns_branches;
+  std::size_t base = static_cast<std::size_t>(std::ceil(
+      std::pow(static_cast<double>(options_.pixel_levels), 1.0 / static_cast<double>(k))));
+  while (true) {
+    double cap = 1.0;
+    for (std::size_t i = 0; i < k; ++i) cap *= static_cast<double>(base);
+    if (cap >= static_cast<double>(options_.pixel_levels)) break;
+    ++base;
+  }
+  digit_base_ = base;
+
+  int level = input_level_;
+  double scale = delta;
+  std::set<int> steps;
+
+  // Analytic noise propagation (NoiseTracker, slot-domain absolute error of
+  // the scaled values; divide by the running scale to get value error).
+  // Value bounds are computed from the actual weights, so the bound is
+  // model-specific, not generic.
+  const NoiseTracker tracker(backend_.params());
+  double noise = tracker.fresh_encryption();
+  double value_bound = 1.0;  // normalized input pixels
+  const double weight_noise = tracker.fresh_encryption();  // conservative for
+                                                           // plaintexts too
+  // Applies every rescale the greedy rule would perform to the noise bound.
+  auto rescale_noise = [&](int lvl_before, double sc_before, int lvl_after,
+                           double& nz) {
+    int lvl = lvl_before;
+    double sc = sc_before;
+    while (lvl > lvl_after) {
+      nz = tracker.rescale(nz, backend_.level_prime(lvl));
+      sc /= backend_.level_prime(lvl);
+      --lvl;
+    }
+  };
+  // Giant-step size: hoisted baby rotations are ~3x cheaper than the
+  // relin+rotate a giant group costs, so bias the split toward more babies.
+  const auto log_tile = static_cast<std::size_t>(
+      std::log2(static_cast<double>(tile)));
+  const std::size_t g = std::size_t{1} << (log_tile / 2 + 1);
+
+  bool first_linear = true;
+  for (const auto& stage : spec_.stages) {
+    StagePlan plan_stage;
+    if (stage.kind == ModelSpec::Stage::Kind::kLinear) {
+      const LinearSpec& lin = stage.linear;
+      plan_stage.is_linear = true;
+      LinearPlan& lp = plan_stage.linear;
+      lp.in_dim = lin.in_dim;
+      lp.out_dim = lin.out_dim;
+      lp.tile = tile;
+      lp.giant = g;
+      lp.level_in = level;
+      lp.scale_in = scale;
+
+      // Collect nonzero diagonals i: diag_i[row] = W[row, (row+i) mod tile].
+      std::set<std::size_t> diag_set;
+      for (std::size_t row = 0; row < lin.out_dim; ++row) {
+        for (std::size_t col = 0; col < lin.in_dim; ++col) {
+          if (lin.at(row, col) != 0.0f) {
+            diag_set.insert((col + tile - row % tile) % tile);
+          }
+        }
+      }
+
+      // Build per-branch pre-rotated diagonal operands. Branch m convolves
+      // the m-th digit image; the recombination constant B^m and the pixel
+      // normalization fold into the branch weights, so branch outputs sum
+      // directly (Fig. 5's "reassembled following the convolution").
+      const std::size_t branches = first_linear ? k : 1;
+      std::vector<double> branch_factor(branches, 1.0);
+      if (first_linear) {
+        double f = 1.0 / static_cast<double>(options_.pixel_levels - 1);
+        for (std::size_t m = 0; m < branches; ++m) {
+          branch_factor[m] = f;
+          f *= static_cast<double>(digit_base_);
+        }
+      }
+
+      auto build_groups = [&](double factor) {
+        std::map<std::size_t, LinearPlan::Group> groups;
+        for (const std::size_t i : diag_set) {
+          const std::size_t j = i / g;
+          const std::size_t b = i % g;
+          // Pre-rotated diagonal: value at slot t is W[row, col] with
+          // row = (t - g*j) mod tile, col = (row + i) mod tile.
+          std::vector<double> diag(slots, 0.0);
+          bool any = false;
+          for (std::size_t t = 0; t < tile; ++t) {
+            const std::size_t row = (t + tile - (g * j) % tile) % tile;
+            const std::size_t col = (row + i) % tile;
+            if (row < lin.out_dim && col < lin.in_dim) {
+              const double v =
+                  static_cast<double>(lin.at(row, col)) * factor;
+              if (v != 0.0) {
+                fill_slot(diag, t, v);
+                any = true;
+              }
+            }
+          }
+          if (!any) continue;
+          auto& group = groups[j];
+          group.j = j;
+          group.terms.push_back(
+              {b, make_weight(diag, delta, level)});
+        }
+        std::vector<LinearPlan::Group> out;
+        out.reserve(groups.size());
+        for (auto& [j, grp] : groups) out.push_back(std::move(grp));
+        return out;
+      };
+
+      if (branches == 1) {
+        lp.groups = build_groups(first_linear ? branch_factor[0] : 1.0);
+      } else {
+        lp.branch_groups.resize(branches);
+        for (std::size_t m = 0; m < branches; ++m) {
+          lp.branch_groups[m] = build_groups(branch_factor[m]);
+        }
+      }
+
+      // Rotation steps: babies and giants actually present.
+      const auto& reference_groups =
+          branches == 1 ? lp.groups : lp.branch_groups[0];
+      lp.rot_mult = rot_mult;
+      for (const auto& group : reference_groups) {
+        if (group.j != 0) {
+          steps.insert(static_cast<int>(g * group.j * rot_mult));
+        }
+        for (const auto& term : group.terms) {
+          if (term.baby != 0) {
+            steps.insert(static_cast<int>(term.baby * rot_mult));
+          }
+        }
+      }
+
+      // Noise propagation through this stage (heuristic upper bound).
+      {
+        const auto& ref_groups =
+            branches == 1 ? lp.groups : lp.branch_groups[0];
+        std::size_t giant_groups = 0;
+        for (const auto& grp : ref_groups) {
+          if (grp.j != 0) ++giant_groups;
+        }
+        double wmax = 0.0;
+        for (const auto w : lin.weight) {
+          wmax = std::max(wmax, std::abs(static_cast<double>(w)));
+        }
+        const double in_value =
+            first_linear ? static_cast<double>(digit_base_ - 1) : value_bound;
+        const double w_value =
+            wmax * (first_linear ? branch_factor.back() : 1.0);
+        const double rot_noise = noise + tracker.key_switch(level);
+        const double term_noise = tracker.multiply(
+            rot_noise, weight_noise, scale, delta, in_value, w_value);
+        double stage_noise =
+            static_cast<double>(diag_set.size()) * term_noise +
+            static_cast<double>(2 * giant_groups + 1) *
+                tracker.key_switch(level);
+        stage_noise *= static_cast<double>(branches);
+        noise = stage_noise;
+
+        double out_bound = 0.0;
+        for (std::size_t row = 0; row < lin.out_dim; ++row) {
+          double row_sum = std::abs(static_cast<double>(lin.bias[row]));
+          for (std::size_t col = 0; col < lin.in_dim; ++col) {
+            row_sum += std::abs(static_cast<double>(lin.at(row, col)));
+          }
+          out_bound = std::max(out_bound, row_sum);
+        }
+        value_bound = out_bound;
+      }
+
+      // Output scale: one weight multiplication, then the greedy rescale.
+      const int level_before = level;
+      const double scale_before = scale * delta;
+      scale *= delta;
+      simulate_rescale(level, scale);
+      rescale_noise(level_before, scale_before, level, noise);
+      noise += weight_noise;  // bias addition
+      lp.level_out = level;
+      lp.scale_out = scale;
+
+      std::vector<double> bias(slots, 0.0);
+      for (std::size_t t = 0; t < lin.out_dim; ++t) {
+        fill_slot(bias, t, static_cast<double>(lin.bias[t]));
+      }
+      lp.bias = make_weight(bias, scale, level);
+      first_linear = false;
+    } else {
+      const ActivationSpec& act = stage.activation;
+      plan_stage.is_linear = false;
+      ActivationPlan& ap = plan_stage.activation;
+      ap.features = act.features;
+      ap.degree = act.degree;
+      ap.tile = tile;
+      ap.level_in = level;
+      ap.scale_in = scale;
+
+      // Power tower x^2..x^d by repeated multiplication with x.
+      ap.power_levels.assign(ap.degree + 1, 0);
+      ap.power_scales.assign(ap.degree + 1, 0.0);
+      ap.power_levels[1] = level;
+      ap.power_scales[1] = scale;
+      std::vector<double> power_noise(ap.degree + 1, 0.0);
+      std::vector<double> power_bound(ap.degree + 1, 0.0);
+      power_noise[1] = noise;
+      power_bound[1] = value_bound;
+      int lv = level;
+      double sc = scale;
+      for (std::size_t p = 2; p <= ap.degree; ++p) {
+        double nz = tracker.multiply(power_noise[p - 1], noise,
+                                     ap.power_scales[p - 1], scale,
+                                     power_bound[p - 1], value_bound) +
+                    tracker.key_switch(lv);
+        const int lv_before = lv;
+        const double sc_before = sc * ap.power_scales[1];
+        sc = sc_before;
+        simulate_rescale(lv, sc);
+        rescale_noise(lv_before, sc_before, lv, nz);
+        power_noise[p] = nz;
+        power_bound[p] = power_bound[p - 1] * value_bound;
+        ap.power_levels[p] = lv;
+        ap.power_scales[p] = sc;
+      }
+      ap.target_level = ap.power_levels[ap.degree];
+      ap.target_scale = ap.power_scales[ap.degree] * delta;
+
+      // Per-neuron coefficient vectors at exactly matching scales.
+      ap.power_weights.resize(ap.degree + 1);
+      for (std::size_t p = 1; p <= ap.degree; ++p) {
+        std::vector<double> coeffs(slots, 0.0);
+        for (std::size_t t = 0; t < act.features; ++t) {
+          fill_slot(coeffs, t, static_cast<double>(act.coeff(t, p)));
+        }
+        ap.power_weights[p] = make_weight(
+            coeffs, ap.target_scale / ap.power_scales[p], ap.target_level);
+      }
+      {
+        std::vector<double> c0(slots, 0.0);
+        for (std::size_t t = 0; t < act.features; ++t) {
+          fill_slot(c0, t, static_cast<double>(act.coeff(t, 0)));
+        }
+        ap.constant = make_weight(c0, ap.target_scale, ap.target_level);
+      }
+
+      // Noise of the polynomial combination: one plaintext-scale product per
+      // power, the constant-term addition, the final relinearization.
+      {
+        double amax = 0.0;
+        for (const auto c : act.coeffs) {
+          amax = std::max(amax, std::abs(static_cast<double>(c)));
+        }
+        double nz = weight_noise;  // constant term operand
+        for (std::size_t p = 1; p <= ap.degree; ++p) {
+          nz += tracker.multiply(power_noise[p], weight_noise,
+                                 ap.power_scales[p],
+                                 ap.target_scale / ap.power_scales[p],
+                                 power_bound[p], amax);
+        }
+        nz += tracker.key_switch(ap.target_level);
+        noise = nz;
+        double out_bound = 0.0;
+        for (std::size_t t = 0; t < act.features; ++t) {
+          double b = 0.0, pow_v = 1.0;
+          for (std::size_t p = 0; p <= ap.degree; ++p) {
+            b += std::abs(static_cast<double>(act.coeff(t, p))) * pow_v;
+            pow_v *= value_bound;
+          }
+          out_bound = std::max(out_bound, b);
+        }
+        value_bound = out_bound;
+      }
+
+      const int level_before = ap.target_level;
+      const double scale_before = ap.target_scale;
+      level = ap.target_level;
+      scale = ap.target_scale;
+      simulate_rescale(level, scale);
+      rescale_noise(level_before, scale_before, level, noise);
+      ap.level_out = level;
+      ap.scale_out = scale;
+    }
+    stages_.push_back(std::move(plan_stage));
+  }
+  // Cryptographic noise plus one unit of fixed-point headroom for the
+  // output's own encoding granularity at the final scale.
+  predicted_output_error_ = NoiseTracker::slot_error(noise, scale) +
+                            value_bound / backend_.params().scale;
+
+  output_level_ = level;
+  output_scale_ = scale;
+  levels_used_ = input_level_ - level;
+  PPHE_CHECK(level >= 0, "model depth exceeds the moduli chain");
+
+  rotation_steps_.assign(steps.begin(), steps.end());
+  backend_.ensure_galois_keys(rotation_steps_);
+}
+
+// ---------------------------------------------------------------------------
+// Execution
+// ---------------------------------------------------------------------------
+
+Ciphertext HeModel::multiply_weight(const Ciphertext& x,
+                                    const WeightOperand& w) const {
+  if (std::holds_alternative<Plaintext>(w)) {
+    return backend_.multiply_plain(x, std::get<Plaintext>(w));
+  }
+  return backend_.multiply(x, std::get<Ciphertext>(w));
+}
+
+Ciphertext HeModel::add_weight(const Ciphertext& x,
+                               const WeightOperand& w) const {
+  if (std::holds_alternative<Plaintext>(w)) {
+    return backend_.add_plain(x, std::get<Plaintext>(w));
+  }
+  return backend_.add(x, std::get<Ciphertext>(w));
+}
+
+Ciphertext HeModel::apply_rescale(Ciphertext ct) const {
+  const double delta = backend_.params().scale;
+  while (ct.level() > 0 &&
+         ct.scale() / backend_.level_prime(ct.level()) >= 0.5 * delta) {
+    ct = backend_.rescale(ct);
+  }
+  return ct;
+}
+
+Ciphertext HeModel::run_linear_single(
+    const LinearPlan& plan, const std::vector<LinearPlan::Group>& groups,
+    const Ciphertext& x) const {
+  PPHE_CHECK(x.level() == plan.level_in, "linear stage level mismatch");
+  PPHE_CHECK(close_enough(x.scale(), plan.scale_in),
+             "linear stage scale mismatch");
+
+  // All baby rotations of x at once (hoisted key switching in the backend).
+  // Logical steps scale by rot_mult under the interleaved batch layout.
+  std::set<std::size_t> baby_steps;
+  for (const auto& group : groups) {
+    for (const auto& term : group.terms) {
+      if (term.baby != 0) baby_steps.insert(term.baby);
+    }
+  }
+  std::map<std::size_t, Ciphertext> baby;
+  {
+    std::vector<int> steps;
+    steps.reserve(baby_steps.size());
+    for (const std::size_t b : baby_steps) {
+      steps.push_back(static_cast<int>(b * plan.rot_mult));
+    }
+    auto rotated = backend_.rotate_batch(x, steps);
+    std::size_t idx = 0;
+    for (const std::size_t b : baby_steps) {
+      baby.emplace(b, std::move(rotated[idx++]));
+    }
+  }
+  auto rotated = [&](std::size_t b) -> const Ciphertext& {
+    return b == 0 ? x : baby.at(b);
+  };
+
+  Ciphertext total;
+  for (const auto& group : groups) {
+    Ciphertext acc;
+    for (const auto& term : group.terms) {
+      if (std::holds_alternative<Plaintext>(term.weight)) {
+        backend_.multiply_plain_acc(acc, rotated(term.baby),
+                                    std::get<Plaintext>(term.weight));
+      } else {
+        backend_.multiply_acc(acc, rotated(term.baby),
+                              std::get<Ciphertext>(term.weight));
+      }
+    }
+    if (group.j != 0) {
+      // Giant-step rotation needs a size-2 ciphertext.
+      acc = backend_.relinearize(acc);
+      acc = backend_.rotate(
+          acc, static_cast<int>(plan.giant * group.j * plan.rot_mult));
+    }
+    total = total.valid() ? backend_.add(total, acc) : std::move(acc);
+  }
+  PPHE_CHECK(total.valid(), "linear stage produced no terms");
+  return backend_.relinearize(total);
+}
+
+Ciphertext HeModel::run_linear(
+    const LinearPlan& plan, const std::vector<Ciphertext>& branch_inputs) const {
+  Ciphertext y;
+  if (!plan.branch_groups.empty()) {
+    PPHE_CHECK(branch_inputs.size() == plan.branch_groups.size(),
+               "branch count mismatch");
+    ParallelSim::FanoutScope scope(plan.branch_groups.size());
+    for (std::size_t m = 0; m < plan.branch_groups.size(); ++m) {
+      Ciphertext ym =
+          run_linear_single(plan, plan.branch_groups[m], branch_inputs[m]);
+      y = y.valid() ? backend_.add(y, ym) : std::move(ym);
+    }
+  } else {
+    PPHE_CHECK(branch_inputs.size() == 1, "unexpected branch inputs");
+    y = run_linear_single(plan, plan.groups, branch_inputs[0]);
+  }
+  y = apply_rescale(y);
+  PPHE_CHECK(y.level() == plan.level_out, "linear output level mismatch");
+  return add_weight(y, plan.bias);
+}
+
+Ciphertext HeModel::run_activation(const ActivationPlan& plan,
+                                   const Ciphertext& x) const {
+  PPHE_CHECK(x.level() == plan.level_in, "activation level mismatch");
+  std::vector<Ciphertext> powers(plan.degree + 1);
+  powers[1] = x;
+  for (std::size_t p = 2; p <= plan.degree; ++p) {
+    Ciphertext prod = backend_.multiply(powers[p - 1], x);
+    prod = backend_.relinearize(prod);
+    prod = apply_rescale(prod);
+    PPHE_CHECK(prod.level() == plan.power_levels[p],
+               "power level mismatch");
+    powers[p] = std::move(prod);
+  }
+
+  Ciphertext acc;
+  for (std::size_t p = 1; p <= plan.degree; ++p) {
+    Ciphertext dropped = backend_.mod_drop_to(powers[p], plan.target_level);
+    Ciphertext term = multiply_weight(dropped, plan.power_weights[p]);
+    acc = acc.valid() ? backend_.add(acc, term) : std::move(term);
+  }
+  acc = backend_.relinearize(acc);
+  acc = add_weight(acc, plan.constant);
+  acc = apply_rescale(acc);
+  PPHE_CHECK(acc.level() == plan.level_out, "activation output level mismatch");
+  return acc;
+}
+
+Ciphertext HeModel::eval(const std::vector<Ciphertext>& branch_inputs) const {
+  PPHE_CHECK(!stages_.empty(), "empty model");
+  PPHE_CHECK(stages_.front().is_linear, "model must start with a linear stage");
+  Ciphertext ct = run_linear(stages_.front().linear, branch_inputs);
+  for (std::size_t s = 1; s < stages_.size(); ++s) {
+    const StagePlan& stage = stages_[s];
+    if (stage.is_linear) {
+      ct = run_linear(stage.linear, {ct});
+    } else {
+      ct = run_activation(stage.activation, ct);
+    }
+  }
+  return ct;
+}
+
+std::vector<Ciphertext> HeModel::encrypt_images(
+    const std::vector<std::span<const float>>& images) const {
+  PPHE_CHECK(!stages_.empty() && stages_.front().is_linear, "empty model");
+  PPHE_CHECK(images.size() == options_.batch,
+             "image count must equal options.batch");
+  const std::size_t in_dim = stages_.front().linear.in_dim;
+  const std::size_t slots = backend_.slot_count();
+  const std::size_t tile = input_tile_;
+  const std::size_t batch = options_.batch;
+  const std::size_t copies = batch > 1 ? batch : slots / tile;
+  const double delta = backend_.params().scale;
+  const int top = input_level_;
+
+  // Quantize to pixel_levels and decompose into digits (base digit_base_).
+  const std::size_t branches = std::max<std::size_t>(
+      stages_.front().linear.branch_groups.size(), 1);
+  std::vector<std::vector<double>> digit_vecs(
+      branches, std::vector<double>(slots, 0.0));
+  for (std::size_t img = 0; img < images.size(); ++img) {
+    PPHE_CHECK(images[img].size() == in_dim, "input dimension mismatch");
+    for (std::size_t t = 0; t < in_dim; ++t) {
+      const float clamped = std::clamp(images[img][t], 0.0f, 1.0f);
+      auto v = static_cast<std::size_t>(std::lround(
+          clamped * static_cast<float>(options_.pixel_levels - 1)));
+      for (std::size_t m = 0; m < branches; ++m) {
+        const double digit = static_cast<double>(v % digit_base_);
+        v /= digit_base_;
+        if (batch > 1) {
+          digit_vecs[m][t * batch + img] = digit;
+        } else {
+          for (std::size_t cpy = 0; cpy < copies; ++cpy) {
+            digit_vecs[m][cpy * tile + t] = digit;
+          }
+        }
+      }
+    }
+  }
+
+  std::vector<Ciphertext> out;
+  out.reserve(branches);
+  for (std::size_t m = 0; m < branches; ++m) {
+    out.push_back(backend_.encrypt(backend_.encode(digit_vecs[m], delta, top)));
+  }
+  return out;
+}
+
+std::vector<Ciphertext> HeModel::encrypt_input(
+    std::span<const float> image) const {
+  PPHE_CHECK(options_.batch == 1,
+             "use infer_batch / encrypt_images when options.batch > 1");
+  return encrypt_images({image});
+}
+
+std::size_t HeModel::output_dim() const {
+  return spec_.stages.back().kind == ModelSpec::Stage::Kind::kLinear
+             ? spec_.stages.back().linear.out_dim
+             : spec_.stages.back().activation.features;
+}
+
+std::vector<double> HeModel::decrypt_logits(const Ciphertext& ct) const {
+  const auto all = backend_.decrypt_decode(ct);
+  const std::size_t out_dim = output_dim();
+  if (options_.batch > 1) {
+    // First image's logits under the interleaved layout.
+    std::vector<double> logits(out_dim);
+    for (std::size_t t = 0; t < out_dim; ++t) logits[t] = all[t * options_.batch];
+    return logits;
+  }
+  return std::vector<double>(all.begin(),
+                             all.begin() + static_cast<long>(out_dim));
+}
+
+HeModel::BatchResult HeModel::infer_batch(
+    const std::vector<std::vector<float>>& images) const {
+  BatchResult result;
+  std::vector<std::span<const float>> views;
+  views.reserve(images.size());
+  for (const auto& img : images) views.emplace_back(img);
+
+  Stopwatch sw;
+  const auto inputs = encrypt_images(views);
+  result.encrypt_seconds = sw.seconds();
+
+  sw.reset();
+  const Ciphertext out = eval(inputs);
+  result.eval_seconds = sw.seconds();
+
+  sw.reset();
+  const auto all = backend_.decrypt_decode(out);
+  const std::size_t out_dim = output_dim();
+  const std::size_t batch = options_.batch;
+  result.logits.resize(images.size());
+  result.predicted.resize(images.size());
+  for (std::size_t img = 0; img < images.size(); ++img) {
+    auto& logits = result.logits[img];
+    logits.resize(out_dim);
+    for (std::size_t t = 0; t < out_dim; ++t) {
+      logits[t] = batch > 1 ? all[t * batch + img] : all[t];
+    }
+    result.predicted[img] = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+  }
+  result.decrypt_seconds = sw.seconds();
+  return result;
+}
+
+InferenceResult HeModel::infer(std::span<const float> image) const {
+  InferenceResult result;
+  Stopwatch sw;
+  const auto inputs = encrypt_input(image);
+  result.encrypt_seconds = sw.seconds();
+
+  sw.reset();
+  const Ciphertext out = eval(inputs);
+  result.eval_seconds = sw.seconds();
+
+  sw.reset();
+  result.logits = decrypt_logits(out);
+  result.decrypt_seconds = sw.seconds();
+  result.predicted = static_cast<int>(
+      std::max_element(result.logits.begin(), result.logits.end()) -
+      result.logits.begin());
+  return result;
+}
+
+std::vector<HeModel::StageCost> HeModel::cost_report() const {
+  std::vector<StageCost> report;
+  std::size_t stage_index = 0;
+  for (const auto& stage : stages_) {
+    StageCost cost;
+    if (stage.is_linear) {
+      const LinearPlan& lp = stage.linear;
+      cost.name = "linear " + std::to_string(lp.in_dim) + "->" +
+                  std::to_string(lp.out_dim);
+      const auto& groups =
+          lp.branch_groups.empty() ? lp.groups : lp.branch_groups[0];
+      std::set<std::size_t> babies;
+      std::size_t giants = 0;
+      for (const auto& group : groups) {
+        cost.diagonals += group.terms.size();
+        if (group.j != 0) {
+          ++giants;
+          ++cost.relins;
+        }
+        for (const auto& term : group.terms) {
+          if (term.baby != 0) babies.insert(term.baby);
+        }
+      }
+      cost.rotations = babies.size() + giants;
+      ++cost.relins;  // final deferred relinearization
+      const std::size_t branches =
+          lp.branch_groups.empty() ? 1 : lp.branch_groups.size();
+      cost.diagonals *= branches;
+      cost.rotations *= branches;
+      cost.relins *= branches;
+      cost.tile = lp.tile;
+      cost.level_in = lp.level_in;
+      cost.scale_in = lp.scale_in;
+    } else {
+      const ActivationPlan& ap = stage.activation;
+      cost.name = "activation deg " + std::to_string(ap.degree) + " (" +
+                  std::to_string(ap.features) + " neurons)";
+      cost.relins = ap.degree;  // one per power product + final
+      cost.tile = ap.tile;
+      cost.level_in = ap.level_in;
+      cost.scale_in = ap.scale_in;
+    }
+    report.push_back(std::move(cost));
+    ++stage_index;
+  }
+  return report;
+}
+
+}  // namespace pphe

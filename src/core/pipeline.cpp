@@ -1,0 +1,212 @@
+#include "core/pipeline.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <filesystem>
+
+#include "ckks/big_backend.hpp"
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+#include "common/parallel_sim.hpp"
+#include "nn/serialize.hpp"
+
+namespace pphe {
+
+ExperimentConfig ExperimentConfig::from_flags(const CliFlags& flags) {
+  ExperimentConfig cfg;
+  cfg.paper_profile = flags.get_bool("paper", false);
+  cfg.train_size = static_cast<std::size_t>(
+      flags.get_int("train-size", cfg.paper_profile ? 50000 : 4000));
+  cfg.test_size = static_cast<std::size_t>(
+      flags.get_int("test-size", cfg.paper_profile ? 10000 : 1500));
+  cfg.relu_epochs = static_cast<std::size_t>(
+      flags.get_int("epochs", cfg.paper_profile ? 30 : 6));
+  cfg.slaf_epochs = static_cast<std::size_t>(
+      flags.get_int("slaf-epochs", cfg.paper_profile ? 10 : 4));
+  cfg.he_samples =
+      static_cast<std::size_t>(flags.get_int("samples", cfg.he_samples));
+  cfg.workers =
+      static_cast<std::size_t>(flags.get_int("workers", cfg.workers));
+  cfg.mnist_dir = flags.get("mnist-dir", "");
+  cfg.cache_dir = flags.get("cache-dir", cfg.cache_dir);
+  cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
+  cfg.verbose = !flags.get_bool("quiet", false);
+  return cfg;
+}
+
+CkksParams ExperimentConfig::ckks_params() const {
+  CkksParams p = paper_profile ? CkksParams::paper_table2()
+                               : CkksParams::fast_profile();
+  p.seed = seed;
+  return p;
+}
+
+Experiment::Experiment(ExperimentConfig cfg) : cfg_(std::move(cfg)) {
+  if (!cfg_.mnist_dir.empty()) {
+    auto train = load_mnist_idx(cfg_.mnist_dir, /*train=*/true);
+    auto test = load_mnist_idx(cfg_.mnist_dir, /*train=*/false);
+    PPHE_CHECK(train.has_value() && test.has_value(),
+               "MNIST IDX files not found in " + cfg_.mnist_dir);
+    train_ = std::move(*train);
+    test_ = std::move(*test);
+    if (cfg_.verbose) {
+      std::printf("[data] real MNIST: %zu train / %zu test\n", train_.size(),
+                  test_.size());
+    }
+  } else {
+    train_ = generate_synthetic_mnist(cfg_.train_size, cfg_.seed);
+    test_ = generate_synthetic_mnist(cfg_.test_size, cfg_.seed ^ 0x7e57);
+    if (cfg_.verbose) {
+      std::printf(
+          "[data] synthetic MNIST substitute: %zu train / %zu test "
+          "(see DESIGN.md; pass --mnist-dir for real IDX files)\n",
+          train_.size(), test_.size());
+    }
+  }
+}
+
+std::string Experiment::cache_path(Arch arch, Activation act) const {
+  std::filesystem::create_directories(cfg_.cache_dir);
+  const char* act_name = act == Activation::kSlaf    ? "slaf"
+                         : act == Activation::kSquare ? "square"
+                                                      : "relu";
+  return cfg_.cache_dir + "/" + arch_name(arch) + "-" + act_name + "-t" +
+         std::to_string(train_.size()) + "-e" +
+         std::to_string(cfg_.relu_epochs) + "-s" + std::to_string(cfg_.seed) +
+         (cfg_.mnist_dir.empty() ? "-synth" : "-mnist") + ".weights";
+}
+
+const TrainedModel& Experiment::model(Arch arch, Activation act) {
+  const auto key = std::make_pair(static_cast<int>(arch),
+                                  static_cast<int>(act));
+  auto it = models_.find(key);
+  if (it != models_.end()) return it->second;
+
+  TrainedModel m;
+  m.arch = arch;
+  m.activation = act;
+  m.network = build_network(arch, act, cfg_.seed);
+  const std::string path = cache_path(arch, act);
+  if (load_weights(*m.network, path)) {
+    m.train_accuracy = evaluate(*m.network, train_);
+    m.test_accuracy = evaluate(*m.network, test_);
+    if (cfg_.verbose) {
+      std::printf("[model] %s/%d loaded from cache (train %.2f%% test %.2f%%)\n",
+                  arch_name(arch).c_str(), static_cast<int>(act),
+                  static_cast<double>(m.train_accuracy),
+                  static_cast<double>(m.test_accuracy));
+    }
+  } else {
+    ProtocolConfig pcfg;
+    pcfg.relu_epochs = cfg_.relu_epochs;
+    pcfg.slaf_epochs = cfg_.slaf_epochs;
+    pcfg.seed = cfg_.seed;
+    pcfg.verbose = cfg_.verbose;
+    m = train_protocol(arch, act, train_, test_, pcfg);
+    save_weights(*m.network, path);
+    if (cfg_.verbose) {
+      std::printf("[model] %s trained: train %.2f%% test %.2f%%\n",
+                  arch_name(arch).c_str(),
+                  static_cast<double>(m.train_accuracy),
+                  static_cast<double>(m.test_accuracy));
+    }
+  }
+  it = models_.emplace(key, std::move(m)).first;
+  return it->second;
+}
+
+ModelSpec Experiment::spec(Arch arch, Activation act) {
+  return compile_model(model(arch, act));
+}
+
+std::unique_ptr<HeBackend> make_backend(const std::string& kind,
+                                        const CkksParams& params) {
+  if (kind == "rns") return std::make_unique<RnsBackend>(params);
+  if (kind == "big") return std::make_unique<BigBackend>(params);
+  PPHE_CHECK(false, "unknown backend kind: " + kind);
+  return nullptr;
+}
+
+EncryptedEvalResult run_encrypted_eval(HeBackend& backend,
+                                       const ModelSpec& spec,
+                                       const HeModelOptions& options,
+                                       const Dataset& test,
+                                       const ExperimentConfig& cfg) {
+  EncryptedEvalResult result;
+
+  Stopwatch setup;
+  const HeModel model(backend, spec, options);
+  result.setup_seconds = setup.seconds();
+
+  // Plaintext reference accuracy over the full test set.
+  std::size_t correct = 0;
+  for (std::size_t i = 0; i < test.size(); ++i) {
+    const float* img = test.images.data() + i * 784;
+    const auto logits = eval_spec(spec, std::vector<float>(img, img + 784));
+    const auto pred = static_cast<int>(
+        std::max_element(logits.begin(), logits.end()) - logits.begin());
+    if (pred == test.labels[i]) ++correct;
+  }
+  result.spec_accuracy =
+      100.0 * static_cast<double>(correct) / static_cast<double>(test.size());
+
+  const std::size_t samples = std::min(cfg.he_samples, test.size());
+  result.samples = samples;
+  std::size_t he_correct = 0, agree = 0;
+  for (std::size_t i = 0; i < samples; ++i) {
+    const float* img = test.images.data() + i * 784;
+    const std::vector<float> image(img, img + 784);
+
+    // Stage the round trip manually so the ParallelSim window brackets the
+    // cloud-side evaluation only (the paper's Lat is per classification
+    // request on the cloud).
+    InferenceResult inf;
+    Stopwatch sw;
+    const auto inputs = model.encrypt_input(image);
+    inf.encrypt_seconds = sw.seconds();
+
+    ParallelSim::global().reset();
+    sw.reset();
+    const Ciphertext out = model.eval(inputs);
+    inf.eval_seconds = sw.seconds();
+    const double recorded = ParallelSim::global().sequential_seconds();
+    const double serial_extra = std::max(0.0, inf.eval_seconds - recorded);
+    const double parallel =
+        ParallelSim::global().simulate(cfg.workers) + serial_extra;
+
+    sw.reset();
+    inf.logits = model.decrypt_logits(out);
+    inf.decrypt_seconds = sw.seconds();
+    inf.predicted = static_cast<int>(
+        std::max_element(inf.logits.begin(), inf.logits.end()) -
+        inf.logits.begin());
+
+    result.eval_latency.add(inf.eval_seconds);
+    result.parallel_latency.add(parallel);
+    result.encrypt_avg += inf.encrypt_seconds;
+    result.decrypt_avg += inf.decrypt_seconds;
+
+    const auto plain = eval_spec(spec, image);
+    const auto plain_pred = static_cast<int>(
+        std::max_element(plain.begin(), plain.end()) - plain.begin());
+    if (inf.predicted == plain_pred) ++agree;
+    if (inf.predicted == test.labels[i]) ++he_correct;
+    for (std::size_t c = 0; c < plain.size(); ++c) {
+      result.max_logit_err =
+          std::max(result.max_logit_err,
+                   std::abs(inf.logits[c] - static_cast<double>(plain[c])));
+    }
+  }
+  if (samples > 0) {
+    result.encrypt_avg /= static_cast<double>(samples);
+    result.decrypt_avg /= static_cast<double>(samples);
+    result.he_accuracy =
+        100.0 * static_cast<double>(he_correct) / static_cast<double>(samples);
+    result.match_rate =
+        100.0 * static_cast<double>(agree) / static_cast<double>(samples);
+  }
+  return result;
+}
+
+}  // namespace pphe

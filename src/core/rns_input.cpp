@@ -1,0 +1,143 @@
+#include "core/rns_input.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "core/he_model.hpp"
+#include "math/rns.hpp"
+
+namespace pphe {
+
+RnsConvDemo::RnsConvDemo(HeBackend& backend, const LinearSpec& conv,
+                         std::vector<std::uint64_t> moduli,
+                         int weight_scale_bits)
+    : backend_(backend),
+      conv_(conv),
+      moduli_(std::move(moduli)),
+      weight_bits_(weight_scale_bits) {
+  PPHE_CHECK(!moduli_.empty(), "need at least one branch modulus");
+  PPHE_CHECK(weight_bits_ >= 0 && weight_bits_ <= 16, "weight bits in [0,16]");
+
+  // Quantize weights to integers (fixed point with weight_bits_ fraction).
+  const double w_scale = std::ldexp(1.0, weight_bits_);
+  int_weights_.assign(conv_.out_dim, std::vector<long long>(conv_.in_dim, 0));
+  long long max_abs_row = 0;
+  for (std::size_t r = 0; r < conv_.out_dim; ++r) {
+    long long row_sum = 0;
+    for (std::size_t c = 0; c < conv_.in_dim; ++c) {
+      const long long w = std::llround(
+          static_cast<double>(conv_.at(r, c)) * w_scale);
+      int_weights_[r][c] = w;
+      row_sum += std::abs(w) * 255;  // worst-case pixel 255
+    }
+    max_abs_row = std::max(max_abs_row, row_sum);
+  }
+
+  // The CRT range must cover the signed output interval.
+  RnsBase base(moduli_);
+  PPHE_CHECK(base.product() > BigUInt(static_cast<std::uint64_t>(
+                 2 * max_abs_row + 1)),
+             "RNS branch moduli product too small for the integer range");
+}
+
+RnsConvDemo::Result RnsConvDemo::run(std::span<const float> image) const {
+  PPHE_CHECK(image.size() == conv_.in_dim, "input size mismatch");
+  Result result;
+
+  // Quantize pixels to 8-bit integers.
+  std::vector<long long> pixels(conv_.in_dim);
+  for (std::size_t i = 0; i < conv_.in_dim; ++i) {
+    pixels[i] = std::llround(std::fmin(std::fmax(image[i], 0.0f), 1.0f) * 255.0f);
+  }
+
+  // Reference: exact integer convolution (no bias — it is not decomposed).
+  result.reference.assign(conv_.out_dim, 0);
+  for (std::size_t r = 0; r < conv_.out_dim; ++r) {
+    long long acc = 0;
+    for (std::size_t c = 0; c < conv_.in_dim; ++c) {
+      acc += int_weights_[r][c] * pixels[c];
+    }
+    result.reference[r] = acc;
+  }
+
+  // Per-branch homomorphic evaluation: each branch is a single-linear-stage
+  // HeModel over the residue weights, with the branch modulus playing the
+  // role of the pixel quantization range.
+  RnsBase base(moduli_);
+  std::vector<std::vector<long long>> branch_outputs(moduli_.size());
+  for (std::size_t j = 0; j < moduli_.size(); ++j) {
+    const std::uint64_t m = moduli_[j];
+    ModelSpec spec;
+    spec.name = "rns-branch-" + std::to_string(m);
+    ModelSpec::Stage stage;
+    stage.kind = ModelSpec::Stage::Kind::kLinear;
+    stage.linear.in_dim = conv_.in_dim;
+    stage.linear.out_dim = conv_.out_dim;
+    stage.linear.weight.assign(conv_.in_dim * conv_.out_dim, 0.0f);
+    stage.linear.bias.assign(conv_.out_dim, 0.0f);
+    for (std::size_t r = 0; r < conv_.out_dim; ++r) {
+      for (std::size_t c = 0; c < conv_.in_dim; ++c) {
+        const long long w = int_weights_[r][c] % static_cast<long long>(m);
+        const long long w_pos = w < 0 ? w + static_cast<long long>(m) : w;
+        stage.linear.weight[r * conv_.in_dim + c] =
+            static_cast<float>(w_pos);
+      }
+    }
+    spec.stages.push_back(std::move(stage));
+
+    HeModelOptions options;
+    options.encrypted_weights = false;  // residue weights are small integers
+    options.rns_branches = 1;
+    options.pixel_levels = static_cast<int>(m);
+    const HeModel model(backend_, spec, options);
+
+    // Branch input: pixel residues scaled into the [0,1] quantization grid
+    // the engine expects.
+    std::vector<float> residue_img(conv_.in_dim);
+    for (std::size_t i = 0; i < conv_.in_dim; ++i) {
+      const auto r = static_cast<float>(
+          pixels[i] % static_cast<long long>(m));
+      residue_img[i] = r / static_cast<float>(m - 1);
+    }
+
+    const InferenceResult inf = model.infer(residue_img);
+    result.eval_seconds += inf.eval_seconds;
+    result.max_branch_seconds = std::max(result.max_branch_seconds,
+                                         inf.eval_seconds);
+
+    // Undo the 1/(m-1) normalization the engine folded into the weights and
+    // round to the exact integer branch output.
+    branch_outputs[j].resize(conv_.out_dim);
+    for (std::size_t r = 0; r < conv_.out_dim; ++r) {
+      const double y = inf.logits.size() > r ? inf.logits[r] : 0.0;
+      branch_outputs[j][r] =
+          std::llround(y * static_cast<double>(m - 1));
+    }
+  }
+
+  // CRT recombination with centered lift.
+  const BigUInt& product = base.product();
+  const BigUInt half = product >> 1;
+  result.recombined.assign(conv_.out_dim, 0);
+  std::vector<std::uint64_t> residues(moduli_.size());
+  for (std::size_t r = 0; r < conv_.out_dim; ++r) {
+    for (std::size_t j = 0; j < moduli_.size(); ++j) {
+      const auto m = static_cast<long long>(moduli_[j]);
+      long long v = branch_outputs[j][r] % m;
+      if (v < 0) v += m;
+      residues[j] = static_cast<std::uint64_t>(v);
+    }
+    const BigUInt combined = base.compose(residues);
+    if (combined > half) {
+      result.recombined[r] =
+          -static_cast<long long>((product - combined).to_u64());
+    } else {
+      result.recombined[r] = static_cast<long long>(combined.to_u64());
+    }
+  }
+
+  result.exact = result.recombined == result.reference;
+  return result;
+}
+
+}  // namespace pphe

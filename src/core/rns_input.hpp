@@ -1,0 +1,59 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "ckks/backend.hpp"
+#include "core/models.hpp"
+
+namespace pphe {
+
+/// True (non-positional) RNS decomposition of the convolution input — the
+/// literal reading of the paper's Fig. 5: the quantized image is decomposed
+/// into residue tensors modulo pairwise-coprime moduli m_1..m_k, each branch
+/// convolves its residues (with integer-quantized weights) independently and
+/// homomorphically, and the exact integer convolution output is recovered by
+/// CRT recombination of the rounded branch outputs.
+///
+/// IMPORTANT HONESTY NOTE (DESIGN.md §4, EXPERIMENTS.md): the recombination
+/// step requires reducing each branch output modulo m_j, which is not a
+/// polynomial operation — CKKS cannot evaluate it cheaply, so recombination
+/// here happens after decryption. The in-pipeline "reassembly" of Fig. 5 is
+/// realizable homomorphically only with the positional digit decomposition
+/// that HeModelOptions::rns_branches implements (linear recombination). This
+/// class exists to demonstrate the exactness and branch-parallel latency of
+/// the residue form itself (Fig. 2).
+class RnsConvDemo {
+ public:
+  /// `conv` is the first linear stage of a compiled model; weights are
+  /// quantized to integers with `weight_scale_bits` fractional bits. The
+  /// moduli must be pairwise coprime and their product must exceed twice the
+  /// worst-case |integer output|.
+  RnsConvDemo(HeBackend& backend, const LinearSpec& conv,
+              std::vector<std::uint64_t> moduli, int weight_scale_bits = 6);
+
+  struct Result {
+    std::vector<long long> recombined;  // CRT(y_1..y_k), exact integers
+    std::vector<long long> reference;   // direct integer convolution
+    bool exact = false;                 // recombined == reference
+    double eval_seconds = 0.0;          // homomorphic branch evaluation (sum)
+    double max_branch_seconds = 0.0;    // critical path across branches
+  };
+
+  /// Runs the k branches homomorphically on a [0,1] image and recombines.
+  Result run(std::span<const float> image) const;
+
+  const std::vector<std::uint64_t>& moduli() const { return moduli_; }
+  int weight_scale_bits() const { return weight_bits_; }
+
+ private:
+  HeBackend& backend_;
+  LinearSpec conv_;
+  std::vector<std::uint64_t> moduli_;
+  int weight_bits_;
+  std::vector<std::vector<long long>> int_weights_;  // quantized rows
+  std::vector<long long> int_bias_unused_;           // bias excluded (kept 0)
+};
+
+}  // namespace pphe

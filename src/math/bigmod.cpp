@@ -1,0 +1,133 @@
+#include "math/bigmod.hpp"
+
+#include "common/check.hpp"
+#include "math/primes.hpp"
+#include "math/rns.hpp"
+
+namespace pphe {
+
+BigBarrett::BigBarrett(BigUInt modulus) : modulus_(std::move(modulus)) {
+  PPHE_CHECK(modulus_ > BigUInt(1), "modulus must exceed 1");
+  k_ = modulus_.bit_length();
+  mu_ = (BigUInt(1) << (2 * k_)) / modulus_;
+}
+
+BigUInt BigBarrett::reduce(const BigUInt& x) const {
+  PPHE_CHECK(x.bit_length() <= 2 * k_, "Barrett input too wide");
+  // Classic Barrett: q_est = ((x >> (k-1)) * mu) >> (k+1); off by at most 2.
+  BigUInt q_est = ((x >> (k_ - 1)) * mu_) >> (k_ + 1);
+  BigUInt r = x - q_est * modulus_;
+  while (r >= modulus_) r -= modulus_;
+  return r;
+}
+
+BigUInt BigBarrett::mulmod(const BigUInt& a, const BigUInt& b) const {
+  return reduce(a * b);
+}
+
+BigUInt BigBarrett::addmod(const BigUInt& a, const BigUInt& b) const {
+  BigUInt s = a + b;
+  if (s >= modulus_) s -= modulus_;
+  return s;
+}
+
+BigUInt BigBarrett::submod(const BigUInt& a, const BigUInt& b) const {
+  if (a >= b) return a - b;
+  return modulus_ - (b - a);
+}
+
+BigUInt BigBarrett::negmod(const BigUInt& a) const {
+  if (a.is_zero()) return a;
+  return modulus_ - a;
+}
+
+namespace {
+
+std::size_t bit_reverse(std::size_t x, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+BigNtt::BigNtt(std::size_t n, const std::vector<std::uint64_t>& prime_factors)
+    : n_(n), barrett_(RnsBase(prime_factors).product()) {
+  PPHE_CHECK(n >= 2 && (n & (n - 1)) == 0, "NTT size must be a power of two");
+
+  // CRT-interpolate a primitive 2n-th root modulo the composite q from
+  // per-prime primitive roots.
+  RnsBase base(prime_factors);
+  std::vector<std::uint64_t> psi_residues(prime_factors.size());
+  for (std::size_t i = 0; i < prime_factors.size(); ++i) {
+    psi_residues[i] = find_primitive_2n_root(prime_factors[i], n);
+  }
+  const BigUInt psi = base.compose(psi_residues);
+  const BigUInt psi_inv = psi.inv_mod(modulus());
+  PPHE_CHECK(barrett_.mulmod(psi, psi_inv) == BigUInt(1), "root inversion");
+
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+
+  root_powers_.resize(n);
+  inv_root_powers_.resize(n);
+  BigUInt power(1), inv_power(1);
+  for (std::size_t i = 0; i < n; ++i) {
+    root_powers_[bit_reverse(i, bits)] = power;
+    inv_root_powers_[bit_reverse(i, bits)] = inv_power;
+    power = barrett_.mulmod(power, psi);
+    inv_power = barrett_.mulmod(inv_power, psi_inv);
+  }
+  inv_n_ = BigUInt(n).inv_mod(modulus());
+}
+
+void BigNtt::forward(std::span<BigUInt> a) const {
+  PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const BigUInt& s = root_powers_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const BigUInt u = a[j];
+        const BigUInt v = barrett_.mulmod(a[j + t], s);
+        a[j] = barrett_.addmod(u, v);
+        a[j + t] = barrett_.submod(u, v);
+      }
+    }
+  }
+}
+
+void BigNtt::inverse(std::span<BigUInt> a) const {
+  PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const BigUInt& s = inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const BigUInt u = a[j];
+        const BigUInt v = a[j + t];
+        a[j] = barrett_.addmod(u, v);
+        a[j + t] = barrett_.mulmod(barrett_.submod(u, v), s);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (auto& x : a) x = barrett_.mulmod(x, inv_n_);
+}
+
+void BigNtt::pointwise(std::span<const BigUInt> a, std::span<const BigUInt> b,
+                       std::span<BigUInt> c) const {
+  PPHE_CHECK(a.size() == n_ && b.size() == n_ && c.size() == n_,
+             "pointwise size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) c[i] = barrett_.mulmod(a[i], b[i]);
+}
+
+}  // namespace pphe

@@ -1,0 +1,66 @@
+#pragma once
+
+#include <cstddef>
+#include <span>
+#include <vector>
+
+#include "math/biguint.hpp"
+
+namespace pphe {
+
+/// Barrett reduction context for a multiprecision modulus q.
+///
+/// Every homomorphic operation of the non-RNS CKKS baseline funnels through
+/// mulmod() here — a full multiprecision multiply plus a Barrett reduction —
+/// which is precisely the per-operation cost that the RNS representation
+/// replaces with one native 64-bit multiply per residue channel (Fig. 2).
+class BigBarrett {
+ public:
+  explicit BigBarrett(BigUInt modulus);
+
+  const BigUInt& modulus() const { return modulus_; }
+
+  /// Reduces x < q^2 (well below 2^(2k)) into [0, q).
+  BigUInt reduce(const BigUInt& x) const;
+
+  BigUInt mulmod(const BigUInt& a, const BigUInt& b) const;
+  BigUInt addmod(const BigUInt& a, const BigUInt& b) const;
+  BigUInt submod(const BigUInt& a, const BigUInt& b) const;
+  BigUInt negmod(const BigUInt& a) const;
+
+ private:
+  BigUInt modulus_;
+  BigUInt mu_;        // floor(2^(2k) / q)
+  std::size_t k_ = 0; // bit length of q
+};
+
+/// Negacyclic NTT over the COMPOSITE modulus q = q_0 · … · q_L, operating on
+/// BigUInt coefficients. The primitive 2n-th root is CRT-interpolated from
+/// per-prime roots, so the transform is mathematically identical to running
+/// the per-prime NTTs of the RNS representation and recombining — but it pays
+/// multiprecision Barrett arithmetic in every butterfly, which is what makes
+/// the non-RNS baseline slow (Tables III/V/VI, chain length 1).
+class BigNtt {
+ public:
+  /// `prime_factors` are the word primes whose product is the modulus; each
+  /// must be ≡ 1 (mod 2n).
+  BigNtt(std::size_t n, const std::vector<std::uint64_t>& prime_factors);
+
+  std::size_t n() const { return n_; }
+  const BigBarrett& barrett() const { return barrett_; }
+  const BigUInt& modulus() const { return barrett_.modulus(); }
+
+  void forward(std::span<BigUInt> a) const;
+  void inverse(std::span<BigUInt> a) const;
+  void pointwise(std::span<const BigUInt> a, std::span<const BigUInt> b,
+                 std::span<BigUInt> c) const;
+
+ private:
+  std::size_t n_;
+  BigBarrett barrett_;
+  std::vector<BigUInt> root_powers_;      // psi^brv(i)
+  std::vector<BigUInt> inv_root_powers_;  // psi^{-brv(i)}
+  BigUInt inv_n_;
+};
+
+}  // namespace pphe

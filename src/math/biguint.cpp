@@ -1,0 +1,301 @@
+#include "math/biguint.hpp"
+
+#include <algorithm>
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+BigUInt::BigUInt(std::uint64_t value) {
+  if (value != 0) {
+    limbs_[0] = value;
+    size_ = 1;
+  }
+}
+
+void BigUInt::normalize() {
+  while (size_ != 0 && limbs_[size_ - 1] == 0) --size_;
+}
+
+std::size_t BigUInt::bit_length() const {
+  if (size_ == 0) return 0;
+  return 64 * (size_ - 1) +
+         (64 - static_cast<std::size_t>(std::countl_zero(limbs_[size_ - 1])));
+}
+
+bool BigUInt::bit(std::size_t index) const {
+  const std::size_t limb_idx = index / 64;
+  if (limb_idx >= size_) return false;
+  return (limbs_[limb_idx] >> (index % 64)) & 1;
+}
+
+double BigUInt::to_double() const {
+  double result = 0.0;
+  for (std::size_t i = size_; i-- > 0;) {
+    result = result * 18446744073709551616.0 + static_cast<double>(limbs_[i]);
+  }
+  return result;
+}
+
+int BigUInt::compare(const BigUInt& other) const {
+  if (size_ != other.size_) return size_ < other.size_ ? -1 : 1;
+  for (std::size_t i = size_; i-- > 0;) {
+    if (limbs_[i] != other.limbs_[i]) {
+      return limbs_[i] < other.limbs_[i] ? -1 : 1;
+    }
+  }
+  return 0;
+}
+
+BigUInt BigUInt::operator+(const BigUInt& o) const {
+  BigUInt result;
+  const std::size_t n = std::max<std::size_t>(size_, o.size_);
+  PPHE_CHECK(n + 1 <= kMaxLimbs, "BigUInt capacity exceeded in addition");
+  unsigned __int128 carry = 0;
+  for (std::size_t i = 0; i < n; ++i) {
+    carry += limb(i);
+    carry += o.limb(i);
+    result.limbs_[i] = static_cast<std::uint64_t>(carry);
+    carry >>= 64;
+  }
+  result.limbs_[n] = static_cast<std::uint64_t>(carry);
+  result.size_ = static_cast<std::uint32_t>(n + 1);
+  result.normalize();
+  return result;
+}
+
+BigUInt BigUInt::operator-(const BigUInt& o) const {
+  PPHE_CHECK(*this >= o, "BigUInt subtraction underflow");
+  BigUInt result;
+  std::uint64_t borrow = 0;
+  for (std::size_t i = 0; i < size_; ++i) {
+    const std::uint64_t a = limbs_[i];
+    const std::uint64_t b = o.limb(i);
+    const std::uint64_t d1 = a - b;
+    const std::uint64_t borrow1 = a < b ? 1 : 0;
+    const std::uint64_t d2 = d1 - borrow;
+    const std::uint64_t borrow2 = d1 < borrow ? 1 : 0;
+    result.limbs_[i] = d2;
+    borrow = borrow1 + borrow2;
+  }
+  PPHE_CHECK(borrow == 0, "BigUInt subtraction internal underflow");
+  result.size_ = size_;
+  result.normalize();
+  return result;
+}
+
+BigUInt BigUInt::operator*(const BigUInt& o) const {
+  if (is_zero() || o.is_zero()) return BigUInt();
+  const std::size_t n = size_ + o.size_;
+  PPHE_CHECK(n <= kMaxLimbs, "BigUInt capacity exceeded in multiplication");
+  BigUInt result;
+  for (std::size_t i = 0; i < size_; ++i) {
+    unsigned __int128 carry = 0;
+    for (std::size_t j = 0; j < o.size_; ++j) {
+      carry += static_cast<unsigned __int128>(limbs_[i]) * o.limbs_[j];
+      carry += result.limbs_[i + j];
+      result.limbs_[i + j] = static_cast<std::uint64_t>(carry);
+      carry >>= 64;
+    }
+    result.limbs_[i + o.size_] = static_cast<std::uint64_t>(carry);
+  }
+  result.size_ = static_cast<std::uint32_t>(n);
+  result.normalize();
+  return result;
+}
+
+BigUInt BigUInt::operator<<(std::size_t bits) const {
+  if (is_zero()) return BigUInt();
+  const std::size_t limb_shift = bits / 64;
+  const std::size_t bit_shift = bits % 64;
+  const std::size_t n = size_ + limb_shift + 1;
+  PPHE_CHECK(n <= kMaxLimbs, "BigUInt capacity exceeded in left shift");
+  BigUInt result;
+  for (std::size_t i = 0; i < size_; ++i) {
+    result.limbs_[i + limb_shift] |= limbs_[i] << bit_shift;
+    if (bit_shift != 0) {
+      result.limbs_[i + limb_shift + 1] |= limbs_[i] >> (64 - bit_shift);
+    }
+  }
+  result.size_ = static_cast<std::uint32_t>(n);
+  result.normalize();
+  return result;
+}
+
+BigUInt BigUInt::operator>>(std::size_t bits) const {
+  const std::size_t limb_shift = bits / 64;
+  if (limb_shift >= size_) return BigUInt();
+  const std::size_t bit_shift = bits % 64;
+  BigUInt result;
+  result.size_ = static_cast<std::uint32_t>(size_ - limb_shift);
+  for (std::size_t i = 0; i < result.size_; ++i) {
+    result.limbs_[i] = limbs_[i + limb_shift] >> bit_shift;
+    if (bit_shift != 0 && i + limb_shift + 1 < size_) {
+      result.limbs_[i] |= limbs_[i + limb_shift + 1] << (64 - bit_shift);
+    }
+  }
+  result.normalize();
+  return result;
+}
+
+BigUInt::DivMod BigUInt::divmod(const BigUInt& divisor) const {
+  PPHE_CHECK(!divisor.is_zero(), "division by zero");
+  if (*this < divisor) return {BigUInt(), *this};
+  if (divisor.limb_count() == 1) {
+    const auto dm = divmod_u64(divisor.limb(0));
+    return {dm.quotient, BigUInt(dm.remainder)};
+  }
+
+  // Binary long division: O(bit_length * limbs). Used only in setup paths
+  // (Barrett constants, CRT interpolation, inverses), never per-coefficient.
+  const std::size_t shift = bit_length() - divisor.bit_length();
+  BigUInt remainder = *this;
+  BigUInt quotient;
+  quotient.size_ = static_cast<std::uint32_t>(shift / 64 + 1);
+  BigUInt shifted = divisor << shift;
+  for (std::size_t i = shift + 1; i-- > 0;) {
+    if (remainder >= shifted) {
+      remainder -= shifted;
+      quotient.limbs_[i / 64] |= 1ull << (i % 64);
+    }
+    shifted = shifted >> 1;
+  }
+  quotient.normalize();
+  return {quotient, remainder};
+}
+
+BigUInt::DivModU64 BigUInt::divmod_u64(std::uint64_t divisor) const {
+  PPHE_CHECK(divisor != 0, "division by zero");
+  DivModU64 out;
+  out.quotient.size_ = size_;
+  unsigned __int128 rem = 0;
+  for (std::size_t i = size_; i-- > 0;) {
+    rem = (rem << 64) | limbs_[i];
+    out.quotient.limbs_[i] = static_cast<std::uint64_t>(rem / divisor);
+    rem %= divisor;
+  }
+  out.quotient.normalize();
+  out.remainder = static_cast<std::uint64_t>(rem);
+  return out;
+}
+
+std::uint64_t BigUInt::mod_u64(std::uint64_t divisor) const {
+  PPHE_CHECK(divisor != 0, "division by zero");
+  unsigned __int128 rem = 0;
+  for (std::size_t i = size_; i-- > 0;) {
+    rem = ((rem << 64) | limbs_[i]) % divisor;
+  }
+  return static_cast<std::uint64_t>(rem);
+}
+
+BigUInt BigUInt::pow_mod(const BigUInt& e, const BigUInt& m) const {
+  PPHE_CHECK(m > BigUInt(1), "modulus must exceed 1");
+  BigUInt base = *this % m;
+  BigUInt result(1);
+  const std::size_t bits = e.bit_length();
+  for (std::size_t i = 0; i < bits; ++i) {
+    if (e.bit(i)) result = (result * base) % m;
+    base = (base * base) % m;
+  }
+  return result;
+}
+
+BigUInt BigUInt::inv_mod(const BigUInt& m) const {
+  PPHE_CHECK(m > BigUInt(1), "modulus must exceed 1");
+  // Extended Euclid with explicit signs for the Bezout coefficient.
+  BigUInt r = m;
+  BigUInt new_r = *this % m;
+  PPHE_CHECK(!new_r.is_zero(), "inverse of zero");
+  BigUInt t;  // |t|, sign in t_neg
+  BigUInt new_t(1);
+  bool t_neg = false, new_t_neg = false;
+
+  while (!new_r.is_zero()) {
+    const BigUInt q = r / new_r;
+    // (t, new_t) <- (new_t, t - q*new_t) with sign tracking.
+    const BigUInt q_nt = q * new_t;
+    BigUInt next_t;
+    bool next_neg = false;
+    if (t_neg == new_t_neg) {
+      if (t >= q_nt) {
+        next_t = t - q_nt;
+        next_neg = t_neg;
+      } else {
+        next_t = q_nt - t;
+        next_neg = !t_neg;
+      }
+    } else {
+      next_t = t + q_nt;
+      next_neg = t_neg;
+    }
+    t = new_t;
+    t_neg = new_t_neg;
+    new_t = next_t;
+    new_t_neg = next_neg;
+
+    const BigUInt next_r = r % new_r;
+    r = new_r;
+    new_r = next_r;
+  }
+  PPHE_CHECK(r == BigUInt(1), "element not invertible");
+  if (t_neg && !t.is_zero()) return m - (t % m);
+  return t % m;
+}
+
+BigUInt BigUInt::from_string(const std::string& text) {
+  PPHE_CHECK(!text.empty(), "empty number string");
+  BigUInt result;
+  if (text.rfind("0x", 0) == 0 || text.rfind("0X", 0) == 0) {
+    for (std::size_t i = 2; i < text.size(); ++i) {
+      const char c = text[i];
+      std::uint64_t digit = 0;
+      if (c >= '0' && c <= '9') {
+        digit = static_cast<std::uint64_t>(c - '0');
+      } else if (c >= 'a' && c <= 'f') {
+        digit = static_cast<std::uint64_t>(c - 'a' + 10);
+      } else if (c >= 'A' && c <= 'F') {
+        digit = static_cast<std::uint64_t>(c - 'A' + 10);
+      } else {
+        PPHE_CHECK(false, "invalid hex digit");
+      }
+      result = (result << 4) + BigUInt(digit);
+    }
+  } else {
+    for (const char c : text) {
+      PPHE_CHECK(c >= '0' && c <= '9', "invalid decimal digit");
+      result =
+          result * BigUInt(10) + BigUInt(static_cast<std::uint64_t>(c - '0'));
+    }
+  }
+  return result;
+}
+
+std::string BigUInt::to_string() const {
+  if (is_zero()) return "0";
+  std::string digits;
+  BigUInt value = *this;
+  while (!value.is_zero()) {
+    const auto dm = value.divmod_u64(10);
+    digits.push_back(static_cast<char>('0' + dm.remainder));
+    value = dm.quotient;
+  }
+  std::reverse(digits.begin(), digits.end());
+  return digits;
+}
+
+std::string BigUInt::to_hex_string() const {
+  if (is_zero()) return "0";
+  static const char* kHex = "0123456789abcdef";
+  std::string out;
+  for (std::size_t i = size_; i-- > 0;) {
+    for (int shift = 60; shift >= 0; shift -= 4) {
+      const auto nibble = (limbs_[i] >> shift) & 0xf;
+      if (out.empty() && nibble == 0) continue;
+      out.push_back(kHex[nibble]);
+    }
+  }
+  return out;
+}
+
+}  // namespace pphe

@@ -1,0 +1,105 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+namespace pphe {
+
+/// Fixed-capacity multiprecision unsigned integer (little-endian 64-bit
+/// limbs, inline storage, no heap allocation).
+///
+/// This is the multiprecision arithmetic the ORIGINAL (non-RNS) CKKS pays on
+/// every coefficient operation, and which the RNS representation removes
+/// (paper §II, Fig. 2). Storage is inline so that the non-RNS baseline's cost
+/// measured by the benches is the arithmetic itself, not allocator noise.
+///
+/// Capacity is 26 limbs (1664 bits): enough for the squared key-switching
+/// modulus (q·P ≈ 732 bits) products that Barrett reduction manipulates,
+/// with headroom. Overflow beyond the capacity throws.
+class BigUInt {
+ public:
+  static constexpr std::size_t kMaxLimbs = 26;
+
+  BigUInt() = default;
+  BigUInt(std::uint64_t value);  // NOLINT(google-explicit-constructor)
+
+  /// Parses decimal or (with "0x" prefix) hexadecimal.
+  static BigUInt from_string(const std::string& text);
+
+  bool is_zero() const { return size_ == 0; }
+  std::size_t limb_count() const { return size_; }
+  std::size_t bit_length() const;
+  bool bit(std::size_t index) const;
+
+  /// Value of limb i (0 beyond the stored width).
+  std::uint64_t limb(std::size_t i) const { return i < size_ ? limbs_[i] : 0; }
+
+  /// Low 64 bits.
+  std::uint64_t to_u64() const { return limb(0); }
+  /// Conversion to double (may lose precision; used for logging only).
+  double to_double() const;
+  std::string to_string() const;      // decimal
+  std::string to_hex_string() const;  // lowercase, no prefix
+
+  int compare(const BigUInt& other) const;
+  bool operator==(const BigUInt& o) const { return compare(o) == 0; }
+  bool operator!=(const BigUInt& o) const { return compare(o) != 0; }
+  bool operator<(const BigUInt& o) const { return compare(o) < 0; }
+  bool operator<=(const BigUInt& o) const { return compare(o) <= 0; }
+  bool operator>(const BigUInt& o) const { return compare(o) > 0; }
+  bool operator>=(const BigUInt& o) const { return compare(o) >= 0; }
+
+  BigUInt operator+(const BigUInt& o) const;
+  /// Requires *this >= o (throws otherwise).
+  BigUInt operator-(const BigUInt& o) const;
+  BigUInt operator*(const BigUInt& o) const;
+  BigUInt operator<<(std::size_t bits) const;
+  BigUInt operator>>(std::size_t bits) const;
+
+  BigUInt& operator+=(const BigUInt& o) { return *this = *this + o; }
+  BigUInt& operator-=(const BigUInt& o) { return *this = *this - o; }
+  BigUInt& operator*=(const BigUInt& o) { return *this = *this * o; }
+
+  /// Quotient and remainder; divisor must be non-zero.
+  struct DivMod;
+  DivMod divmod(const BigUInt& divisor) const;
+  BigUInt operator/(const BigUInt& o) const;
+  BigUInt operator%(const BigUInt& o) const;
+
+  /// Fast division by a single word.
+  struct DivModU64;
+  DivModU64 divmod_u64(std::uint64_t divisor) const;
+  std::uint64_t mod_u64(std::uint64_t divisor) const;
+
+  /// Modular exponentiation (this^e mod m), m > 1.
+  BigUInt pow_mod(const BigUInt& e, const BigUInt& m) const;
+  /// Modular inverse; requires gcd(*this, m) == 1 (throws otherwise).
+  BigUInt inv_mod(const BigUInt& m) const;
+
+ private:
+  void normalize();
+
+  std::array<std::uint64_t, kMaxLimbs> limbs_{};
+  std::uint32_t size_ = 0;  // number of significant limbs (no trailing zeros)
+};
+
+struct BigUInt::DivMod {
+  BigUInt quotient;
+  BigUInt remainder;
+};
+
+struct BigUInt::DivModU64 {
+  BigUInt quotient;
+  std::uint64_t remainder = 0;
+};
+
+inline BigUInt BigUInt::operator/(const BigUInt& o) const {
+  return divmod(o).quotient;
+}
+inline BigUInt BigUInt::operator%(const BigUInt& o) const {
+  return divmod(o).remainder;
+}
+
+}  // namespace pphe

@@ -1,0 +1,64 @@
+#include "math/fft.hpp"
+
+#include <numbers>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+Fft::Fft(std::size_t n) : n_(n) {
+  PPHE_CHECK(n >= 1 && (n & (n - 1)) == 0, "FFT size must be a power of two");
+  bit_rev_.resize(n);
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  for (std::size_t i = 0; i < n; ++i) {
+    std::size_t r = 0, x = i;
+    for (int b = 0; b < bits; ++b) {
+      r = (r << 1) | (x & 1);
+      x >>= 1;
+    }
+    bit_rev_[i] = r;
+  }
+  twiddles_.resize(n / 2 + 1);
+  inv_twiddles_.resize(n / 2 + 1);
+  for (std::size_t k = 0; k <= n / 2; ++k) {
+    const double angle =
+        -2.0 * std::numbers::pi * static_cast<double>(k) / static_cast<double>(n);
+    twiddles_[k] = std::polar(1.0, angle);
+    inv_twiddles_[k] = std::polar(1.0, -angle);
+  }
+}
+
+void Fft::transform(std::span<std::complex<double>> a, bool invert) const {
+  PPHE_CHECK(a.size() == n_, "FFT input size mismatch");
+  const auto& tw = invert ? inv_twiddles_ : twiddles_;
+  for (std::size_t i = 0; i < n_; ++i) {
+    if (i < bit_rev_[i]) std::swap(a[i], a[bit_rev_[i]]);
+  }
+  for (std::size_t len = 2; len <= n_; len <<= 1) {
+    const std::size_t stride = n_ / len;
+    for (std::size_t start = 0; start < n_; start += len) {
+      for (std::size_t k = 0; k < len / 2; ++k) {
+        const std::complex<double> w = tw[k * stride];
+        const std::complex<double> u = a[start + k];
+        const std::complex<double> v = a[start + k + len / 2] * w;
+        a[start + k] = u + v;
+        a[start + k + len / 2] = u - v;
+      }
+    }
+  }
+  if (invert) {
+    const double scale = 1.0 / static_cast<double>(n_);
+    for (auto& x : a) x *= scale;
+  }
+}
+
+void Fft::forward(std::span<std::complex<double>> a) const {
+  transform(a, /*invert=*/false);
+}
+
+void Fft::inverse(std::span<std::complex<double>> a) const {
+  transform(a, /*invert=*/true);
+}
+
+}  // namespace pphe

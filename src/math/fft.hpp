@@ -1,0 +1,34 @@
+#pragma once
+
+#include <complex>
+#include <cstddef>
+#include <span>
+#include <vector>
+
+namespace pphe {
+
+/// Iterative radix-2 complex FFT of a fixed power-of-two size.
+/// Used by the CKKS encoder to evaluate / invert the canonical embedding τ
+/// in O(N log N) instead of the O(N^2) Vandermonde product.
+class Fft {
+ public:
+  explicit Fft(std::size_t n);
+
+  std::size_t n() const { return n_; }
+
+  /// In-place forward DFT: a[k] <- sum_j a[j] * exp(-2πi jk / n).
+  void forward(std::span<std::complex<double>> a) const;
+
+  /// In-place inverse DFT (includes the 1/n scaling).
+  void inverse(std::span<std::complex<double>> a) const;
+
+ private:
+  void transform(std::span<std::complex<double>> a, bool invert) const;
+
+  std::size_t n_;
+  std::vector<std::size_t> bit_rev_;
+  std::vector<std::complex<double>> twiddles_;      // exp(-2πi k / n)
+  std::vector<std::complex<double>> inv_twiddles_;  // exp(+2πi k / n)
+};
+
+}  // namespace pphe

@@ -1,0 +1,96 @@
+#include "math/modarith.hpp"
+
+#include <bit>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+Modulus::Modulus(std::uint64_t value) : value_(value) {
+  PPHE_CHECK(value >= 2, "modulus must be at least 2");
+  PPHE_CHECK(value < (1ull << 62), "modulus must be below 2^62");
+  bit_count_ = 64 - std::countl_zero(value);
+
+  // Compute floor(2^128 / value) by long division of the 3-word number
+  // (1, 0, 0) base 2^64 by `value`.
+  unsigned __int128 rem = 1;  // leading word of 2^128
+  std::uint64_t q[2] = {0, 0};
+  for (int word = 1; word >= 0; --word) {
+    rem <<= 64;
+    q[word] = static_cast<std::uint64_t>(rem / value);
+    rem %= value;
+  }
+  barrett_hi_ = q[1];
+  barrett_lo_ = q[0];
+}
+
+std::uint64_t Modulus::reduce(std::uint64_t x) const {
+  return reduce128(x);
+}
+
+std::uint64_t Modulus::reduce128(unsigned __int128 x) const {
+  // Barrett: q = floor(x * mu / 2^128) where mu = floor(2^128 / p).
+  // We only need the high 128 bits of the 256-bit product.
+  const std::uint64_t x_lo = static_cast<std::uint64_t>(x);
+  const std::uint64_t x_hi = static_cast<std::uint64_t>(x >> 64);
+
+  const unsigned __int128 lo_lo =
+      static_cast<unsigned __int128>(x_lo) * barrett_lo_;
+  const unsigned __int128 lo_hi =
+      static_cast<unsigned __int128>(x_lo) * barrett_hi_;
+  const unsigned __int128 hi_lo =
+      static_cast<unsigned __int128>(x_hi) * barrett_lo_;
+  const unsigned __int128 hi_hi =
+      static_cast<unsigned __int128>(x_hi) * barrett_hi_;
+
+  const unsigned __int128 mid =
+      (lo_lo >> 64) + static_cast<std::uint64_t>(lo_hi) +
+      static_cast<std::uint64_t>(hi_lo);
+  const unsigned __int128 q =
+      hi_hi + (lo_hi >> 64) + (hi_lo >> 64) + (mid >> 64);
+
+  std::uint64_t r = static_cast<std::uint64_t>(x) -
+                    static_cast<std::uint64_t>(q) * value_;
+  // Barrett quotient may undershoot by at most 2.
+  while (r >= value_) r -= value_;
+  return r;
+}
+
+std::uint64_t Modulus::pow(std::uint64_t a, std::uint64_t e) const {
+  std::uint64_t base = reduce(a);
+  std::uint64_t result = 1;
+  while (e != 0) {
+    if (e & 1) result = mul(result, base);
+    base = mul(base, base);
+    e >>= 1;
+  }
+  return result;
+}
+
+std::uint64_t Modulus::inv(std::uint64_t a) const {
+  // Extended Euclid on (a mod p, p); p prime in our usage but the algorithm
+  // only requires gcd == 1.
+  std::int64_t t = 0, new_t = 1;
+  std::uint64_t r = value_, new_r = reduce(a);
+  PPHE_CHECK(new_r != 0, "inverse of zero");
+  while (new_r != 0) {
+    const std::uint64_t q = r / new_r;
+    const std::int64_t tmp_t = t - static_cast<std::int64_t>(q) * new_t;
+    t = new_t;
+    new_t = tmp_t;
+    const std::uint64_t tmp_r = r - q * new_r;
+    r = new_r;
+    new_r = tmp_r;
+  }
+  PPHE_CHECK(r == 1, "element not invertible");
+  return t < 0 ? static_cast<std::uint64_t>(t + static_cast<std::int64_t>(value_))
+               : static_cast<std::uint64_t>(t);
+}
+
+ShoupMul::ShoupMul(std::uint64_t w, const Modulus& mod) : operand(w) {
+  PPHE_CHECK(w < mod.value(), "Shoup operand must be reduced");
+  quotient = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(w) << 64) / mod.value());
+}
+
+}  // namespace pphe

@@ -1,0 +1,78 @@
+#pragma once
+
+#include <cstdint>
+
+namespace pphe {
+
+/// Word-sized prime modulus with precomputed Barrett constants.
+///
+/// This is the workhorse of the RNS representation: every residue channel of
+/// CKKS-RNS performs all of its arithmetic through one of these, using only
+/// native 64-bit operations (the multiprecision path in math/biguint.hpp is
+/// what the non-RNS baseline pays instead). Moduli are required to be < 2^62
+/// so that lazy sums of two residues never overflow.
+class Modulus {
+ public:
+  Modulus() = default;
+  explicit Modulus(std::uint64_t value);
+
+  std::uint64_t value() const { return value_; }
+  int bit_count() const { return bit_count_; }
+
+  /// Reduces any 64-bit value.
+  std::uint64_t reduce(std::uint64_t x) const;
+
+  /// Reduces a 128-bit value (Barrett).
+  std::uint64_t reduce128(unsigned __int128 x) const;
+
+  std::uint64_t add(std::uint64_t a, std::uint64_t b) const {
+    const std::uint64_t s = a + b;
+    return s >= value_ ? s - value_ : s;
+  }
+
+  std::uint64_t sub(std::uint64_t a, std::uint64_t b) const {
+    return a >= b ? a - b : a + value_ - b;
+  }
+
+  std::uint64_t neg(std::uint64_t a) const { return a == 0 ? 0 : value_ - a; }
+
+  std::uint64_t mul(std::uint64_t a, std::uint64_t b) const {
+    return reduce128(static_cast<unsigned __int128>(a) * b);
+  }
+
+  /// a^e mod value (square-and-multiply).
+  std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
+
+  /// Multiplicative inverse; requires gcd(a, value) == 1 (throws otherwise).
+  std::uint64_t inv(std::uint64_t a) const;
+
+  bool operator==(const Modulus& other) const { return value_ == other.value_; }
+
+ private:
+  std::uint64_t value_ = 0;
+  // Barrett constant: floor(2^128 / value) as a 128-bit number split in words.
+  std::uint64_t barrett_hi_ = 0;
+  std::uint64_t barrett_lo_ = 0;
+  int bit_count_ = 0;
+};
+
+/// Shoup's precomputed-quotient multiplication: when one operand `w` is a
+/// fixed constant (an NTT twiddle factor), `mul_shoup` replaces the 128-bit
+/// Barrett reduction by one high-half multiply and one subtraction. The NTT
+/// kernels in math/ntt.cpp rely on this for throughput.
+struct ShoupMul {
+  std::uint64_t operand = 0;   // w
+  std::uint64_t quotient = 0;  // floor(w * 2^64 / p)
+
+  ShoupMul() = default;
+  ShoupMul(std::uint64_t w, const Modulus& mod);
+
+  std::uint64_t mul(std::uint64_t x, std::uint64_t p) const {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * quotient) >> 64);
+    const std::uint64_t r = x * operand - q * p;
+    return r >= p ? r - p : r;
+  }
+};
+
+}  // namespace pphe

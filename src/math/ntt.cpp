@@ -1,0 +1,101 @@
+#include "math/ntt.hpp"
+
+#include "common/check.hpp"
+#include "math/primes.hpp"
+
+namespace pphe {
+namespace {
+
+std::size_t bit_reverse(std::size_t x, int bits) {
+  std::size_t r = 0;
+  for (int i = 0; i < bits; ++i) {
+    r = (r << 1) | (x & 1);
+    x >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+NttTable::NttTable(std::size_t n, const Modulus& modulus)
+    : n_(n), modulus_(modulus) {
+  PPHE_CHECK(n >= 2 && (n & (n - 1)) == 0, "NTT size must be a power of two");
+  PPHE_CHECK((modulus.value() - 1) % (2 * n) == 0,
+             "modulus must be 1 mod 2n for the negacyclic NTT");
+
+  psi_ = find_primitive_2n_root(modulus.value(), n);
+  const std::uint64_t psi_inv = modulus_.inv(psi_);
+
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+
+  root_powers_.resize(n);
+  inv_root_powers_.resize(n);
+  // Powers of psi stored in bit-reversed index order (Longa–Naehrig layout):
+  // both loops of the transforms then read twiddles sequentially.
+  std::uint64_t power = 1;
+  std::vector<std::uint64_t> fwd(n), inv(n);
+  std::uint64_t inv_power = 1;
+  for (std::size_t i = 0; i < n; ++i) {
+    fwd[bit_reverse(i, bits)] = power;
+    inv[bit_reverse(i, bits)] = inv_power;
+    power = modulus_.mul(power, psi_);
+    inv_power = modulus_.mul(inv_power, psi_inv);
+  }
+  for (std::size_t i = 0; i < n; ++i) {
+    root_powers_[i] = ShoupMul(fwd[i], modulus_);
+    inv_root_powers_[i] = ShoupMul(inv[i], modulus_);
+  }
+  inv_n_ = ShoupMul(modulus_.inv(n % modulus_.value()), modulus_);
+}
+
+void NttTable::forward(std::span<std::uint64_t> a) const {
+  PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
+  const std::uint64_t p = modulus_.value();
+  std::size_t t = n_;
+  for (std::size_t m = 1; m < n_; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::size_t j1 = 2 * i * t;
+      const ShoupMul& s = root_powers_[m + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = a[j];
+        const std::uint64_t v = s.mul(a[j + t], p);
+        a[j] = modulus_.add(u, v);
+        a[j + t] = modulus_.sub(u, v);
+      }
+    }
+  }
+}
+
+void NttTable::inverse(std::span<std::uint64_t> a) const {
+  PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
+  const std::uint64_t p = modulus_.value();
+  std::size_t t = 1;
+  for (std::size_t m = n_; m > 1; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const ShoupMul& s = inv_root_powers_[h + i];
+      for (std::size_t j = j1; j < j1 + t; ++j) {
+        const std::uint64_t u = a[j];
+        const std::uint64_t v = a[j + t];
+        a[j] = modulus_.add(u, v);
+        a[j + t] = s.mul(modulus_.sub(u, v), p);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  for (auto& x : a) x = inv_n_.mul(x, p);
+}
+
+void NttTable::pointwise(std::span<const std::uint64_t> a,
+                         std::span<const std::uint64_t> b,
+                         std::span<std::uint64_t> c) const {
+  PPHE_CHECK(a.size() == n_ && b.size() == n_ && c.size() == n_,
+             "pointwise size mismatch");
+  for (std::size_t i = 0; i < n_; ++i) c[i] = modulus_.mul(a[i], b[i]);
+}
+
+}  // namespace pphe

@@ -1,0 +1,49 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/modarith.hpp"
+
+namespace pphe {
+
+/// Negacyclic number-theoretic transform over a word prime p ≡ 1 (mod 2n).
+///
+/// Uses the merged-twist Cooley–Tukey / Gentleman–Sande pair of Longa &
+/// Naehrig with Shoup-precomputed twiddles, the standard kernel of RNS-FHE
+/// libraries. forward() leaves values in bit-reversed evaluation order;
+/// pointwise products of two forward() outputs followed by inverse() realize
+/// negacyclic convolution, i.e. multiplication in Z_p[X]/(X^n + 1).
+class NttTable {
+ public:
+  NttTable(std::size_t n, const Modulus& modulus);
+
+  std::size_t n() const { return n_; }
+  const Modulus& modulus() const { return modulus_; }
+  std::uint64_t psi() const { return psi_; }
+
+  /// In-place forward transform; input in natural coefficient order, output
+  /// in bit-reversed evaluation order.
+  void forward(std::span<std::uint64_t> a) const;
+
+  /// In-place inverse transform; input in bit-reversed evaluation order,
+  /// output in natural coefficient order (includes the 1/n scaling).
+  void inverse(std::span<std::uint64_t> a) const;
+
+  /// c[i] = a[i] * b[i] mod p (evaluation-domain product).
+  void pointwise(std::span<const std::uint64_t> a,
+                 std::span<const std::uint64_t> b,
+                 std::span<std::uint64_t> c) const;
+
+ private:
+  std::size_t n_;
+  Modulus modulus_;
+  std::uint64_t psi_;  // primitive 2n-th root of unity
+  std::vector<ShoupMul> root_powers_;       // psi^brv(i)
+  std::vector<ShoupMul> inv_root_powers_;   // psi^{-brv(i)} with GS layout
+  ShoupMul inv_n_;
+};
+
+}  // namespace pphe

@@ -1,0 +1,120 @@
+#include "math/primes.hpp"
+
+#include <algorithm>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "math/modarith.hpp"
+
+namespace pphe {
+namespace {
+
+std::uint64_t mulmod_u64(std::uint64_t a, std::uint64_t b, std::uint64_t m) {
+  return static_cast<std::uint64_t>(
+      static_cast<unsigned __int128>(a) * b % m);
+}
+
+std::uint64_t powmod_u64(std::uint64_t a, std::uint64_t e, std::uint64_t m) {
+  std::uint64_t r = 1;
+  a %= m;
+  while (e != 0) {
+    if (e & 1) r = mulmod_u64(r, a, m);
+    a = mulmod_u64(a, a, m);
+    e >>= 1;
+  }
+  return r;
+}
+
+}  // namespace
+
+bool is_prime_u64(std::uint64_t n) {
+  if (n < 2) return false;
+  for (const std::uint64_t p : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                                19ull, 23ull, 29ull, 31ull, 37ull}) {
+    if (n % p == 0) return n == p;
+  }
+  std::uint64_t d = n - 1;
+  int s = 0;
+  while ((d & 1) == 0) {
+    d >>= 1;
+    ++s;
+  }
+  for (const std::uint64_t a : {2ull, 3ull, 5ull, 7ull, 11ull, 13ull, 17ull,
+                                19ull, 23ull, 29ull, 31ull, 37ull}) {
+    std::uint64_t x = powmod_u64(a, d, n);
+    if (x == 1 || x == n - 1) continue;
+    bool composite = true;
+    for (int i = 0; i < s - 1; ++i) {
+      x = mulmod_u64(x, x, n);
+      if (x == n - 1) {
+        composite = false;
+        break;
+      }
+    }
+    if (composite) return false;
+  }
+  return true;
+}
+
+std::vector<std::uint64_t> generate_ntt_primes(std::size_t degree,
+                                               int bit_size,
+                                               std::size_t count) {
+  PPHE_CHECK(degree >= 2 && (degree & (degree - 1)) == 0,
+             "degree must be a power of two");
+  PPHE_CHECK(bit_size >= 12 && bit_size <= 61, "bit size must be in [12, 61]");
+  const std::uint64_t step = 2 * static_cast<std::uint64_t>(degree);
+  PPHE_CHECK(static_cast<std::uint64_t>(bit_size) > 0, "");
+
+  std::vector<std::uint64_t> primes;
+  // Largest value < 2^bit_size congruent to 1 mod 2*degree.
+  std::uint64_t candidate = ((1ull << bit_size) - 1) / step * step + 1;
+  while (primes.size() < count) {
+    PPHE_CHECK(candidate >= (1ull << (bit_size - 1)),
+               "not enough " + std::to_string(bit_size) +
+                   "-bit NTT primes for degree " + std::to_string(degree));
+    if (is_prime_u64(candidate)) primes.push_back(candidate);
+    candidate -= step;
+  }
+  return primes;
+}
+
+std::vector<std::uint64_t> generate_moduli_chain(
+    std::size_t degree, const std::vector<int>& bit_sizes) {
+  // Count how many primes of each size are needed, generate them in one
+  // downward sweep per size, then hand them out in input order.
+  std::vector<std::uint64_t> out(bit_sizes.size());
+  std::vector<int> sorted_sizes = bit_sizes;
+  std::sort(sorted_sizes.begin(), sorted_sizes.end());
+  sorted_sizes.erase(std::unique(sorted_sizes.begin(), sorted_sizes.end()),
+                     sorted_sizes.end());
+  for (const int size : sorted_sizes) {
+    const std::size_t needed = static_cast<std::size_t>(
+        std::count(bit_sizes.begin(), bit_sizes.end(), size));
+    const auto primes = generate_ntt_primes(degree, size, needed);
+    std::size_t next = 0;
+    for (std::size_t i = 0; i < bit_sizes.size(); ++i) {
+      if (bit_sizes[i] == size) out[i] = primes[next++];
+    }
+  }
+  return out;
+}
+
+std::uint64_t find_primitive_2n_root(std::uint64_t p, std::size_t n) {
+  PPHE_CHECK(n >= 2 && (n & (n - 1)) == 0, "n must be a power of two");
+  const std::uint64_t order = 2 * static_cast<std::uint64_t>(n);
+  PPHE_CHECK((p - 1) % order == 0, "prime does not support 2n-th roots");
+  const Modulus mod(p);
+  const std::uint64_t cofactor = (p - 1) / order;
+
+  Prng prng(p ^ 0xabcdef1234567890ull);
+  for (int attempt = 0; attempt < 4096; ++attempt) {
+    const std::uint64_t g = 2 + prng.uniform_below(p - 3);
+    const std::uint64_t psi = mod.pow(g, cofactor);
+    // psi has order dividing 2n; it is primitive iff psi^n == -1.
+    if (mod.pow(psi, n) == p - 1) return psi;
+  }
+  PPHE_CHECK(false, "failed to find primitive root (should be unreachable)");
+  return 0;
+}
+
+}  // namespace pphe

@@ -1,0 +1,31 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <vector>
+
+namespace pphe {
+
+/// Deterministic Miller–Rabin primality test, exact for all 64-bit inputs
+/// (fixed witness set {2,3,5,7,11,13,17,19,23,29,31,37}).
+bool is_prime_u64(std::uint64_t n);
+
+/// Generates `count` distinct NTT-friendly primes, each ≡ 1 (mod 2*degree)
+/// and exactly `bit_size` bits wide, searching downward from 2^bit_size.
+///
+/// This mirrors SEAL's CoeffModulus::Create — the "co-prime generation tool"
+/// the paper uses (§VI.A) to build moduli chains from a list of bit lengths.
+std::vector<std::uint64_t> generate_ntt_primes(std::size_t degree,
+                                               int bit_size,
+                                               std::size_t count);
+
+/// Generates one prime per entry of `bit_sizes` (entries may repeat; primes
+/// of equal size are distinct). Order of the result matches `bit_sizes`.
+std::vector<std::uint64_t> generate_moduli_chain(
+    std::size_t degree, const std::vector<int>& bit_sizes);
+
+/// Finds a generator of the 2n-th roots of unity mod prime p (requires
+/// p ≡ 1 mod 2n): a value ψ with ψ^n ≡ -1 (mod p).
+std::uint64_t find_primitive_2n_root(std::uint64_t p, std::size_t n);
+
+}  // namespace pphe

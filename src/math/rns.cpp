@@ -1,0 +1,64 @@
+#include "math/rns.hpp"
+
+#include <numeric>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+std::uint64_t gcd_u64(std::uint64_t a, std::uint64_t b) {
+  while (b != 0) {
+    const std::uint64_t t = a % b;
+    a = b;
+    b = t;
+  }
+  return a;
+}
+
+}  // namespace
+
+RnsBase::RnsBase(std::vector<std::uint64_t> moduli)
+    : moduli_(std::move(moduli)) {
+  PPHE_CHECK(!moduli_.empty(), "RNS base needs at least one modulus");
+  product_ = BigUInt(1);
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    PPHE_CHECK(moduli_[i] >= 2, "RNS modulus must be at least 2");
+    for (std::size_t j = 0; j < i; ++j) {
+      PPHE_CHECK(gcd_u64(moduli_[i], moduli_[j]) == 1,
+                 "RNS moduli must be pairwise coprime");
+    }
+    mods_.emplace_back(moduli_[i]);
+    product_ *= BigUInt(moduli_[i]);
+  }
+
+  punctured_.resize(moduli_.size());
+  punctured_inv_.resize(moduli_.size());
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    punctured_[i] = product_ / BigUInt(moduli_[i]);
+    const std::uint64_t reduced = punctured_[i].mod_u64(moduli_[i]);
+    punctured_inv_[i] = mods_[i].inv(reduced);
+  }
+}
+
+std::vector<std::uint64_t> RnsBase::decompose(const BigUInt& value) const {
+  std::vector<std::uint64_t> residues(moduli_.size());
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    residues[i] = value.mod_u64(moduli_[i]);
+  }
+  return residues;
+}
+
+BigUInt RnsBase::compose(std::span<const std::uint64_t> residues) const {
+  PPHE_CHECK(residues.size() == moduli_.size(), "residue count mismatch");
+  // x = sum_i (q / q_i) * ([r_i * (q/q_i)^{-1}]_{q_i}) mod q
+  BigUInt acc;
+  for (std::size_t i = 0; i < moduli_.size(); ++i) {
+    const std::uint64_t coeff =
+        mods_[i].mul(mods_[i].reduce(residues[i]), punctured_inv_[i]);
+    acc += punctured_[i] * BigUInt(coeff);
+  }
+  return acc % product_;
+}
+
+}  // namespace pphe

@@ -1,0 +1,53 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+#include <vector>
+
+#include "math/biguint.hpp"
+#include "math/modarith.hpp"
+
+namespace pphe {
+
+/// Residue number system over a set of pairwise-coprime word moduli
+/// {q_0, …, q_{k-1}} (Fig. 2 of the paper): large integers in
+/// [0, q_0·…·q_{k-1}) are represented by their residue vectors, on which
+/// addition and multiplication act component-wise with native 64-bit
+/// arithmetic — the property that both the CKKS-RNS scheme internals and the
+/// paper's architecture-level input decomposition exploit.
+class RnsBase {
+ public:
+  explicit RnsBase(std::vector<std::uint64_t> moduli);
+
+  std::size_t size() const { return moduli_.size(); }
+  const std::vector<Modulus>& moduli() const { return mods_; }
+  const Modulus& modulus(std::size_t i) const { return mods_[i]; }
+  std::uint64_t modulus_value(std::size_t i) const { return moduli_[i]; }
+
+  /// Product q of all moduli (the dynamic range of the representation).
+  const BigUInt& product() const { return product_; }
+
+  /// Residue vector of `value` (value may exceed q; it is reduced).
+  std::vector<std::uint64_t> decompose(const BigUInt& value) const;
+
+  /// CRT reconstruction: the unique x in [0, q) with x ≡ residues[i] (mod q_i).
+  BigUInt compose(std::span<const std::uint64_t> residues) const;
+
+  /// q / q_i (the CRT punctured products).
+  const BigUInt& punctured_product(std::size_t i) const {
+    return punctured_[i];
+  }
+  /// ((q / q_i)^{-1} mod q_i).
+  std::uint64_t punctured_inverse(std::size_t i) const {
+    return punctured_inv_[i];
+  }
+
+ private:
+  std::vector<std::uint64_t> moduli_;
+  std::vector<Modulus> mods_;
+  BigUInt product_;
+  std::vector<BigUInt> punctured_;
+  std::vector<std::uint64_t> punctured_inv_;
+};
+
+}  // namespace pphe

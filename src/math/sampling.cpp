@@ -1,0 +1,47 @@
+#include "math/sampling.hpp"
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+std::vector<std::int8_t> sample_hwt(Prng& prng, std::size_t n,
+                                    std::size_t hamming_weight) {
+  PPHE_CHECK(hamming_weight <= n, "Hamming weight exceeds dimension");
+  std::vector<std::int8_t> out(n, 0);
+  std::size_t placed = 0;
+  while (placed < hamming_weight) {
+    const std::size_t idx = prng.uniform_below(n);
+    if (out[idx] != 0) continue;
+    out[idx] = (prng.next_u64() & 1) ? 1 : -1;
+    ++placed;
+  }
+  return out;
+}
+
+std::vector<std::int8_t> sample_ternary(Prng& prng, std::size_t n) {
+  std::vector<std::int8_t> out(n);
+  for (auto& x : out) {
+    const std::uint64_t r = prng.uniform_below(3);
+    x = static_cast<std::int8_t>(static_cast<std::int64_t>(r) - 1);
+  }
+  return out;
+}
+
+std::vector<std::int64_t> sample_gaussian(Prng& prng, std::size_t n,
+                                          double sigma) {
+  PPHE_CHECK(sigma > 0.0, "sigma must be positive");
+  const double bound = 6.0 * sigma;
+  std::vector<std::int64_t> out(n);
+  for (auto& x : out) {
+    double v = 0.0;
+    do {
+      v = prng.normal() * sigma;
+    } while (v < -bound || v > bound);
+    x = static_cast<std::int64_t>(std::llround(v));
+  }
+  return out;
+}
+
+}  // namespace pphe

@@ -1,0 +1,27 @@
+#pragma once
+
+#include <cstdint>
+#include <vector>
+
+#include "common/prng.hpp"
+
+namespace pphe {
+
+/// Samplers for the CKKS key/noise distributions of §II of the paper.
+/// All return signed coefficient vectors; the evaluators lift them into
+/// whichever residue representation they use.
+
+/// χ_key = HW(h): uniform over {±1}^N vectors with exactly `hamming_weight`
+/// non-zero coefficients (the secret-key distribution).
+std::vector<std::int8_t> sample_hwt(Prng& prng, std::size_t n,
+                                    std::size_t hamming_weight);
+
+/// Uniform ternary {−1, 0, 1} per coefficient (χ_enc in SEAL's convention).
+std::vector<std::int8_t> sample_ternary(Prng& prng, std::size_t n);
+
+/// χ_err / χ_enc: rounded continuous Gaussian with standard deviation sigma
+/// (the HE-standard value is sigma = 3.2), truncated at ±6σ.
+std::vector<std::int64_t> sample_gaussian(Prng& prng, std::size_t n,
+                                          double sigma = 3.2);
+
+}  // namespace pphe

@@ -1,0 +1,195 @@
+#include "nn/data.hpp"
+
+#include <algorithm>
+#include <array>
+#include <cmath>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+
+Tensor Dataset::image(std::size_t i) const {
+  PPHE_CHECK(i < size(), "dataset index out of range");
+  Tensor out({1, 1, 28, 28});
+  const float* src = images.data() + i * 28 * 28;
+  std::copy(src, src + 28 * 28, out.data());
+  return out;
+}
+
+namespace {
+
+struct Point {
+  float x, y;
+};
+struct Segment {
+  Point a, b;
+};
+
+// Seven-segment style skeletons in [0,1]^2 (y grows downward):
+//     A
+//   F   B
+//     G
+//   E   C
+//     D
+constexpr Point kA0{0.25f, 0.15f}, kA1{0.75f, 0.15f};
+constexpr Point kG0{0.25f, 0.50f}, kG1{0.75f, 0.50f};
+constexpr Point kD0{0.25f, 0.85f}, kD1{0.75f, 0.85f};
+
+const std::array<Segment, 7> kSegments = {{
+    {kA0, kA1},          // A (top)
+    {kA1, kG1},          // B (top right)
+    {kG1, kD1},          // C (bottom right)
+    {kD0, kD1},          // D (bottom)
+    {kG0, kD0},          // E (bottom left)
+    {kA0, kG0},          // F (top left)
+    {kG0, kG1},          // G (middle)
+}};
+
+// Which segments light up per digit (A B C D E F G).
+constexpr std::array<std::uint8_t, 10> kDigitMask = {
+    0b1111110,  // 0: ABCDEF
+    0b0110000,  // 1: BC
+    0b1101101,  // 2: ABDEG
+    0b1111001,  // 3: ABCDG
+    0b0110011,  // 4: BCFG
+    0b1011011,  // 5: ACDFG
+    0b1011111,  // 6: ACDEFG
+    0b1110000,  // 7: ABC
+    0b1111111,  // 8: all
+    0b1111011,  // 9: ABCDFG
+};
+
+float segment_distance(Point p, const Segment& s) {
+  const float dx = s.b.x - s.a.x, dy = s.b.y - s.a.y;
+  const float len2 = dx * dx + dy * dy;
+  float t = len2 == 0.0f
+                ? 0.0f
+                : ((p.x - s.a.x) * dx + (p.y - s.a.y) * dy) / len2;
+  t = std::clamp(t, 0.0f, 1.0f);
+  const float px = s.a.x + t * dx - p.x;
+  const float py = s.a.y + t * dy - p.y;
+  return std::sqrt(px * px + py * py);
+}
+
+}  // namespace
+
+Dataset generate_synthetic_mnist(std::size_t count, std::uint64_t seed) {
+  Prng prng(seed ^ 0x6d6e697374ull);  // "mnist"
+  Dataset ds;
+  ds.images = Tensor({count, 1, 28, 28});
+  ds.labels.resize(count);
+
+  for (std::size_t n = 0; n < count; ++n) {
+    const int digit = static_cast<int>(prng.uniform_below(10));
+    ds.labels[n] = digit;
+
+    // Random affine jitter applied to the skeleton control points.
+    const float angle =
+        static_cast<float>((prng.uniform_double() - 0.5) * 2.0 * 0.21);  // ~±12°
+    const float shear = static_cast<float>((prng.uniform_double() - 0.5) * 0.3);
+    const float scale =
+        static_cast<float>(0.85 + prng.uniform_double() * 0.3);
+    const float tx = static_cast<float>((prng.uniform_double() - 0.5) * 4.0);
+    const float ty = static_cast<float>((prng.uniform_double() - 0.5) * 4.0);
+    const float thickness =
+        static_cast<float>(1.1 + prng.uniform_double() * 1.1);
+    const float intensity =
+        static_cast<float>(0.75 + prng.uniform_double() * 0.25);
+    const float noise_sigma =
+        static_cast<float>(0.02 + prng.uniform_double() * 0.05);
+    const float ca = std::cos(angle), sa = std::sin(angle);
+
+    auto map_point = [&](Point p) -> Point {
+      // Center, shear, rotate, scale to a ~20px box, translate into 28x28.
+      float x = p.x - 0.5f, y = p.y - 0.5f;
+      x += shear * y;
+      const float xr = ca * x - sa * y;
+      const float yr = sa * x + ca * y;
+      return {xr * 20.0f * scale + 14.0f + tx, yr * 20.0f * scale + 14.0f + ty};
+    };
+
+    std::vector<Segment> strokes;
+    const std::uint8_t mask = kDigitMask[static_cast<std::size_t>(digit)];
+    for (std::size_t s = 0; s < kSegments.size(); ++s) {
+      if ((mask >> (6 - s)) & 1) {
+        Segment seg{map_point(kSegments[s].a), map_point(kSegments[s].b)};
+        // Small per-segment endpoint jitter breaks the LCD regularity.
+        seg.a.x += static_cast<float>((prng.uniform_double() - 0.5) * 1.2);
+        seg.a.y += static_cast<float>((prng.uniform_double() - 0.5) * 1.2);
+        seg.b.x += static_cast<float>((prng.uniform_double() - 0.5) * 1.2);
+        seg.b.y += static_cast<float>((prng.uniform_double() - 0.5) * 1.2);
+        strokes.push_back(seg);
+      }
+    }
+
+    float* img = ds.images.data() + n * 28 * 28;
+    for (int y = 0; y < 28; ++y) {
+      for (int x = 0; x < 28; ++x) {
+        const Point p{static_cast<float>(x), static_cast<float>(y)};
+        float d = 1e9f;
+        for (const auto& seg : strokes) {
+          d = std::min(d, segment_distance(p, seg));
+        }
+        float v = std::clamp(thickness * 0.5f + 0.5f - d, 0.0f, 1.0f) *
+                  intensity;
+        v += static_cast<float>(prng.normal()) * noise_sigma;
+        img[y * 28 + x] = std::clamp(v, 0.0f, 1.0f);
+      }
+    }
+  }
+  return ds;
+}
+
+namespace {
+
+std::uint32_t read_be32(std::ifstream& in) {
+  std::array<unsigned char, 4> b{};
+  in.read(reinterpret_cast<char*>(b.data()), 4);
+  return (static_cast<std::uint32_t>(b[0]) << 24) |
+         (static_cast<std::uint32_t>(b[1]) << 16) |
+         (static_cast<std::uint32_t>(b[2]) << 8) |
+         static_cast<std::uint32_t>(b[3]);
+}
+
+}  // namespace
+
+std::optional<Dataset> load_mnist_idx(const std::string& dir, bool train) {
+  const std::string img_path =
+      dir + (train ? "/train-images-idx3-ubyte" : "/t10k-images-idx3-ubyte");
+  const std::string lbl_path =
+      dir + (train ? "/train-labels-idx1-ubyte" : "/t10k-labels-idx1-ubyte");
+  std::ifstream img(img_path, std::ios::binary);
+  std::ifstream lbl(lbl_path, std::ios::binary);
+  if (!img || !lbl) return std::nullopt;
+
+  PPHE_CHECK(read_be32(img) == 0x803, "bad IDX image magic");
+  const std::uint32_t n = read_be32(img);
+  PPHE_CHECK(read_be32(img) == 28 && read_be32(img) == 28,
+             "expected 28x28 images");
+  PPHE_CHECK(read_be32(lbl) == 0x801, "bad IDX label magic");
+  PPHE_CHECK(read_be32(lbl) == n, "image/label count mismatch");
+
+  Dataset ds;
+  ds.images = Tensor({n, 1, 28, 28});
+  ds.labels.resize(n);
+  std::vector<unsigned char> buf(28 * 28);
+  for (std::uint32_t i = 0; i < n; ++i) {
+    img.read(reinterpret_cast<char*>(buf.data()),
+             static_cast<std::streamsize>(buf.size()));
+    float* dst = ds.images.data() + static_cast<std::size_t>(i) * 28 * 28;
+    for (std::size_t j = 0; j < buf.size(); ++j) {
+      dst[j] = static_cast<float>(buf[j]) / 255.0f;
+    }
+    char c = 0;
+    lbl.read(&c, 1);
+    ds.labels[i] = static_cast<int>(static_cast<unsigned char>(c));
+  }
+  PPHE_CHECK(static_cast<bool>(img) && static_cast<bool>(lbl),
+             "truncated IDX files");
+  return ds;
+}
+
+}  // namespace pphe

@@ -1,0 +1,37 @@
+#pragma once
+
+#include <cstdint>
+#include <optional>
+#include <string>
+#include <vector>
+
+#include "nn/tensor.hpp"
+
+namespace pphe {
+
+/// A labelled image set: images (N, 1, 28, 28) in [0, 1], labels in [0, 10).
+struct Dataset {
+  Tensor images;
+  std::vector<int> labels;
+
+  std::size_t size() const { return labels.size(); }
+  /// Copies example i as a (1, 1, 28, 28) batch.
+  Tensor image(std::size_t i) const;
+};
+
+/// Synthetic MNIST substitute (see DESIGN.md §3): 28x28 grayscale digits
+/// rendered procedurally from per-digit stroke skeletons (a seven-segment
+/// style glyph set), with random affine jitter (rotation, shear, scale,
+/// translation), stroke-thickness variation, intensity variation and pixel
+/// noise. Same tensor format and value range as MNIST, so the entire
+/// training / encryption / encrypted-inference pipeline is exercised
+/// identically; drop real IDX files in via load_mnist_idx to use MNIST
+/// itself.
+Dataset generate_synthetic_mnist(std::size_t count, std::uint64_t seed);
+
+/// Loads MNIST from IDX files (train-images-idx3-ubyte etc.) if present in
+/// `dir`; returns nullopt when the files are missing. `train` selects the
+/// 60k training or the 10k test split.
+std::optional<Dataset> load_mnist_idx(const std::string& dir, bool train);
+
+}  // namespace pphe

@@ -1,0 +1,392 @@
+#include "nn/layers.hpp"
+
+#include <cmath>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+void kaiming_init(Tensor& t, std::size_t fan_in, Prng& prng) {
+  const float std_dev = std::sqrt(2.0f / static_cast<float>(fan_in));
+  for (auto& v : t.vec()) v = static_cast<float>(prng.normal()) * std_dev;
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// Conv2D
+// ---------------------------------------------------------------------------
+
+Conv2D::Conv2D(std::size_t in_channels, std::size_t out_channels,
+               std::size_t kernel, std::size_t stride, Prng& prng)
+    : in_channels_(in_channels),
+      out_channels_(out_channels),
+      kernel_(kernel),
+      stride_(stride),
+      weight_({out_channels, in_channels, kernel, kernel}),
+      bias_({out_channels}) {
+  PPHE_CHECK(kernel >= 1 && stride >= 1, "invalid conv geometry");
+  kaiming_init(weight_.value, in_channels * kernel * kernel, prng);
+}
+
+Tensor Conv2D::forward(const Tensor& x, bool train) {
+  PPHE_CHECK(x.rank() == 4 && x.dim(1) == in_channels_,
+             "Conv2D input shape mismatch");
+  const std::size_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  PPHE_CHECK(h >= kernel_ && w >= kernel_, "input smaller than kernel");
+  const std::size_t oh = (h - kernel_) / stride_ + 1;
+  const std::size_t ow = (w - kernel_) / stride_ + 1;
+  Tensor y({b, out_channels_, oh, ow});
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          float acc = bias_.value[f];
+          for (std::size_t c = 0; c < in_channels_; ++c) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                acc += weight_.value.at4(f, c, ky, kx) *
+                       x.at4(bi, c, oy * stride_ + ky, ox * stride_ + kx);
+              }
+            }
+          }
+          y.at4(bi, f, oy, ox) = acc;
+        }
+      }
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Conv2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const std::size_t oh = grad_out.dim(2), ow = grad_out.dim(3);
+  Tensor grad_in({b, in_channels_, h, w});
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    for (std::size_t f = 0; f < out_channels_; ++f) {
+      for (std::size_t oy = 0; oy < oh; ++oy) {
+        for (std::size_t ox = 0; ox < ow; ++ox) {
+          const float g = grad_out.at4(bi, f, oy, ox);
+          bias_.grad[f] += g;
+          for (std::size_t c = 0; c < in_channels_; ++c) {
+            for (std::size_t ky = 0; ky < kernel_; ++ky) {
+              for (std::size_t kx = 0; kx < kernel_; ++kx) {
+                const std::size_t iy = oy * stride_ + ky;
+                const std::size_t ix = ox * stride_ + kx;
+                weight_.grad.at4(f, c, ky, kx) += g * x.at4(bi, c, iy, ix);
+                grad_in.at4(bi, c, iy, ix) +=
+                    g * weight_.value.at4(f, c, ky, kx);
+              }
+            }
+          }
+        }
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string Conv2D::describe() const {
+  std::ostringstream os;
+  os << "Conv2D(" << in_channels_ << "->" << out_channels_ << ", " << kernel_
+     << "x" << kernel_ << ", stride " << stride_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Dense
+// ---------------------------------------------------------------------------
+
+Dense::Dense(std::size_t in_dim, std::size_t out_dim, Prng& prng)
+    : in_dim_(in_dim),
+      out_dim_(out_dim),
+      weight_({out_dim, in_dim}),
+      bias_({out_dim}) {
+  kaiming_init(weight_.value, in_dim, prng);
+}
+
+Tensor Dense::forward(const Tensor& x, bool train) {
+  PPHE_CHECK(x.rank() == 2 && x.dim(1) == in_dim_, "Dense input mismatch");
+  const std::size_t b = x.dim(0);
+  Tensor y({b, out_dim_});
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    for (std::size_t m = 0; m < out_dim_; ++m) {
+      float acc = bias_.value[m];
+      const float* wrow = weight_.value.data() + m * in_dim_;
+      const float* xrow = x.data() + bi * in_dim_;
+      for (std::size_t d = 0; d < in_dim_; ++d) acc += wrow[d] * xrow[d];
+      y.at2(bi, m) = acc;
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Dense::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t b = x.dim(0);
+  Tensor grad_in({b, in_dim_});
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const float* xrow = x.data() + bi * in_dim_;
+    const float* grow = grad_out.data() + bi * out_dim_;
+    float* girow = grad_in.data() + bi * in_dim_;
+    for (std::size_t m = 0; m < out_dim_; ++m) {
+      const float g = grow[m];
+      bias_.grad[m] += g;
+      float* wgrow = weight_.grad.data() + m * in_dim_;
+      const float* wrow = weight_.value.data() + m * in_dim_;
+      for (std::size_t d = 0; d < in_dim_; ++d) {
+        wgrow[d] += g * xrow[d];
+        girow[d] += g * wrow[d];
+      }
+    }
+  }
+  return grad_in;
+}
+
+std::string Dense::describe() const {
+  std::ostringstream os;
+  os << "Dense(" << in_dim_ << "->" << out_dim_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// BatchNorm2D
+// ---------------------------------------------------------------------------
+
+BatchNorm2D::BatchNorm2D(std::size_t channels, float momentum, float eps)
+    : channels_(channels),
+      momentum_(momentum),
+      eps_(eps),
+      gamma_({channels}),
+      beta_({channels}),
+      running_mean_(channels, 0.0f),
+      running_var_(channels, 1.0f) {
+  gamma_.value.fill(1.0f);
+}
+
+Tensor BatchNorm2D::forward(const Tensor& x, bool train) {
+  PPHE_CHECK(x.rank() == 4 && x.dim(1) == channels_,
+             "BatchNorm2D input mismatch");
+  const std::size_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const auto count = static_cast<float>(b * h * w);
+  Tensor y(x.shape());
+
+  std::vector<float> mean(channels_), inv_std(channels_);
+  if (train) {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      float sum = 0.0f;
+      for (std::size_t bi = 0; bi < b; ++bi)
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < w; ++j) sum += x.at4(bi, c, i, j);
+      mean[c] = sum / count;
+      float var = 0.0f;
+      for (std::size_t bi = 0; bi < b; ++bi)
+        for (std::size_t i = 0; i < h; ++i)
+          for (std::size_t j = 0; j < w; ++j) {
+            const float d = x.at4(bi, c, i, j) - mean[c];
+            var += d * d;
+          }
+      var /= count;
+      inv_std[c] = 1.0f / std::sqrt(var + eps_);
+      running_mean_[c] =
+          (1.0f - momentum_) * running_mean_[c] + momentum_ * mean[c];
+      running_var_[c] =
+          (1.0f - momentum_) * running_var_[c] + momentum_ * var;
+    }
+  } else {
+    for (std::size_t c = 0; c < channels_; ++c) {
+      mean[c] = running_mean_[c];
+      inv_std[c] = 1.0f / std::sqrt(running_var_[c] + eps_);
+    }
+  }
+
+  for (std::size_t bi = 0; bi < b; ++bi)
+    for (std::size_t c = 0; c < channels_; ++c)
+      for (std::size_t i = 0; i < h; ++i)
+        for (std::size_t j = 0; j < w; ++j) {
+          const float xn = (x.at4(bi, c, i, j) - mean[c]) * inv_std[c];
+          y.at4(bi, c, i, j) = gamma_.value[c] * xn + beta_.value[c];
+        }
+
+  if (train) {
+    cached_input_ = x;
+    batch_mean_ = std::move(mean);
+    batch_inv_std_ = std::move(inv_std);
+  }
+  return y;
+}
+
+Tensor BatchNorm2D::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t b = x.dim(0), h = x.dim(2), w = x.dim(3);
+  const auto count = static_cast<float>(b * h * w);
+  Tensor grad_in(x.shape());
+
+  for (std::size_t c = 0; c < channels_; ++c) {
+    // Standard batchnorm backward per channel.
+    float sum_dy = 0.0f, sum_dy_xn = 0.0f;
+    for (std::size_t bi = 0; bi < b; ++bi)
+      for (std::size_t i = 0; i < h; ++i)
+        for (std::size_t j = 0; j < w; ++j) {
+          const float dy = grad_out.at4(bi, c, i, j);
+          const float xn =
+              (x.at4(bi, c, i, j) - batch_mean_[c]) * batch_inv_std_[c];
+          sum_dy += dy;
+          sum_dy_xn += dy * xn;
+        }
+    gamma_.grad[c] += sum_dy_xn;
+    beta_.grad[c] += sum_dy;
+    const float g = gamma_.value[c];
+    for (std::size_t bi = 0; bi < b; ++bi)
+      for (std::size_t i = 0; i < h; ++i)
+        for (std::size_t j = 0; j < w; ++j) {
+          const float dy = grad_out.at4(bi, c, i, j);
+          const float xn =
+              (x.at4(bi, c, i, j) - batch_mean_[c]) * batch_inv_std_[c];
+          grad_in.at4(bi, c, i, j) =
+              g * batch_inv_std_[c] *
+              (dy - sum_dy / count - xn * sum_dy_xn / count);
+        }
+  }
+  return grad_in;
+}
+
+std::vector<float> BatchNorm2D::fold_scale() const {
+  std::vector<float> s(channels_);
+  for (std::size_t c = 0; c < channels_; ++c) {
+    s[c] = gamma_.value[c] / std::sqrt(running_var_[c] + eps_);
+  }
+  return s;
+}
+
+std::vector<float> BatchNorm2D::fold_shift() const {
+  std::vector<float> s(channels_);
+  const auto scale = fold_scale();
+  for (std::size_t c = 0; c < channels_; ++c) {
+    s[c] = beta_.value[c] - scale[c] * running_mean_[c];
+  }
+  return s;
+}
+
+std::string BatchNorm2D::describe() const {
+  std::ostringstream os;
+  os << "BatchNorm2D(" << channels_ << ")";
+  return os.str();
+}
+
+// ---------------------------------------------------------------------------
+// Flatten / ReLU / Square
+// ---------------------------------------------------------------------------
+
+Tensor Flatten::forward(const Tensor& x, bool /*train*/) {
+  cached_shape_ = x.shape();
+  return x.reshaped({x.dim(0), x.size() / x.dim(0)});
+}
+
+Tensor Flatten::backward(const Tensor& grad_out) {
+  return grad_out.reshaped(cached_shape_);
+}
+
+Tensor Reshape4D::forward(const Tensor& x, bool /*train*/) {
+  return x.reshaped({x.dim(0), c_, h_, w_});
+}
+
+Tensor Reshape4D::backward(const Tensor& grad_out) {
+  return grad_out.reshaped({grad_out.dim(0), c_ * h_ * w_});
+}
+
+Tensor ReLU::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] > 0 ? x[i] : 0.0f;
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor ReLU::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = cached_input_[i] > 0 ? grad_out[i] : 0.0f;
+  }
+  return g;
+}
+
+Tensor Square::forward(const Tensor& x, bool train) {
+  Tensor y(x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) y[i] = x[i] * x[i];
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Square::backward(const Tensor& grad_out) {
+  Tensor g(grad_out.shape());
+  for (std::size_t i = 0; i < g.size(); ++i) {
+    g[i] = 2.0f * cached_input_[i] * grad_out[i];
+  }
+  return g;
+}
+
+// ---------------------------------------------------------------------------
+// SLAF
+// ---------------------------------------------------------------------------
+
+Slaf::Slaf(std::size_t features, std::size_t degree)
+    : features_(features), degree_(degree), coeffs_({features, degree + 1}) {
+  PPHE_CHECK(degree >= 1, "SLAF degree must be at least 1");
+  // Coefficients start at zero (paper §III.B); they are learned during the
+  // short SLAF re-training phase of the CNN-HE-SLAF protocol.
+}
+
+Tensor Slaf::forward(const Tensor& x, bool train) {
+  const std::size_t b = x.dim(0);
+  PPHE_CHECK(x.size() == b * features_, "SLAF feature count mismatch");
+  Tensor y(x.shape());
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    for (std::size_t k = 0; k < features_; ++k) {
+      const float v = x[bi * features_ + k];
+      // Horner evaluation of the per-neuron polynomial.
+      float acc = coeffs_.value.at2(k, degree_);
+      for (std::size_t d = degree_; d-- > 0;) {
+        acc = acc * v + coeffs_.value.at2(k, d);
+      }
+      y[bi * features_ + k] = acc;
+    }
+  }
+  if (train) cached_input_ = x;
+  return y;
+}
+
+Tensor Slaf::backward(const Tensor& grad_out) {
+  const Tensor& x = cached_input_;
+  const std::size_t b = x.dim(0);
+  Tensor grad_in(x.shape());
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    for (std::size_t k = 0; k < features_; ++k) {
+      const float v = x[bi * features_ + k];
+      const float dy = grad_out[bi * features_ + k];
+      float power = 1.0f;   // v^d
+      float dx = 0.0f;
+      for (std::size_t d = 0; d <= degree_; ++d) {
+        coeffs_.grad.at2(k, d) += dy * power;
+        if (d + 1 <= degree_) {
+          dx += static_cast<float>(d + 1) * coeffs_.value.at2(k, d + 1) * power;
+        }
+        power *= v;
+      }
+      grad_in[bi * features_ + k] = dx * dy;
+    }
+  }
+  return grad_in;
+}
+
+std::string Slaf::describe() const {
+  std::ostringstream os;
+  os << "SLAF(degree " << degree_ << ", " << features_ << " neurons)";
+  return os.str();
+}
+
+}  // namespace pphe

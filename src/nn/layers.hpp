@@ -1,0 +1,195 @@
+#pragma once
+
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "nn/tensor.hpp"
+
+namespace pphe {
+
+/// Trainable parameter: value, accumulated gradient and SGD-momentum state.
+struct Param {
+  Tensor value;
+  Tensor grad;
+  Tensor velocity;
+
+  explicit Param(std::vector<std::size_t> shape)
+      : value(shape), grad(shape), velocity(shape) {}
+};
+
+/// Base class for the plaintext layers of §V.D. Layers cache whatever they
+/// need in forward(train=true) for the subsequent backward().
+class Layer {
+ public:
+  virtual ~Layer() = default;
+  virtual Tensor forward(const Tensor& x, bool train) = 0;
+  /// grad w.r.t. this layer's input; accumulates parameter gradients.
+  virtual Tensor backward(const Tensor& grad_out) = 0;
+  virtual std::vector<Param*> params() { return {}; }
+  virtual std::string describe() const = 0;
+};
+
+/// Valid (no padding) 2D convolution, stride `stride`, Kaiming-normal init
+/// [41] as §V.D specifies. Input (B, C, H, W) -> (B, F, H', W').
+class Conv2D final : public Layer {
+ public:
+  Conv2D(std::size_t in_channels, std::size_t out_channels,
+         std::size_t kernel, std::size_t stride, Prng& prng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string describe() const override;
+
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  std::size_t in_channels() const { return in_channels_; }
+  std::size_t out_channels() const { return out_channels_; }
+  std::size_t kernel() const { return kernel_; }
+  std::size_t stride() const { return stride_; }
+
+ private:
+  std::size_t in_channels_, out_channels_, kernel_, stride_;
+  Param weight_;  // (F, C, K, K)
+  Param bias_;    // (F)
+  Tensor cached_input_;
+};
+
+/// Fully connected layer, Kaiming-normal init. Input (B, D) -> (B, M).
+class Dense final : public Layer {
+ public:
+  Dense(std::size_t in_dim, std::size_t out_dim, Prng& prng);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&weight_, &bias_}; }
+  std::string describe() const override;
+
+  const Param& weight() const { return weight_; }
+  const Param& bias() const { return bias_; }
+  Param& weight() { return weight_; }
+  Param& bias() { return bias_; }
+  std::size_t in_dim() const { return in_dim_; }
+  std::size_t out_dim() const { return out_dim_; }
+
+ private:
+  std::size_t in_dim_, out_dim_;
+  Param weight_;  // (M, D)
+  Param bias_;    // (M)
+  Tensor cached_input_;
+};
+
+/// Per-channel batch normalization over (B, H, W), as CNN2 places before each
+/// activation (§V.D: zero mean, unit variance inputs shrink the polynomial
+/// approximation interval). Tracks running statistics for inference, where it
+/// is a fixed affine map that the HE compiler folds into adjacent layers.
+class BatchNorm2D final : public Layer {
+ public:
+  explicit BatchNorm2D(std::size_t channels, float momentum = 0.1f,
+                       float eps = 1e-5f);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&gamma_, &beta_}; }
+  std::string describe() const override;
+
+  /// Inference-time per-channel affine: y = scale[c] * x + shift[c].
+  std::vector<float> fold_scale() const;
+  std::vector<float> fold_shift() const;
+  std::size_t channels() const { return channels_; }
+  std::vector<float>& running_mean() { return running_mean_; }
+  std::vector<float>& running_var() { return running_var_; }
+
+ private:
+  std::size_t channels_;
+  float momentum_, eps_;
+  Param gamma_, beta_;
+  std::vector<float> running_mean_, running_var_;
+  // Cached batch statistics for backward.
+  Tensor cached_input_;
+  std::vector<float> batch_mean_, batch_inv_std_;
+};
+
+/// Flattens (B, ...) to (B, D).
+class Flatten final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "Flatten"; }
+
+ private:
+  std::vector<std::size_t> cached_shape_;
+};
+
+/// Reshapes (B, C*H*W) back to (B, C, H, W) — lets an activation that
+/// operates on flattened features sit between two convolutions (CNN2).
+class Reshape4D final : public Layer {
+ public:
+  Reshape4D(std::size_t c, std::size_t h, std::size_t w)
+      : c_(c), h_(h), w_(w) {}
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "Reshape4D"; }
+
+ private:
+  std::size_t c_, h_, w_;
+};
+
+/// ReLU — used only for the pre-training phase of the CNN-HE-SLAF protocol;
+/// it has no homomorphic counterpart (§III.C).
+class ReLU final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "ReLU"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// x^2 — CryptoNets' activation [20], kept as the historical baseline.
+class Square final : public Layer {
+ public:
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::string describe() const override { return "Square"; }
+
+ private:
+  Tensor cached_input_;
+};
+
+/// Self-Learning Activation Function (eq. (2) of the paper): a polynomial
+/// f_k(x) = a_0^k + a_1^k x + ... + a_d^k x^d with trainable coefficients,
+/// independent per neuron k (per feature position), learned jointly with the
+/// model by backpropagation [11], [13]. Zero-initialized per the paper.
+class Slaf final : public Layer {
+ public:
+  /// `features` = number of neurons this activation covers (product of the
+  /// non-batch dims of its input); degree d (paper: 3).
+  Slaf(std::size_t features, std::size_t degree);
+
+  Tensor forward(const Tensor& x, bool train) override;
+  Tensor backward(const Tensor& grad_out) override;
+  std::vector<Param*> params() override { return {&coeffs_}; }
+  std::string describe() const override;
+
+  std::size_t degree() const { return degree_; }
+  std::size_t features() const { return features_; }
+  /// Coefficient a_j of neuron k.
+  float coeff(std::size_t neuron, std::size_t power) const {
+    return coeffs_.value.at2(neuron, power);
+  }
+  Param& coeffs() { return coeffs_; }
+  const Param& coeffs() const { return coeffs_; }
+
+ private:
+  std::size_t features_, degree_;
+  Param coeffs_;  // (features, degree + 1)
+  Tensor cached_input_;
+};
+
+}  // namespace pphe

@@ -1,0 +1,198 @@
+#include "nn/network.hpp"
+
+#include <algorithm>
+#include <cmath>
+#include <cstdio>
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+Tensor Network::forward(const Tensor& x, bool train) {
+  Tensor t = x;
+  for (auto& layer : layers_) t = layer->forward(t, train);
+  return t;
+}
+
+void Network::backward(const Tensor& grad_out) {
+  Tensor g = grad_out;
+  for (auto it = layers_.rbegin(); it != layers_.rend(); ++it) {
+    g = (*it)->backward(g);
+  }
+}
+
+std::vector<Param*> Network::params() {
+  std::vector<Param*> out;
+  for (auto& layer : layers_) {
+    for (Param* p : layer->params()) out.push_back(p);
+  }
+  return out;
+}
+
+std::string Network::describe() const {
+  std::ostringstream os;
+  for (const auto& layer : layers_) os << layer->describe() << "\n";
+  return os.str();
+}
+
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                    std::size_t offset, Tensor& grad) {
+  const std::size_t b = logits.dim(0), k = logits.dim(1);
+  grad = Tensor({b, k});
+  float loss = 0.0f;
+  for (std::size_t bi = 0; bi < b; ++bi) {
+    const float* row = logits.data() + bi * k;
+    const float maxv = *std::max_element(row, row + k);
+    float denom = 0.0f;
+    for (std::size_t j = 0; j < k; ++j) denom += std::exp(row[j] - maxv);
+    const int y = labels[offset + bi];
+    loss += -(row[static_cast<std::size_t>(y)] - maxv - std::log(denom));
+    for (std::size_t j = 0; j < k; ++j) {
+      const float p = std::exp(row[j] - maxv) / denom;
+      grad.at2(bi, j) =
+          (p - (static_cast<int>(j) == y ? 1.0f : 0.0f)) / static_cast<float>(b);
+    }
+  }
+  return loss / static_cast<float>(b);
+}
+
+void Sgd::zero_grad(const std::vector<Param*>& params) const {
+  for (Param* p : params) p->grad.fill(0.0f);
+}
+
+void Sgd::step(const std::vector<Param*>& params, float lr) const {
+  for (Param* p : params) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->velocity[i] = momentum_ * p->velocity[i] - lr * p->grad[i];
+      p->value[i] += p->velocity[i];
+    }
+  }
+}
+
+OneCycleLr::OneCycleLr(float lr_max, std::size_t total_steps, float pct_start,
+                       float div, float final_div)
+    : lr_max_(lr_max),
+      total_steps_(std::max<std::size_t>(total_steps, 2)),
+      pct_start_(pct_start),
+      div_(div),
+      final_div_(final_div) {}
+
+float OneCycleLr::lr(std::size_t step) const {
+  const auto warm =
+      static_cast<std::size_t>(pct_start_ * static_cast<float>(total_steps_));
+  const float lr_start = lr_max_ / div_;
+  const float lr_final = lr_max_ / final_div_;
+  if (step < warm && warm > 0) {
+    const float t = static_cast<float>(step) / static_cast<float>(warm);
+    return lr_start + t * (lr_max_ - lr_start);
+  }
+  const auto rem = static_cast<float>(total_steps_ - warm);
+  const float t =
+      rem <= 0 ? 1.0f : static_cast<float>(step - warm) / rem;
+  const float cos_t = 0.5f * (1.0f + std::cos(static_cast<float>(M_PI) * t));
+  return lr_final + (lr_max_ - lr_final) * cos_t;
+}
+
+float train(Network& net, const Dataset& data, const TrainConfig& cfg) {
+  PPHE_CHECK(data.size() > 0, "empty dataset");
+  auto params =
+      cfg.restrict_to.empty() ? net.params() : cfg.restrict_to;
+  Sgd sgd(cfg.momentum);
+  const std::size_t batches =
+      (data.size() + cfg.batch_size - 1) / cfg.batch_size;
+  OneCycleLr schedule(cfg.lr_max, cfg.epochs * batches);
+  Prng prng(cfg.shuffle_seed);
+
+  std::vector<std::size_t> order(data.size());
+  std::iota(order.begin(), order.end(), 0);
+
+  std::size_t step = 0;
+  float last_acc = 0.0f;
+  for (std::size_t epoch = 0; epoch < cfg.epochs; ++epoch) {
+    // Fisher-Yates shuffle with our deterministic PRNG.
+    for (std::size_t i = order.size(); i-- > 1;) {
+      std::swap(order[i], order[prng.uniform_below(i + 1)]);
+    }
+    float epoch_loss = 0.0f;
+    std::size_t correct = 0;
+    for (std::size_t b = 0; b < batches; ++b) {
+      const std::size_t begin = b * cfg.batch_size;
+      const std::size_t end = std::min(begin + cfg.batch_size, data.size());
+      const std::size_t bsz = end - begin;
+      Tensor batch({bsz, 1, 28, 28});
+      std::vector<int> labels(bsz);
+      for (std::size_t i = 0; i < bsz; ++i) {
+        const std::size_t src = order[begin + i];
+        std::copy(data.images.data() + src * 784,
+                  data.images.data() + (src + 1) * 784,
+                  batch.data() + i * 784);
+        labels[i] = data.labels[src];
+      }
+      sgd.zero_grad(net.params());
+      const Tensor logits = net.forward(batch, /*train=*/true);
+      Tensor grad;
+      epoch_loss += cross_entropy(logits, labels, 0, grad);
+      for (std::size_t i = 0; i < bsz; ++i) {
+        const float* row = logits.data() + i * logits.dim(1);
+        const auto pred = static_cast<int>(
+            std::max_element(row, row + logits.dim(1)) - row);
+        if (pred == labels[i]) ++correct;
+      }
+      net.backward(grad);
+      if (cfg.clip_norm > 0.0f) {
+        double norm2 = 0.0;
+        for (Param* p : params) {
+          for (std::size_t i = 0; i < p->grad.size(); ++i) {
+            norm2 += static_cast<double>(p->grad[i]) * p->grad[i];
+          }
+        }
+        const double norm = std::sqrt(norm2);
+        if (norm > cfg.clip_norm) {
+          const float f = cfg.clip_norm / static_cast<float>(norm);
+          for (Param* p : params) {
+            for (std::size_t i = 0; i < p->grad.size(); ++i) p->grad[i] *= f;
+          }
+        }
+      }
+      sgd.step(params, schedule.lr(step++));
+    }
+    last_acc = 100.0f * static_cast<float>(correct) /
+               static_cast<float>(data.size());
+    if (cfg.verbose) {
+      std::printf("  epoch %zu/%zu loss %.4f train-acc %.2f%%\n", epoch + 1,
+                  cfg.epochs, epoch_loss / static_cast<float>(batches),
+                  static_cast<double>(last_acc));
+    }
+  }
+  return last_acc;
+}
+
+float evaluate(Network& net, const Dataset& data, std::size_t batch_size) {
+  std::size_t correct = 0;
+  for (std::size_t begin = 0; begin < data.size(); begin += batch_size) {
+    const std::size_t end = std::min(begin + batch_size, data.size());
+    const std::size_t bsz = end - begin;
+    Tensor batch({bsz, 1, 28, 28});
+    std::copy(data.images.data() + begin * 784, data.images.data() + end * 784,
+              batch.data());
+    const Tensor logits = net.forward(batch, /*train=*/false);
+    for (std::size_t i = 0; i < bsz; ++i) {
+      const float* row = logits.data() + i * logits.dim(1);
+      const auto pred = static_cast<int>(
+          std::max_element(row, row + logits.dim(1)) - row);
+      if (pred == data.labels[begin + i]) ++correct;
+    }
+  }
+  return 100.0f * static_cast<float>(correct) / static_cast<float>(data.size());
+}
+
+int predict(Network& net, const Tensor& image) {
+  const Tensor logits = net.forward(image, /*train=*/false);
+  const float* row = logits.data();
+  return static_cast<int>(
+      std::max_element(row, row + logits.dim(1)) - row);
+}
+
+}  // namespace pphe

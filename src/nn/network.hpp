@@ -1,0 +1,96 @@
+#pragma once
+
+#include <functional>
+#include <memory>
+#include <string>
+#include <vector>
+
+#include "common/prng.hpp"
+#include "nn/data.hpp"
+#include "nn/layers.hpp"
+
+namespace pphe {
+
+/// Sequential container over Layer.
+class Network {
+ public:
+  Network() = default;
+
+  template <typename L, typename... Args>
+  L* emplace(Args&&... args) {
+    auto layer = std::make_unique<L>(std::forward<Args>(args)...);
+    L* raw = layer.get();
+    layers_.push_back(std::move(layer));
+    return raw;
+  }
+
+  Tensor forward(const Tensor& x, bool train = false);
+  /// Backpropagates from the loss gradient at the output.
+  void backward(const Tensor& grad_out);
+
+  std::vector<Param*> params();
+  const std::vector<std::unique_ptr<Layer>>& layers() const { return layers_; }
+  std::vector<std::unique_ptr<Layer>>& layers_mut() { return layers_; }
+  std::string describe() const;
+
+ private:
+  std::vector<std::unique_ptr<Layer>> layers_;
+};
+
+/// Softmax cross-entropy on logits. Returns mean loss; writes d(loss)/d(logits)
+/// into `grad` (same shape as logits).
+float cross_entropy(const Tensor& logits, const std::vector<int>& labels,
+                    std::size_t offset, Tensor& grad);
+
+/// SGD with momentum (§V.D: momentum 0.9).
+class Sgd {
+ public:
+  explicit Sgd(float momentum = 0.9f) : momentum_(momentum) {}
+  void zero_grad(const std::vector<Param*>& params) const;
+  void step(const std::vector<Param*>& params, float lr) const;
+
+ private:
+  float momentum_;
+};
+
+/// 1-cycle learning-rate policy [40]: linear warm-up to lr_max over the first
+/// `pct_start` of training, then cosine annealing down to lr_max/final_div.
+class OneCycleLr {
+ public:
+  OneCycleLr(float lr_max, std::size_t total_steps, float pct_start = 0.3f,
+             float div = 25.0f, float final_div = 1e4f);
+  float lr(std::size_t step) const;
+
+ private:
+  float lr_max_;
+  std::size_t total_steps_;
+  float pct_start_, div_, final_div_;
+};
+
+/// Training configuration mirroring §V.D: SGD momentum 0.9, batch 64,
+/// cross-entropy, 1-cycle LR, Kaiming init (done at layer construction).
+struct TrainConfig {
+  std::size_t epochs = 30;
+  std::size_t batch_size = 64;
+  float lr_max = 0.05f;
+  float momentum = 0.9f;
+  std::uint64_t shuffle_seed = 17;
+  bool verbose = false;
+  /// Global-norm gradient clipping (0 disables). Stabilizes the SLAF
+  /// re-training phase, whose coefficient gradients scale like x^degree.
+  float clip_norm = 5.0f;
+  /// If non-empty, only parameters in this set are updated (used for the
+  /// SLAF-only fine-tuning variant of the CNN-HE-SLAF protocol).
+  std::vector<Param*> restrict_to;
+};
+
+/// Runs the §V.D training loop; returns final training accuracy (%).
+float train(Network& net, const Dataset& data, const TrainConfig& cfg);
+
+/// Classification accuracy (%) over a dataset (batched forward, eval mode).
+float evaluate(Network& net, const Dataset& data, std::size_t batch_size = 256);
+
+/// Argmax prediction for a single (1,1,28,28) image.
+int predict(Network& net, const Tensor& image);
+
+}  // namespace pphe

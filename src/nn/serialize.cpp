@@ -1,0 +1,78 @@
+#include "nn/serialize.hpp"
+
+#include <cstdint>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+constexpr std::uint32_t kMagic = 0x70706e6e;  // "ppnn"
+
+void write_u32(std::ofstream& out, std::uint32_t v) {
+  out.write(reinterpret_cast<const char*>(&v), sizeof(v));
+}
+
+bool read_u32(std::ifstream& in, std::uint32_t& v) {
+  in.read(reinterpret_cast<char*>(&v), sizeof(v));
+  return static_cast<bool>(in);
+}
+
+void write_floats(std::ofstream& out, const std::vector<float>& v) {
+  write_u32(out, static_cast<std::uint32_t>(v.size()));
+  out.write(reinterpret_cast<const char*>(v.data()),
+            static_cast<std::streamsize>(v.size() * sizeof(float)));
+}
+
+bool read_floats(std::ifstream& in, std::vector<float>& v) {
+  std::uint32_t n = 0;
+  if (!read_u32(in, n)) return false;
+  if (n != v.size()) return false;  // shape mismatch
+  in.read(reinterpret_cast<char*>(v.data()),
+          static_cast<std::streamsize>(v.size() * sizeof(float)));
+  return static_cast<bool>(in);
+}
+
+/// Gathers every float vector a network owns: parameter tensors in order,
+/// then batch-norm running statistics.
+std::vector<std::vector<float>*> all_buffers(Network& net) {
+  std::vector<std::vector<float>*> out;
+  for (auto& layer : net.layers_mut()) {
+    for (Param* p : layer->params()) out.push_back(&p->value.vec());
+    if (auto* bn = dynamic_cast<BatchNorm2D*>(layer.get())) {
+      out.push_back(&bn->running_mean());
+      out.push_back(&bn->running_var());
+    }
+  }
+  return out;
+}
+
+}  // namespace
+
+void save_weights(const Network& net, const std::string& path) {
+  auto& mut = const_cast<Network&>(net);
+  const auto buffers = all_buffers(mut);
+  std::ofstream out(path, std::ios::binary | std::ios::trunc);
+  PPHE_CHECK(static_cast<bool>(out), "cannot open " + path + " for writing");
+  write_u32(out, kMagic);
+  write_u32(out, static_cast<std::uint32_t>(buffers.size()));
+  for (const auto* buf : buffers) write_floats(out, *buf);
+  PPHE_CHECK(static_cast<bool>(out), "failed writing " + path);
+}
+
+bool load_weights(Network& net, const std::string& path) {
+  std::ifstream in(path, std::ios::binary);
+  if (!in) return false;
+  std::uint32_t magic = 0, count = 0;
+  if (!read_u32(in, magic) || magic != kMagic) return false;
+  if (!read_u32(in, count)) return false;
+  const auto buffers = all_buffers(net);
+  if (count != buffers.size()) return false;
+  for (auto* buf : buffers) {
+    if (!read_floats(in, *buf)) return false;
+  }
+  return true;
+}
+
+}  // namespace pphe

@@ -1,0 +1,17 @@
+#pragma once
+
+#include <string>
+
+#include "nn/network.hpp"
+
+namespace pphe {
+
+/// Binary weight (de)serialization: parameter tensors in network order plus
+/// batch-norm running statistics. Format: magic, count, then per tensor
+/// rank/shape/float data. Used to cache trained models between bench runs.
+void save_weights(const Network& net, const std::string& path);
+
+/// Returns false if the file is missing or its shapes do not match `net`.
+bool load_weights(Network& net, const std::string& path);
+
+}  // namespace pphe

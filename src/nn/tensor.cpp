@@ -1,0 +1,56 @@
+#include "nn/tensor.hpp"
+
+#include <numeric>
+#include <sstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+
+namespace {
+std::size_t shape_product(const std::vector<std::size_t>& shape) {
+  return std::accumulate(shape.begin(), shape.end(), std::size_t{1},
+                         std::multiplies<>());
+}
+}  // namespace
+
+Tensor::Tensor(std::vector<std::size_t> shape) : shape_(std::move(shape)) {
+  PPHE_CHECK(!shape_.empty(), "tensor needs at least one dimension");
+  data_.assign(shape_product(shape_), 0.0f);
+}
+
+Tensor Tensor::zeros(std::vector<std::size_t> shape) {
+  return Tensor(std::move(shape));
+}
+
+Tensor Tensor::full(std::vector<std::size_t> shape, float value) {
+  Tensor t(std::move(shape));
+  t.fill(value);
+  return t;
+}
+
+Tensor Tensor::reshaped(std::vector<std::size_t> new_shape) const {
+  PPHE_CHECK(shape_product(new_shape) == data_.size(),
+             "reshape size mismatch");
+  Tensor t;
+  t.shape_ = std::move(new_shape);
+  t.data_ = data_;
+  return t;
+}
+
+void Tensor::fill(float value) {
+  std::fill(data_.begin(), data_.end(), value);
+}
+
+std::string Tensor::shape_string() const {
+  std::ostringstream os;
+  os << "(";
+  for (std::size_t i = 0; i < shape_.size(); ++i) {
+    if (i != 0) os << ", ";
+    os << shape_[i];
+  }
+  os << ")";
+  return os.str();
+}
+
+}  // namespace pphe

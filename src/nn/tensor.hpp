@@ -1,0 +1,58 @@
+#pragma once
+
+#include <cstddef>
+#include <string>
+#include <vector>
+
+namespace pphe {
+
+/// Dense row-major float tensor for the plaintext training stack.
+/// Deliberately minimal: the training side of the paper (§V.D) is a small
+/// CNN on 28x28 inputs, so clarity beats BLAS here.
+class Tensor {
+ public:
+  Tensor() = default;
+  explicit Tensor(std::vector<std::size_t> shape);
+
+  static Tensor zeros(std::vector<std::size_t> shape);
+  static Tensor full(std::vector<std::size_t> shape, float value);
+
+  const std::vector<std::size_t>& shape() const { return shape_; }
+  std::size_t rank() const { return shape_.size(); }
+  std::size_t dim(std::size_t i) const { return shape_[i]; }
+  std::size_t size() const { return data_.size(); }
+
+  float* data() { return data_.data(); }
+  const float* data() const { return data_.data(); }
+  std::vector<float>& vec() { return data_; }
+  const std::vector<float>& vec() const { return data_; }
+
+  float& operator[](std::size_t i) { return data_[i]; }
+  float operator[](std::size_t i) const { return data_[i]; }
+
+  // Indexed accessors (checked in debug via the shape product only).
+  float& at2(std::size_t i, std::size_t j) {
+    return data_[i * shape_[1] + j];
+  }
+  float at2(std::size_t i, std::size_t j) const {
+    return data_[i * shape_[1] + j];
+  }
+  float& at4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) {
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+  float at4(std::size_t b, std::size_t c, std::size_t h, std::size_t w) const {
+    return data_[((b * shape_[1] + c) * shape_[2] + h) * shape_[3] + w];
+  }
+
+  /// Reinterprets the same data under a new shape (sizes must match).
+  Tensor reshaped(std::vector<std::size_t> new_shape) const;
+
+  void fill(float value);
+  std::string shape_string() const;
+
+ private:
+  std::vector<std::size_t> shape_;
+  std::vector<float> data_;
+};
+
+}  // namespace pphe

@@ -1,0 +1,134 @@
+// Multiprecision-baseline-specific behaviour: the modulus ladder, the
+// auxiliary key-switching modulus, and cross-backend agreement (the central
+// "RNS does not change results" claim of the paper).
+
+#include "ckks/big_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams small() { return CkksParams::test_small(); }
+
+std::vector<double> wave(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::cos(0.05 * static_cast<double>(i)) * 2.0;
+  }
+  return v;
+}
+
+TEST(BigBackend, LadderIsStrictlyIncreasingProducts) {
+  const BigBackend be(small());
+  BigUInt prev(1);
+  for (int l = 0; l <= be.max_level(); ++l) {
+    const BigUInt& q = be.level_modulus(l);
+    EXPECT_GT(q, prev);
+    if (l > 0) {
+      // Each ladder step multiplies by exactly one word prime.
+      const auto dm = q.divmod(prev);
+      EXPECT_TRUE(dm.remainder.is_zero());
+      EXPECT_EQ(dm.quotient.limb_count(), 1u);
+    }
+    prev = q;
+  }
+}
+
+TEST(BigBackend, AuxModulusDominatesLadder) {
+  const BigBackend be(small());
+  EXPECT_GE(be.aux_modulus(), be.level_modulus(be.max_level()));
+}
+
+TEST(BigBackend, LogQMatchesParams) {
+  const BigBackend be(small());
+  const int expected = small().log_q();
+  const auto bits =
+      static_cast<int>(be.level_modulus(be.max_level()).bit_length());
+  EXPECT_NEAR(bits, expected, 1);
+}
+
+TEST(BigBackend, AgreesWithRnsBackendOnSameComputation) {
+  // THE core claim (Tables III/V): the two representations compute the same
+  // function. Run an identical mult-rotate-add pipeline on both backends and
+  // compare decrypted outputs slot by slot.
+  const CkksParams p = small();
+  RnsBackend rns(p);
+  BigBackend big(p);
+  rns.ensure_galois_keys({3});
+  big.ensure_galois_keys({3});
+
+  const auto v = wave(rns.slot_count());
+  auto run = [&](HeBackend& be) {
+    const auto ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
+    auto prod = be.rescale(be.relinearize(be.multiply(ct, ct)));
+    auto rot = be.rotate(prod, 3);
+    return be.decrypt_decode(be.add(prod, rot));
+  };
+  const auto from_rns = run(rns);
+  const auto from_big = run(big);
+  for (std::size_t i = 0; i < rns.slot_count(); ++i) {
+    const double want = v[i] * v[i] + v[(i + 3) % rns.slot_count()] *
+                                         v[(i + 3) % rns.slot_count()];
+    ASSERT_NEAR(from_rns[i], want, 5e-2) << i;
+    ASSERT_NEAR(from_big[i], want, 5e-2) << i;
+    // The two backends differ only by (independent) encryption noise.
+    ASSERT_NEAR(from_rns[i], from_big[i], 1e-1) << i;
+  }
+}
+
+TEST(BigBackend, KeySwitchAtLowerLevelUsesReducedKeys) {
+  BigBackend be(small());
+  be.ensure_galois_keys({2});
+  const auto v = wave(be.slot_count());
+  auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  ct = be.mod_drop_to(ct, 1);
+  const auto rot = be.rotate(ct, 2);  // exercises the per-level key cache
+  const auto got = be.decrypt_decode(rot);
+  for (std::size_t i = 0; i < 32; ++i) {
+    ASSERT_NEAR(got[i], v[(i + 2) % be.slot_count()], 5e-3);
+  }
+  // Second rotation at the same level hits the cache.
+  const auto rot2 = be.rotate(rot, 2);
+  const auto got2 = be.decrypt_decode(rot2);
+  EXPECT_NEAR(got2[0], v[4], 8e-3);
+}
+
+TEST(BigBackend, RescaleDividesScaleByDroppedPrime) {
+  const BigBackend be(small());
+  const auto ct = be.encrypt(
+      be.encode(wave(be.slot_count()), small().scale, be.max_level()));
+  const auto prod = be.relinearize(be.multiply(ct, ct));
+  const double prime = be.level_prime(be.max_level());
+  const auto rescaled = be.rescale(prod);
+  EXPECT_DOUBLE_EQ(rescaled.scale(), small().scale * small().scale / prime);
+  EXPECT_EQ(rescaled.level(), be.max_level() - 1);
+}
+
+TEST(BigBackend, EncryptAtLowerLevel) {
+  const BigBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, 1));
+  EXPECT_EQ(ct.level(), 1);
+  const auto got = be.decrypt_decode(ct);
+  EXPECT_NEAR(got[7], v[7], 2e-3);
+}
+
+TEST(BigBackend, SameSeedSamePrimesAsRns) {
+  // The two backends share the chain primes so they operate over the same
+  // rings — the comparison in the benches is apples-to-apples.
+  const RnsBackend rns(small());
+  const BigBackend big(small());
+  BigUInt product(1);
+  for (const auto& m : rns.q_moduli()) product *= BigUInt(m.value());
+  EXPECT_EQ(product, big.level_modulus(big.max_level()));
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,156 @@
+#include "ckks/encoder.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+std::vector<double> as_double(const std::vector<std::int64_t>& v) {
+  return std::vector<double>(v.begin(), v.end());
+}
+
+TEST(Encoder, PaperSection3cWorkedExample) {
+  // §III.C of the paper: M = 8 (N = 4), Delta = 64, z = (0.1, -0.01).
+  // The paper derives the real polynomial 0.045 + 0.039X - 0.039X^3, whose
+  // scaled rounding is m(X) = 3 + 2X - 2X^3, and observes that decoding
+  // yields (0.09107, 0.00268): the second value has LOST ITS SIGN — the
+  // zero-neighbourhood encoding error the section warns about.
+  const CkksEncoder enc(4);
+  const std::vector<double> z{0.1, -0.01};
+  const auto coeffs = enc.encode(z, 64.0);
+  EXPECT_EQ(coeffs, (std::vector<std::int64_t>{3, 2, 0, -2}));
+
+  const auto decoded = enc.decode_real(as_double(coeffs), 64.0);
+  EXPECT_NEAR(decoded[0], 0.09107, 5e-5);
+  EXPECT_NEAR(decoded[1], 0.00268, 5e-5);
+  EXPECT_GT(decoded[1], 0.0);  // sign flipped versus the input -0.01
+}
+
+TEST(Encoder, LargerScaleShrinksTheSection3cError) {
+  // §III.C: "increasing Delta allows to reduce the absolute value" of the
+  // rounding error.
+  const CkksEncoder enc(4);
+  const std::vector<double> z{0.1, -0.01};
+  double prev_err = 1e9;
+  for (const double delta : {64.0, 1024.0, 65536.0, 1048576.0}) {
+    const auto coeffs = enc.encode(z, delta);
+    const auto decoded = enc.decode_real(as_double(coeffs), delta);
+    const double err = std::max(std::abs(decoded[0] - z[0]),
+                                std::abs(decoded[1] - z[1]));
+    EXPECT_LT(err, prev_err + 1e-12);
+    prev_err = err;
+  }
+  EXPECT_LT(prev_err, 1e-5);
+}
+
+class EncoderRoundTrip : public ::testing::TestWithParam<std::size_t> {};
+
+TEST_P(EncoderRoundTrip, HighScaleRoundTripIsAccurate) {
+  const std::size_t degree = GetParam();
+  const CkksEncoder enc(degree);
+  Prng prng(degree);
+  std::vector<double> v(enc.slot_count());
+  for (auto& x : v) x = (prng.uniform_double() - 0.5) * 10.0;
+  const double scale = std::ldexp(1.0, 40);
+  const auto coeffs = enc.encode(v, scale);
+  const auto back = enc.decode_real(as_double(coeffs), scale);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i], v[i], 1e-8);
+  }
+}
+
+INSTANTIATE_TEST_SUITE_P(Degrees, EncoderRoundTrip,
+                         ::testing::Values(8, 64, 1024, 8192));
+
+TEST(Encoder, ShortInputPadsWithZeros) {
+  const CkksEncoder enc(64);
+  const std::vector<double> v{1.0, 2.0};
+  const auto coeffs = enc.encode(v, std::ldexp(1.0, 30));
+  const auto back = enc.decode_real(as_double(coeffs), std::ldexp(1.0, 30));
+  EXPECT_NEAR(back[0], 1.0, 1e-6);
+  EXPECT_NEAR(back[1], 2.0, 1e-6);
+  for (std::size_t i = 2; i < back.size(); ++i) {
+    EXPECT_NEAR(back[i], 0.0, 1e-6);
+  }
+}
+
+TEST(Encoder, TooManyValuesThrows) {
+  const CkksEncoder enc(8);
+  const std::vector<double> v(5, 1.0);  // slot_count is 4
+  EXPECT_THROW(enc.encode(v, 64.0), Error);
+}
+
+TEST(Encoder, CoefficientOverflowThrows) {
+  const CkksEncoder enc(8);
+  const std::vector<double> v{1e10};
+  EXPECT_THROW(enc.encode(v, std::ldexp(1.0, 55)), Error);
+}
+
+TEST(Encoder, SlotwiseMultiplicationIsRingMultiplication) {
+  // Slots are evaluations at roots of X^N + 1: multiplying polynomials in
+  // the ring must multiply slot values.
+  const std::size_t n = 32;
+  const CkksEncoder enc(n);
+  Prng prng(12);
+  std::vector<double> a(enc.slot_count()), b(enc.slot_count());
+  for (auto& x : a) x = prng.uniform_double() + 0.5;
+  for (auto& x : b) x = prng.uniform_double() + 0.5;
+  const double scale = std::ldexp(1.0, 24);
+  const auto ca = enc.encode(a, scale);
+  const auto cb = enc.encode(b, scale);
+
+  // Negacyclic product with exact integer arithmetic.
+  std::vector<double> prod(n, 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const double term = static_cast<double>(ca[i]) * static_cast<double>(cb[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        prod[k] += term;
+      } else {
+        prod[k - n] -= term;
+      }
+    }
+  }
+  const auto slots = enc.decode_real(prod, scale * scale);
+  for (std::size_t i = 0; i < enc.slot_count(); ++i) {
+    EXPECT_NEAR(slots[i], a[i] * b[i], 1e-4);
+  }
+}
+
+TEST(Encoder, ComplexValuesRoundTrip) {
+  const CkksEncoder enc(64);
+  Prng prng(13);
+  std::vector<std::complex<double>> v(enc.slot_count());
+  for (auto& x : v) {
+    x = {prng.uniform_double() - 0.5, prng.uniform_double() - 0.5};
+  }
+  const double scale = std::ldexp(1.0, 40);
+  const auto coeffs = enc.encode(v, scale);
+  std::vector<double> dc(coeffs.begin(), coeffs.end());
+  const auto back = enc.decode(dc, scale);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), v[i].real(), 1e-8);
+    EXPECT_NEAR(back[i].imag(), v[i].imag(), 1e-8);
+  }
+}
+
+TEST(Encoder, EmbedUnroundedIsExactInverse) {
+  const CkksEncoder enc(16);
+  Prng prng(14);
+  std::vector<std::complex<double>> v(enc.slot_count());
+  for (auto& x : v) x = {prng.uniform_double(), 0.0};
+  const auto raw = enc.embed_unrounded(v, 1.0);
+  const auto back = enc.decode(raw, 1.0);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    EXPECT_NEAR(back[i].real(), v[i].real(), 1e-12);
+  }
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,111 @@
+// Property sweep across PARAMETER SETS: the §II primitives must hold for
+// every ring degree / chain shape / scale combination, not just the default
+// test profile. TEST_P over a grid of configurations, RNS backend (the
+// deployed representation; cross-backend agreement is covered elsewhere).
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <tuple>
+
+#include "ckks/rns_backend.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+// (log2 degree, middle prime bits, chain length, log2 scale)
+using Config = std::tuple<int, int, int, int>;
+
+class MultiParams : public ::testing::TestWithParam<Config> {
+ protected:
+  void SetUp() override {
+    const auto [log_n, prime_bits, chain, log_scale] = GetParam();
+    CkksParams p;
+    p.degree = std::size_t{1} << log_n;
+    p.q_bit_sizes.assign(static_cast<std::size_t>(chain), prime_bits);
+    p.q_bit_sizes.front() = std::min(prime_bits + 14, 60);
+    p.special_bit_size = std::min(prime_bits + 14, 60);
+    p.scale = std::ldexp(1.0, log_scale);
+    p.hamming_weight = 32;
+    backend_ = std::make_unique<RnsBackend>(p);
+    tolerance_ = 64.0 * static_cast<double>(p.degree) / p.scale;
+  }
+
+  std::vector<double> random_vec(double amp, std::uint64_t seed) const {
+    Prng prng(seed);
+    std::vector<double> v(backend_->slot_count());
+    for (auto& x : v) x = (prng.uniform_double() - 0.5) * 2.0 * amp;
+    return v;
+  }
+
+  Ciphertext encrypt(const std::vector<double>& v) const {
+    return backend_->encrypt(backend_->encode(
+        v, backend_->params().scale, backend_->max_level()));
+  }
+
+  std::unique_ptr<RnsBackend> backend_;
+  double tolerance_ = 0.0;
+};
+
+TEST_P(MultiParams, EncryptDecrypt) {
+  const auto v = random_vec(2.0, 1);
+  const auto got = backend_->decrypt_decode(encrypt(v));
+  for (std::size_t i = 0; i < v.size(); i += 17) {
+    ASSERT_NEAR(got[i], v[i], tolerance_) << i;
+  }
+}
+
+TEST_P(MultiParams, MultRelinRescale) {
+  const auto va = random_vec(1.5, 2);
+  const auto vb = random_vec(1.5, 3);
+  const auto prod = backend_->rescale(
+      backend_->relinearize(backend_->multiply(encrypt(va), encrypt(vb))));
+  const auto got = backend_->decrypt_decode(prod);
+  for (std::size_t i = 0; i < va.size(); i += 17) {
+    ASSERT_NEAR(got[i], va[i] * vb[i], 8.0 * tolerance_) << i;
+  }
+}
+
+TEST_P(MultiParams, RotationWorks) {
+  backend_->ensure_galois_keys({3});
+  const auto v = random_vec(1.0, 4);
+  const auto got = backend_->decrypt_decode(backend_->rotate(encrypt(v), 3));
+  for (std::size_t i = 0; i < v.size(); i += 29) {
+    ASSERT_NEAR(got[i], v[(i + 3) % v.size()], 8.0 * tolerance_) << i;
+  }
+}
+
+TEST_P(MultiParams, FullDepthChainIsUsable) {
+  // Square repeatedly until the chain runs out; the result must stay finite
+  // and roughly correct (value 1.1^(2^depth) kept small via 1.01).
+  std::vector<double> v(backend_->slot_count(), 1.01);
+  Ciphertext ct = encrypt(v);
+  double want = 1.01;
+  while (ct.level() > 0) {
+    ct = backend_->rescale(backend_->relinearize(backend_->multiply(ct, ct)));
+    want *= want;
+  }
+  const auto got = backend_->decrypt_decode(ct);
+  EXPECT_NEAR(got[0], want, 0.2);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    Grid, MultiParams,
+    ::testing::Values(
+        Config{10, 26, 3, 26},   // tiny ring, short chain
+        Config{11, 30, 4, 30},   // mid ring, wider primes
+        Config{12, 26, 6, 26},   // bench-profile ring
+        Config{11, 40, 3, 40},   // high-precision scale
+        Config{11, 20, 5, 20}),  // narrow primes / low precision
+    [](const ::testing::TestParamInfo<Config>& info) {
+      // NOTE: no structured bindings here — the commas inside the binding
+      // list would split the INSTANTIATE macro's arguments.
+      return "N" + std::to_string(1 << std::get<0>(info.param)) + "_p" +
+             std::to_string(std::get<1>(info.param)) + "_L" +
+             std::to_string(std::get<2>(info.param)) + "_s" +
+             std::to_string(std::get<3>(info.param));
+    });
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,113 @@
+#include "ckks/noise.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/rns_backend.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams small() { return CkksParams::test_small(); }
+
+std::vector<double> random_slots(std::size_t n, double amplitude,
+                                 std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<double> v(n);
+  for (auto& x : v) x = (prng.uniform_double() - 0.5) * 2.0 * amplitude;
+  return v;
+}
+
+TEST(NoiseTracker, FreshEncryptionBoundHolds) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  const NoiseTracker tracker(p);
+  const auto v = random_slots(be.slot_count(), 2.0, 1);
+  const auto ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
+  const double measured = measured_slot_error(be, ct, v);
+  const double predicted =
+      NoiseTracker::slot_error(tracker.fresh_encryption(), p.scale);
+  EXPECT_LT(measured, predicted);
+  // The bound is useful, not vacuous: within ~3 orders of magnitude.
+  EXPECT_GT(measured, predicted * 1e-4);
+}
+
+TEST(NoiseTracker, AdditionBoundHolds) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  const NoiseTracker tracker(p);
+  const auto va = random_slots(be.slot_count(), 2.0, 2);
+  const auto vb = random_slots(be.slot_count(), 2.0, 3);
+  const auto ca = be.encrypt(be.encode(va, p.scale, be.max_level()));
+  const auto cb = be.encrypt(be.encode(vb, p.scale, be.max_level()));
+  std::vector<double> want(be.slot_count());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = va[i] + vb[i];
+  const double measured = measured_slot_error(be, be.add(ca, cb), want);
+  const double n = NoiseTracker::add(tracker.fresh_encryption(),
+                                     tracker.fresh_encryption());
+  EXPECT_LT(measured, NoiseTracker::slot_error(n, p.scale));
+}
+
+TEST(NoiseTracker, MultiplyRescaleBoundHolds) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  const NoiseTracker tracker(p);
+  const auto va = random_slots(be.slot_count(), 2.0, 4);
+  const auto vb = random_slots(be.slot_count(), 2.0, 5);
+  const auto ca = be.encrypt(be.encode(va, p.scale, be.max_level()));
+  const auto cb = be.encrypt(be.encode(vb, p.scale, be.max_level()));
+  std::vector<double> want(be.slot_count());
+  for (std::size_t i = 0; i < want.size(); ++i) want[i] = va[i] * vb[i];
+
+  const auto prod = be.rescale(be.relinearize(be.multiply(ca, cb)));
+  const double measured = measured_slot_error(be, prod, want);
+
+  const double fresh = tracker.fresh_encryption();
+  double n = tracker.multiply(fresh, fresh, p.scale, p.scale, 2.0, 2.0);
+  n = NoiseTracker::add(n, tracker.key_switch(be.max_level()));
+  n = tracker.rescale(n, be.level_prime(be.max_level()));
+  EXPECT_LT(measured, NoiseTracker::slot_error(n, prod.scale()));
+}
+
+TEST(NoiseTracker, RotationBoundHolds) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  be.ensure_galois_keys({5});
+  const NoiseTracker tracker(p);
+  const auto v = random_slots(be.slot_count(), 2.0, 6);
+  const auto ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
+  std::vector<double> want(be.slot_count());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    want[i] = v[(i + 5) % be.slot_count()];
+  }
+  const double measured = measured_slot_error(be, be.rotate(ct, 5), want);
+  const double n = NoiseTracker::add(tracker.fresh_encryption(),
+                                     tracker.key_switch(be.max_level()));
+  EXPECT_LT(measured, NoiseTracker::slot_error(n, p.scale));
+}
+
+TEST(NoiseBudget, DecreasesWithRescale) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  const auto v = random_slots(be.slot_count(), 1.0, 7);
+  auto ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
+  const double fresh_budget = noise_budget_bits(be, ct);
+  EXPECT_GT(fresh_budget, 60.0);  // 144-bit chain minus 26-bit scale
+  ct = be.rescale(be.relinearize(be.multiply(ct, ct)));
+  EXPECT_LT(noise_budget_bits(be, ct), fresh_budget);
+  EXPECT_GT(noise_budget_bits(be, ct), 0.0);
+}
+
+TEST(NoiseBudget, ModDropReducesBudget) {
+  const CkksParams p = small();
+  RnsBackend be(p);
+  const auto v = random_slots(be.slot_count(), 1.0, 8);
+  const auto ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
+  const auto dropped = be.mod_drop_to(ct, 0);
+  EXPECT_LT(noise_budget_bits(be, dropped), noise_budget_bits(be, ct));
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,83 @@
+#include "ckks/params.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(CkksParams, PaperTable2MatchesThePaper) {
+  const CkksParams p = CkksParams::paper_table2();
+  EXPECT_EQ(p.degree, 1u << 14);                  // N = 2^14
+  EXPECT_DOUBLE_EQ(p.scale, std::ldexp(1.0, 26)); // Delta = 2^26
+  // q = [40, 26, ..., 26, 40]: log q = 366, L = 13 moduli in total.
+  EXPECT_EQ(p.log_q() + p.special_bit_size, 366);
+  EXPECT_EQ(p.chain_length() + 1, 13u);
+  EXPECT_EQ(p.q_bit_sizes.front(), 40);
+  EXPECT_EQ(p.special_bit_size, 40);
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(CkksParams, FastProfileSameChainSmallerRing) {
+  const CkksParams fast = CkksParams::fast_profile();
+  const CkksParams paper = CkksParams::paper_table2();
+  EXPECT_LT(fast.degree, paper.degree);
+  EXPECT_EQ(fast.q_bit_sizes, paper.q_bit_sizes);
+}
+
+TEST(CkksParams, ValidationCatchesBadConfigs) {
+  CkksParams p = CkksParams::test_small();
+  EXPECT_NO_THROW(p.validate());
+
+  CkksParams bad = p;
+  bad.degree = 1000;  // not a power of two
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = p;
+  bad.q_bit_sizes.clear();
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = p;
+  bad.q_bit_sizes.push_back(61);  // too wide
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = p;
+  bad.special_bit_size = 20;  // narrower than the widest q prime
+  EXPECT_THROW(bad.validate(), Error);
+
+  bad = p;
+  bad.hamming_weight = bad.degree + 1;
+  EXPECT_THROW(bad.validate(), Error);
+}
+
+TEST(CkksParams, WithChainLengthLongChainsKeepPaperScale) {
+  const CkksParams p = CkksParams::with_chain_length(12, 1 << 13, 10);
+  EXPECT_EQ(p.chain_length(), 12u);
+  EXPECT_DOUBLE_EQ(p.scale, std::ldexp(1.0, 26));
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(CkksParams, WithChainLengthShortChainsShrinkScale) {
+  const CkksParams p = CkksParams::with_chain_length(3, 1 << 13, 10);
+  EXPECT_EQ(p.chain_length(), 3u);
+  EXPECT_LT(p.scale, std::ldexp(1.0, 26));
+  EXPECT_GE(p.scale, std::ldexp(1.0, 8));
+  EXPECT_NO_THROW(p.validate());
+}
+
+TEST(CkksParams, WithChainLengthRejectsOne) {
+  // Chain length 1 is the multiprecision backend, not an RNS chain.
+  EXPECT_THROW(CkksParams::with_chain_length(1, 1 << 13, 5), Error);
+}
+
+TEST(CkksParams, DescribeMentionsKeyNumbers) {
+  const std::string d = CkksParams::paper_table2().describe();
+  EXPECT_NE(d.find("16384"), std::string::npos);
+  EXPECT_NE(d.find("326"), std::string::npos);  // log q without special
+}
+
+}  // namespace
+}  // namespace pphe

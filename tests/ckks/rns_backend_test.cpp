@@ -1,0 +1,227 @@
+// RNS-specific behaviour: channel structure, noise scale, conjugation, the
+// relationship between the chain and rescaling.
+
+#include "ckks/rns_backend.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams small() { return CkksParams::test_small(); }
+
+std::vector<double> ramp(std::size_t n, double scale = 1.0) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = scale * std::sin(0.1 * static_cast<double>(i));
+  }
+  return v;
+}
+
+TEST(RnsBackend, ModuliMatchRequestedBitSizes) {
+  const RnsBackend be(small());
+  const auto& mods = be.q_moduli();
+  ASSERT_EQ(mods.size(), small().q_bit_sizes.size());
+  for (std::size_t i = 0; i < mods.size(); ++i) {
+    EXPECT_EQ(mods[i].bit_count(), small().q_bit_sizes[i]);
+    // NTT-friendly: 1 mod 2N.
+    EXPECT_EQ(mods[i].value() % (2 * small().degree), 1u);
+  }
+  EXPECT_NE(be.special_modulus(), 0u);
+}
+
+TEST(RnsBackend, SpecialPrimeDistinctFromChain) {
+  const RnsBackend be(small());
+  for (const auto& m : be.q_moduli()) {
+    EXPECT_NE(m.value(), be.special_modulus());
+  }
+}
+
+TEST(RnsBackend, FreshCiphertextShape) {
+  const RnsBackend be(small());
+  const auto ct = be.encrypt(be.encode(ramp(be.slot_count()),
+                                       small().scale, be.max_level()));
+  EXPECT_EQ(ct.size(), 2u);
+  EXPECT_EQ(ct.level(), be.max_level());
+  EXPECT_DOUBLE_EQ(ct.scale(), small().scale);
+}
+
+TEST(RnsBackend, RescaleDividesScaleByDroppedPrime) {
+  const RnsBackend be(small());
+  const auto ct = be.encrypt(be.encode(ramp(be.slot_count()),
+                                       small().scale, be.max_level()));
+  const auto prod = be.relinearize(be.multiply(ct, ct));
+  const auto dropped_prime =
+      be.q_moduli()[static_cast<std::size_t>(be.max_level())].value();
+  const auto rescaled = be.rescale(prod);
+  EXPECT_DOUBLE_EQ(rescaled.scale(),
+                   small().scale * small().scale /
+                       static_cast<double>(dropped_prime));
+}
+
+TEST(RnsBackend, ConjugateOfRealVectorIsIdentity) {
+  RnsBackend be(small());
+  be.ensure_galois_keys({0});  // step 0 = conjugation key
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto conj = be.conjugate(ct);
+  const auto got = be.decrypt_decode(conj);
+  for (std::size_t i = 0; i < v.size(); ++i) {
+    ASSERT_NEAR(got[i], v[i], 5e-3);
+  }
+}
+
+TEST(RnsBackend, DecryptCoefficientsHaveExpectedMagnitude) {
+  const RnsBackend be(small());
+  const std::vector<double> v(be.slot_count(), 1.0);
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto coeffs = be.decrypt_coefficients(ct);
+  // The constant-1 vector encodes as Delta in coefficient 0 and ~0 elsewhere;
+  // noise stays orders of magnitude below Delta.
+  EXPECT_NEAR(coeffs[0], small().scale, small().scale * 0.01);
+  double max_rest = 0.0;
+  for (std::size_t i = 1; i < coeffs.size(); ++i) {
+    max_rest = std::max(max_rest, std::abs(coeffs[i]));
+  }
+  EXPECT_LT(max_rest, small().scale * 0.01);
+}
+
+TEST(RnsBackend, EncryptionIsRandomized) {
+  const RnsBackend be(small());
+  const auto pt = be.encode(ramp(be.slot_count()), small().scale,
+                            be.max_level());
+  const auto c1 = be.encrypt(pt);
+  const auto c2 = be.encrypt(pt);
+  const auto& b1 = *static_cast<const RnsCtBody*>(c1.impl().get());
+  const auto& b2 = *static_cast<const RnsCtBody*>(c2.impl().get());
+  EXPECT_NE(b1.polys[0].ch[0], b2.polys[0].ch[0]);
+}
+
+TEST(RnsBackend, DeterministicForSameSeed) {
+  CkksParams p = small();
+  p.seed = 99;
+  const RnsBackend be1(p), be2(p);
+  const auto v = ramp(be1.slot_count());
+  const auto c1 = be1.encrypt(be1.encode(v, p.scale, be1.max_level()));
+  const auto c2 = be2.encrypt(be2.encode(v, p.scale, be2.max_level()));
+  const auto& b1 = *static_cast<const RnsCtBody*>(c1.impl().get());
+  const auto& b2 = *static_cast<const RnsCtBody*>(c2.impl().get());
+  EXPECT_EQ(b1.polys[0].ch[0], b2.polys[0].ch[0]);
+  EXPECT_EQ(b1.polys[1].ch[0], b2.polys[1].ch[0]);
+}
+
+TEST(RnsBackend, EncodeAtLowerLevelHasFewerChannels) {
+  const RnsBackend be(small());
+  const auto pt = be.encode(ramp(be.slot_count()), small().scale, 1);
+  const auto& body = *static_cast<const RnsPtBody*>(pt.impl().get());
+  EXPECT_EQ(body.poly.channels(), 2u);
+  const auto ct = be.encrypt(pt);
+  EXPECT_EQ(ct.level(), 1);
+  const auto got = be.decrypt_decode(ct);
+  EXPECT_NEAR(got[3], ramp(be.slot_count())[3], 2e-3);
+}
+
+TEST(RnsBackend, EnsureGaloisKeysIsIdempotent) {
+  RnsBackend be(small());
+  be.ensure_galois_keys({4});
+  be.ensure_galois_keys({4, 4});
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto got = be.decrypt_decode(be.rotate(ct, 4));
+  EXPECT_NEAR(got[0], v[4], 5e-3);
+}
+
+TEST(RnsBackend, RotateBatchMatchesIndividualRotations) {
+  RnsBackend be(small());
+  const std::vector<int> steps{1, 3, 5, 17, 100};
+  be.ensure_galois_keys(steps);
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto batch = be.rotate_batch(ct, steps);
+  ASSERT_EQ(batch.size(), steps.size());
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const auto got = be.decrypt_decode(batch[s]);
+    const auto ref = be.decrypt_decode(be.rotate(ct, steps[s]));
+    for (std::size_t i = 0; i < be.slot_count(); i += 61) {
+      const auto want = v[(i + static_cast<std::size_t>(steps[s])) %
+                          be.slot_count()];
+      ASSERT_NEAR(got[i], want, 8e-3) << "step " << steps[s] << " slot " << i;
+      ASSERT_NEAR(got[i], ref[i], 8e-3);
+    }
+  }
+}
+
+TEST(RnsBackend, RotateBatchAtLowerLevel) {
+  RnsBackend be(small());
+  const std::vector<int> steps{2, 9};
+  be.ensure_galois_keys(steps);
+  const auto v = ramp(be.slot_count());
+  auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  ct = be.mod_drop_to(ct, 1);
+  const auto batch = be.rotate_batch(ct, steps);
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    const auto got = be.decrypt_decode(batch[s]);
+    for (std::size_t i = 0; i < 64; ++i) {
+      ASSERT_NEAR(got[i],
+                  v[(i + static_cast<std::size_t>(steps[s])) % be.slot_count()],
+                  8e-3);
+    }
+  }
+}
+
+TEST(RnsBackend, MultiplyAccMatchesMultiplyAdd) {
+  RnsBackend be(small());
+  const auto va = ramp(be.slot_count(), 1.0);
+  const auto vb = ramp(be.slot_count(), 0.7);
+  const auto vc = ramp(be.slot_count(), -0.4);
+  auto enc = [&](const std::vector<double>& v) {
+    return be.encrypt(be.encode(v, small().scale, be.max_level()));
+  };
+  const auto ca = enc(va), cb = enc(vb), cc = enc(vc);
+  // acc = ca*cb + cc*ca via the fused path.
+  Ciphertext acc;
+  be.multiply_acc(acc, ca, cb);
+  be.multiply_acc(acc, cc, ca);
+  const auto got = be.decrypt_decode(be.rescale(be.relinearize(acc)));
+  for (std::size_t i = 0; i < be.slot_count(); i += 37) {
+    ASSERT_NEAR(got[i], va[i] * vb[i] + vc[i] * va[i], 2e-2) << i;
+  }
+}
+
+TEST(RnsBackend, MultiplyPlainAccMatches) {
+  RnsBackend be(small());
+  const auto va = ramp(be.slot_count(), 1.0);
+  const auto vb = ramp(be.slot_count(), 0.7);
+  const auto vc = ramp(be.slot_count(), -0.4);
+  const auto ca = be.encrypt(be.encode(va, small().scale, be.max_level()));
+  const auto pb = be.encode(vb, small().scale, be.max_level());
+  const auto pc = be.encode(vc, small().scale, be.max_level());
+  Ciphertext acc;
+  be.multiply_plain_acc(acc, ca, pb);
+  be.multiply_plain_acc(acc, ca, pc);
+  const auto got = be.decrypt_decode(be.rescale(acc));
+  for (std::size_t i = 0; i < be.slot_count(); i += 37) {
+    ASSERT_NEAR(got[i], va[i] * (vb[i] + vc[i]), 2e-2) << i;
+  }
+}
+
+TEST(RnsBackend, RotateFullCircleIsIdentity) {
+  RnsBackend be(small());
+  const int half = static_cast<int>(be.slot_count()) / 2;
+  be.ensure_galois_keys({half});
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto twice = be.rotate(be.rotate(ct, half), half);
+  const auto got = be.decrypt_decode(twice);
+  for (std::size_t i = 0; i < v.size(); i += 97) {
+    ASSERT_NEAR(got[i], v[i], 8e-3);
+  }
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,50 @@
+#include "ckks/security.hpp"
+
+#include <gtest/gtest.h>
+
+#include "ckks/params.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(Security, StandardTableKnownEntries) {
+  EXPECT_EQ(he_standard_max_log_q(16384, 128), 438);
+  EXPECT_EQ(he_standard_max_log_q(8192, 128), 218);
+  EXPECT_EQ(he_standard_max_log_q(32768, 128), 881);
+  EXPECT_EQ(he_standard_max_log_q(16384, 192), 305);
+  EXPECT_EQ(he_standard_max_log_q(16384, 256), 237);
+}
+
+TEST(Security, UnknownDegreeOrLambdaGivesZero) {
+  EXPECT_EQ(he_standard_max_log_q(12345, 128), 0);
+  EXPECT_EQ(he_standard_max_log_q(16384, 100), 0);
+}
+
+TEST(Security, PaperSettingIs128Bit) {
+  // Table II: N = 2^14, log q = 366 (incl. key-switching modulus) <= 438.
+  EXPECT_EQ(estimate_security_level(16384, 366), 128);
+}
+
+TEST(Security, LevelBoundaries) {
+  EXPECT_EQ(estimate_security_level(16384, 237), 256);
+  EXPECT_EQ(estimate_security_level(16384, 238), 192);
+  EXPECT_EQ(estimate_security_level(16384, 305), 192);
+  EXPECT_EQ(estimate_security_level(16384, 306), 128);
+  EXPECT_EQ(estimate_security_level(16384, 439), 0);
+}
+
+TEST(Security, FastProfileIsFlaggedBelowStandard) {
+  // N = 2^13 with the paper's 366-bit modulus exceeds the 218-bit bound.
+  const CkksParams fast = CkksParams::fast_profile();
+  EXPECT_EQ(estimate_security_level(fast.degree, fast.log_q_with_special()), 0);
+  const std::string desc = describe_security(fast);
+  EXPECT_NE(desc.find("BELOW"), std::string::npos);
+}
+
+TEST(Security, PaperProfileIsDescribedAsSecure) {
+  const std::string desc = describe_security(CkksParams::paper_table2());
+  EXPECT_NE(desc.find("lambda=128"), std::string::npos);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,134 @@
+#include "ckks/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <sstream>
+
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams small() { return CkksParams::test_small(); }
+
+std::vector<double> wave(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    v[i] = std::sin(0.03 * static_cast<double>(i)) * 1.5;
+  }
+  return v;
+}
+
+TEST(Serialize, ParamsRoundTrip) {
+  const CkksParams p = CkksParams::paper_table2();
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_params(ss, p);
+  const CkksParams back = read_params(ss);
+  EXPECT_EQ(back.degree, p.degree);
+  EXPECT_EQ(back.q_bit_sizes, p.q_bit_sizes);
+  EXPECT_EQ(back.special_bit_size, p.special_bit_size);
+  EXPECT_DOUBLE_EQ(back.scale, p.scale);
+  EXPECT_EQ(back.hamming_weight, p.hamming_weight);
+  EXPECT_EQ(back.seed, p.seed);
+}
+
+TEST(Serialize, CiphertextRoundTripDecrypts) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+
+  const std::string bytes = ciphertext_to_string(be, ct);
+  EXPECT_EQ(bytes.size(), ciphertext_byte_size(be, ct));
+  const Ciphertext back = ciphertext_from_string(bytes, be);
+  EXPECT_EQ(back.level(), ct.level());
+  EXPECT_DOUBLE_EQ(back.scale(), ct.scale());
+  EXPECT_EQ(back.size(), ct.size());
+
+  const auto got = be.decrypt_decode(back);
+  for (std::size_t i = 0; i < be.slot_count(); i += 53) {
+    ASSERT_NEAR(got[i], v[i], 2e-3);
+  }
+}
+
+TEST(Serialize, DeserializedCiphertextIsComputable) {
+  // The cloud receives bytes and must be able to operate on them (Fig. 1).
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const Ciphertext back =
+      ciphertext_from_string(ciphertext_to_string(be, ct), be);
+  const auto prod = be.rescale(be.relinearize(be.multiply(back, back)));
+  const auto got = be.decrypt_decode(prod);
+  for (std::size_t i = 0; i < be.slot_count(); i += 53) {
+    ASSERT_NEAR(got[i], v[i] * v[i], 2e-2);
+  }
+}
+
+TEST(Serialize, LowerLevelCiphertextSmallerOnTheWire) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto dropped = be.mod_drop_to(ct, 1);
+  EXPECT_LT(ciphertext_byte_size(be, dropped), ciphertext_byte_size(be, ct));
+  const Ciphertext back =
+      ciphertext_from_string(ciphertext_to_string(be, dropped), be);
+  EXPECT_EQ(back.level(), 1);
+  EXPECT_NEAR(be.decrypt_decode(back)[7], v[7], 2e-3);
+}
+
+TEST(Serialize, PlaintextRoundTrip) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto pt = be.encode(v, small().scale, 2);
+  std::stringstream ss(std::ios::in | std::ios::out | std::ios::binary);
+  write_plaintext(ss, be, pt);
+  const Plaintext back = read_plaintext(ss, be);
+  EXPECT_EQ(back.level(), 2);
+  // Encrypt the deserialized plaintext and check the values survive.
+  const auto got = be.decrypt_decode(be.encrypt(back));
+  for (std::size_t i = 0; i < 64; ++i) {
+    ASSERT_NEAR(got[i], v[i], 2e-3);
+  }
+}
+
+TEST(Serialize, RejectsWrongMagic) {
+  RnsBackend be(small());
+  std::istringstream bad(std::string(64, 'x'), std::ios::binary);
+  EXPECT_THROW(read_ciphertext(bad, be), Error);
+}
+
+TEST(Serialize, RejectsTruncatedStream) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  std::string bytes = ciphertext_to_string(be, ct);
+  bytes.resize(bytes.size() / 2);
+  EXPECT_THROW(ciphertext_from_string(bytes, be), Error);
+}
+
+TEST(Serialize, RejectsWrongDegree) {
+  RnsBackend be(small());
+  CkksParams other = small();
+  other.degree *= 2;
+  RnsBackend be2(other);
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const std::string bytes = ciphertext_to_string(be, ct);
+  EXPECT_THROW(ciphertext_from_string(bytes, be2), Error);
+}
+
+TEST(Serialize, RejectsCorruptedResidues) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  std::string bytes = ciphertext_to_string(be, ct);
+  // Smash eight bytes in the middle of the first polynomial with 0xFF:
+  // the resulting residue exceeds its modulus and must be rejected.
+  for (std::size_t i = 60; i < 68; ++i) bytes[i] = static_cast<char>(0xff);
+  EXPECT_THROW(ciphertext_from_string(bytes, be), Error);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,73 @@
+#include "common/cli.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+CliFlags make_flags(std::vector<std::string> args) {
+  static std::vector<std::string> storage;
+  storage = std::move(args);
+  storage.insert(storage.begin(), "prog");
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  return CliFlags(static_cast<int>(argv.size()), argv.data());
+}
+
+TEST(CliFlags, ParsesSeparateValue) {
+  const auto flags = make_flags({"--name", "value"});
+  EXPECT_TRUE(flags.has("name"));
+  EXPECT_EQ(flags.get("name", ""), "value");
+}
+
+TEST(CliFlags, ParsesEqualsValue) {
+  const auto flags = make_flags({"--count=42"});
+  EXPECT_EQ(flags.get_int("count", 0), 42);
+}
+
+TEST(CliFlags, BooleanFlagWithoutValue) {
+  const auto flags = make_flags({"--paper", "--other", "x"});
+  EXPECT_TRUE(flags.get_bool("paper"));
+  EXPECT_FALSE(flags.get_bool("missing"));
+}
+
+TEST(CliFlags, FalseValues) {
+  EXPECT_FALSE(make_flags({"--opt=false"}).get_bool("opt", true));
+  EXPECT_FALSE(make_flags({"--opt=0"}).get_bool("opt", true));
+  EXPECT_FALSE(make_flags({"--opt=no"}).get_bool("opt", true));
+  EXPECT_TRUE(make_flags({"--opt=yes"}).get_bool("opt", false));
+}
+
+TEST(CliFlags, Fallbacks) {
+  const auto flags = make_flags({});
+  EXPECT_EQ(flags.get("missing", "d"), "d");
+  EXPECT_EQ(flags.get_int("missing", 7), 7);
+  EXPECT_DOUBLE_EQ(flags.get_double("missing", 1.5), 1.5);
+}
+
+TEST(CliFlags, DoubleParsing) {
+  const auto flags = make_flags({"--scale", "2.5"});
+  EXPECT_DOUBLE_EQ(flags.get_double("scale", 0.0), 2.5);
+}
+
+TEST(CliFlags, BadIntegerThrows) {
+  const auto flags = make_flags({"--n", "abc"});
+  EXPECT_THROW(flags.get_int("n", 0), Error);
+}
+
+TEST(CliFlags, NegativeNumbersAsValues) {
+  const auto flags = make_flags({"--step=-5"});
+  EXPECT_EQ(flags.get_int("step", 0), -5);
+}
+
+TEST(CliFlags, PositionalArguments) {
+  const auto flags = make_flags({"pos1", "--a", "1", "pos2"});
+  ASSERT_EQ(flags.positional().size(), 2u);
+  EXPECT_EQ(flags.positional()[0], "pos1");
+  EXPECT_EQ(flags.positional()[1], "pos2");
+}
+
+}  // namespace
+}  // namespace pphe

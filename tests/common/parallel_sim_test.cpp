@@ -1,0 +1,74 @@
+#include "common/parallel_sim.hpp"
+
+#include <gtest/gtest.h>
+
+namespace pphe {
+namespace {
+
+TEST(ParallelSim, SequentialIsSumOfSections) {
+  ParallelSim sim;
+  sim.record_serial(1.0);
+  sim.record_parallel(4, 2.0);
+  sim.record_parallel(8, 4.0);
+  EXPECT_DOUBLE_EQ(sim.sequential_seconds(), 7.0);
+}
+
+TEST(ParallelSim, SimulateWithEnoughWorkersDividesByFanout) {
+  ParallelSim sim;
+  sim.record_serial(1.0);
+  sim.record_parallel(4, 2.0);
+  // 4 units on 4 workers: one wave -> 2.0/4.
+  EXPECT_DOUBLE_EQ(sim.simulate(4), 1.0 + 0.5);
+  // Plenty of workers changes nothing beyond the fan-out.
+  EXPECT_DOUBLE_EQ(sim.simulate(64), 1.0 + 0.5);
+}
+
+TEST(ParallelSim, SimulateWithFewWorkersUsesWaves) {
+  ParallelSim sim;
+  sim.record_parallel(10, 10.0);
+  // 10 units on 3 workers: ceil(10/3)=4 waves of avg unit time 1.0.
+  EXPECT_DOUBLE_EQ(sim.simulate(3), 4.0);
+  // One worker: no speedup.
+  EXPECT_DOUBLE_EQ(sim.simulate(1), 10.0);
+  // Zero workers treated as one.
+  EXPECT_DOUBLE_EQ(sim.simulate(0), 10.0);
+}
+
+TEST(ParallelSim, ResetClears) {
+  ParallelSim sim;
+  sim.record_parallel(2, 5.0);
+  sim.reset();
+  EXPECT_DOUBLE_EQ(sim.sequential_seconds(), 0.0);
+  EXPECT_DOUBLE_EQ(sim.simulate(2), 0.0);
+}
+
+TEST(ParallelSim, FanoutScopeMultiplies) {
+  ParallelSim sim;
+  {
+    ParallelSim::FanoutScope scope(3);
+    sim.record_parallel(4, 6.0);  // recorded as fan-out 12
+  }
+  sim.record_parallel(4, 4.0);  // plain fan-out 4
+  // 12-way section on 12 workers: 0.5; 4-way on 12 workers: 1.0.
+  EXPECT_DOUBLE_EQ(sim.simulate(12), 6.0 / 12.0 + 1.0);
+}
+
+TEST(ParallelSim, NestedFanoutScopesCompose) {
+  ParallelSim sim;
+  {
+    ParallelSim::FanoutScope a(2);
+    ParallelSim::FanoutScope b(3);
+    sim.record_parallel(1, 6.0);  // fan-out 6
+  }
+  EXPECT_DOUBLE_EQ(sim.simulate(6), 1.0);
+}
+
+TEST(ParallelSim, GlobalInstanceIsUsable) {
+  ParallelSim::global().reset();
+  ParallelSim::global().record_parallel(2, 0.5);
+  EXPECT_DOUBLE_EQ(ParallelSim::global().sequential_seconds(), 0.5);
+  ParallelSim::global().reset();
+}
+
+}  // namespace
+}  // namespace pphe

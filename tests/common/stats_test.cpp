@@ -1,0 +1,75 @@
+#include "common/stats.hpp"
+
+#include <gtest/gtest.h>
+
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(Stopwatch, MeasuresElapsedTime) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(20));
+  const double t = sw.seconds();
+  EXPECT_GE(t, 0.015);
+  EXPECT_LT(t, 2.0);
+}
+
+TEST(Stopwatch, ResetRestarts) {
+  Stopwatch sw;
+  std::this_thread::sleep_for(std::chrono::milliseconds(10));
+  sw.reset();
+  EXPECT_LT(sw.seconds(), 0.01);
+}
+
+TEST(LatencyStats, MinMaxAvg) {
+  LatencyStats s;
+  s.add(3.0);
+  s.add(1.0);
+  s.add(2.0);
+  EXPECT_DOUBLE_EQ(s.min(), 1.0);
+  EXPECT_DOUBLE_EQ(s.max(), 3.0);
+  EXPECT_DOUBLE_EQ(s.avg(), 2.0);
+  EXPECT_EQ(s.count(), 3u);
+}
+
+TEST(LatencyStats, EmptyThrows) {
+  LatencyStats s;
+  EXPECT_TRUE(s.empty());
+  EXPECT_THROW(s.min(), Error);
+  EXPECT_THROW(s.avg(), Error);
+}
+
+TEST(LatencyStats, SingleSampleStddevIsZero) {
+  LatencyStats s;
+  s.add(5.0);
+  EXPECT_DOUBLE_EQ(s.stddev(), 0.0);
+}
+
+TEST(LatencyStats, StddevMatchesKnownValue) {
+  LatencyStats s;
+  for (const double v : {2.0, 4.0, 4.0, 4.0, 5.0, 5.0, 7.0, 9.0}) s.add(v);
+  // Sample stddev of this classic dataset is ~2.138.
+  EXPECT_NEAR(s.stddev(), 2.138, 0.01);
+}
+
+TEST(LatencyStats, Percentiles) {
+  LatencyStats s;
+  for (int i = 1; i <= 100; ++i) s.add(static_cast<double>(i));
+  EXPECT_DOUBLE_EQ(s.percentile(0.0), 1.0);
+  EXPECT_DOUBLE_EQ(s.percentile(1.0), 100.0);
+  EXPECT_NEAR(s.percentile(0.5), 50.5, 1e-9);
+  EXPECT_THROW(s.percentile(1.5), Error);
+}
+
+TEST(LatencyStats, SummaryFormat) {
+  LatencyStats s;
+  s.add(1.234);
+  s.add(2.345);
+  EXPECT_EQ(s.summary(2), "1.23/2.35/1.79");
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,45 @@
+#include "common/table.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+
+namespace pphe {
+namespace {
+
+TEST(TextTable, RendersHeaderAndRows) {
+  TextTable t({"Model", "Lat (s)"});
+  t.add_row({"CNN1-HE", "3.56"});
+  t.add_row({"CNN1-HE-RNS", "2.27"});
+  const std::string out = t.render();
+  EXPECT_NE(out.find("Model"), std::string::npos);
+  EXPECT_NE(out.find("CNN1-HE-RNS"), std::string::npos);
+  EXPECT_NE(out.find("2.27"), std::string::npos);
+  // Header, rule, two rows.
+  EXPECT_EQ(std::count(out.begin(), out.end(), '\n'), 4);
+}
+
+TEST(TextTable, ColumnsSizedToWidestCell) {
+  TextTable t({"A"});
+  t.add_row({"wide-cell-content"});
+  const std::string out = t.render();
+  const auto first_newline = out.find('\n');
+  const auto second_line_end = out.find('\n', first_newline + 1);
+  // Header line and rule line have equal width.
+  EXPECT_EQ(first_newline, second_line_end - first_newline - 1);
+}
+
+TEST(TextTable, MissingTrailingCellsRenderEmpty) {
+  TextTable t({"A", "B"});
+  t.add_row({"only-a"});
+  EXPECT_NO_THROW(t.render());
+}
+
+TEST(TextTable, FixedFormatsPrecision) {
+  EXPECT_EQ(TextTable::fixed(3.14159, 2), "3.14");
+  EXPECT_EQ(TextTable::fixed(2.0, 1), "2.0");
+  EXPECT_EQ(TextTable::integer(42), "42");
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,138 @@
+#include "core/models.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(BuildNetwork, Cnn1ShapesFlowThrough) {
+  auto net = build_network(Arch::kCnn1, Activation::kSlaf, 1);
+  Tensor x({2, 1, 28, 28});
+  const Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+}
+
+TEST(BuildNetwork, Cnn2ShapesFlowThrough) {
+  auto net = build_network(Arch::kCnn2, Activation::kSlaf, 1);
+  Tensor x({2, 1, 28, 28});
+  const Tensor y = net->forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 10}));
+}
+
+TEST(BuildNetwork, ReluAndSquareVariants) {
+  for (const auto act : {Activation::kRelu, Activation::kSquare}) {
+    auto net = build_network(Arch::kCnn1, act, 2);
+    Tensor x({1, 1, 28, 28});
+    EXPECT_NO_THROW(net->forward(x, false));
+  }
+}
+
+TEST(CompileModel, ReluRejected) {
+  TrainedModel m;
+  m.arch = Arch::kCnn1;
+  m.activation = Activation::kRelu;
+  m.network = build_network(Arch::kCnn1, Activation::kRelu, 1);
+  EXPECT_THROW(compile_model(m), Error);
+}
+
+TEST(CompileModel, Cnn1StageStructure) {
+  TrainedModel m;
+  m.arch = Arch::kCnn1;
+  m.activation = Activation::kSlaf;
+  m.network = build_network(Arch::kCnn1, Activation::kSlaf, 1);
+  const ModelSpec spec = compile_model(m);
+  ASSERT_EQ(spec.stages.size(), 5u);
+  EXPECT_EQ(spec.stages[0].kind, ModelSpec::Stage::Kind::kLinear);
+  EXPECT_EQ(spec.stages[0].linear.in_dim, 784u);
+  EXPECT_EQ(spec.stages[0].linear.out_dim, 720u);
+  EXPECT_EQ(spec.stages[1].kind, ModelSpec::Stage::Kind::kActivation);
+  EXPECT_EQ(spec.stages[1].activation.features, 720u);
+  EXPECT_EQ(spec.stages[2].linear.out_dim, 64u);
+  EXPECT_EQ(spec.stages[4].linear.out_dim, 10u);
+  // depth: 3 linears + 2 degree-3 activations = 3 + 2*3 = 9.
+  EXPECT_EQ(spec.depth(), 9u);
+}
+
+TEST(CompileModel, Cnn2StageStructureAndDepth) {
+  TrainedModel m;
+  m.arch = Arch::kCnn2;
+  m.activation = Activation::kSlaf;
+  m.network = build_network(Arch::kCnn2, Activation::kSlaf, 1);
+  const ModelSpec spec = compile_model(m);
+  ASSERT_EQ(spec.stages.size(), 6u);
+  EXPECT_EQ(spec.stages[0].linear.out_dim, 720u);
+  EXPECT_EQ(spec.stages[2].linear.in_dim, 720u);
+  EXPECT_EQ(spec.stages[2].linear.out_dim, 160u);
+  // 4 linears + 2 degree-3 activations = 10.
+  EXPECT_EQ(spec.depth(), 10u);
+}
+
+TEST(CompileModel, LoweredConvMatchesNetworkForward) {
+  // eval_spec on the lowered matrices must equal the network's own forward
+  // (including folded batch norm in eval mode).
+  TrainedModel m;
+  m.arch = Arch::kCnn2;
+  m.activation = Activation::kSlaf;
+  m.network = build_network(Arch::kCnn2, Activation::kSlaf, 3);
+  // Give SLAF nontrivial coefficients and batchnorm nontrivial stats.
+  Prng prng(17);
+  for (Param* p : m.network->params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] += 0.05f * static_cast<float>(prng.normal());
+    }
+  }
+  Tensor warm({8, 1, 28, 28});
+  for (std::size_t i = 0; i < warm.size(); ++i) {
+    warm[i] = static_cast<float>(prng.uniform_double());
+  }
+  m.network->forward(warm, true);  // move BN running stats
+
+  const ModelSpec spec = compile_model(m);
+  Tensor x({1, 1, 28, 28});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(prng.uniform_double());
+  }
+  const Tensor want = m.network->forward(x, false);
+  const auto got = eval_spec(
+      spec, std::vector<float>(x.data(), x.data() + 784));
+  ASSERT_EQ(got.size(), 10u);
+  for (std::size_t i = 0; i < 10; ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-3) << i;
+  }
+}
+
+TEST(TrainProtocol, SlafProtocolLearnsSomething) {
+  const Dataset train_set = generate_synthetic_mnist(600, 11);
+  const Dataset test_set = generate_synthetic_mnist(200, 12);
+  ProtocolConfig cfg;
+  cfg.relu_epochs = 5;
+  cfg.slaf_epochs = 4;
+  cfg.seed = 5;
+  const TrainedModel m =
+      train_protocol(Arch::kCnn1, Activation::kSlaf, train_set, test_set, cfg);
+  EXPECT_GT(m.test_accuracy, 60.0f);  // far above the 10% chance level
+  EXPECT_EQ(m.activation, Activation::kSlaf);
+}
+
+TEST(EvalSpec, DimensionMismatchThrows) {
+  ModelSpec spec;
+  ModelSpec::Stage stage;
+  stage.kind = ModelSpec::Stage::Kind::kLinear;
+  stage.linear.in_dim = 4;
+  stage.linear.out_dim = 2;
+  stage.linear.weight.assign(8, 1.0f);
+  stage.linear.bias.assign(2, 0.0f);
+  spec.stages.push_back(stage);
+  EXPECT_THROW(eval_spec(spec, std::vector<float>(3, 1.0f)), Error);
+}
+
+TEST(ArchName, Names) {
+  EXPECT_EQ(arch_name(Arch::kCnn1), "CNN1");
+  EXPECT_EQ(arch_name(Arch::kCnn2), "CNN2");
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,103 @@
+#include "core/pipeline.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+ExperimentConfig tiny_config() {
+  ExperimentConfig cfg;
+  cfg.train_size = 800;
+  cfg.test_size = 120;
+  cfg.relu_epochs = 4;
+  cfg.slaf_epochs = 3;
+  cfg.he_samples = 2;
+  cfg.cache_dir = ::testing::TempDir() + "/ppcnn-test-cache";
+  cfg.verbose = false;
+  return cfg;
+}
+
+TEST(ExperimentConfig, FlagParsing) {
+  std::vector<std::string> storage = {"prog", "--paper", "--samples", "3",
+                                      "--workers=8", "--quiet"};
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  const CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  const ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
+  EXPECT_TRUE(cfg.paper_profile);
+  EXPECT_EQ(cfg.he_samples, 3u);
+  EXPECT_EQ(cfg.workers, 8u);
+  EXPECT_FALSE(cfg.verbose);
+  EXPECT_EQ(cfg.ckks_params().degree, 1u << 14);
+}
+
+TEST(ExperimentConfig, DefaultIsFastProfile) {
+  const ExperimentConfig cfg;
+  EXPECT_EQ(cfg.ckks_params().degree, CkksParams::fast_profile().degree);
+}
+
+TEST(Experiment, BuildsDataAndCachesModels) {
+  Experiment exp(tiny_config());
+  EXPECT_EQ(exp.train_set().size(), 800u);
+  EXPECT_EQ(exp.test_set().size(), 120u);
+
+  const TrainedModel& m1 = exp.model(Arch::kCnn1, Activation::kSlaf);
+  EXPECT_GT(m1.test_accuracy, 30.0f);
+  // Second lookup returns the same object.
+  const TrainedModel& m2 = exp.model(Arch::kCnn1, Activation::kSlaf);
+  EXPECT_EQ(&m1, &m2);
+
+  // A fresh Experiment with the same cache dir loads without retraining and
+  // reaches the same accuracy.
+  Experiment exp2(tiny_config());
+  const TrainedModel& reloaded = exp2.model(Arch::kCnn1, Activation::kSlaf);
+  EXPECT_NEAR(reloaded.test_accuracy, m1.test_accuracy, 1e-3);
+}
+
+TEST(Experiment, SpecIsCompilable) {
+  Experiment exp(tiny_config());
+  const ModelSpec spec = exp.spec(Arch::kCnn1, Activation::kSlaf);
+  EXPECT_EQ(spec.stages.size(), 5u);
+  EXPECT_EQ(spec.depth(), 9u);
+}
+
+TEST(MakeBackend, CreatesBothKinds) {
+  const CkksParams p = CkksParams::test_small();
+  EXPECT_EQ(make_backend("rns", p)->name(), "ckks-rns");
+  EXPECT_EQ(make_backend("big", p)->name(), "ckks-bigint");
+  EXPECT_THROW(make_backend("nope", p), Error);
+}
+
+TEST(RunEncryptedEval, EndToEndTinyModel) {
+  // Full pipeline on a deliberately tiny spec and small ring: train-free
+  // random weights, 2 encrypted samples.
+  ExperimentConfig cfg = tiny_config();
+  cfg.he_samples = 2;
+
+  CkksParams params = CkksParams::test_small();
+  params.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26, 26, 26, 26};
+  auto backend = make_backend("rns", params);
+
+  Experiment exp(cfg);
+  const ModelSpec spec = exp.spec(Arch::kCnn1, Activation::kSlaf);
+  HeModelOptions options;
+  options.encrypted_weights = false;  // keep the test fast
+  const EncryptedEvalResult result =
+      run_encrypted_eval(*backend, spec, options, exp.test_set(), cfg);
+
+  EXPECT_EQ(result.samples, 2u);
+  EXPECT_EQ(result.eval_latency.count(), 2u);
+  EXPECT_GT(result.eval_latency.avg(), 0.0);
+  EXPECT_GT(result.parallel_latency.avg(), 0.0);
+  // The simulated parallel latency can never exceed the measured one.
+  EXPECT_LE(result.parallel_latency.avg(), result.eval_latency.avg() * 1.05);
+  EXPECT_GT(result.spec_accuracy, 20.0);
+  // Encrypted and plaintext predictions agree (RNS preserves accuracy).
+  EXPECT_DOUBLE_EQ(result.match_rate, 100.0);
+  EXPECT_LT(result.max_logit_err, 0.3);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,100 @@
+#include "core/rns_input.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+/// High-precision parameters for the exact-integer demo (Delta = 2^40, one
+/// multiplicative level is all the conv needs).
+CkksParams demo_params() {
+  CkksParams p;
+  p.degree = 1 << 11;
+  p.q_bit_sizes = {58, 58, 58};
+  p.special_bit_size = 60;
+  p.scale = std::ldexp(1.0, 40);
+  p.hamming_weight = 32;
+  return p;
+}
+
+LinearSpec small_conv(std::uint64_t seed, std::size_t in = 16,
+                      std::size_t out = 9) {
+  Prng prng(seed);
+  LinearSpec spec;
+  spec.in_dim = in;
+  spec.out_dim = out;
+  spec.weight.resize(in * out);
+  spec.bias.assign(out, 0.0f);
+  for (auto& w : spec.weight) {
+    w = static_cast<float>(prng.normal() * 0.4);
+  }
+  return spec;
+}
+
+std::vector<float> random_image(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<float> img(n);
+  for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+  return img;
+}
+
+TEST(RnsConvDemo, ThreeBranchRecombinationIsExact) {
+  RnsBackend backend(demo_params());
+  // 8-bit-ish coprime moduli, as the paper's "three co-prime moduli".
+  RnsConvDemo demo(backend, small_conv(1), {251, 247, 239}, 5);
+  const auto result = demo.run(random_image(16, 2));
+  EXPECT_TRUE(result.exact);
+  EXPECT_EQ(result.recombined, result.reference);
+  EXPECT_GT(result.eval_seconds, 0.0);
+  EXPECT_LE(result.max_branch_seconds, result.eval_seconds + 1e-9);
+}
+
+TEST(RnsConvDemo, TwoBranchesAlsoExactWithSmallerRange) {
+  RnsBackend backend(demo_params());
+  RnsConvDemo demo(backend, small_conv(3, 12, 6), {4093, 4091}, 5);
+  const auto result = demo.run(random_image(12, 4));
+  EXPECT_TRUE(result.exact);
+}
+
+TEST(RnsConvDemo, NegativeOutputsSurviveCenteredCrt) {
+  RnsBackend backend(demo_params());
+  // All-negative weights force negative integer outputs.
+  LinearSpec conv = small_conv(5, 10, 4);
+  for (auto& w : conv.weight) w = -std::abs(w);
+  RnsConvDemo demo(backend, conv, {251, 247, 239}, 5);
+  const auto result = demo.run(random_image(10, 6));
+  EXPECT_TRUE(result.exact);
+  bool any_negative = false;
+  for (const auto v : result.reference) {
+    if (v < 0) any_negative = true;
+  }
+  EXPECT_TRUE(any_negative);
+}
+
+TEST(RnsConvDemo, InsufficientRangeThrows) {
+  RnsBackend backend(demo_params());
+  // Product 7*11 = 77 cannot cover the conv output range.
+  EXPECT_THROW(RnsConvDemo(backend, small_conv(7), {7, 11}, 6), Error);
+}
+
+TEST(RnsConvDemo, NonCoprimeModuliThrow) {
+  RnsBackend backend(demo_params());
+  EXPECT_THROW(RnsConvDemo(backend, small_conv(8), {250, 248, 246}, 5), Error);
+}
+
+TEST(RnsConvDemo, CriticalPathBelowSumForMultipleBranches) {
+  RnsBackend backend(demo_params());
+  RnsConvDemo demo(backend, small_conv(9), {251, 247, 239}, 5);
+  const auto result = demo.run(random_image(16, 10));
+  // Three branches: the slowest branch is strictly less than the total.
+  EXPECT_LT(result.max_branch_seconds, result.eval_seconds);
+}
+
+}  // namespace
+}  // namespace pphe

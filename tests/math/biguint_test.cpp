@@ -1,0 +1,160 @@
+#include "math/biguint.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+BigUInt random_big(Prng& prng, std::size_t limbs) {
+  BigUInt v;
+  for (std::size_t i = 0; i < limbs; ++i) {
+    v = (v << 64) + BigUInt(prng.next_u64());
+  }
+  return v;
+}
+
+TEST(BigUInt, ConstructionAndZero) {
+  BigUInt zero;
+  EXPECT_TRUE(zero.is_zero());
+  EXPECT_EQ(zero.bit_length(), 0u);
+  EXPECT_EQ(zero.to_string(), "0");
+  BigUInt one(1);
+  EXPECT_FALSE(one.is_zero());
+  EXPECT_EQ(one.bit_length(), 1u);
+}
+
+TEST(BigUInt, DecimalRoundTrip) {
+  const std::string digits = "123456789012345678901234567890123456789";
+  const BigUInt v = BigUInt::from_string(digits);
+  EXPECT_EQ(v.to_string(), digits);
+}
+
+TEST(BigUInt, HexRoundTrip) {
+  const BigUInt v = BigUInt::from_string("0xdeadbeefcafebabe0123456789");
+  EXPECT_EQ(v.to_hex_string(), "deadbeefcafebabe0123456789");
+}
+
+TEST(BigUInt, ComparisonOrdering) {
+  const BigUInt a(5), b(7);
+  const BigUInt c = BigUInt::from_string("18446744073709551616");  // 2^64
+  EXPECT_LT(a, b);
+  EXPECT_LT(b, c);
+  EXPECT_GT(c, a);
+  EXPECT_EQ(a, BigUInt(5));
+  EXPECT_NE(a, b);
+}
+
+TEST(BigUInt, AdditionCarries) {
+  const BigUInt max64(~0ull);
+  const BigUInt sum = max64 + BigUInt(1);
+  EXPECT_EQ(sum.to_hex_string(), "10000000000000000");
+  EXPECT_EQ((sum - BigUInt(1)), max64);
+}
+
+TEST(BigUInt, SubtractionUnderflowThrows) {
+  EXPECT_THROW(BigUInt(3) - BigUInt(5), Error);
+}
+
+TEST(BigUInt, MultiplicationKnownValue) {
+  const BigUInt a = BigUInt::from_string("340282366920938463463374607431768211456");  // 2^128
+  const BigUInt b(3);
+  EXPECT_EQ((a * b).to_string(),
+            "1020847100762815390390123822295304634368");
+}
+
+TEST(BigUInt, ShiftsAreInverse) {
+  Prng prng(21);
+  for (int i = 0; i < 50; ++i) {
+    const BigUInt v = random_big(prng, 4);
+    const std::size_t s = prng.uniform_below(130);
+    EXPECT_EQ(((v << s) >> s), v);
+  }
+}
+
+TEST(BigUInt, DivModInvariant) {
+  Prng prng(22);
+  for (int i = 0; i < 200; ++i) {
+    const BigUInt a = random_big(prng, 1 + prng.uniform_below(6));
+    BigUInt b = random_big(prng, 1 + prng.uniform_below(3));
+    if (b.is_zero()) b = BigUInt(1);
+    const auto dm = a.divmod(b);
+    EXPECT_EQ(dm.quotient * b + dm.remainder, a);
+    EXPECT_LT(dm.remainder, b);
+  }
+}
+
+TEST(BigUInt, DivisionByZeroThrows) {
+  EXPECT_THROW(BigUInt(5).divmod(BigUInt()), Error);
+  EXPECT_THROW(BigUInt(5).divmod_u64(0), Error);
+  EXPECT_THROW(BigUInt(5).mod_u64(0), Error);
+}
+
+TEST(BigUInt, DivModU64MatchesGeneral) {
+  Prng prng(23);
+  for (int i = 0; i < 200; ++i) {
+    const BigUInt a = random_big(prng, 3);
+    const std::uint64_t d = 1 + prng.next_u64() % ((1ull << 60) - 1);
+    const auto fast = a.divmod_u64(d);
+    const auto slow = a.divmod(BigUInt(d));
+    EXPECT_EQ(fast.quotient, slow.quotient);
+    EXPECT_EQ(BigUInt(fast.remainder), slow.remainder);
+    EXPECT_EQ(a.mod_u64(d), fast.remainder);
+  }
+}
+
+TEST(BigUInt, PowModMatchesFermat) {
+  const BigUInt p = BigUInt::from_string("1000000000000000003");  // prime
+  Prng prng(24);
+  for (int i = 0; i < 20; ++i) {
+    BigUInt a = random_big(prng, 2) % p;
+    if (a.is_zero()) a = BigUInt(2);
+    EXPECT_EQ(a.pow_mod(p - BigUInt(1), p), BigUInt(1));
+  }
+}
+
+TEST(BigUInt, InvModRoundTrip) {
+  const BigUInt m = BigUInt::from_string("170141183460469231731687303715884105727");  // 2^127-1
+  Prng prng(25);
+  for (int i = 0; i < 50; ++i) {
+    BigUInt a = random_big(prng, 2) % m;
+    if (a.is_zero()) a = BigUInt(7);
+    const BigUInt inv = a.inv_mod(m);
+    EXPECT_EQ((a * inv) % m, BigUInt(1));
+  }
+}
+
+TEST(BigUInt, InvModNonCoprimeThrows) {
+  EXPECT_THROW(BigUInt(6).inv_mod(BigUInt(9)), Error);
+  EXPECT_THROW(BigUInt(0).inv_mod(BigUInt(9)), Error);
+}
+
+TEST(BigUInt, BitAccess) {
+  const BigUInt v = BigUInt(1) << 100;
+  EXPECT_TRUE(v.bit(100));
+  EXPECT_FALSE(v.bit(99));
+  EXPECT_FALSE(v.bit(101));
+  EXPECT_EQ(v.bit_length(), 101u);
+}
+
+TEST(BigUInt, CapacityOverflowThrows) {
+  // 14 limbs each: the 28-limb product exceeds the 26-limb capacity.
+  const BigUInt big = BigUInt(1) << (64 * 13);
+  EXPECT_THROW(big * big, Error);
+  EXPECT_THROW(big << (64 * 13), Error);
+  // At the boundary (13 + 13 = 26 limbs) multiplication still works.
+  const BigUInt edge = BigUInt(1) << (64 * 12);
+  EXPECT_NO_THROW(edge * edge);
+}
+
+TEST(BigUInt, ToDoubleApproximation) {
+  const BigUInt v = BigUInt(1) << 100;
+  EXPECT_NEAR(v.to_double() / std::pow(2.0, 100), 1.0, 1e-12);
+}
+
+}  // namespace
+}  // namespace pphe

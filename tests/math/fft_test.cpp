@@ -1,0 +1,98 @@
+#include "math/fft.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <numbers>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+using Cx = std::complex<double>;
+
+TEST(Fft, RoundTripIsIdentity) {
+  for (const std::size_t n : {1ul, 2ul, 8ul, 64ul, 1024ul}) {
+    const Fft fft(n);
+    Prng prng(n);
+    std::vector<Cx> a(n);
+    for (auto& x : a) x = {prng.uniform_double() - 0.5, prng.uniform_double() - 0.5};
+    auto b = a;
+    fft.forward(b);
+    fft.inverse(b);
+    for (std::size_t i = 0; i < n; ++i) {
+      EXPECT_NEAR(a[i].real(), b[i].real(), 1e-12);
+      EXPECT_NEAR(a[i].imag(), b[i].imag(), 1e-12);
+    }
+  }
+}
+
+TEST(Fft, MatchesNaiveDft) {
+  const std::size_t n = 32;
+  const Fft fft(n);
+  Prng prng(3);
+  std::vector<Cx> a(n);
+  for (auto& x : a) x = {prng.uniform_double(), prng.uniform_double()};
+  auto f = a;
+  fft.forward(f);
+  for (std::size_t k = 0; k < n; ++k) {
+    Cx ref{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) {
+      const double angle = -2.0 * std::numbers::pi *
+                           static_cast<double>(j * k) / static_cast<double>(n);
+      ref += a[j] * std::polar(1.0, angle);
+    }
+    EXPECT_NEAR(f[k].real(), ref.real(), 1e-9);
+    EXPECT_NEAR(f[k].imag(), ref.imag(), 1e-9);
+  }
+}
+
+TEST(Fft, DeltaTransformsToConstant) {
+  const std::size_t n = 16;
+  const Fft fft(n);
+  std::vector<Cx> a(n, Cx{0.0, 0.0});
+  a[0] = {1.0, 0.0};
+  fft.forward(a);
+  for (const auto& v : a) {
+    EXPECT_NEAR(v.real(), 1.0, 1e-12);
+    EXPECT_NEAR(v.imag(), 0.0, 1e-12);
+  }
+}
+
+TEST(Fft, ConvolutionTheorem) {
+  const std::size_t n = 64;
+  const Fft fft(n);
+  Prng prng(8);
+  std::vector<Cx> a(n), b(n);
+  for (auto& x : a) x = {prng.uniform_double(), 0.0};
+  for (auto& x : b) x = {prng.uniform_double(), 0.0};
+  // Cyclic convolution via FFT.
+  auto fa = a, fb = b;
+  fft.forward(fa);
+  fft.forward(fb);
+  std::vector<Cx> fc(n);
+  for (std::size_t i = 0; i < n; ++i) fc[i] = fa[i] * fb[i];
+  fft.inverse(fc);
+  // Direct cyclic convolution.
+  for (std::size_t k = 0; k < n; ++k) {
+    Cx ref{0.0, 0.0};
+    for (std::size_t j = 0; j < n; ++j) ref += a[j] * b[(k + n - j) % n];
+    EXPECT_NEAR(fc[k].real(), ref.real(), 1e-9);
+  }
+}
+
+TEST(Fft, RejectsNonPowerOfTwo) {
+  EXPECT_THROW(Fft(0), Error);
+  EXPECT_THROW(Fft(12), Error);
+}
+
+TEST(Fft, RejectsWrongInputSize) {
+  const Fft fft(8);
+  std::vector<Cx> wrong(4);
+  EXPECT_THROW(fft.forward(wrong), Error);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,102 @@
+#include "math/modarith.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "math/primes.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(Modulus, RejectsBadValues) {
+  EXPECT_THROW(Modulus(0), Error);
+  EXPECT_THROW(Modulus(1), Error);
+  EXPECT_THROW(Modulus(1ull << 62), Error);
+  EXPECT_NO_THROW(Modulus((1ull << 62) - 1));
+}
+
+TEST(Modulus, BasicOps) {
+  const Modulus m(17);
+  EXPECT_EQ(m.add(10, 10), 3u);
+  EXPECT_EQ(m.sub(3, 10), 10u);
+  EXPECT_EQ(m.neg(5), 12u);
+  EXPECT_EQ(m.neg(0), 0u);
+  EXPECT_EQ(m.mul(5, 7), 1u);
+  EXPECT_EQ(m.reduce(34), 0u);
+  EXPECT_EQ(m.bit_count(), 5);
+}
+
+TEST(Modulus, Reduce128MatchesNative) {
+  Prng prng(3);
+  const std::uint64_t p = generate_ntt_primes(1024, 50, 1)[0];
+  const Modulus m(p);
+  for (int i = 0; i < 2000; ++i) {
+    const unsigned __int128 x =
+        (static_cast<unsigned __int128>(prng.next_u64()) << 64) |
+        prng.next_u64();
+    EXPECT_EQ(m.reduce128(x), static_cast<std::uint64_t>(x % p));
+  }
+}
+
+TEST(Modulus, MulMatchesNativeForRandomPrimes) {
+  Prng prng(4);
+  for (const int bits : {20, 30, 45, 59}) {
+    const std::uint64_t p = generate_ntt_primes(256, bits, 1)[0];
+    const Modulus m(p);
+    for (int i = 0; i < 500; ++i) {
+      const std::uint64_t a = prng.uniform_below(p);
+      const std::uint64_t b = prng.uniform_below(p);
+      const auto expect = static_cast<std::uint64_t>(
+          static_cast<unsigned __int128>(a) * b % p);
+      EXPECT_EQ(m.mul(a, b), expect);
+    }
+  }
+}
+
+TEST(Modulus, PowAndInverse) {
+  const std::uint64_t p = generate_ntt_primes(512, 40, 1)[0];
+  const Modulus m(p);
+  Prng prng(5);
+  for (int i = 0; i < 100; ++i) {
+    const std::uint64_t a = 1 + prng.uniform_below(p - 1);
+    // Fermat: a^(p-1) = 1.
+    EXPECT_EQ(m.pow(a, p - 1), 1u);
+    const std::uint64_t inv = m.inv(a);
+    EXPECT_EQ(m.mul(a, inv), 1u);
+  }
+}
+
+TEST(Modulus, InverseOfZeroThrows) {
+  const Modulus m(17);
+  EXPECT_THROW(m.inv(0), Error);
+  EXPECT_THROW(m.inv(17), Error);  // reduces to zero
+}
+
+TEST(Modulus, InverseRequiresCoprime) {
+  const Modulus m(15);
+  EXPECT_THROW(m.inv(5), Error);
+  EXPECT_EQ(m.mul(m.inv(7), 7), 1u);
+}
+
+TEST(ShoupMul, MatchesBarrett) {
+  const std::uint64_t p = generate_ntt_primes(1024, 55, 1)[0];
+  const Modulus m(p);
+  Prng prng(6);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t w = prng.uniform_below(p);
+    const ShoupMul shoup(w, m);
+    for (int j = 0; j < 10; ++j) {
+      const std::uint64_t x = prng.uniform_below(p);
+      EXPECT_EQ(shoup.mul(x, p), m.mul(w, x));
+    }
+  }
+}
+
+TEST(ShoupMul, RejectsUnreducedOperand) {
+  const Modulus m(17);
+  EXPECT_THROW(ShoupMul(17, m), Error);
+}
+
+}  // namespace
+}  // namespace pphe

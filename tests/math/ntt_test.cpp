@@ -1,0 +1,121 @@
+#include "math/ntt.hpp"
+
+#include <gtest/gtest.h>
+
+#include <tuple>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "math/primes.hpp"
+
+namespace pphe {
+namespace {
+
+/// Schoolbook negacyclic convolution in Z_p[X]/(X^n + 1).
+std::vector<std::uint64_t> negacyclic_reference(
+    const std::vector<std::uint64_t>& a, const std::vector<std::uint64_t>& b,
+    const Modulus& mod) {
+  const std::size_t n = a.size();
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t i = 0; i < n; ++i) {
+    for (std::size_t j = 0; j < n; ++j) {
+      const std::uint64_t prod = mod.mul(a[i], b[j]);
+      const std::size_t k = i + j;
+      if (k < n) {
+        out[k] = mod.add(out[k], prod);
+      } else {
+        out[k - n] = mod.sub(out[k - n], prod);
+      }
+    }
+  }
+  return out;
+}
+
+class NttParamTest
+    : public ::testing::TestWithParam<std::tuple<std::size_t, int>> {};
+
+TEST_P(NttParamTest, RoundTripIsIdentity) {
+  const auto [n, bits] = GetParam();
+  const Modulus mod(generate_ntt_primes(n, bits, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(n * 31 + static_cast<std::size_t>(bits));
+  std::vector<std::uint64_t> a(n);
+  for (auto& x : a) x = prng.uniform_below(mod.value());
+  auto b = a;
+  ntt.forward(b);
+  ntt.inverse(b);
+  EXPECT_EQ(a, b);
+}
+
+TEST_P(NttParamTest, ConvolutionMatchesSchoolbook) {
+  const auto [n, bits] = GetParam();
+  if (n > 256) GTEST_SKIP() << "schoolbook reference too slow";
+  const Modulus mod(generate_ntt_primes(n, bits, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(n * 7 + static_cast<std::size_t>(bits));
+  std::vector<std::uint64_t> a(n), b(n), c(n);
+  for (auto& x : a) x = prng.uniform_below(mod.value());
+  for (auto& x : b) x = prng.uniform_below(mod.value());
+  const auto ref = negacyclic_reference(a, b, mod);
+  ntt.forward(a);
+  ntt.forward(b);
+  ntt.pointwise(a, b, c);
+  ntt.inverse(c);
+  EXPECT_EQ(c, ref);
+}
+
+INSTANTIATE_TEST_SUITE_P(
+    SizesAndWidths, NttParamTest,
+    ::testing::Combine(::testing::Values(8, 64, 256, 2048),
+                       ::testing::Values(20, 30, 50, 59)));
+
+TEST(Ntt, LinearityOfForward) {
+  const std::size_t n = 128;
+  const Modulus mod(generate_ntt_primes(n, 40, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(9);
+  std::vector<std::uint64_t> a(n), b(n), sum(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = prng.uniform_below(mod.value());
+    b[i] = prng.uniform_below(mod.value());
+    sum[i] = mod.add(a[i], b[i]);
+  }
+  ntt.forward(a);
+  ntt.forward(b);
+  ntt.forward(sum);
+  for (std::size_t i = 0; i < n; ++i) {
+    EXPECT_EQ(sum[i], mod.add(a[i], b[i]));
+  }
+}
+
+TEST(Ntt, MultiplicationByXIsNegacyclicShift) {
+  const std::size_t n = 64;
+  const Modulus mod(generate_ntt_primes(n, 30, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(10);
+  std::vector<std::uint64_t> a(n), x_poly(n, 0);
+  for (auto& v : a) v = prng.uniform_below(mod.value());
+  x_poly[1] = 1;  // the monomial X
+  auto fa = a, fx = x_poly;
+  std::vector<std::uint64_t> fc(n);
+  ntt.forward(fa);
+  ntt.forward(fx);
+  ntt.pointwise(fa, fx, fc);
+  ntt.inverse(fc);
+  // X * a(X): coefficients shift up; the top one wraps with a sign flip.
+  EXPECT_EQ(fc[0], mod.neg(a[n - 1]));
+  for (std::size_t i = 1; i < n; ++i) EXPECT_EQ(fc[i], a[i - 1]);
+}
+
+TEST(Ntt, RejectsWrongSizes) {
+  const std::size_t n = 64;
+  const Modulus mod(generate_ntt_primes(n, 30, 1)[0]);
+  const NttTable ntt(n, mod);
+  std::vector<std::uint64_t> wrong(32, 0);
+  EXPECT_THROW(ntt.forward(wrong), Error);
+  EXPECT_THROW(Modulus bad(17); NttTable(n, bad), Error);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,86 @@
+#include "math/primes.hpp"
+
+#include <gtest/gtest.h>
+
+#include <bit>
+#include <set>
+
+#include "common/check.hpp"
+#include "math/modarith.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(IsPrime, SmallValues) {
+  EXPECT_FALSE(is_prime_u64(0));
+  EXPECT_FALSE(is_prime_u64(1));
+  EXPECT_TRUE(is_prime_u64(2));
+  EXPECT_TRUE(is_prime_u64(3));
+  EXPECT_FALSE(is_prime_u64(4));
+  EXPECT_TRUE(is_prime_u64(97));
+  EXPECT_FALSE(is_prime_u64(91));  // 7*13
+}
+
+TEST(IsPrime, KnownLargePrimes) {
+  EXPECT_TRUE(is_prime_u64((1ull << 61) - 1));  // Mersenne prime M61
+  EXPECT_FALSE(is_prime_u64((1ull << 59) - 1)); // composite Mersenne
+  EXPECT_TRUE(is_prime_u64(0xffffffff00000001ull));  // Goldilocks prime
+}
+
+TEST(IsPrime, StrongPseudoprimesRejected) {
+  // Carmichael numbers.
+  for (const std::uint64_t n : {561ull, 1105ull, 1729ull, 2465ull, 6601ull}) {
+    EXPECT_FALSE(is_prime_u64(n)) << n;
+  }
+}
+
+TEST(GenerateNttPrimes, CongruenceAndSize) {
+  const std::size_t degree = 4096;
+  const auto primes = generate_ntt_primes(degree, 30, 5);
+  ASSERT_EQ(primes.size(), 5u);
+  std::set<std::uint64_t> unique(primes.begin(), primes.end());
+  EXPECT_EQ(unique.size(), 5u);
+  for (const auto p : primes) {
+    EXPECT_TRUE(is_prime_u64(p));
+    EXPECT_EQ(p % (2 * degree), 1u);
+    EXPECT_GE(p, 1ull << 29);
+    EXPECT_LT(p, 1ull << 30);
+  }
+}
+
+TEST(GenerateNttPrimes, RejectsBadArguments) {
+  EXPECT_THROW(generate_ntt_primes(1000, 30, 1), Error);  // not a power of 2
+  EXPECT_THROW(generate_ntt_primes(1024, 5, 1), Error);   // too narrow
+  EXPECT_THROW(generate_ntt_primes(1024, 62, 1), Error);  // too wide
+}
+
+TEST(GenerateModuliChain, OrderMatchesBitSizes) {
+  // The paper's Table II shape: [40, 26, ..., 26, 40].
+  std::vector<int> sizes{40, 26, 26, 26, 40};
+  const auto chain = generate_moduli_chain(2048, sizes);
+  ASSERT_EQ(chain.size(), sizes.size());
+  std::set<std::uint64_t> unique(chain.begin(), chain.end());
+  EXPECT_EQ(unique.size(), chain.size());  // repeats of a size are distinct
+  for (std::size_t i = 0; i < sizes.size(); ++i) {
+    EXPECT_EQ(static_cast<int>(64 - std::countl_zero(chain[i])), sizes[i]);
+    EXPECT_TRUE(is_prime_u64(chain[i]));
+    EXPECT_EQ(chain[i] % 4096, 1u);
+  }
+}
+
+TEST(FindPrimitiveRoot, HasOrder2N) {
+  const std::size_t n = 1024;
+  const auto p = generate_ntt_primes(n, 45, 1)[0];
+  const Modulus mod(p);
+  const std::uint64_t psi = find_primitive_2n_root(p, n);
+  EXPECT_EQ(mod.pow(psi, n), p - 1);       // psi^n = -1
+  EXPECT_EQ(mod.pow(psi, 2 * n), 1u);      // psi^2n = 1
+  EXPECT_NE(mod.pow(psi, n / 2), p - 1);   // order exactly 2n
+}
+
+TEST(FindPrimitiveRoot, RequiresCompatiblePrime) {
+  EXPECT_THROW(find_primitive_2n_root(17, 1024), Error);
+}
+
+}  // namespace
+}  // namespace pphe

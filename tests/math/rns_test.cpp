@@ -1,0 +1,95 @@
+#include "math/rns.hpp"
+
+#include <gtest/gtest.h>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "math/primes.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(RnsBase, RejectsNonCoprimeModuli) {
+  EXPECT_THROW(RnsBase({6, 10}), Error);
+  EXPECT_THROW(RnsBase({7, 7}), Error);
+  EXPECT_NO_THROW(RnsBase({7, 11, 13}));
+}
+
+TEST(RnsBase, RejectsEmptyOrTrivial) {
+  EXPECT_THROW(RnsBase({}), Error);
+  EXPECT_THROW(RnsBase({1}), Error);
+}
+
+TEST(RnsBase, ProductAndPunctured) {
+  const RnsBase base({7, 11, 13});
+  EXPECT_EQ(base.product(), BigUInt(1001));
+  EXPECT_EQ(base.punctured_product(0), BigUInt(143));
+  EXPECT_EQ(base.punctured_product(1), BigUInt(91));
+  EXPECT_EQ(base.punctured_product(2), BigUInt(77));
+  for (std::size_t i = 0; i < 3; ++i) {
+    const std::uint64_t t = base.punctured_inverse(i);
+    EXPECT_EQ(base.modulus(i).mul(
+                  base.punctured_product(i).mod_u64(base.modulus_value(i)), t),
+              1u);
+  }
+}
+
+TEST(RnsBase, ComposeDecomposeRoundTripSmall) {
+  const RnsBase base({7, 11, 13});
+  for (std::uint64_t v = 0; v < 1001; ++v) {
+    const auto residues = base.decompose(BigUInt(v));
+    EXPECT_EQ(base.compose(residues), BigUInt(v));
+  }
+}
+
+TEST(RnsBase, ComposeDecomposeRoundTripWide) {
+  const auto primes = generate_ntt_primes(1024, 50, 8);
+  const RnsBase base(primes);
+  Prng prng(41);
+  for (int i = 0; i < 200; ++i) {
+    BigUInt v;
+    for (int limb = 0; limb < 6; ++limb) {
+      v = (v << 64) + BigUInt(prng.next_u64());
+    }
+    v = v % base.product();
+    EXPECT_EQ(base.compose(base.decompose(v)), v);
+  }
+}
+
+TEST(RnsBase, ComponentwiseAdditionHomomorphism) {
+  // Fig. 2 of the paper: ops on the big integer == per-residue ops.
+  const auto primes = generate_ntt_primes(256, 40, 4);
+  const RnsBase base(primes);
+  Prng prng(42);
+  for (int i = 0; i < 100; ++i) {
+    BigUInt a = (BigUInt(prng.next_u64()) << 64) + BigUInt(prng.next_u64());
+    BigUInt b = (BigUInt(prng.next_u64()) << 64) + BigUInt(prng.next_u64());
+    a = a % base.product();
+    b = b % base.product();
+    const auto ra = base.decompose(a);
+    const auto rb = base.decompose(b);
+    std::vector<std::uint64_t> sum(base.size()), prod(base.size());
+    for (std::size_t j = 0; j < base.size(); ++j) {
+      sum[j] = base.modulus(j).add(ra[j], rb[j]);
+      prod[j] = base.modulus(j).mul(ra[j], rb[j]);
+    }
+    EXPECT_EQ(base.compose(sum), (a + b) % base.product());
+    EXPECT_EQ(base.compose(prod), (a * b) % base.product());
+  }
+}
+
+TEST(RnsBase, DecomposeReducesLargeInputs) {
+  const RnsBase base({7, 11});
+  const auto residues = base.decompose(BigUInt(1000));  // > 77
+  EXPECT_EQ(residues[0], 1000 % 7);
+  EXPECT_EQ(residues[1], 1000 % 11);
+}
+
+TEST(RnsBase, ComposeRejectsWrongCount) {
+  const RnsBase base({7, 11});
+  std::vector<std::uint64_t> wrong{1, 2, 3};
+  EXPECT_THROW(base.compose(wrong), Error);
+}
+
+}  // namespace
+}  // namespace pphe

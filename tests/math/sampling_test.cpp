@@ -1,0 +1,96 @@
+#include "math/sampling.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(SampleHwt, ExactHammingWeight) {
+  Prng prng(1);
+  for (const std::size_t h : {1ul, 16ul, 64ul, 128ul}) {
+    const auto v = sample_hwt(prng, 1024, h);
+    std::size_t nonzero = 0;
+    for (const auto x : v) {
+      EXPECT_TRUE(x == -1 || x == 0 || x == 1);
+      if (x != 0) ++nonzero;
+    }
+    EXPECT_EQ(nonzero, h);
+  }
+}
+
+TEST(SampleHwt, FullWeightAllowed) {
+  Prng prng(2);
+  const auto v = sample_hwt(prng, 64, 64);
+  for (const auto x : v) EXPECT_NE(x, 0);
+}
+
+TEST(SampleHwt, WeightAboveDimensionThrows) {
+  Prng prng(3);
+  EXPECT_THROW(sample_hwt(prng, 8, 9), Error);
+}
+
+TEST(SampleHwt, SignsAreBalanced) {
+  Prng prng(4);
+  int plus = 0, minus = 0;
+  for (int trial = 0; trial < 50; ++trial) {
+    const auto v = sample_hwt(prng, 256, 128);
+    for (const auto x : v) {
+      if (x == 1) ++plus;
+      if (x == -1) ++minus;
+    }
+  }
+  const double ratio = static_cast<double>(plus) / (plus + minus);
+  EXPECT_NEAR(ratio, 0.5, 0.03);
+}
+
+TEST(SampleTernary, ValuesAndDistribution) {
+  Prng prng(5);
+  std::array<int, 3> counts{};
+  constexpr std::size_t kN = 30000;
+  const auto v = sample_ternary(prng, kN);
+  for (const auto x : v) {
+    ASSERT_TRUE(x == -1 || x == 0 || x == 1);
+    ++counts[static_cast<std::size_t>(x + 1)];
+  }
+  for (const auto c : counts) {
+    EXPECT_NEAR(c, static_cast<int>(kN) / 3, 500);
+  }
+}
+
+TEST(SampleGaussian, MomentsMatchSigma) {
+  Prng prng(6);
+  const double sigma = 3.2;  // the HE-standard value
+  const auto v = sample_gaussian(prng, 100000, sigma);
+  double sum = 0.0, sum2 = 0.0;
+  for (const auto x : v) {
+    sum += static_cast<double>(x);
+    sum2 += static_cast<double>(x) * static_cast<double>(x);
+  }
+  const double mean = sum / static_cast<double>(v.size());
+  const double var = sum2 / static_cast<double>(v.size()) - mean * mean;
+  EXPECT_NEAR(mean, 0.0, 0.05);
+  // Rounding adds 1/12 to the variance.
+  EXPECT_NEAR(var, sigma * sigma + 1.0 / 12.0, 0.3);
+}
+
+TEST(SampleGaussian, TruncatedAtSixSigma) {
+  Prng prng(7);
+  const auto v = sample_gaussian(prng, 200000, 3.2);
+  for (const auto x : v) {
+    EXPECT_LE(std::abs(static_cast<double>(x)), 6.0 * 3.2 + 0.5);
+  }
+}
+
+TEST(SampleGaussian, InvalidSigmaThrows) {
+  Prng prng(8);
+  EXPECT_THROW(sample_gaussian(prng, 8, 0.0), Error);
+  EXPECT_THROW(sample_gaussian(prng, 8, -1.0), Error);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,135 @@
+#include "nn/data.hpp"
+
+#include <gtest/gtest.h>
+
+#include <array>
+#include <cstdio>
+#include <fstream>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(SyntheticMnist, ShapesAndRanges) {
+  const Dataset ds = generate_synthetic_mnist(100, 1);
+  EXPECT_EQ(ds.size(), 100u);
+  EXPECT_EQ(ds.images.shape(), (std::vector<std::size_t>{100, 1, 28, 28}));
+  for (std::size_t i = 0; i < ds.images.size(); ++i) {
+    ASSERT_GE(ds.images[i], 0.0f);
+    ASSERT_LE(ds.images[i], 1.0f);
+  }
+  for (const int label : ds.labels) {
+    ASSERT_GE(label, 0);
+    ASSERT_LT(label, 10);
+  }
+}
+
+TEST(SyntheticMnist, DeterministicPerSeed) {
+  const Dataset a = generate_synthetic_mnist(20, 5);
+  const Dataset b = generate_synthetic_mnist(20, 5);
+  EXPECT_EQ(a.labels, b.labels);
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    ASSERT_EQ(a.images[i], b.images[i]);
+  }
+  const Dataset c = generate_synthetic_mnist(20, 6);
+  bool any_diff = false;
+  for (std::size_t i = 0; i < a.images.size(); ++i) {
+    if (a.images[i] != c.images[i]) {
+      any_diff = true;
+      break;
+    }
+  }
+  EXPECT_TRUE(any_diff);
+}
+
+TEST(SyntheticMnist, AllClassesPresent) {
+  const Dataset ds = generate_synthetic_mnist(500, 2);
+  std::array<int, 10> counts{};
+  for (const int l : ds.labels) ++counts[static_cast<std::size_t>(l)];
+  for (const int c : counts) EXPECT_GT(c, 20);
+}
+
+TEST(SyntheticMnist, DigitsHaveInk) {
+  const Dataset ds = generate_synthetic_mnist(50, 3);
+  for (std::size_t i = 0; i < ds.size(); ++i) {
+    float total = 0.0f;
+    for (std::size_t p = 0; p < 784; ++p) {
+      total += ds.images[i * 784 + p];
+    }
+    // A digit has a visible stroke: neither blank nor saturated.
+    ASSERT_GT(total, 15.0f) << "image " << i;
+    ASSERT_LT(total, 500.0f) << "image " << i;
+  }
+}
+
+TEST(SyntheticMnist, ImagesWithinClassVary) {
+  const Dataset ds = generate_synthetic_mnist(200, 4);
+  // Find two images of the same digit and check they differ (augmentation).
+  for (int digit = 0; digit < 3; ++digit) {
+    std::vector<std::size_t> idx;
+    for (std::size_t i = 0; i < ds.size() && idx.size() < 2; ++i) {
+      if (ds.labels[i] == digit) idx.push_back(i);
+    }
+    ASSERT_EQ(idx.size(), 2u);
+    bool differ = false;
+    for (std::size_t p = 0; p < 784; ++p) {
+      if (ds.images[idx[0] * 784 + p] != ds.images[idx[1] * 784 + p]) {
+        differ = true;
+        break;
+      }
+    }
+    EXPECT_TRUE(differ);
+  }
+}
+
+TEST(Dataset, ImageExtractsSingleExample) {
+  const Dataset ds = generate_synthetic_mnist(3, 7);
+  const Tensor img = ds.image(2);
+  EXPECT_EQ(img.shape(), (std::vector<std::size_t>{1, 1, 28, 28}));
+  for (std::size_t p = 0; p < 784; ++p) {
+    ASSERT_EQ(img[p], ds.images[2 * 784 + p]);
+  }
+  EXPECT_THROW(ds.image(3), Error);
+}
+
+TEST(MnistIdx, MissingDirectoryReturnsNullopt) {
+  EXPECT_FALSE(load_mnist_idx("/nonexistent-dir", true).has_value());
+}
+
+TEST(MnistIdx, RoundTripThroughWrittenFiles) {
+  // Write a tiny IDX pair and read it back.
+  const std::string dir = ::testing::TempDir();
+  auto write_be32 = [](std::ofstream& out, std::uint32_t v) {
+    const unsigned char b[4] = {
+        static_cast<unsigned char>(v >> 24),
+        static_cast<unsigned char>(v >> 16),
+        static_cast<unsigned char>(v >> 8), static_cast<unsigned char>(v)};
+    out.write(reinterpret_cast<const char*>(b), 4);
+  };
+  {
+    std::ofstream img(dir + "/train-images-idx3-ubyte", std::ios::binary);
+    write_be32(img, 0x803);
+    write_be32(img, 2);
+    write_be32(img, 28);
+    write_be32(img, 28);
+    for (int i = 0; i < 2 * 784; ++i) {
+      const char c = static_cast<char>(i % 251);
+      img.write(&c, 1);
+    }
+    std::ofstream lbl(dir + "/train-labels-idx1-ubyte", std::ios::binary);
+    write_be32(lbl, 0x801);
+    write_be32(lbl, 2);
+    const char labels[2] = {3, 9};
+    lbl.write(labels, 2);
+  }
+  const auto ds = load_mnist_idx(dir, true);
+  ASSERT_TRUE(ds.has_value());
+  EXPECT_EQ(ds->size(), 2u);
+  EXPECT_EQ(ds->labels[0], 3);
+  EXPECT_EQ(ds->labels[1], 9);
+  EXPECT_NEAR(ds->images[1], 1.0f / 255.0f, 1e-6);
+}
+
+}  // namespace
+}  // namespace pphe

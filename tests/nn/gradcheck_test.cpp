@@ -1,0 +1,177 @@
+// Numerical gradient checking for every trainable layer: the analytic
+// backward pass must match central finite differences. This is the property
+// that makes the §V.D training loop trustworthy.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <functional>
+
+#include "common/prng.hpp"
+#include "nn/layers.hpp"
+
+namespace pphe {
+namespace {
+
+constexpr float kEps = 1e-3f;
+constexpr float kTol = 2e-2f;  // relative
+
+float rel_err(float a, float b) {
+  const float m = std::max({std::abs(a), std::abs(b), 1e-4f});
+  return std::abs(a - b) / m;
+}
+
+/// Scalar loss = sum of outputs weighted by a fixed random mask, so gradient
+/// checks exercise every output coordinate.
+float masked_loss(Layer& layer, const Tensor& x, const Tensor& mask) {
+  Tensor y = layer.forward(x, true);
+  float loss = 0.0f;
+  for (std::size_t i = 0; i < y.size(); ++i) loss += y[i] * mask[i];
+  return loss;
+}
+
+void check_input_gradient(Layer& layer, Tensor x, std::size_t out_size,
+                          std::uint64_t seed) {
+  Prng prng(seed);
+  Tensor mask({out_size});
+  for (std::size_t i = 0; i < out_size; ++i) {
+    mask[i] = static_cast<float>(prng.normal());
+  }
+
+  // Analytic input gradient.
+  Tensor y = layer.forward(x, true);
+  Tensor grad_out(y.shape());
+  for (std::size_t i = 0; i < y.size(); ++i) grad_out[i] = mask[i];
+  for (Param* p : layer.params()) p->grad.fill(0.0f);
+  const Tensor grad_in = layer.backward(grad_out);
+
+  // Numerical input gradient at a handful of coordinates.
+  for (std::size_t trial = 0; trial < 12; ++trial) {
+    const std::size_t i = prng.uniform_below(x.size());
+    const float orig = x[i];
+    x[i] = orig + kEps;
+    const float up = masked_loss(layer, x, mask);
+    x[i] = orig - kEps;
+    const float down = masked_loss(layer, x, mask);
+    x[i] = orig;
+    const float numeric = (up - down) / (2 * kEps);
+    EXPECT_LT(rel_err(grad_in[i], numeric), kTol)
+        << "input coord " << i << " analytic " << grad_in[i] << " numeric "
+        << numeric;
+  }
+}
+
+void check_param_gradient(Layer& layer, Tensor x, std::size_t out_size,
+                          std::uint64_t seed) {
+  Prng prng(seed ^ 0xabc);
+  Tensor mask({out_size});
+  for (std::size_t i = 0; i < out_size; ++i) {
+    mask[i] = static_cast<float>(prng.normal());
+  }
+
+  Tensor y = layer.forward(x, true);
+  Tensor grad_out(y.shape());
+  for (std::size_t i = 0; i < y.size(); ++i) grad_out[i] = mask[i];
+  for (Param* p : layer.params()) p->grad.fill(0.0f);
+  layer.backward(grad_out);
+
+  for (Param* p : layer.params()) {
+    for (std::size_t trial = 0; trial < 8; ++trial) {
+      const std::size_t i = prng.uniform_below(p->value.size());
+      const float orig = p->value[i];
+      p->value[i] = orig + kEps;
+      const float up = masked_loss(layer, x, mask);
+      p->value[i] = orig - kEps;
+      const float down = masked_loss(layer, x, mask);
+      p->value[i] = orig;
+      const float numeric = (up - down) / (2 * kEps);
+      EXPECT_LT(rel_err(p->grad[i], numeric), kTol)
+          << "param coord " << i << " analytic " << p->grad[i] << " numeric "
+          << numeric;
+    }
+  }
+}
+
+Tensor random_input(std::vector<std::size_t> shape, std::uint64_t seed) {
+  Prng prng(seed);
+  Tensor x(std::move(shape));
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(prng.normal() * 0.7);
+  }
+  return x;
+}
+
+TEST(GradCheck, Conv2D) {
+  Prng prng(1);
+  Conv2D conv(2, 3, 3, 2, prng);
+  const Tensor x = random_input({2, 2, 7, 7}, 11);
+  check_input_gradient(conv, x, 2 * 3 * 3 * 3, 21);
+  check_param_gradient(conv, x, 2 * 3 * 3 * 3, 22);
+}
+
+TEST(GradCheck, Dense) {
+  Prng prng(2);
+  Dense dense(10, 6, prng);
+  const Tensor x = random_input({3, 10}, 12);
+  check_input_gradient(dense, x, 18, 23);
+  check_param_gradient(dense, x, 18, 24);
+}
+
+TEST(GradCheck, BatchNorm2D) {
+  BatchNorm2D bn(3);
+  const Tensor x = random_input({4, 3, 3, 3}, 13);
+  check_input_gradient(bn, x, 4 * 27, 25);
+  check_param_gradient(bn, x, 4 * 27, 26);
+}
+
+TEST(GradCheck, ReLU) {
+  ReLU relu;
+  // Keep inputs away from the kink at 0.
+  Tensor x = random_input({2, 12}, 14);
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    if (std::abs(x[i]) < 0.05f) x[i] = 0.2f;
+  }
+  check_input_gradient(relu, x, 24, 27);
+}
+
+TEST(GradCheck, Square) {
+  Square square;
+  const Tensor x = random_input({2, 12}, 15);
+  check_input_gradient(square, x, 24, 28);
+}
+
+TEST(GradCheck, SlafWithNonzeroCoefficients) {
+  Slaf slaf(6, 3);
+  Prng prng(16);
+  for (std::size_t i = 0; i < slaf.coeffs().value.size(); ++i) {
+    slaf.coeffs().value[i] = static_cast<float>(prng.normal() * 0.3);
+  }
+  const Tensor x = random_input({3, 6}, 17);
+  check_input_gradient(slaf, x, 18, 29);
+  check_param_gradient(slaf, x, 18, 30);
+}
+
+TEST(GradCheck, SlafAtZeroInitGetsCoefficientGradients) {
+  // With zero coefficients the input gradient is zero but the coefficient
+  // gradients must be the input powers — this is what lets the CNN-HE-SLAF
+  // re-training phase escape the zero initialization (§III.B).
+  Slaf slaf(2, 2);
+  Tensor x({1, 2});
+  x[0] = 2.0f;
+  x[1] = -1.0f;
+  slaf.forward(x, true);
+  Tensor grad_out({1, 2});
+  grad_out[0] = 1.0f;
+  grad_out[1] = 1.0f;
+  const Tensor grad_in = slaf.backward(grad_out);
+  EXPECT_FLOAT_EQ(grad_in[0], 0.0f);
+  EXPECT_FLOAT_EQ(grad_in[1], 0.0f);
+  EXPECT_FLOAT_EQ(slaf.coeffs().grad.at2(0, 0), 1.0f);
+  EXPECT_FLOAT_EQ(slaf.coeffs().grad.at2(0, 1), 2.0f);
+  EXPECT_FLOAT_EQ(slaf.coeffs().grad.at2(0, 2), 4.0f);
+  EXPECT_FLOAT_EQ(slaf.coeffs().grad.at2(1, 1), -1.0f);
+  EXPECT_FLOAT_EQ(slaf.coeffs().grad.at2(1, 2), 1.0f);
+}
+
+}  // namespace
+}  // namespace pphe

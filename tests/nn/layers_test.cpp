@@ -1,0 +1,186 @@
+#include "nn/layers.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(Conv2D, OutputShapeValidStride2) {
+  Prng prng(1);
+  Conv2D conv(1, 5, 5, 2, prng);
+  Tensor x({2, 1, 28, 28});
+  const Tensor y = conv.forward(x, false);
+  EXPECT_EQ(y.shape(), (std::vector<std::size_t>{2, 5, 12, 12}));
+}
+
+TEST(Conv2D, KnownSmallConvolution) {
+  Prng prng(2);
+  Conv2D conv(1, 1, 2, 1, prng);
+  // Set the kernel to [[1,2],[3,4]], bias 0.5.
+  conv.weight().value.at4(0, 0, 0, 0) = 1;
+  conv.weight().value.at4(0, 0, 0, 1) = 2;
+  conv.weight().value.at4(0, 0, 1, 0) = 3;
+  conv.weight().value.at4(0, 0, 1, 1) = 4;
+  conv.bias().value[0] = 0.5f;
+  Tensor x({1, 1, 2, 2});
+  x.at4(0, 0, 0, 0) = 1;
+  x.at4(0, 0, 0, 1) = 2;
+  x.at4(0, 0, 1, 0) = 3;
+  x.at4(0, 0, 1, 1) = 4;
+  const Tensor y = conv.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1 + 4 + 9 + 16 + 0.5f);
+}
+
+TEST(Conv2D, KaimingInitHasExpectedVariance) {
+  Prng prng(3);
+  Conv2D conv(3, 64, 5, 1, prng);
+  double sum2 = 0.0;
+  const auto& w = conv.weight().value;
+  for (std::size_t i = 0; i < w.size(); ++i) sum2 += w[i] * w[i];
+  const double var = sum2 / static_cast<double>(w.size());
+  EXPECT_NEAR(var, 2.0 / (3 * 25), 2.0 / (3 * 25) * 0.2);
+}
+
+TEST(Conv2D, InputSmallerThanKernelThrows) {
+  Prng prng(4);
+  Conv2D conv(1, 1, 5, 1, prng);
+  Tensor x({1, 1, 3, 3});
+  EXPECT_THROW(conv.forward(x, false), Error);
+}
+
+TEST(Dense, ComputesAffineMap) {
+  Prng prng(5);
+  Dense dense(3, 2, prng);
+  dense.weight().value.at2(0, 0) = 1;
+  dense.weight().value.at2(0, 1) = 2;
+  dense.weight().value.at2(0, 2) = 3;
+  dense.weight().value.at2(1, 0) = -1;
+  dense.weight().value.at2(1, 1) = 0;
+  dense.weight().value.at2(1, 2) = 1;
+  dense.bias().value[0] = 0.5f;
+  dense.bias().value[1] = -0.5f;
+  Tensor x({1, 3});
+  x[0] = 1;
+  x[1] = 2;
+  x[2] = 3;
+  const Tensor y = dense.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 1 + 4 + 9 + 0.5f);
+  EXPECT_FLOAT_EQ(y[1], -1 + 3 - 0.5f);
+}
+
+TEST(BatchNorm2D, NormalizesTrainingBatch) {
+  BatchNorm2D bn(2);
+  Prng prng(6);
+  Tensor x({8, 2, 4, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(prng.normal() * 3.0 + 1.0);
+  }
+  const Tensor y = bn.forward(x, true);
+  for (std::size_t c = 0; c < 2; ++c) {
+    double sum = 0.0, sum2 = 0.0;
+    for (std::size_t b = 0; b < 8; ++b)
+      for (std::size_t i = 0; i < 4; ++i)
+        for (std::size_t j = 0; j < 4; ++j) {
+          const double v = y.at4(b, c, i, j);
+          sum += v;
+          sum2 += v * v;
+        }
+    const double mean = sum / 128.0;
+    const double var = sum2 / 128.0 - mean * mean;
+    EXPECT_NEAR(mean, 0.0, 1e-4);
+    EXPECT_NEAR(var, 1.0, 1e-2);
+  }
+}
+
+TEST(BatchNorm2D, FoldMatchesEvalForward) {
+  BatchNorm2D bn(3);
+  Prng prng(7);
+  // Give it non-trivial running stats and affine parameters.
+  for (int step = 0; step < 20; ++step) {
+    Tensor x({4, 3, 2, 2});
+    for (std::size_t i = 0; i < x.size(); ++i) {
+      x[i] = static_cast<float>(prng.normal() * 2.0 - 0.5);
+    }
+    bn.forward(x, true);
+  }
+  bn.params()[0]->value[1] = 1.7f;  // gamma
+  bn.params()[1]->value[2] = -0.3f; // beta
+
+  Tensor x({1, 3, 2, 2});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(prng.normal());
+  }
+  const Tensor y = bn.forward(x, false);
+  const auto scale = bn.fold_scale();
+  const auto shift = bn.fold_shift();
+  for (std::size_t c = 0; c < 3; ++c) {
+    for (std::size_t i = 0; i < 2; ++i) {
+      for (std::size_t j = 0; j < 2; ++j) {
+        EXPECT_NEAR(y.at4(0, c, i, j),
+                    scale[c] * x.at4(0, c, i, j) + shift[c], 1e-5);
+      }
+    }
+  }
+}
+
+TEST(ReLUAndSquare, Forward) {
+  ReLU relu;
+  Square square;
+  Tensor x({1, 4});
+  x[0] = -1;
+  x[1] = 0;
+  x[2] = 2;
+  x[3] = -3;
+  const Tensor yr = relu.forward(x, false);
+  EXPECT_FLOAT_EQ(yr[0], 0);
+  EXPECT_FLOAT_EQ(yr[2], 2);
+  const Tensor ys = square.forward(x, false);
+  EXPECT_FLOAT_EQ(ys[0], 1);
+  EXPECT_FLOAT_EQ(ys[3], 9);
+}
+
+TEST(Slaf, ZeroInitOutputsZero) {
+  Slaf slaf(4, 3);
+  Tensor x({2, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor y = slaf.forward(x, false);
+  for (std::size_t i = 0; i < y.size(); ++i) EXPECT_FLOAT_EQ(y[i], 0.0f);
+}
+
+TEST(Slaf, EvaluatesPerNeuronPolynomial) {
+  Slaf slaf(2, 3);
+  // Neuron 0: 1 + 2x; neuron 1: x^2 - x^3.
+  slaf.coeffs().value.at2(0, 0) = 1;
+  slaf.coeffs().value.at2(0, 1) = 2;
+  slaf.coeffs().value.at2(1, 2) = 1;
+  slaf.coeffs().value.at2(1, 3) = -1;
+  Tensor x({1, 2});
+  x[0] = 3;
+  x[1] = 2;
+  const Tensor y = slaf.forward(x, false);
+  EXPECT_FLOAT_EQ(y[0], 7.0f);
+  EXPECT_FLOAT_EQ(y[1], 4.0f - 8.0f);
+}
+
+TEST(Slaf, DegreeZeroRejected) {
+  EXPECT_THROW(Slaf(4, 0), Error);
+}
+
+TEST(FlattenReshape, RoundTrip) {
+  Flatten flatten;
+  Reshape4D reshape(2, 3, 4);
+  Tensor x({5, 2, 3, 4});
+  for (std::size_t i = 0; i < x.size(); ++i) x[i] = static_cast<float>(i);
+  const Tensor flat = flatten.forward(x, true);
+  EXPECT_EQ(flat.shape(), (std::vector<std::size_t>{5, 24}));
+  const Tensor back = reshape.forward(flat, true);
+  EXPECT_EQ(back.shape(), x.shape());
+  for (std::size_t i = 0; i < x.size(); ++i) EXPECT_EQ(back[i], x[i]);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -1,0 +1,159 @@
+#include "nn/network.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+TEST(CrossEntropy, UniformLogitsGiveLogK) {
+  Tensor logits({2, 10});
+  Tensor grad;
+  const float loss = cross_entropy(logits, {3, 7}, 0, grad);
+  EXPECT_NEAR(loss, std::log(10.0f), 1e-5);
+  // Gradient: (softmax - onehot) / batch.
+  EXPECT_NEAR(grad.at2(0, 3), (0.1f - 1.0f) / 2.0f, 1e-5);
+  EXPECT_NEAR(grad.at2(0, 4), 0.1f / 2.0f, 1e-5);
+}
+
+TEST(CrossEntropy, ConfidentCorrectPredictionLowLoss) {
+  Tensor logits({1, 3});
+  logits.at2(0, 1) = 20.0f;
+  Tensor grad;
+  const float loss = cross_entropy(logits, {1}, 0, grad);
+  EXPECT_LT(loss, 1e-3);
+}
+
+TEST(CrossEntropy, NumericallyStableForLargeLogits) {
+  Tensor logits({1, 3});
+  logits.at2(0, 0) = 1e4f;
+  logits.at2(0, 1) = 1e4f - 5;
+  Tensor grad;
+  const float loss = cross_entropy(logits, {0}, 0, grad);
+  EXPECT_TRUE(std::isfinite(loss));
+}
+
+TEST(Sgd, MomentumAccumulates) {
+  Param p({2});
+  p.grad[0] = 1.0f;
+  Sgd sgd(0.9f);
+  sgd.step({&p}, 0.1f);
+  EXPECT_NEAR(p.value[0], -0.1f, 1e-6);
+  sgd.step({&p}, 0.1f);  // velocity: 0.9*(-0.1) - 0.1 = -0.19
+  EXPECT_NEAR(p.value[0], -0.29f, 1e-6);
+}
+
+TEST(Sgd, ZeroGradClears) {
+  Param p({2});
+  p.grad[0] = 5.0f;
+  Sgd sgd;
+  sgd.zero_grad({&p});
+  EXPECT_EQ(p.grad[0], 0.0f);
+}
+
+TEST(OneCycleLr, ShapeOfSchedule) {
+  OneCycleLr sched(1.0f, 100, 0.3f, 25.0f, 1e4f);
+  EXPECT_NEAR(sched.lr(0), 1.0f / 25.0f, 1e-5);   // warm start
+  EXPECT_NEAR(sched.lr(30), 1.0f, 1e-2);          // peak at pct_start
+  EXPECT_LT(sched.lr(99), 0.01f);                 // annealed at the end
+  // Monotone rise during warm-up.
+  for (std::size_t s = 1; s < 30; ++s) {
+    EXPECT_GE(sched.lr(s), sched.lr(s - 1));
+  }
+  // Monotone decay afterwards.
+  for (std::size_t s = 31; s < 100; ++s) {
+    EXPECT_LE(sched.lr(s), sched.lr(s - 1) + 1e-6f);
+  }
+}
+
+TEST(Network, LearnsLinearlySeparableToy) {
+  // Tiny 2-class problem rendered into the (B,1,28,28) shape the stack uses:
+  // class = whether the top-left patch is brighter than the bottom-right.
+  Prng prng(7);
+  const std::size_t n = 256;
+  Dataset data;
+  data.images = Tensor({n, 1, 28, 28});
+  data.labels.resize(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    const bool cls = (prng.next_u64() & 1) != 0;
+    data.labels[i] = cls ? 1 : 0;
+    for (std::size_t y = 0; y < 28; ++y) {
+      for (std::size_t x = 0; x < 28; ++x) {
+        const bool top_left = y < 14 && x < 14;
+        const bool bottom_right = y >= 14 && x >= 14;
+        float v = 0.1f;
+        if (cls && top_left) v = 0.9f;
+        if (!cls && bottom_right) v = 0.9f;
+        data.images.data()[(i * 28 + y) * 28 + x] =
+            v + static_cast<float>(prng.normal() * 0.02);
+      }
+    }
+  }
+
+  Network net;
+  Prng init(3);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(784, 16, init);
+  net.emplace<ReLU>();
+  net.emplace<Dense>(16, 10, init);
+
+  TrainConfig cfg;
+  cfg.epochs = 5;
+  cfg.batch_size = 32;
+  cfg.lr_max = 0.05f;
+  const float acc = train(net, data, cfg);
+  EXPECT_GT(acc, 95.0f);
+  EXPECT_GT(evaluate(net, data), 95.0f);
+}
+
+TEST(Network, PredictReturnsArgmax) {
+  Network net;
+  Prng init(5);
+  net.emplace<Flatten>();
+  net.emplace<Dense>(784, 10, init);
+  Tensor img({1, 1, 28, 28});
+  const int pred = predict(net, img);
+  EXPECT_GE(pred, 0);
+  EXPECT_LT(pred, 10);
+}
+
+TEST(Network, DescribeListsLayers) {
+  Network net;
+  Prng init(5);
+  net.emplace<Conv2D>(1, 5, 5, 2, init);
+  net.emplace<Flatten>();
+  net.emplace<Slaf>(720, 3);
+  const std::string d = net.describe();
+  EXPECT_NE(d.find("Conv2D"), std::string::npos);
+  EXPECT_NE(d.find("SLAF"), std::string::npos);
+}
+
+TEST(Network, RestrictedTrainingOnlyUpdatesSelectedParams) {
+  Network net;
+  Prng init(9);
+  net.emplace<Flatten>();
+  Dense* d1 = net.emplace<Dense>(784, 8, init);
+  net.emplace<Slaf>(8, 2);
+  net.emplace<Dense>(8, 10, init);
+
+  Dataset data;
+  data.images = Tensor({32, 1, 28, 28});
+  data.labels.assign(32, 1);
+
+  const Tensor w_before = d1->weight().value;
+  TrainConfig cfg;
+  cfg.epochs = 1;
+  cfg.batch_size = 8;
+  // Only SLAF coefficients may move.
+  cfg.restrict_to = net.layers()[2]->params();
+  train(net, data, cfg);
+  for (std::size_t i = 0; i < w_before.size(); ++i) {
+    ASSERT_EQ(d1->weight().value[i], w_before[i]);
+  }
+}
+
+}  // namespace
+}  // namespace pphe

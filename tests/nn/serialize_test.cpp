@@ -1,0 +1,81 @@
+#include "nn/serialize.hpp"
+
+#include <gtest/gtest.h>
+
+#include <fstream>
+#include <memory>
+
+#include "common/prng.hpp"
+
+namespace pphe {
+namespace {
+
+std::unique_ptr<Network> make_net(std::uint64_t seed) {
+  Prng prng(seed);
+  auto net = std::make_unique<Network>();
+  net->emplace<Conv2D>(1, 3, 5, 2, prng);
+  net->emplace<BatchNorm2D>(3);
+  net->emplace<Flatten>();
+  net->emplace<Slaf>(432, 3);
+  net->emplace<Dense>(432, 10, prng);
+  return net;
+}
+
+TEST(Serialize, RoundTripRestoresAllState) {
+  auto a = make_net(1);
+  // Perturb: run a training-mode forward so batchnorm stats move.
+  Prng prng(9);
+  Tensor x({4, 1, 28, 28});
+  for (std::size_t i = 0; i < x.size(); ++i) {
+    x[i] = static_cast<float>(prng.uniform_double());
+  }
+  a->forward(x, true);
+  for (Param* p : a->params()) {
+    for (std::size_t i = 0; i < p->value.size(); ++i) {
+      p->value[i] += 0.01f * static_cast<float>(prng.normal());
+    }
+  }
+
+  const std::string path = ::testing::TempDir() + "/weights.bin";
+  save_weights(*a, path);
+
+  auto b = make_net(2);  // different init
+  ASSERT_TRUE(load_weights(*b, path));
+
+  // Same eval-mode outputs (checks params AND batchnorm running stats).
+  const Tensor ya = a->forward(x, false);
+  const Tensor yb = b->forward(x, false);
+  for (std::size_t i = 0; i < ya.size(); ++i) {
+    ASSERT_FLOAT_EQ(ya[i], yb[i]);
+  }
+}
+
+TEST(Serialize, MissingFileReturnsFalse) {
+  auto net = make_net(1);
+  EXPECT_FALSE(load_weights(*net, "/nonexistent/weights.bin"));
+}
+
+TEST(Serialize, ShapeMismatchReturnsFalse) {
+  auto a = make_net(1);
+  const std::string path = ::testing::TempDir() + "/weights2.bin";
+  save_weights(*a, path);
+
+  Prng prng(3);
+  Network different;
+  different.emplace<Dense>(10, 10, prng);
+  EXPECT_FALSE(load_weights(different, path));
+}
+
+TEST(Serialize, CorruptMagicReturnsFalse) {
+  const std::string path = ::testing::TempDir() + "/weights3.bin";
+  {
+    std::ofstream out(path, std::ios::binary);
+    const char junk[8] = {1, 2, 3, 4, 5, 6, 7, 8};
+    out.write(junk, 8);
+  }
+  auto net = make_net(1);
+  EXPECT_FALSE(load_weights(*net, path));
+}
+
+}  // namespace
+}  // namespace pphe

@@ -3,8 +3,10 @@
 // component-wise word arithmetic over multiprecision arithmetic — the
 // mechanism behind every speedup in Tables III-VI.
 
+#include <algorithm>
 #include <cstdio>
 
+#include "ckks/rns_backend.hpp"
 #include "common/cli.hpp"
 #include "common/prng.hpp"
 #include "common/stats.hpp"
@@ -98,5 +100,55 @@ int main(int argc, char** argv) {
   }
   std::printf("compose/decompose homomorphism: %zu/1000 random (+,*) pairs exact\n",
               checked);
+
+  // Slab arena behaviour of the double-CRT evaluator (DESIGN.md §"Memory
+  // layout"): after one warm-up op per primitive, every polynomial slab
+  // should come from the pool's free list — miss/op must read 0.00.
+  {
+    const std::size_t reps =
+        static_cast<std::size_t>(
+            std::max<std::int64_t>(1, flags.get_int("reps", 10)));
+    CkksParams p;
+    p.degree = 1 << 13;  // the fast profile of run_benches.sh
+    p.q_bit_sizes = {40, 26, 26, 26, 26};
+    p.special_bit_size = 40;
+    p.scale = 67108864.0;
+    RnsBackend be(p);
+    be.ensure_galois_keys({1});
+    Prng bench_prng(3);
+    std::vector<double> v(be.slot_count());
+    for (auto& s : v) s = bench_prng.uniform_double();
+    const Ciphertext ca =
+        be.encrypt(be.encode(v, p.scale, be.max_level()));
+    const Ciphertext cb =
+        be.encrypt(be.encode(v, p.scale, be.max_level()));
+    const Ciphertext prod = be.relinearize(be.multiply(ca, cb));
+
+    TextTable mem_table(
+        {"op", "ms/op", "miss/op", "hit/op", "arena peak (MB)"});
+    auto bench_op = [&](const char* name, auto&& op) {
+      op();  // warm-up populates the free list
+      be.reset_mem_stats();
+      Stopwatch sw;
+      for (std::size_t i = 0; i < reps; ++i) op();
+      const double ms = sw.seconds() * 1e3 / static_cast<double>(reps);
+      const MemStats ms_stats = be.mem_stats();
+      const double n = static_cast<double>(reps);
+      mem_table.add_row(
+          {name, TextTable::fixed(ms, 3),
+           TextTable::fixed(static_cast<double>(ms_stats.pool_misses) / n, 2),
+           TextTable::fixed(static_cast<double>(ms_stats.pool_hits) / n, 2),
+           TextTable::fixed(
+               static_cast<double>(ms_stats.peak_bytes) / (1024.0 * 1024.0),
+               2)});
+    };
+    std::size_t sink = 0;
+    bench_op("multiply", [&] { sink += be.multiply(ca, cb).size(); });
+    bench_op("rescale", [&] { sink += be.rescale(prod).size(); });
+    bench_op("rotate", [&] { sink += be.rotate(ca, 1).size(); });
+    std::printf("\nCKKS-RNS slab arena (N=2^13, warm pool):\n%s\n",
+                mem_table.render().c_str());
+    if (sink == 0) std::printf("(unreachable)\n");
+  }
   return checked == 1000 ? 0 : 1;
 }

@@ -53,73 +53,80 @@ struct Fixture {
   }
 };
 
+/// Runs `op` once to warm the arena's free list, then times it and reports
+/// allocation behaviour next to latency: alloc/op (free-list misses, i.e.
+/// trips to the system allocator), hit/op (slabs recycled), and the arena's
+/// peak footprint. Steady-state multiply/rescale/rotate must show 0 alloc/op.
+template <typename Op>
+void run_with_mem(benchmark::State& state, HeBackend& backend, Op&& op) {
+  benchmark::DoNotOptimize(op());  // warm-up populates the free list
+  backend.reset_mem_stats();
+  for (auto _ : state) {
+    benchmark::DoNotOptimize(op());
+  }
+  const MemStats ms = backend.mem_stats();
+  state.counters["alloc/op"] = benchmark::Counter(
+      static_cast<double>(ms.pool_misses), benchmark::Counter::kAvgIterations);
+  state.counters["hit/op"] = benchmark::Counter(
+      static_cast<double>(ms.pool_hits), benchmark::Counter::kAvgIterations);
+  state.counters["peak_MB"] =
+      static_cast<double>(ms.peak_bytes) / (1024.0 * 1024.0);
+}
+
 void BM_Multiply(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->multiply(f.ca, f.cb));
-  }
+  run_with_mem(state, *f.backend,
+               [&] { return f.backend->multiply(f.ca, f.cb); });
 }
 
 void BM_MultiplyPlain(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->multiply_plain(f.ca, f.pb));
-  }
+  run_with_mem(state, *f.backend,
+               [&] { return f.backend->multiply_plain(f.ca, f.pb); });
 }
 
 void BM_Relinearize(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
   const Ciphertext prod = f.backend->multiply(f.ca, f.cb);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->relinearize(prod));
-  }
+  run_with_mem(state, *f.backend,
+               [&] { return f.backend->relinearize(prod); });
 }
 
 void BM_Rescale(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
   const Ciphertext prod =
       f.backend->relinearize(f.backend->multiply(f.ca, f.cb));
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->rescale(prod));
-  }
+  run_with_mem(state, *f.backend, [&] { return f.backend->rescale(prod); });
 }
 
 void BM_Rotate(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->rotate(f.ca, 1));
-  }
+  run_with_mem(state, *f.backend, [&] { return f.backend->rotate(f.ca, 1); });
 }
 
 void BM_Add(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->add(f.ca, f.cb));
-  }
+  run_with_mem(state, *f.backend, [&] { return f.backend->add(f.ca, f.cb); });
 }
 
 void BM_Encrypt(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->encrypt(f.pb));
-  }
+  run_with_mem(state, *f.backend, [&] { return f.backend->encrypt(f.pb); });
 }
 
 void BM_Decrypt(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(f.backend->decrypt_decode(f.ca));
-  }
+  run_with_mem(state, *f.backend,
+               [&] { return f.backend->decrypt_decode(f.ca); });
 }
 
 void BM_Encode(benchmark::State& state, const std::string& kind) {
   auto& f = Fixture::get(kind);
   std::vector<double> v(f.backend->slot_count(), 0.5);
-  for (auto _ : state) {
-    benchmark::DoNotOptimize(
-        f.backend->encode(v, f.backend->params().scale,
-                          f.backend->max_level()));
-  }
+  run_with_mem(state, *f.backend, [&] {
+    return f.backend->encode(v, f.backend->params().scale,
+                             f.backend->max_level());
+  });
 }
 
 // Ablation (DESIGN.md §6.1): relinearizing after every product vs deferring

@@ -1,16 +1,49 @@
 #!/bin/bash
 # Runs every bench binary in sequence (fast ones first), mirroring
 # `for b in build/bench/*; do $b; done` but ordered for early signal.
+#
+#   --quick   smoke profile: the fast benches only, with reduced op counts —
+#             seconds instead of minutes, for CI and pre-commit sanity.
 set -u
 cd /root/repo
-for b in bench_table2_params bench_sec3c_errors bench_fig2_rns \
-         bench_fig34_arch bench_fig1_pipeline bench_batch_throughput \
-         bench_table3_cnn1 bench_table4_cnn1_moduli bench_fig5_parallel \
-         bench_table5_cnn2 bench_table6_cnn2_moduli bench_table1_sota \
-         bench_micro_primitives; do
+
+QUICK=0
+for arg in "$@"; do
+  case "$arg" in
+    --quick) QUICK=1 ;;
+    *) echo "unknown flag: $arg (supported: --quick)" >&2; exit 2 ;;
+  esac
+done
+
+if [ "$QUICK" -eq 1 ]; then
+  BENCHES=(bench_table2_params bench_fig2_rns bench_micro_primitives)
+else
+  BENCHES=(bench_table2_params bench_sec3c_errors bench_fig2_rns \
+           bench_fig34_arch bench_fig1_pipeline bench_batch_throughput \
+           bench_table3_cnn1 bench_table4_cnn1_moduli bench_fig5_parallel \
+           bench_table5_cnn2 bench_table6_cnn2_moduli bench_table1_sota \
+           bench_micro_primitives)
+fi
+
+quick_args() {
+  # Per-bench reduced workloads for --quick.
+  case "$1" in
+    bench_fig2_rns) echo "--ops=20000 --reps=5" ;;
+    bench_micro_primitives)
+      echo "--benchmark_min_time=0.05 --benchmark_filter=rns" ;;
+    *) echo "" ;;
+  esac
+}
+
+for b in "${BENCHES[@]}"; do
   echo "==================================================================="
   echo "=== $b"
   echo "==================================================================="
-  ./build/bench/$b 2>&1
+  if [ "$QUICK" -eq 1 ]; then
+    # shellcheck disable=SC2046
+    ./build/bench/$b $(quick_args "$b") 2>&1
+  else
+    ./build/bench/$b 2>&1
+  fi
   echo
 done

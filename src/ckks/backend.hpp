@@ -3,11 +3,13 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "ckks/params.hpp"
+#include "math/poly_buffer.hpp"
 
 namespace pphe {
 
@@ -150,16 +152,32 @@ class HeBackend {
   }
 
   // --- instrumentation --------------------------------------------------
-  /// Cumulative homomorphic-op counts since the last reset (op name -> n).
-  const std::map<std::string, std::uint64_t>& op_counts() const {
+  /// Snapshot of cumulative homomorphic-op counts since the last reset
+  /// (op name -> n). Returned by value: the live map keeps changing under
+  /// its mutex while thread-pool channel loops count fused ops.
+  std::map<std::string, std::uint64_t> op_counts() const {
+    std::lock_guard<std::mutex> lock(op_mutex_);
     return op_counts_;
   }
-  void reset_op_counts() { op_counts_.clear(); }
+  void reset_op_counts() {
+    std::lock_guard<std::mutex> lock(op_mutex_);
+    op_counts_.clear();
+  }
+
+  /// Allocation behaviour of the backend's polynomial arena (DESIGN.md
+  /// §"Memory layout"). Steady-state multiply/rescale/rotate must report
+  /// zero pool misses after warm-up.
+  virtual MemStats mem_stats() const { return {}; }
+  virtual void reset_mem_stats() const {}
 
  protected:
-  void count_op(const std::string& op) const { ++op_counts_[op]; }
+  void count_op(const std::string& op) const {
+    std::lock_guard<std::mutex> lock(op_mutex_);
+    ++op_counts_[op];
+  }
 
  private:
+  mutable std::mutex op_mutex_;
   mutable std::map<std::string, std::uint64_t> op_counts_;
 };
 

@@ -1,5 +1,6 @@
 #include "ckks/big_backend.hpp"
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -135,7 +136,9 @@ const BigUInt& BigBackend::level_modulus(int level) const {
 
 BigPoly BigBackend::zero_poly(int level, bool ntt_form) const {
   BigPoly p;
-  p.coeffs.assign(params_.degree, BigUInt());
+  p.coeffs = PooledVec<BigUInt>(big_pool_, params_.degree);
+  // A recycled buffer keeps its previous contents; reset explicitly.
+  std::fill(p.coeffs.begin(), p.coeffs.end(), BigUInt());
   p.ntt = ntt_form;
   p.level = level;
   return p;
@@ -157,9 +160,9 @@ void BigBackend::to_coeff(BigPoly& p) const {
   p.ntt = false;
 }
 
-std::vector<BigUInt> BigBackend::lift_signed_mod(
+PooledVec<BigUInt> BigBackend::lift_signed_mod(
     std::span<const std::int64_t> coeffs, const BigUInt& modulus) const {
-  std::vector<BigUInt> out(coeffs.size());
+  PooledVec<BigUInt> out(big_pool_, coeffs.size());
   for (std::size_t i = 0; i < coeffs.size(); ++i) {
     const std::int64_t v = coeffs[i];
     if (v >= 0) {
@@ -309,10 +312,8 @@ BigBackend::KswKey BigBackend::make_ksw_key(
   const std::size_t n = params_.degree;
 
   KswKey key;
-  key.a = BigPoly{{}, true, top};
-  key.b = BigPoly{{}, true, top};
-  key.a.coeffs.resize(n);
-  key.b.coeffs.resize(n);
+  key.a = BigPoly{PooledVec<BigUInt>(big_pool_, n), true, top};
+  key.b = BigPoly{PooledVec<BigUInt>(big_pool_, n), true, top};
   for (auto& c : key.a.coeffs) c = uniform_below_big(aux);
 
   auto s_aux = lift_signed_mod(sk_signed_, aux);
@@ -372,7 +373,9 @@ std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
   Stopwatch sw;
   // Centered lift of d from Q_level to Q_level*P: residues above Q_level/2
   // represent negative values and must stay small in the wider ring.
-  std::vector<BigUInt> lifted(n);
+  // Scratch buffers cycle through the backend's pool (every element is
+  // overwritten, so recycled contents are harmless).
+  PooledVec<BigUInt> lifted(big_pool_, n);
   const BigUInt lift_offset = aux - q_l;  // == (P-1) * Q_level
   for (std::size_t i = 0; i < n; ++i) {
     lifted[i] =
@@ -380,7 +383,7 @@ std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
   }
   transform.forward(lifted);
 
-  std::vector<BigUInt> acc0(n), acc1(n);
+  PooledVec<BigUInt> acc0(big_pool_, n), acc1(big_pool_, n);
   for (std::size_t i = 0; i < n; ++i) {
     acc0[i] = bar.mulmod(lifted[i], key_at_level->b.coeffs[i]);
     acc1[i] = bar.mulmod(lifted[i], key_at_level->a.coeffs[i]);

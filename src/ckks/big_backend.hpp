@@ -11,13 +11,17 @@
 #include "common/prng.hpp"
 #include "math/bigmod.hpp"
 #include "math/biguint.hpp"
+#include "math/poly_buffer.hpp"
 
 namespace pphe {
 
 /// Polynomial with multiprecision coefficients modulo one composite modulus
 /// Q_level = q_0 · … · q_level; `ntt` marks evaluation (BigNtt) form.
+/// BigUInt stores its limbs inline, so the coefficient vector is one
+/// contiguous slab — pooled through the backend's VecPool the same way
+/// RnsPoly slabs go through PolyPool.
 struct BigPoly {
-  std::vector<BigUInt> coeffs;
+  PooledVec<BigUInt> coeffs;
   bool ntt = false;
   int level = 0;  // which ladder modulus the coefficients live under
 };
@@ -76,6 +80,9 @@ class BigBackend final : public HeBackend {
   void ensure_galois_keys(const std::vector<int>& steps) override;
 
   const CkksEncoder& encoder() const { return encoder_; }
+  const std::shared_ptr<VecPool<BigUInt>>& pool() const { return big_pool_; }
+  MemStats mem_stats() const override { return big_pool_->stats(); }
+  void reset_mem_stats() const override { big_pool_->reset_stats(); }
   /// Ladder modulus Q_level.
   const BigUInt& level_modulus(int level) const;
   const BigUInt& aux_modulus() const { return p_modulus_; }
@@ -99,8 +106,8 @@ class BigBackend final : public HeBackend {
   BigPoly lift_signed(std::span<const std::int64_t> coeffs, int level) const;
   /// Lift small signed values modulo an arbitrary modulus (for key material
   /// living under Q_L * P).
-  std::vector<BigUInt> lift_signed_mod(std::span<const std::int64_t> coeffs,
-                                       const BigUInt& modulus) const;
+  PooledVec<BigUInt> lift_signed_mod(std::span<const std::int64_t> coeffs,
+                                     const BigUInt& modulus) const;
   BigUInt uniform_below_big(const BigUInt& bound) const;
   BigPoly automorphism(const BigPoly& p, std::uint64_t exponent) const;
   void add_inplace(BigPoly& a, const BigPoly& b) const;
@@ -122,6 +129,8 @@ class BigBackend final : public HeBackend {
 
   CkksParams params_;
   CkksEncoder encoder_;
+  std::shared_ptr<VecPool<BigUInt>> big_pool_ =
+      std::make_shared<VecPool<BigUInt>>();
   std::vector<std::uint64_t> q_primes_;
   std::vector<std::uint64_t> special_primes_;
   std::vector<BigUInt> q_ladder_;  // Q_0..Q_L

@@ -1,6 +1,7 @@
 #include "ckks/rns_backend.hpp"
 
 #include <cmath>
+#include <cstring>
 
 #include "common/check.hpp"
 #include "common/parallel_sim.hpp"
@@ -39,8 +40,8 @@ const RnsPtBody& body(const Plaintext& pt) {
 }  // namespace
 
 RnsBackend::RnsBackend(const CkksParams& params)
-    : params_(params), encoder_(params.degree), special_(2),
-      prng_(params.seed) {
+    : params_(params), encoder_(params.degree),
+      pool_(std::make_shared<PolyPool>()), special_(2), prng_(params.seed) {
   params_.validate();
 
   // One downward prime sweep covering the ciphertext chain AND the
@@ -94,7 +95,7 @@ RnsPoly RnsBackend::zero_poly(int level, bool with_special, bool ntt) const {
   RnsPoly p;
   const std::size_t channels =
       static_cast<std::size_t>(level) + 1 + (with_special ? 1 : 0);
-  p.ch.assign(channels, std::vector<std::uint64_t>(params_.degree, 0));
+  p.buf = PolyBuffer(pool_, channels, params_.degree, /*zero_fill=*/true);
   p.ntt = ntt;
   p.has_special = with_special;
   return p;
@@ -119,14 +120,14 @@ void check_channel_compat(const RnsPoly& a, const RnsPoly& b,
 void RnsBackend::to_ntt(RnsPoly& p) const {
   if (p.ntt) return;
   parallel_channels(p.channels(),
-                    [&](std::size_t c) { ntt_for(p, c).forward(p.ch[c]); });
+                    [&](std::size_t c) { ntt_for(p, c).forward(p.ch(c)); });
   p.ntt = true;
 }
 
 void RnsBackend::to_coeff(RnsPoly& p) const {
   if (!p.ntt) return;
   parallel_channels(p.channels(),
-                    [&](std::size_t c) { ntt_for(p, c).inverse(p.ch[c]); });
+                    [&](std::size_t c) { ntt_for(p, c).inverse(p.ch(c)); });
   p.ntt = false;
 }
 
@@ -136,7 +137,7 @@ RnsPoly RnsBackend::lift_signed(std::span<const std::int64_t> coeffs,
   RnsPoly p = zero_poly(level, with_special, /*ntt=*/false);
   parallel_channels(p.channels(), [&](std::size_t c) {
     const Modulus& mod = mod_for(p, c);
-    auto& dst = p.ch[c];
+    auto dst = p.ch(c);
     for (std::size_t i = 0; i < coeffs.size(); ++i) {
       const std::int64_t v = coeffs[i];
       dst[i] = v >= 0
@@ -151,7 +152,7 @@ RnsPoly RnsBackend::uniform_poly(int level, bool with_special) const {
   RnsPoly p = zero_poly(level, with_special, /*ntt=*/true);
   for (std::size_t c = 0; c < p.channels(); ++c) {
     const Modulus& mod = mod_for(p, c);
-    for (auto& v : p.ch[c]) v = prng_.uniform_below(mod.value());
+    for (auto& v : p.ch(c)) v = prng_.uniform_below(mod.value());
   }
   return p;
 }
@@ -162,11 +163,14 @@ RnsPoly RnsBackend::automorphism(const RnsPoly& p,
   const std::size_t n = params_.degree;
   const std::size_t two_n = 2 * n;
   PPHE_CHECK(exponent % 2 == 1 && exponent < two_n, "bad Galois exponent");
-  RnsPoly out = p;
+  RnsPoly out;
+  out.buf = PolyBuffer(pool_, p.channels(), n, /*zero_fill=*/false);
+  out.ntt = p.ntt;
+  out.has_special = p.has_special;
   parallel_channels(p.channels(), [&](std::size_t c) {
     const Modulus& mod = mod_for(p, c);
-    const auto& src = p.ch[c];
-    auto& dst = out.ch[c];
+    const auto src = p.ch(c);
+    auto dst = out.ch(c);
     for (std::size_t i = 0; i < n; ++i) {
       const std::size_t j = (i * exponent) % two_n;
       if (j < n) {
@@ -185,8 +189,8 @@ void RnsBackend::add_inplace(RnsPoly& a, const RnsPoly& b) const {
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
     const Modulus& mod = mod_for(a, c);
-    auto& dst = a.ch[c];
-    const auto& src = b.ch[c];
+    auto dst = a.ch(c);
+    const auto src = b.ch(c);
     for (std::size_t i = 0; i < dst.size(); ++i) {
       dst[i] = mod.add(dst[i], src[i]);
     }
@@ -199,8 +203,8 @@ void RnsBackend::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
     const Modulus& mod = mod_for(a, c);
-    auto& dst = a.ch[c];
-    const auto& src = b.ch[c];
+    auto dst = a.ch(c);
+    const auto src = b.ch(c);
     for (std::size_t i = 0; i < dst.size(); ++i) {
       dst[i] = mod.sub(dst[i], src[i]);
     }
@@ -210,7 +214,7 @@ void RnsBackend::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
 void RnsBackend::negate_inplace(RnsPoly& a) const {
   parallel_channels(a.channels(), [&](std::size_t c) {
     const Modulus& mod = mod_for(a, c);
-    for (auto& v : a.ch[c]) v = mod.neg(v);
+    for (auto& v : a.ch(c)) v = mod.neg(v);
   });
 }
 
@@ -220,8 +224,8 @@ void RnsBackend::pointwise_inplace(RnsPoly& a, const RnsPoly& b) const {
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
     const Modulus& mod = mod_for(a, c);
-    auto& dst = a.ch[c];
-    const auto& src = b.ch[c];
+    auto dst = a.ch(c);
+    const auto src = b.ch(c);
     for (std::size_t i = 0; i < dst.size(); ++i) {
       dst[i] = mod.mul(dst[i], src[i]);
     }
@@ -229,13 +233,25 @@ void RnsBackend::pointwise_inplace(RnsPoly& a, const RnsPoly& b) const {
 }
 
 RnsPoly RnsBackend::pointwise(const RnsPoly& a, const RnsPoly& b) const {
-  RnsPoly out = a;
-  if (out.channels() > b.channels()) {
-    out.ch.resize(b.channels());
-    // Truncation removes the trailing special channel, if there was one.
-    out.has_special = false;
-  }
-  pointwise_inplace(out, b);
+  PPHE_CHECK(a.ntt && b.ntt, "pointwise product expects NTT form");
+  // Fused truncate-and-multiply: the output covers the common channel prefix
+  // (truncation removes a's trailing special channel, if there was one) and
+  // is written directly into a fresh slab instead of copying a first.
+  const std::size_t k = std::min(a.channels(), b.channels());
+  RnsPoly out;
+  out.buf = PolyBuffer(pool_, k, params_.degree, /*zero_fill=*/false);
+  out.ntt = true;
+  out.has_special = a.has_special && k == a.channels();
+  check_channel_compat(out, b, k);
+  parallel_channels(k, [&](std::size_t c) {
+    const Modulus& mod = mod_for(out, c);
+    const auto sa = a.ch(c);
+    const auto sb = b.ch(c);
+    auto dst = out.ch(c);
+    for (std::size_t i = 0; i < dst.size(); ++i) {
+      dst[i] = mod.mul(sa[i], sb[i]);
+    }
+  });
   return out;
 }
 
@@ -283,8 +299,8 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
     add_inplace(b_j, e_j);
     const Modulus& mod_j = q_moduli_[j];
     const std::uint64_t p_j = p_mod_q_[j];
-    auto& bch = b_j.ch[j];
-    const auto& tch = target_ntt.ch[j];
+    auto bch = b_j.ch(j);
+    const auto tch = target_ntt.ch(j);
     for (std::size_t i = 0; i < bch.size(); ++i) {
       bch[i] = mod_j.add(bch[i], mod_j.mul(p_j, tch[i]));
     }
@@ -312,9 +328,11 @@ std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
   // One digit per prime (the RNS gadget of Cheon et al. [9] / SEAL): digit j
   // is the residue of d mod q_j, lifted to every channel, NTT'd, and dotted
   // with the key. Digit loop bodies over channels are the parallel units.
-  std::vector<std::uint64_t> lifted(n);
+  // The lift scratch is one pooled slab (one row per channel) reused across
+  // digits instead of a fresh vector per channel per digit.
+  PolyBuffer lift_scratch(pool_, channels, n, /*zero_fill=*/false);
   for (std::size_t j = 0; j < q_channels; ++j) {
-    const auto& digit = d.ch[j];
+    const auto digit = d.ch(j);
     Stopwatch sw;
     ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
       const bool is_special = c == channels - 1;
@@ -322,17 +340,17 @@ std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
       const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
       const std::size_t key_c = is_special ? key_special : c;
 
-      std::vector<std::uint64_t> lift(n);
+      auto lift = lift_scratch[c];
       if (!is_special && c == j) {
-        lift = digit;
+        std::memcpy(lift.data(), digit.data(), n * sizeof(std::uint64_t));
       } else {
         for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
       }
       ntt.forward(lift);
-      const auto& kb = key.digits[j][0].ch[key_c];
-      const auto& ka = key.digits[j][1].ch[key_c];
-      auto& a0 = acc0.ch[c];
-      auto& a1 = acc1.ch[c];
+      const auto kb = key.digits[j][0].ch(key_c);
+      const auto ka = key.digits[j][1].ch(key_c);
+      auto a0 = acc0.ch(c);
+      auto a1 = acc1.ch(c);
       for (std::size_t i = 0; i < n; ++i) {
         a0[i] = mod.add(a0[i], mod.mul(lift[i], kb[i]));
         a1[i] = mod.add(a1[i], mod.mul(lift[i], ka[i]));
@@ -352,14 +370,14 @@ std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
     RnsPoly& acc = comp == 0 ? acc0 : acc1;
     RnsPoly& dst = comp == 0 ? out.first : out.second;
     // r' = (acc + p/2) mod p, taken from the special channel.
-    auto& rp = acc.ch[channels - 1];
+    auto rp = acc.ch(channels - 1);
     for (auto& v : rp) v = special_.add(v, half_p);
     parallel_channels(q_channels, [&](std::size_t c) {
       const Modulus& mod = q_moduli_[c];
       const std::uint64_t half_mod = mod.reduce(half_p);
       const std::uint64_t inv_p = inv_p_mod_q_[c];
-      const auto& src = acc.ch[c];
-      auto& d_out = dst.ch[c];
+      const auto src = acc.ch(c);
+      auto d_out = dst.ch(c);
       for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t num =
             mod.sub(mod.add(src[i], half_mod), mod.reduce(rp[i]));
@@ -458,7 +476,7 @@ std::vector<double> RnsBackend::decrypt_coefficients(
   std::vector<double> out(params_.degree);
   std::vector<std::uint64_t> residues(q_channels);
   for (std::size_t i = 0; i < params_.degree; ++i) {
-    for (std::size_t ch = 0; ch < q_channels; ++ch) residues[ch] = m.ch[ch][i];
+    for (std::size_t ch = 0; ch < q_channels; ++ch) residues[ch] = m.ch(ch)[i];
     const BigUInt v = base.compose(residues);
     out[i] = v > half_q ? -(q - v).to_double() : v.to_double();
   }
@@ -611,15 +629,15 @@ Ciphertext RnsBackend::rescale(const Ciphertext& a) const {
     RnsPoly p = src_poly;
     to_coeff(p);
     // r' = (c + q_l/2) mod q_l from the dropped channel.
-    auto& rl = p.ch[l];
+    auto rl = p.ch(l);
     for (auto& v : rl) v = q_last.add(v, half);
     RnsPoly out = zero_poly(a.level() - 1, false, false);
     parallel_channels(l, [&](std::size_t c) {
       const Modulus& mod = q_moduli_[c];
       const std::uint64_t half_mod = mod.reduce(half);
       const std::uint64_t inv = inv_q_mod_q_[l][c];
-      const auto& src = p.ch[c];
-      auto& dst = out.ch[c];
+      const auto src = p.ch(c);
+      auto dst = out.ch(c);
       for (std::size_t i = 0; i < dst.size(); ++i) {
         const std::uint64_t num =
             mod.sub(mod.add(src[i], half_mod), mod.reduce(rl[i]));
@@ -639,7 +657,11 @@ Ciphertext RnsBackend::mod_drop_to(const Ciphertext& a, int level) const {
   if (level == a.level()) return a;
   const RnsCtBody& ba = body(a);
   std::vector<RnsPoly> polys = ba.polys;
-  for (auto& p : polys) p.ch.resize(static_cast<std::size_t>(level) + 1);
+  // shrink_channels re-slabs: the dropped tail returns to the pool instead
+  // of lingering as dead capacity on the truncated polynomial.
+  for (auto& p : polys) {
+    p.buf.shrink_channels(static_cast<std::size_t>(level) + 1);
+  }
   return wrap(std::move(polys), a.scale(), level);
 }
 
@@ -712,22 +734,22 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
   // Hoist: decompose c1 once, lift every digit to every channel, NTT.
   RnsPoly c1 = ba.polys[1];
   to_coeff(c1);
-  // digits_ntt[j][c]: digit j lifted to channel c (special last), NTT form.
-  std::vector<std::vector<std::vector<std::uint64_t>>> digits_ntt(q_channels);
+  // Digit table: one pooled slab of q_channels * channels rows (digit j
+  // lifted to channel c at row j*channels + c, special last), NTT form.
+  PolyBuffer digits_ntt(pool_, q_channels * channels, n, /*zero_fill=*/false);
   {
     Stopwatch sw;
     for (std::size_t j = 0; j < q_channels; ++j) {
-      digits_ntt[j].resize(channels);
       ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
         const bool is_special = c == channels - 1;
         const Modulus& mod = is_special ? special_ : q_moduli_[c];
         const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
-        auto& lift = digits_ntt[j][c];
+        auto lift = digits_ntt[j * channels + c];
+        const auto digit = c1.ch(j);
         if (!is_special && c == j) {
-          lift = c1.ch[j];
+          std::memcpy(lift.data(), digit.data(), n * sizeof(std::uint64_t));
         } else {
-          lift.resize(n);
-          for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(c1.ch[j][i]);
+          for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
         }
         ntt.forward(lift);
       });
@@ -756,12 +778,12 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
       const bool is_special = c == channels - 1;
       const Modulus& mod = is_special ? special_ : q_moduli_[c];
       const std::size_t key_c = is_special ? q_moduli_.size() : c;
-      auto& a0 = acc0.ch[c];
-      auto& a1 = acc1.ch[c];
+      auto a0 = acc0.ch(c);
+      auto a1 = acc1.ch(c);
       for (std::size_t j = 0; j < q_channels; ++j) {
-        const auto& dj = digits_ntt[j][c];
-        const auto& kb = key.digits[j][0].ch[key_c];
-        const auto& ka = key.digits[j][1].ch[key_c];
+        const auto dj = digits_ntt[j * channels + c];
+        const auto kb = key.digits[j][0].ch(key_c);
+        const auto ka = key.digits[j][1].ch(key_c);
         for (std::size_t i = 0; i < n; ++i) {
           const std::uint64_t v = dj[perm[i]];
           a0[i] = mod.add(a0[i], mod.mul(v, kb[i]));
@@ -779,14 +801,14 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
     for (int comp = 0; comp < 2; ++comp) {
       RnsPoly& acc = comp == 0 ? acc0 : acc1;
       RnsPoly& dst = comp == 0 ? out0 : out1;
-      auto& rp = acc.ch[channels - 1];
+      auto rp = acc.ch(channels - 1);
       for (auto& v : rp) v = special_.add(v, half_p);
       parallel_channels(q_channels, [&](std::size_t c) {
         const Modulus& mod = q_moduli_[c];
         const std::uint64_t half_mod = mod.reduce(half_p);
         const std::uint64_t inv_p = inv_p_mod_q_[c];
-        const auto& src = acc.ch[c];
-        auto& d_out = dst.ch[c];
+        const auto src = acc.ch(c);
+        auto d_out = dst.ch(c);
         for (std::size_t i = 0; i < n; ++i) {
           const std::uint64_t num =
               mod.sub(mod.add(src[i], half_mod), mod.reduce(rp[i]));
@@ -799,8 +821,8 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
     // Add sigma(c0), applied directly in the NTT domain via the permutation.
     parallel_channels(q_channels, [&](std::size_t c) {
       const Modulus& mod = q_moduli_[c];
-      const auto& src = ba.polys[0].ch[c];
-      auto& dst = out0.ch[c];
+      const auto src = ba.polys[0].ch(c);
+      auto dst = out0.ch(c);
       for (std::size_t i = 0; i < n; ++i) {
         dst[i] = mod.add(dst[i], src[perm[i]]);
       }
@@ -833,13 +855,13 @@ void RnsBackend::multiply_acc(Ciphertext& acc, const Ciphertext& a,
   Stopwatch sw;
   ThreadPool::global().parallel_for(k, [&](std::size_t c) {
     const Modulus& mod = q_moduli_[c];
-    const auto& a0 = ba.polys[0].ch[c];
-    const auto& a1 = ba.polys[1].ch[c];
-    const auto& b0 = bb.polys[0].ch[c];
-    const auto& b1 = bb.polys[1].ch[c];
-    auto& d0 = bacc.polys[0].ch[c];
-    auto& d1 = bacc.polys[1].ch[c];
-    auto& d2 = bacc.polys[2].ch[c];
+    const auto a0 = ba.polys[0].ch(c);
+    const auto a1 = ba.polys[1].ch(c);
+    const auto b0 = bb.polys[0].ch(c);
+    const auto b1 = bb.polys[1].ch(c);
+    auto d0 = bacc.polys[0].ch(c);
+    auto d1 = bacc.polys[1].ch(c);
+    auto d2 = bacc.polys[2].ch(c);
     for (std::size_t i = 0; i < d0.size(); ++i) {
       d0[i] = mod.add(d0[i], mod.mul(a0[i], b0[i]));
       d1[i] = mod.add(d1[i],
@@ -867,10 +889,10 @@ void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
   Stopwatch sw;
   ThreadPool::global().parallel_for(k, [&](std::size_t c) {
     const Modulus& mod = q_moduli_[c];
-    const auto& w = pt.ch[c];
+    const auto w = pt.ch(c);
     for (std::size_t t = 0; t < bacc.polys.size(); ++t) {
-      const auto& src = ba.polys[t].ch[c];
-      auto& dst = bacc.polys[t].ch[c];
+      const auto src = ba.polys[t].ch(c);
+      auto dst = bacc.polys[t].ch(c);
       for (std::size_t i = 0; i < dst.size(); ++i) {
         dst[i] = mod.add(dst[i], mod.mul(src[i], w[i]));
       }

@@ -13,23 +13,27 @@
 #include "common/prng.hpp"
 #include "math/modarith.hpp"
 #include "math/ntt.hpp"
+#include "math/poly_buffer.hpp"
 #include "math/rns.hpp"
 
 namespace pphe {
 
-/// Polynomial in double-CRT form: one residue channel per RNS prime, each a
-/// length-N vector of word residues; `ntt` says whether channels hold NTT
-/// (evaluation) or coefficient representation. Channels 0..level are the
-/// ciphertext primes q_0..q_level; key material carries one extra channel for
-/// the key-switching prime p.
+/// Polynomial in double-CRT form: residue channels stored as one contiguous
+/// 64-byte-aligned `channels x N` slab (PolyBuffer) checked out of the
+/// backend's arena; `ntt` says whether channels hold NTT (evaluation) or
+/// coefficient representation. Channels 0..level are the ciphertext primes
+/// q_0..q_level; key material carries one extra channel for the
+/// key-switching prime p.
 struct RnsPoly {
-  std::vector<std::vector<std::uint64_t>> ch;
+  PolyBuffer buf;
   bool ntt = false;
   /// True when the LAST channel is the key-switching prime p rather than the
   /// next ciphertext prime (key material and key-switching accumulators).
   bool has_special = false;
 
-  std::size_t channels() const { return ch.size(); }
+  std::size_t channels() const { return buf.channels(); }
+  std::span<std::uint64_t> ch(std::size_t c) { return buf[c]; }
+  std::span<const std::uint64_t> ch(std::size_t c) const { return buf[c]; }
 };
 
 /// Payload behind a Ciphertext handle produced by RnsBackend.
@@ -103,6 +107,12 @@ class RnsBackend final : public HeBackend {
   const std::vector<Modulus>& q_moduli() const { return q_moduli_; }
   std::uint64_t special_modulus() const { return special_.value(); }
 
+  /// Slab arena backing every polynomial this backend produces (serialize
+  /// readers and tests check buffers out of the same pool).
+  const std::shared_ptr<PolyPool>& pool() const { return pool_; }
+  MemStats mem_stats() const override { return pool_->stats(); }
+  void reset_mem_stats() const override { pool_->reset_stats(); }
+
   /// Exact decryption to centered coefficient values (testing / noise
   /// inspection): returns the coefficients of c0 + c1 s (+ c2 s^2) as
   /// doubles, centered in (-q/2, q/2).
@@ -150,6 +160,7 @@ class RnsBackend final : public HeBackend {
 
   CkksParams params_;
   CkksEncoder encoder_;
+  std::shared_ptr<PolyPool> pool_;
   std::vector<Modulus> q_moduli_;
   Modulus special_;
   std::vector<NttTable> q_ntt_;

@@ -45,10 +45,10 @@ void write_poly(std::ostream& out, const RnsPoly& poly) {
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(poly.channels()));
   write_pod<std::uint8_t>(out, poly.ntt ? 1 : 0);
   write_pod<std::uint8_t>(out, poly.has_special ? 1 : 0);
-  for (const auto& ch : poly.ch) {
-    out.write(reinterpret_cast<const char*>(ch.data()),
-              static_cast<std::streamsize>(ch.size() * sizeof(std::uint64_t)));
-  }
+  // The slab is contiguous channel-major, so the payload is one write.
+  out.write(reinterpret_cast<const char*>(poly.buf.data()),
+            static_cast<std::streamsize>(poly.channels() * poly.buf.degree() *
+                                         sizeof(std::uint64_t)));
 }
 
 RnsPoly read_poly(std::istream& in, const RnsBackend& backend,
@@ -62,16 +62,16 @@ RnsPoly read_poly(std::istream& in, const RnsBackend& backend,
   PPHE_CHECK(!poly.has_special,
              "transport streams never carry the key-switching channel");
   const std::size_t n = backend.params().degree;
-  poly.ch.assign(channels, std::vector<std::uint64_t>(n));
-  for (auto& ch : poly.ch) {
-    in.read(reinterpret_cast<char*>(ch.data()),
-            static_cast<std::streamsize>(n * sizeof(std::uint64_t)));
-    PPHE_CHECK(static_cast<bool>(in), "truncated polynomial data");
-  }
+  // Check the slab out of the backend's arena so deserialized ciphertexts
+  // feed the same free list as freshly computed ones.
+  poly.buf = PolyBuffer(backend.pool(), channels, n, /*zero_fill=*/false);
+  in.read(reinterpret_cast<char*>(poly.buf.data()),
+          static_cast<std::streamsize>(channels * n * sizeof(std::uint64_t)));
+  PPHE_CHECK(static_cast<bool>(in), "truncated polynomial data");
   // Validate residues against the moduli so corrupted streams are rejected.
   for (std::size_t c = 0; c < channels; ++c) {
     const std::uint64_t q = backend.q_moduli()[c].value();
-    for (const auto v : poly.ch[c]) {
+    for (const auto v : poly.ch(c)) {
       PPHE_CHECK(v < q, "serialized residue out of range");
     }
   }

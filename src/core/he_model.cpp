@@ -196,6 +196,10 @@ void HeModel::plan() {
         }
       }
 
+      // One scratch slot vector reused across every diagonal of every branch
+      // (the encoder copies out of it), instead of a fresh slots-sized
+      // allocation per diagonal.
+      std::vector<double> diag(slots, 0.0);
       auto build_groups = [&](double factor) {
         std::map<std::size_t, LinearPlan::Group> groups;
         for (const std::size_t i : diag_set) {
@@ -203,7 +207,7 @@ void HeModel::plan() {
           const std::size_t b = i % g;
           // Pre-rotated diagonal: value at slot t is W[row, col] with
           // row = (t - g*j) mod tile, col = (row + i) mod tile.
-          std::vector<double> diag(slots, 0.0);
+          std::fill(diag.begin(), diag.end(), 0.0);
           bool any = false;
           for (std::size_t t = 0; t < tile; ++t) {
             const std::size_t row = (t + tile - (g * j) % tile) % tile;

@@ -1,0 +1,182 @@
+#include "math/poly_buffer.hpp"
+
+#include <cstring>
+#include <new>
+
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+std::uint64_t* aligned_slab(std::size_t words) {
+  return static_cast<std::uint64_t*>(::operator new(
+      words * sizeof(std::uint64_t), std::align_val_t{PolyPool::kAlignment}));
+}
+
+void free_slab(std::uint64_t* slab) noexcept {
+  ::operator delete(slab, std::align_val_t{PolyPool::kAlignment});
+}
+
+}  // namespace
+
+// ---------------------------------------------------------------------------
+// PolyPool
+// ---------------------------------------------------------------------------
+
+PolyPool::~PolyPool() { trim(); }
+
+std::uint64_t* PolyPool::checkout(std::size_t words) {
+  PPHE_CHECK(words > 0, "empty slab checkout");
+  const std::uint64_t bytes = words * sizeof(std::uint64_t);
+  {
+    std::lock_guard<std::mutex> lock(mutex_);
+    auto it = free_.find(words);
+    if (it != free_.end() && !it->second.empty()) {
+      std::uint64_t* slab = it->second.back();
+      it->second.pop_back();
+      ++stats_.pool_hits;
+      stats_.bytes_cached -= bytes;
+      stats_.bytes_in_use += bytes;
+      return slab;
+    }
+    ++stats_.pool_misses;
+    stats_.bytes_in_use += bytes;
+    stats_.peak_bytes =
+        std::max(stats_.peak_bytes, stats_.bytes_in_use + stats_.bytes_cached);
+  }
+  // Allocate outside the lock; the counters were already charged.
+  return aligned_slab(words);
+}
+
+void PolyPool::checkin(std::uint64_t* slab, std::size_t words) noexcept {
+  if (slab == nullptr) return;
+  const std::uint64_t bytes = words * sizeof(std::uint64_t);
+  std::lock_guard<std::mutex> lock(mutex_);
+  free_[words].push_back(slab);
+  stats_.bytes_in_use -= std::min<std::uint64_t>(stats_.bytes_in_use, bytes);
+  stats_.bytes_cached += bytes;
+  stats_.peak_bytes =
+      std::max(stats_.peak_bytes, stats_.bytes_in_use + stats_.bytes_cached);
+}
+
+MemStats PolyPool::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void PolyPool::reset_stats() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  stats_.pool_hits = 0;
+  stats_.pool_misses = 0;
+  stats_.peak_bytes = stats_.bytes_in_use + stats_.bytes_cached;
+}
+
+void PolyPool::trim() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  for (auto& [words, slabs] : free_) {
+    for (std::uint64_t* slab : slabs) free_slab(slab);
+    stats_.bytes_cached -= std::min<std::uint64_t>(
+        stats_.bytes_cached, slabs.size() * words * sizeof(std::uint64_t));
+    slabs.clear();
+  }
+  free_.clear();
+}
+
+// ---------------------------------------------------------------------------
+// PolyBuffer
+// ---------------------------------------------------------------------------
+
+PolyBuffer::PolyBuffer(std::shared_ptr<PolyPool> pool, std::size_t channels,
+                       std::size_t degree, bool zero_fill)
+    : pool_(std::move(pool)),
+      channels_(channels),
+      degree_(degree),
+      capacity_(channels * degree) {
+  PPHE_CHECK(channels > 0 && degree > 0, "empty polynomial buffer");
+  data_ = pool_ ? pool_->checkout(capacity_) : aligned_slab(capacity_);
+  if (zero_fill) zero();
+}
+
+PolyBuffer::PolyBuffer(const PolyBuffer& other)
+    : pool_(other.pool_),
+      channels_(other.channels_),
+      degree_(other.degree_),
+      capacity_(other.capacity_) {
+  if (other.data_ == nullptr) return;
+  data_ = pool_ ? pool_->checkout(capacity_) : aligned_slab(capacity_);
+  std::memcpy(data_, other.data_,
+              channels_ * degree_ * sizeof(std::uint64_t));
+}
+
+PolyBuffer& PolyBuffer::operator=(const PolyBuffer& other) {
+  if (this == &other) return *this;
+  if (other.data_ != nullptr && data_ != nullptr &&
+      capacity_ == other.capacity_ && pool_ == other.pool_) {
+    // Same-shape assignment reuses the slab in place.
+    channels_ = other.channels_;
+    degree_ = other.degree_;
+    std::memcpy(data_, other.data_,
+                channels_ * degree_ * sizeof(std::uint64_t));
+    return *this;
+  }
+  PolyBuffer tmp(other);
+  *this = std::move(tmp);
+  return *this;
+}
+
+PolyBuffer::PolyBuffer(PolyBuffer&& other) noexcept
+    : pool_(std::move(other.pool_)),
+      data_(other.data_),
+      channels_(other.channels_),
+      degree_(other.degree_),
+      capacity_(other.capacity_) {
+  other.data_ = nullptr;
+  other.channels_ = other.degree_ = other.capacity_ = 0;
+}
+
+PolyBuffer& PolyBuffer::operator=(PolyBuffer&& other) noexcept {
+  if (this == &other) return *this;
+  release();
+  pool_ = std::move(other.pool_);
+  data_ = other.data_;
+  channels_ = other.channels_;
+  degree_ = other.degree_;
+  capacity_ = other.capacity_;
+  other.data_ = nullptr;
+  other.channels_ = other.degree_ = other.capacity_ = 0;
+  return *this;
+}
+
+PolyBuffer::~PolyBuffer() { release(); }
+
+void PolyBuffer::release() noexcept {
+  if (data_ == nullptr) return;
+  if (pool_) {
+    pool_->checkin(data_, capacity_);
+  } else {
+    free_slab(data_);
+  }
+  data_ = nullptr;
+  channels_ = degree_ = capacity_ = 0;
+  pool_.reset();
+}
+
+void PolyBuffer::shrink_channels(std::size_t channels) {
+  PPHE_CHECK(channels > 0 && channels <= channels_,
+             "shrink_channels must drop a (possibly empty) suffix");
+  if (channels == channels_) return;
+  // Move the kept prefix to a right-sized slab and give the full-size slab
+  // back to the pool: a mod-dropped ciphertext must not pin top-level
+  // capacity (satellite regression: level-0 holds one channel's bytes).
+  PolyBuffer smaller(pool_, channels, degree_, /*zero_fill=*/false);
+  std::memcpy(smaller.data_, data_, channels * degree_ * sizeof(std::uint64_t));
+  *this = std::move(smaller);
+}
+
+void PolyBuffer::zero() {
+  if (data_ != nullptr) {
+    std::memset(data_, 0, channels_ * degree_ * sizeof(std::uint64_t));
+  }
+}
+
+}  // namespace pphe

@@ -1,0 +1,235 @@
+#pragma once
+
+#include <algorithm>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <span>
+#include <vector>
+
+namespace pphe {
+
+/// Allocation behaviour of a polynomial arena. A "miss" is an acquisition
+/// that had to call the system allocator; after warm-up the steady-state
+/// multiply/rescale/rotate path should report zero misses (every slab comes
+/// from the free list). Byte gauges track the arena's footprint: `in_use`
+/// slabs are checked out to live polynomials, `cached` slabs sit in the
+/// free list awaiting reuse.
+struct MemStats {
+  std::uint64_t pool_hits = 0;    // acquisitions served from the free list
+  std::uint64_t pool_misses = 0;  // acquisitions that hit the allocator
+  std::uint64_t bytes_in_use = 0;
+  std::uint64_t bytes_cached = 0;
+  std::uint64_t peak_bytes = 0;  // high-water mark of in_use + cached
+
+  MemStats& operator+=(const MemStats& o) {
+    pool_hits += o.pool_hits;
+    pool_misses += o.pool_misses;
+    bytes_in_use += o.bytes_in_use;
+    bytes_cached += o.bytes_cached;
+    peak_bytes += o.peak_bytes;
+    return *this;
+  }
+};
+
+/// Thread-safe arena of 64-byte-aligned `uint64_t` slabs, free-listed by
+/// exact word capacity. Each backend owns one pool; every polynomial slab
+/// (ciphertext/plaintext bodies, key-switching scratch, hoisted digit
+/// tables) checks out of it and returns on destruction, so the per-op heap
+/// traffic of the old vector-of-vectors layout collapses to free-list hits.
+///
+/// Held by shared_ptr from every PolyBuffer so slabs can outlive the
+/// backend that created them (a serialized-then-deserialized ciphertext,
+/// a static bench fixture) without dangling into a destroyed pool.
+class PolyPool {
+ public:
+  PolyPool() = default;
+  ~PolyPool();
+
+  PolyPool(const PolyPool&) = delete;
+  PolyPool& operator=(const PolyPool&) = delete;
+
+  /// 64-byte-aligned slab of exactly `words` uint64s (contents unspecified).
+  std::uint64_t* checkout(std::size_t words);
+  /// Returns a slab previously obtained from checkout() with the same size.
+  void checkin(std::uint64_t* slab, std::size_t words) noexcept;
+
+  MemStats stats() const;
+  /// Zeroes the hit/miss counters and rebases the peak to the current
+  /// footprint (the byte gauges track live state and are not reset).
+  void reset_stats();
+  /// Frees every cached slab (the free list, not checked-out slabs).
+  void trim();
+
+  static constexpr std::size_t kAlignment = 64;
+
+ private:
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::vector<std::uint64_t*>> free_;
+  MemStats stats_;
+};
+
+/// Flat polynomial storage: one contiguous `channels x degree` slab with
+/// span views per residue channel. Replaces the per-channel
+/// vector<vector<uint64_t>> layout so channel loops walk adjacent cache
+/// lines and a polynomial costs one arena checkout instead of L+1 heap
+/// allocations. Value semantics: copying acquires a fresh slab from the
+/// same pool (a free-list hit in steady state) and memcpys.
+class PolyBuffer {
+ public:
+  PolyBuffer() = default;
+  PolyBuffer(std::shared_ptr<PolyPool> pool, std::size_t channels,
+             std::size_t degree, bool zero_fill = true);
+  PolyBuffer(const PolyBuffer& other);
+  PolyBuffer& operator=(const PolyBuffer& other);
+  PolyBuffer(PolyBuffer&& other) noexcept;
+  PolyBuffer& operator=(PolyBuffer&& other) noexcept;
+  ~PolyBuffer();
+
+  bool empty() const { return data_ == nullptr; }
+  std::size_t channels() const { return channels_; }
+  std::size_t degree() const { return degree_; }
+  /// Words currently owned by the slab (channels * degree; shrink_channels
+  /// re-slabs, so capacity always matches the logical size).
+  std::size_t capacity_words() const { return capacity_; }
+
+  std::span<std::uint64_t> operator[](std::size_t c) {
+    return {data_ + c * degree_, degree_};
+  }
+  std::span<const std::uint64_t> operator[](std::size_t c) const {
+    return {data_ + c * degree_, degree_};
+  }
+  std::uint64_t* data() { return data_; }
+  const std::uint64_t* data() const { return data_; }
+
+  /// Drops trailing channels (mod-switching). The kept prefix moves to a
+  /// right-sized slab and the old slab returns to the pool immediately, so
+  /// a level-0 ciphertext holds one channel's memory, not L+1 channels of
+  /// stale capacity.
+  void shrink_channels(std::size_t channels);
+  void zero();
+
+ private:
+  void release() noexcept;
+
+  std::shared_ptr<PolyPool> pool_;
+  std::uint64_t* data_ = nullptr;
+  std::size_t channels_ = 0;
+  std::size_t degree_ = 0;
+  std::size_t capacity_ = 0;
+};
+
+/// Arena of reusable `std::vector<T>` buffers keyed by element count, for
+/// coefficient types that are not word-sized (the multiprecision backend's
+/// BigUInt coefficients, whose limbs are stored inline so one vector is one
+/// slab). Same hit/miss accounting as PolyPool.
+template <typename T>
+class VecPool {
+ public:
+  std::vector<T> checkout(std::size_t n) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      auto it = free_.find(n);
+      if (it != free_.end() && !it->second.empty()) {
+        std::vector<T> v = std::move(it->second.back());
+        it->second.pop_back();
+        ++stats_.pool_hits;
+        stats_.bytes_cached -= n * sizeof(T);
+        stats_.bytes_in_use += n * sizeof(T);
+        return v;
+      }
+      ++stats_.pool_misses;
+      stats_.bytes_in_use += n * sizeof(T);
+      bump_peak();
+    }
+    return std::vector<T>(n);
+  }
+
+  void checkin(std::vector<T>&& v) noexcept {
+    if (v.empty()) return;
+    const std::size_t n = v.size();
+    std::lock_guard<std::mutex> lock(mutex_);
+    free_[n].push_back(std::move(v));
+    stats_.bytes_in_use -= std::min<std::uint64_t>(stats_.bytes_in_use,
+                                                   n * sizeof(T));
+    stats_.bytes_cached += n * sizeof(T);
+    bump_peak();
+  }
+
+  MemStats stats() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return stats_;
+  }
+
+  void reset_stats() {
+    std::lock_guard<std::mutex> lock(mutex_);
+    stats_.pool_hits = 0;
+    stats_.pool_misses = 0;
+    stats_.peak_bytes = stats_.bytes_in_use + stats_.bytes_cached;
+  }
+
+ private:
+  void bump_peak() {
+    stats_.peak_bytes =
+        std::max(stats_.peak_bytes, stats_.bytes_in_use + stats_.bytes_cached);
+  }
+
+  mutable std::mutex mutex_;
+  std::map<std::size_t, std::vector<std::vector<T>>> free_;
+  MemStats stats_;
+};
+
+/// RAII handle over a VecPool-owned vector: behaves as the vector it wraps
+/// and returns the storage to the pool on destruction. Copying checks a
+/// fresh buffer out of the same pool.
+template <typename T>
+class PooledVec : public std::vector<T> {
+ public:
+  PooledVec() = default;
+  PooledVec(std::shared_ptr<VecPool<T>> pool, std::size_t n)
+      : std::vector<T>(pool ? pool->checkout(n) : std::vector<T>(n)),
+        pool_(std::move(pool)) {}
+  /// Adopts an existing vector; the buffer joins the pool when released.
+  PooledVec(std::shared_ptr<VecPool<T>> pool, std::vector<T>&& v)
+      : std::vector<T>(std::move(v)), pool_(std::move(pool)) {}
+
+  PooledVec(const PooledVec& other)
+      : PooledVec(other.pool_, other.size()) {
+    std::copy(other.begin(), other.end(), this->begin());
+  }
+  PooledVec& operator=(const PooledVec& other) {
+    if (this != &other) {
+      PooledVec tmp(other);
+      *this = std::move(tmp);
+    }
+    return *this;
+  }
+  PooledVec(PooledVec&& other) noexcept
+      : std::vector<T>(std::move(static_cast<std::vector<T>&>(other))),
+        pool_(std::move(other.pool_)) {}
+  PooledVec& operator=(PooledVec&& other) noexcept {
+    if (this != &other) {
+      release();
+      std::vector<T>::operator=(
+          std::move(static_cast<std::vector<T>&>(other)));
+      pool_ = std::move(other.pool_);
+    }
+    return *this;
+  }
+  ~PooledVec() { release(); }
+
+ private:
+  void release() noexcept {
+    if (pool_ && !this->empty()) {
+      pool_->checkin(std::move(static_cast<std::vector<T>&>(*this)));
+    }
+    this->clear();
+    pool_.reset();
+  }
+
+  std::shared_ptr<VecPool<T>> pool_;
+};
+
+}  // namespace pphe

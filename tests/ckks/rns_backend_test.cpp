@@ -5,6 +5,7 @@
 
 #include <gtest/gtest.h>
 
+#include <algorithm>
 #include <cmath>
 
 #include "common/check.hpp"
@@ -99,7 +100,9 @@ TEST(RnsBackend, EncryptionIsRandomized) {
   const auto c2 = be.encrypt(pt);
   const auto& b1 = *static_cast<const RnsCtBody*>(c1.impl().get());
   const auto& b2 = *static_cast<const RnsCtBody*>(c2.impl().get());
-  EXPECT_NE(b1.polys[0].ch[0], b2.polys[0].ch[0]);
+  const auto s1 = b1.polys[0].ch(0);
+  const auto s2 = b2.polys[0].ch(0);
+  EXPECT_FALSE(std::equal(s1.begin(), s1.end(), s2.begin(), s2.end()));
 }
 
 TEST(RnsBackend, DeterministicForSameSeed) {
@@ -111,8 +114,29 @@ TEST(RnsBackend, DeterministicForSameSeed) {
   const auto c2 = be2.encrypt(be2.encode(v, p.scale, be2.max_level()));
   const auto& b1 = *static_cast<const RnsCtBody*>(c1.impl().get());
   const auto& b2 = *static_cast<const RnsCtBody*>(c2.impl().get());
-  EXPECT_EQ(b1.polys[0].ch[0], b2.polys[0].ch[0]);
-  EXPECT_EQ(b1.polys[1].ch[0], b2.polys[1].ch[0]);
+  for (std::size_t t = 0; t < 2; ++t) {
+    const auto s1 = b1.polys[t].ch(0);
+    const auto s2 = b2.polys[t].ch(0);
+    EXPECT_TRUE(std::equal(s1.begin(), s1.end(), s2.begin(), s2.end()));
+  }
+}
+
+TEST(RnsBackend, ModDropReleasesDroppedChannelMemory) {
+  // Regression: mod-switching must return the dropped residue channels to
+  // the arena. A level-0 ciphertext holds exactly one channel's words per
+  // polynomial — no stale top-level capacity.
+  const RnsBackend be(small());
+  const auto v = ramp(be.slot_count());
+  auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  ct = be.mod_drop_to(ct, 0);
+  const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
+  for (const auto& poly : body.polys) {
+    EXPECT_EQ(poly.channels(), 1u);
+    EXPECT_EQ(poly.buf.capacity_words(), small().degree);
+  }
+  // The ciphertext still decrypts at level 0.
+  const auto got = be.decrypt_decode(ct);
+  EXPECT_NEAR(got[5], v[5], 2e-3);
 }
 
 TEST(RnsBackend, EncodeAtLowerLevelHasFewerChannels) {

@@ -1,0 +1,154 @@
+// Slab arena behaviour: alignment, exact-capacity free-listing, reuse
+// accounting, value semantics of PolyBuffer, and thread-safe checkout.
+
+#include "math/poly_buffer.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <numeric>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/thread_pool.hpp"
+
+namespace pphe {
+namespace {
+
+std::shared_ptr<PolyPool> make_pool() { return std::make_shared<PolyPool>(); }
+
+TEST(PolyPool, SlabsAre64ByteAligned) {
+  auto pool = make_pool();
+  for (const std::size_t words : {8u, 100u, 4096u}) {
+    PolyBuffer buf(pool, 1, words);
+    EXPECT_EQ(reinterpret_cast<std::uintptr_t>(buf.data()) %
+                  PolyPool::kAlignment,
+              0u);
+  }
+}
+
+TEST(PolyPool, FirstCheckoutMissesThenHits) {
+  auto pool = make_pool();
+  { PolyBuffer buf(pool, 3, 64); }  // released to the free list
+  MemStats s = pool->stats();
+  EXPECT_EQ(s.pool_misses, 1u);
+  EXPECT_EQ(s.pool_hits, 0u);
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  EXPECT_EQ(s.bytes_cached, 3 * 64 * sizeof(std::uint64_t));
+
+  { PolyBuffer buf(pool, 3, 64); }  // same capacity -> free-list hit
+  s = pool->stats();
+  EXPECT_EQ(s.pool_misses, 1u);
+  EXPECT_EQ(s.pool_hits, 1u);
+}
+
+TEST(PolyPool, FreeListIsKeyedByExactCapacity) {
+  auto pool = make_pool();
+  { PolyBuffer buf(pool, 2, 64); }   // caches a 128-word slab
+  { PolyBuffer buf(pool, 4, 64); }   // different capacity -> second miss
+  EXPECT_EQ(pool->stats().pool_misses, 2u);
+  { PolyBuffer buf(pool, 2, 64); }   // exact match -> hit
+  { PolyBuffer buf(pool, 1, 128); }  // 128 words again, different shape, hit
+  EXPECT_EQ(pool->stats().pool_hits, 2u);
+  EXPECT_EQ(pool->stats().pool_misses, 2u);
+}
+
+TEST(PolyPool, PeakTracksHighWaterMark) {
+  auto pool = make_pool();
+  const std::uint64_t slab = 4 * 32 * sizeof(std::uint64_t);
+  {
+    PolyBuffer a(pool, 4, 32);
+    PolyBuffer b(pool, 4, 32);
+    EXPECT_EQ(pool->stats().bytes_in_use, 2 * slab);
+  }
+  EXPECT_EQ(pool->stats().peak_bytes, 2 * slab);
+  pool->trim();
+  EXPECT_EQ(pool->stats().bytes_cached, 0u);
+  // reset_stats rebases the peak to the (now empty) footprint.
+  pool->reset_stats();
+  EXPECT_EQ(pool->stats().peak_bytes, 0u);
+}
+
+TEST(PolyBuffer, ChannelViewsAreDisjointAndOrdered) {
+  auto pool = make_pool();
+  PolyBuffer buf(pool, 3, 16);
+  for (std::size_t c = 0; c < 3; ++c) {
+    auto ch = buf[c];
+    ASSERT_EQ(ch.size(), 16u);
+    EXPECT_EQ(ch.data(), buf.data() + c * 16);
+    std::iota(ch.begin(), ch.end(), c * 100);
+  }
+  for (std::size_t c = 0; c < 3; ++c) {
+    EXPECT_EQ(buf[c][0], c * 100);
+    EXPECT_EQ(buf[c][15], c * 100 + 15);
+  }
+}
+
+TEST(PolyBuffer, CopyIsDeepAndMoveSteals) {
+  auto pool = make_pool();
+  PolyBuffer a(pool, 2, 8);
+  a[0][0] = 42;
+  PolyBuffer b = a;
+  EXPECT_NE(b.data(), a.data());
+  EXPECT_EQ(b[0][0], 42u);
+  b[0][0] = 7;
+  EXPECT_EQ(a[0][0], 42u);
+
+  const std::uint64_t* slab = b.data();
+  PolyBuffer c = std::move(b);
+  EXPECT_EQ(c.data(), slab);
+  EXPECT_TRUE(b.empty());  // NOLINT(bugprone-use-after-move): tested on purpose
+}
+
+TEST(PolyBuffer, ShrinkChannelsReturnsTailToPool) {
+  auto pool = make_pool();
+  PolyBuffer buf(pool, 5, 32);
+  for (std::size_t c = 0; c < 5; ++c) buf[c][0] = c + 1;
+  buf.shrink_channels(2);
+  EXPECT_EQ(buf.channels(), 2u);
+  EXPECT_EQ(buf.capacity_words(), 2 * 32u);
+  EXPECT_EQ(buf[0][0], 1u);
+  EXPECT_EQ(buf[1][0], 2u);
+  // The 5-channel slab went back: cached bytes cover exactly that slab.
+  EXPECT_EQ(pool->stats().bytes_cached, 5 * 32 * sizeof(std::uint64_t));
+  EXPECT_EQ(pool->stats().bytes_in_use, 2 * 32 * sizeof(std::uint64_t));
+}
+
+TEST(PolyBuffer, SurvivesPoolHandleOutlivingNothing) {
+  // The buffer holds the pool via shared_ptr: releasing the only external
+  // handle must not invalidate the buffer or crash on release.
+  PolyBuffer buf(make_pool(), 2, 16);
+  buf[1][3] = 99;
+  EXPECT_EQ(buf[1][3], 99u);
+}
+
+TEST(PolyPool, ConcurrentCheckoutFromThreadPool) {
+  auto pool = make_pool();
+  constexpr std::size_t kTasks = 64;
+  constexpr std::size_t kRounds = 50;
+  ThreadPool::global().parallel_for(kTasks, [&](std::size_t t) {
+    for (std::size_t r = 0; r < kRounds; ++r) {
+      PolyBuffer buf(pool, 1 + t % 3, 64, /*zero_fill=*/false);
+      buf[0][0] = t;
+      PPHE_CHECK(buf[0][0] == t, "slab not private to its owner");
+    }
+  });
+  const MemStats s = pool->stats();
+  EXPECT_EQ(s.pool_hits + s.pool_misses, kTasks * kRounds);
+  EXPECT_EQ(s.bytes_in_use, 0u);
+  // Steady state: far more hits than allocator trips.
+  EXPECT_GT(s.pool_hits, s.pool_misses);
+}
+
+TEST(VecPoolTest, ReusesBuffersByElementCount) {
+  auto pool = std::make_shared<VecPool<std::uint64_t>>();
+  { PooledVec<std::uint64_t> v(pool, 100); }
+  { PooledVec<std::uint64_t> v(pool, 100); }
+  { PooledVec<std::uint64_t> v(pool, 50); }
+  const MemStats s = pool->stats();
+  EXPECT_EQ(s.pool_misses, 2u);
+  EXPECT_EQ(s.pool_hits, 1u);
+}
+
+}  // namespace
+}  // namespace pphe

@@ -10,6 +10,7 @@
 #include "ckks/security.hpp"
 #include "common/cli.hpp"
 #include "common/table.hpp"
+#include "common/trace.hpp"
 #include "core/pipeline.hpp"
 
 namespace pphe::benchutil {
@@ -25,6 +26,18 @@ inline void print_header(const char* table_name, const ExperimentConfig& cfg) {
       "1-core host;\nLat-par = ideal critical-path latency with %zu workers "
       "(ParallelSim, DESIGN.md §3)\n\n",
       cfg.workers);
+  if (!cfg.trace_out.empty()) {
+    trace::set_enabled(true);
+    std::printf("[trace] recording homomorphic-op spans -> %s\n\n",
+                cfg.trace_out.c_str());
+  }
+}
+
+/// End-of-run hook: writes cfg.trace_out (if set) as Chrome trace-event JSON
+/// and prints the per-op latency histograms. Returns false on write failure
+/// so mains can fold it into their exit status.
+inline bool finish_trace(const ExperimentConfig& cfg) {
+  return finish_tracing(cfg.trace_out);
 }
 
 /// One measured row of a Table III/V-style comparison.

@@ -44,5 +44,5 @@ int main(int argc, char** argv) {
       "client-side work is %.1f%% of the round trip — the heavy lifting\n"
       "happens blind, on ciphertexts, exactly as Fig. 1 depicts.\n",
       enc / n, ev / n, dec / n, 100.0 * (enc + dec) / (enc + ev + dec));
-  return 0;
+  return finish_trace(cfg) ? 0 : 1;
 }

@@ -69,5 +69,5 @@ int main(int argc, char** argv) {
   std::printf(
       "paper: CNN1-HE 3.12/4.02/3.56 s vs CNN1-HE-RNS 1.73/2.89/2.27 s "
       "(36.24%% speed-up), Acc 98.22%% for both.\n");
-  return 0;
+  return finish_trace(cfg) ? 0 : 1;
 }

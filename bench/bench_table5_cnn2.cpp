@@ -61,5 +61,5 @@ int main(int argc, char** argv) {
               "EXPERIMENTS.md).\n",
               rows[1].eval.eval_latency.avg(),
               250.0 / rows[1].eval.eval_latency.avg());
-  return 0;
+  return finish_trace(cfg) ? 0 : 1;
 }

@@ -7,6 +7,8 @@
 //
 // Run:  ./quickstart            (fast profile, ~a minute on a laptop core)
 //       ./quickstart --paper    (the paper's Table II parameters)
+//       ./quickstart --trace-out=trace.json   (per-op/per-layer trace,
+//                                              chrome://tracing / Perfetto)
 
 #include <cstdio>
 
@@ -17,6 +19,7 @@ using namespace pphe;
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
+  const std::string trace_path = init_tracing_from_flags(flags);
   ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
   cfg.train_size = static_cast<std::size_t>(flags.get_int("train-size", 2000));
   cfg.relu_epochs = static_cast<std::size_t>(flags.get_int("epochs", 5));
@@ -59,5 +62,6 @@ int main(int argc, char** argv) {
   for (const double v : result.logits) std::printf(" %+.2f", v);
   std::printf("\npredicted digit %d (true label %d)\n", result.predicted,
               test.labels[0]);
+  if (!finish_tracing(trace_path)) return 1;
   return result.predicted == test.labels[0] ? 0 : 1;
 }

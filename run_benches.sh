@@ -47,3 +47,32 @@ for b in "${BENCHES[@]}"; do
   fi
   echo
 done
+
+if [ "$QUICK" -eq 1 ]; then
+  # Trace smoke: one CNN1-HE-RNS inference with --trace-out, then verify the
+  # emitted Chrome trace JSON parses and carries per-layer level/scale spans.
+  echo "==================================================================="
+  echo "=== trace smoke (quickstart --trace-out)"
+  echo "==================================================================="
+  TRACE_JSON=$(mktemp /tmp/ppcnn-trace.XXXXXX.json)
+  trap 'rm -f "$TRACE_JSON"' EXIT
+  ./build/examples/quickstart --train-size=300 --epochs=1 \
+      --trace-out="$TRACE_JSON" 2>&1 || { echo "trace smoke: quickstart failed" >&2; exit 1; }
+  python3 - "$TRACE_JSON" <<'EOF' || exit 1
+import json, sys
+with open(sys.argv[1]) as f:
+    d = json.load(f)
+events = d["traceEvents"]
+assert events, "trace has no events"
+layers = [e for e in events if e.get("cat") == "layer"]
+assert layers, "trace has no per-layer spans"
+for e in layers:
+    args = e.get("args", {})
+    assert "level" in args and "scale_log2" in args, f"layer span missing level/scale: {e}"
+he = [e for e in events if e.get("cat") == "he"]
+assert he, "trace has no homomorphic-op spans"
+print(f"trace smoke OK: {len(events)} events, {len(layers)} layer spans, "
+      f"{len(he)} he-op spans, dropped={d['otherData']['dropped']}")
+EOF
+  echo
+fi

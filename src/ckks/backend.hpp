@@ -1,17 +1,74 @@
 #pragma once
 
+#include <array>
+#include <atomic>
+#include <cmath>
 #include <cstdint>
+#include <initializer_list>
 #include <map>
 #include <memory>
-#include <mutex>
 #include <span>
 #include <string>
 #include <vector>
 
 #include "ckks/params.hpp"
+#include "common/check.hpp"
+#include "common/trace.hpp"
 #include "math/poly_buffer.hpp"
 
 namespace pphe {
+
+/// Every homomorphic primitive the backends expose, as a dense enum: the op
+/// counters index an atomic array by OpKind (lock-free) instead of a
+/// string-keyed map under a mutex, and the tracer names spans via op_name().
+enum class OpKind : std::uint8_t {
+  kEncode,
+  kEncrypt,
+  kDecrypt,
+  kAdd,
+  kSub,
+  kNegate,
+  kAddPlain,
+  kMultiply,
+  kMultiplyPlain,
+  kMultiplyAcc,
+  kMultiplyPlainAcc,
+  kRelinearize,
+  kRescale,
+  kModDrop,
+  kRotate,
+  kRotateHoisted,
+  kConjugate,
+  kGaloisKeys,
+};
+inline constexpr std::size_t kOpKindCount =
+    static_cast<std::size_t>(OpKind::kGaloisKeys) + 1;
+
+/// Stable display/report name (these strings are the legacy op_counts() keys;
+/// bench tables and tests key on them).
+constexpr const char* op_name(OpKind kind) {
+  switch (kind) {
+    case OpKind::kEncode: return "encode";
+    case OpKind::kEncrypt: return "encrypt";
+    case OpKind::kDecrypt: return "decrypt";
+    case OpKind::kAdd: return "add";
+    case OpKind::kSub: return "sub";
+    case OpKind::kNegate: return "negate";
+    case OpKind::kAddPlain: return "add_plain";
+    case OpKind::kMultiply: return "multiply";
+    case OpKind::kMultiplyPlain: return "multiply_plain";
+    case OpKind::kMultiplyAcc: return "multiply_acc";
+    case OpKind::kMultiplyPlainAcc: return "multiply_plain_acc";
+    case OpKind::kRelinearize: return "relinearize";
+    case OpKind::kRescale: return "rescale";
+    case OpKind::kModDrop: return "mod_drop";
+    case OpKind::kRotate: return "rotate";
+    case OpKind::kRotateHoisted: return "rotate_hoisted";
+    case OpKind::kConjugate: return "conjugate";
+    case OpKind::kGaloisKeys: return "galois_keys";
+  }
+  return "?";
+}
 
 /// Opaque ciphertext handle; the payload type belongs to the backend that
 /// produced it (RnsBackend or BigBackend) and handles are not interchangeable
@@ -112,11 +169,17 @@ class HeBackend {
   /// the shared key-switching work (decompose + NTT once, permute per step);
   /// the default just loops. Order of results matches `steps`.
   virtual std::vector<Ciphertext> rotate_batch(
-      const Ciphertext& a, const std::vector<int>& steps) const {
+      const Ciphertext& a, std::span<const int> steps) const {
     std::vector<Ciphertext> out;
     out.reserve(steps.size());
     for (const int s : steps) out.push_back(rotate(a, s));
     return out;
+  }
+  /// Braced-list convenience (`rotate_batch(ct, {1, 2})`); std::span gains
+  /// an initializer_list constructor only in C++26.
+  std::vector<Ciphertext> rotate_batch(const Ciphertext& a,
+                                       std::initializer_list<int> steps) const {
+    return rotate_batch(a, std::span<const int>(steps.begin(), steps.size()));
   }
 
   /// acc += a * b (tensor product accumulated without materializing the
@@ -134,7 +197,10 @@ class HeBackend {
   }
 
   /// Pre-generates Galois keys for the given rotation steps (idempotent).
-  virtual void ensure_galois_keys(const std::vector<int>& steps) = 0;
+  virtual void ensure_galois_keys(std::span<const int> steps) = 0;
+  void ensure_galois_keys(std::initializer_list<int> steps) {
+    ensure_galois_keys(std::span<const int>(steps.begin(), steps.size()));
+  }
 
   // --- convenience (non-virtual) ---------------------------------------
   /// Encodes at the ciphertext's own scale and level, then multiplies.
@@ -152,16 +218,23 @@ class HeBackend {
   }
 
   // --- instrumentation --------------------------------------------------
-  /// Snapshot of cumulative homomorphic-op counts since the last reset
-  /// (op name -> n). Returned by value: the live map keeps changing under
-  /// its mutex while thread-pool channel loops count fused ops.
+  /// Snapshot of cumulative homomorphic-op counts since the last reset,
+  /// rendered as the legacy `op name -> n` map view (bench tables and tests
+  /// key on these strings). The live counters are lock-free atomics.
   std::map<std::string, std::uint64_t> op_counts() const {
-    std::lock_guard<std::mutex> lock(op_mutex_);
-    return op_counts_;
+    std::map<std::string, std::uint64_t> out;
+    for (std::size_t i = 0; i < kOpKindCount; ++i) {
+      const std::uint64_t n = op_counts_[i].load(std::memory_order_relaxed);
+      if (n > 0) out[op_name(static_cast<OpKind>(i))] = n;
+    }
+    return out;
+  }
+  std::uint64_t op_count(OpKind kind) const {
+    return op_counts_[static_cast<std::size_t>(kind)].load(
+        std::memory_order_relaxed);
   }
   void reset_op_counts() {
-    std::lock_guard<std::mutex> lock(op_mutex_);
-    op_counts_.clear();
+    for (auto& c : op_counts_) c.store(0, std::memory_order_relaxed);
   }
 
   /// Allocation behaviour of the backend's polynomial arena (DESIGN.md
@@ -171,14 +244,81 @@ class HeBackend {
   virtual void reset_mem_stats() const {}
 
  protected:
-  void count_op(const std::string& op) const {
-    std::lock_guard<std::mutex> lock(op_mutex_);
-    ++op_counts_[op];
+  /// Lock-free op counter bump (relaxed: counters are independent tallies,
+  /// read only via whole-map snapshots).
+  void count_op(OpKind kind) const {
+    op_counts_[static_cast<std::size_t>(kind)].fetch_add(
+        1, std::memory_order_relaxed);
+  }
+
+  /// Counts the op AND opens a trace span named op_name(kind) in category
+  /// "he" for its scope — the one-stop instrumentation every backend op
+  /// starts with. Keeping count and span in a single object guarantees
+  /// span-count/op-count parity, which trace_integration_test asserts.
+  class OpScope {
+   public:
+    OpScope(const HeBackend& backend, OpKind kind)
+        : span_(op_name(kind), "he") {
+      backend.count_op(kind);
+    }
+    /// Convenience: record the level/scale/size of the primary operand.
+    OpScope(const HeBackend& backend, OpKind kind, const Ciphertext& a)
+        : OpScope(backend, kind) {
+      if (span_.recording()) {
+        span_.attr("level", a.level());
+        span_.attr("scale_log2", std::log2(a.scale()));
+        span_.attr("size", static_cast<double>(a.size()));
+      }
+    }
+    void attr(const char* key, double value) { span_.attr(key, value); }
+
+   private:
+    trace::Span span_;
+  };
+
+  // --- precondition checks ---------------------------------------------
+  /// Binary ciphertext ops need matching levels and (multiplicatively
+  /// compatible) scales; violations used to produce silently wrong slots.
+  /// `op` names the primitive in the failure message.
+  void check_same_level(const char* op, const Ciphertext& a,
+                        const Ciphertext& b) const {
+    PPHE_CHECK(a.level() == b.level(),
+               std::string(op) + ": operand levels differ (lhs level " +
+                   std::to_string(a.level()) + ", rhs level " +
+                   std::to_string(b.level()) +
+                   "); align with mod_drop_to first");
+  }
+  void check_same_scale(const char* op, double a_scale, double b_scale) const {
+    const double rel = std::abs(a_scale - b_scale) /
+                       std::max({std::abs(a_scale), std::abs(b_scale), 1.0});
+    PPHE_CHECK(rel < 1e-9,
+               std::string(op) + ": operand scales differ (lhs 2^" +
+                   std::to_string(std::log2(a_scale)) + ", rhs 2^" +
+                   std::to_string(std::log2(b_scale)) +
+                   "); rescale or re-encode to a common scale");
+  }
+  /// The product scale must fit under the remaining modulus, or coefficients
+  /// wrap and every slot is silently garbage; catching it here names the op,
+  /// levels, and scales instead.
+  void check_mult_capacity(const char* op, const Ciphertext& a,
+                           const Ciphertext& b) const {
+    const int level = std::min(a.level(), b.level());
+    double capacity_bits = 0.0;
+    for (int l = 0; l <= level; ++l) capacity_bits += std::log2(level_prime(l));
+    const double product_bits = std::log2(a.scale()) + std::log2(b.scale());
+    PPHE_CHECK(product_bits < capacity_bits,
+               std::string(op) + ": product scale 2^" +
+                   std::to_string(product_bits) + " exceeds modulus capacity 2^" +
+                   std::to_string(capacity_bits) + " at level " +
+                   std::to_string(level) + " (lhs level " +
+                   std::to_string(a.level()) + " scale 2^" +
+                   std::to_string(std::log2(a.scale())) + ", rhs level " +
+                   std::to_string(b.level()) + " scale 2^" +
+                   std::to_string(std::log2(b.scale())) + ")");
   }
 
  private:
-  mutable std::mutex op_mutex_;
-  mutable std::map<std::string, std::uint64_t> op_counts_;
+  mutable std::array<std::atomic<std::uint64_t>, kOpKindCount> op_counts_{};
 };
 
 }  // namespace pphe

@@ -22,11 +22,6 @@ const BigPtBody& body(const Plaintext& pt) {
   return *static_cast<const BigPtBody*>(pt.impl().get());
 }
 
-double relative_diff(double a, double b) {
-  const double m = std::max(std::abs(a), std::abs(b));
-  return m == 0.0 ? 0.0 : std::abs(a - b) / m;
-}
-
 /// Reduces an arbitrarily wide x modulo `bar`'s modulus by Horner recursion
 /// over 64-bit limbs (each step keeps the Barrett input below q * 2^64).
 BigUInt reduce_wide(const BigBarrett& bar, const BigUInt& x) {
@@ -335,6 +330,8 @@ BigBackend::KswKey BigBackend::make_ksw_key(
 
 std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
                                                    const KswKey& key) const {
+  trace::Span span("key_switch", "kernel");
+  span.attr("level", d.level);
   PPHE_CHECK(!d.ntt, "key_switch expects coefficient form");
   const int level = d.level;
   const int top = max_level();
@@ -424,7 +421,8 @@ Ciphertext BigBackend::wrap(std::vector<BigPoly> polys, double scale,
 
 Plaintext BigBackend::encode(std::span<const double> values, double scale,
                              int level) const {
-  count_op("encode");
+  OpScope op(*this, OpKind::kEncode);
+  op.attr("level", level);
   PPHE_CHECK(level >= 0 && level <= max_level(), "level out of range");
   const auto coeffs = encoder_.encode(values, scale);
   BigPoly p = lift_signed(coeffs, level);
@@ -435,7 +433,8 @@ Plaintext BigBackend::encode(std::span<const double> values, double scale,
 }
 
 Ciphertext BigBackend::encrypt(const Plaintext& pt) const {
-  count_op("encrypt");
+  OpScope op(*this, OpKind::kEncrypt);
+  op.attr("level", pt.level());
   const BigPtBody& ptb = body(pt);
   const int level = pt.level();
   const int top = max_level();
@@ -495,13 +494,13 @@ std::vector<double> BigBackend::decrypt_coefficients(
 }
 
 std::vector<double> BigBackend::decrypt_decode(const Ciphertext& ct) const {
-  count_op("decrypt");
+  OpScope op(*this, OpKind::kDecrypt, ct);
   const auto coeffs = decrypt_coefficients(ct);
   return encoder_.decode_real(coeffs, ct.scale());
 }
 
 Ciphertext BigBackend::add(const Ciphertext& a, const Ciphertext& b) const {
-  count_op("add");
+  OpScope op(*this, OpKind::kAdd, a);
   const Ciphertext* pa = &a;
   const Ciphertext* pb = &b;
   Ciphertext dropped;
@@ -514,8 +513,7 @@ Ciphertext BigBackend::add(const Ciphertext& a, const Ciphertext& b) const {
       pb = &dropped;
     }
   }
-  PPHE_CHECK(relative_diff(pa->scale(), pb->scale()) < 1e-9,
-             "scale mismatch in add");
+  check_same_scale("add", pa->scale(), pb->scale());
   const BigCtBody& ba = body(*pa);
   const BigCtBody& bb = body(*pb);
   const std::size_t size = std::max(ba.polys.size(), bb.polys.size());
@@ -536,12 +534,12 @@ Ciphertext BigBackend::add(const Ciphertext& a, const Ciphertext& b) const {
 }
 
 Ciphertext BigBackend::sub(const Ciphertext& a, const Ciphertext& b) const {
-  count_op("sub");
+  OpScope op(*this, OpKind::kSub, a);
   return add(a, negate(b));
 }
 
 Ciphertext BigBackend::negate(const Ciphertext& a) const {
-  count_op("negate");
+  OpScope op(*this, OpKind::kNegate, a);
   std::vector<BigPoly> polys = body(a).polys;
   for (auto& p : polys) negate_inplace(p);
   return wrap(std::move(polys), a.scale(), a.level());
@@ -549,11 +547,13 @@ Ciphertext BigBackend::negate(const Ciphertext& a) const {
 
 Ciphertext BigBackend::add_plain(const Ciphertext& a,
                                  const Plaintext& b) const {
-  count_op("add_plain");
+  OpScope op(*this, OpKind::kAddPlain, a);
   PPHE_CHECK(b.level() == a.level(),
-             "BigBackend add_plain requires matching encode level");
-  PPHE_CHECK(relative_diff(a.scale(), b.scale()) < 1e-9,
-             "scale mismatch in add_plain");
+             "add_plain: BigBackend requires matching encode level "
+             "(ciphertext level " +
+                 std::to_string(a.level()) + ", plaintext level " +
+                 std::to_string(b.level()) + ")");
+  check_same_scale("add_plain", a.scale(), b.scale());
   std::vector<BigPoly> polys = body(a).polys;
   add_inplace(polys[0], body(b).poly);
   return wrap(std::move(polys), a.scale(), a.level());
@@ -561,7 +561,8 @@ Ciphertext BigBackend::add_plain(const Ciphertext& a,
 
 Ciphertext BigBackend::multiply(const Ciphertext& a,
                                 const Ciphertext& b) const {
-  count_op("multiply");
+  OpScope op(*this, OpKind::kMultiply, a);
+  check_mult_capacity("multiply", a, b);
   const Ciphertext* pa = &a;
   const Ciphertext* pb = &b;
   Ciphertext dropped;
@@ -594,9 +595,12 @@ Ciphertext BigBackend::multiply(const Ciphertext& a,
 
 Ciphertext BigBackend::multiply_plain(const Ciphertext& a,
                                       const Plaintext& b) const {
-  count_op("multiply_plain");
+  OpScope op(*this, OpKind::kMultiplyPlain, a);
   PPHE_CHECK(b.level() == a.level(),
-             "BigBackend multiply_plain requires matching encode level");
+             "multiply_plain: BigBackend requires matching encode level "
+             "(ciphertext level " +
+                 std::to_string(a.level()) + ", plaintext level " +
+                 std::to_string(b.level()) + ")");
   const BigCtBody& ba = body(a);
   std::vector<BigPoly> polys;
   polys.reserve(ba.polys.size());
@@ -605,7 +609,7 @@ Ciphertext BigBackend::multiply_plain(const Ciphertext& a,
 }
 
 Ciphertext BigBackend::relinearize(const Ciphertext& a) const {
-  count_op("relinearize");
+  OpScope op(*this, OpKind::kRelinearize, a);
   const BigCtBody& ba = body(a);
   if (ba.polys.size() == 2) return a;
   PPHE_CHECK(ba.polys.size() == 3, "can only relinearize size-3 ciphertexts");
@@ -624,7 +628,7 @@ Ciphertext BigBackend::relinearize(const Ciphertext& a) const {
 }
 
 Ciphertext BigBackend::rescale(const Ciphertext& a) const {
-  count_op("rescale");
+  OpScope op(*this, OpKind::kRescale, a);
   PPHE_CHECK(a.level() > 0, "no prime left to rescale by");
   const BigCtBody& ba = body(a);
   const int level = a.level();
@@ -656,7 +660,8 @@ Ciphertext BigBackend::rescale(const Ciphertext& a) const {
 }
 
 Ciphertext BigBackend::mod_drop_to(const Ciphertext& a, int level) const {
-  count_op("mod_drop");
+  OpScope op(*this, OpKind::kModDrop, a);
+  op.attr("target_level", level);
   PPHE_CHECK(level >= 0 && level <= a.level(), "invalid mod-drop target");
   if (level == a.level()) return a;
   const BigCtBody& ba = body(a);
@@ -679,8 +684,8 @@ Ciphertext BigBackend::mod_drop_to(const Ciphertext& a, int level) const {
 Ciphertext BigBackend::apply_automorphism_ct(const Ciphertext& a,
                                              std::uint64_t exponent,
                                              const KswKey& key,
-                                             const char* op_name) const {
-  count_op(op_name);
+                                             OpKind op_kind) const {
+  OpScope op(*this, op_kind, a);
   const BigCtBody& ba = body(a);
   PPHE_CHECK(ba.polys.size() == 2,
              "rotate expects size-2 ciphertexts (relinearize first)");
@@ -706,10 +711,12 @@ Ciphertext BigBackend::rotate(const Ciphertext& a, int step) const {
   PPHE_CHECK(it != galois_keys_.end(),
              "missing Galois key for step " + std::to_string(step) +
                  "; call ensure_galois_keys first");
-  return apply_automorphism_ct(a, exponent, it->second, "rotate");
+  return apply_automorphism_ct(a, exponent, it->second, OpKind::kRotate);
 }
 
-void BigBackend::ensure_galois_keys(const std::vector<int>& steps) {
+void BigBackend::ensure_galois_keys(std::span<const int> steps) {
+  OpScope op(*this, OpKind::kGaloisKeys);
+  op.attr("steps", static_cast<double>(steps.size()));
   const int top = max_level();
   const BigUInt aux = q_ladder_[top] * p_modulus_;
   const std::size_t n = params_.degree;

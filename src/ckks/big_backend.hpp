@@ -77,7 +77,8 @@ class BigBackend final : public HeBackend {
   Ciphertext rescale(const Ciphertext& a) const override;
   Ciphertext mod_drop_to(const Ciphertext& a, int level) const override;
   Ciphertext rotate(const Ciphertext& a, int step) const override;
-  void ensure_galois_keys(const std::vector<int>& steps) override;
+  void ensure_galois_keys(std::span<const int> steps) override;
+  using HeBackend::ensure_galois_keys;  // braced-list overload
 
   const CkksEncoder& encoder() const { return encoder_; }
   const std::shared_ptr<VecPool<BigUInt>>& pool() const { return big_pool_; }
@@ -122,8 +123,7 @@ class BigBackend final : public HeBackend {
                                          const KswKey& key) const;
   Ciphertext wrap(std::vector<BigPoly> polys, double scale, int level) const;
   Ciphertext apply_automorphism_ct(const Ciphertext& a, std::uint64_t exponent,
-                                   const KswKey& key,
-                                   const char* op_name) const;
+                                   const KswKey& key, OpKind op) const;
   /// Reduces x (< Q_from) modulo Q_to, stepping one ladder level at a time.
   BigUInt reduce_ladder(const BigUInt& x, int from, int to) const;
 

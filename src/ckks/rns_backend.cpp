@@ -315,6 +315,9 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
 
 std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
                                                    const KswKey& key) const {
+  trace::Span span("key_switch", "kernel");
+  span.attr("level", level);
+  span.attr("digits", level + 1);
   PPHE_CHECK(!d.ntt, "key_switch expects coefficient form");
   const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
   PPHE_CHECK(d.channels() >= q_channels, "digit source too small");
@@ -413,7 +416,8 @@ Ciphertext RnsBackend::wrap(std::vector<RnsPoly> polys, double scale,
 
 Plaintext RnsBackend::encode(std::span<const double> values, double scale,
                              int level) const {
-  count_op("encode");
+  OpScope op(*this, OpKind::kEncode);
+  op.attr("level", level);
   PPHE_CHECK(level >= 0 && level <= max_level(), "level out of range");
   const auto coeffs = encoder_.encode(values, scale);
   RnsPoly p = lift_signed(coeffs, level, /*with_special=*/false);
@@ -424,7 +428,8 @@ Plaintext RnsBackend::encode(std::span<const double> values, double scale,
 }
 
 Ciphertext RnsBackend::encrypt(const Plaintext& pt) const {
-  count_op("encrypt");
+  OpScope op(*this, OpKind::kEncrypt);
+  op.attr("level", pt.level());
   const RnsPtBody& ptb = body(pt);
   const int level = pt.level();
 
@@ -484,13 +489,13 @@ std::vector<double> RnsBackend::decrypt_coefficients(
 }
 
 std::vector<double> RnsBackend::decrypt_decode(const Ciphertext& ct) const {
-  count_op("decrypt");
+  OpScope op(*this, OpKind::kDecrypt, ct);
   const auto coeffs = decrypt_coefficients(ct);
   return encoder_.decode_real(coeffs, ct.scale());
 }
 
 Ciphertext RnsBackend::add(const Ciphertext& a, const Ciphertext& b) const {
-  count_op("add");
+  OpScope op(*this, OpKind::kAdd, a);
   const Ciphertext* pa = &a;
   const Ciphertext* pb = &b;
   Ciphertext dropped;
@@ -504,8 +509,7 @@ Ciphertext RnsBackend::add(const Ciphertext& a, const Ciphertext& b) const {
       pb = &dropped;
     }
   }
-  PPHE_CHECK(relative_diff(pa->scale(), pb->scale()) < 1e-9,
-             "scale mismatch in add");
+  check_same_scale("add", pa->scale(), pb->scale());
   const RnsCtBody& ba = body(*pa);
   const RnsCtBody& bb = body(*pb);
   const std::size_t size = std::max(ba.polys.size(), bb.polys.size());
@@ -526,12 +530,12 @@ Ciphertext RnsBackend::add(const Ciphertext& a, const Ciphertext& b) const {
 }
 
 Ciphertext RnsBackend::sub(const Ciphertext& a, const Ciphertext& b) const {
-  count_op("sub");
+  OpScope op(*this, OpKind::kSub, a);
   return add(a, negate(b));
 }
 
 Ciphertext RnsBackend::negate(const Ciphertext& a) const {
-  count_op("negate");
+  OpScope op(*this, OpKind::kNegate, a);
   const RnsCtBody& ba = body(a);
   std::vector<RnsPoly> polys = ba.polys;
   for (auto& p : polys) negate_inplace(p);
@@ -540,11 +544,12 @@ Ciphertext RnsBackend::negate(const Ciphertext& a) const {
 
 Ciphertext RnsBackend::add_plain(const Ciphertext& a,
                                  const Plaintext& b) const {
-  count_op("add_plain");
+  OpScope op(*this, OpKind::kAddPlain, a);
   PPHE_CHECK(b.level() >= a.level(),
-             "plaintext encoded at a lower level than the ciphertext");
-  PPHE_CHECK(relative_diff(a.scale(), b.scale()) < 1e-9,
-             "scale mismatch in add_plain");
+             "add_plain: plaintext encoded at level " +
+                 std::to_string(b.level()) + " but the ciphertext is at level " +
+                 std::to_string(a.level()) + "; re-encode at the ct level");
+  check_same_scale("add_plain", a.scale(), b.scale());
   const RnsCtBody& ba = body(a);
   std::vector<RnsPoly> polys = ba.polys;
   add_inplace(polys[0], body(b).poly);
@@ -553,7 +558,8 @@ Ciphertext RnsBackend::add_plain(const Ciphertext& a,
 
 Ciphertext RnsBackend::multiply(const Ciphertext& a,
                                 const Ciphertext& b) const {
-  count_op("multiply");
+  OpScope op(*this, OpKind::kMultiply, a);
+  check_mult_capacity("multiply", a, b);
   const Ciphertext* pa = &a;
   const Ciphertext* pb = &b;
   Ciphertext dropped;
@@ -586,9 +592,11 @@ Ciphertext RnsBackend::multiply(const Ciphertext& a,
 
 Ciphertext RnsBackend::multiply_plain(const Ciphertext& a,
                                       const Plaintext& b) const {
-  count_op("multiply_plain");
+  OpScope op(*this, OpKind::kMultiplyPlain, a);
   PPHE_CHECK(b.level() >= a.level(),
-             "plaintext encoded at a lower level than the ciphertext");
+             "multiply_plain: plaintext encoded at level " +
+                 std::to_string(b.level()) + " but the ciphertext is at level " +
+                 std::to_string(a.level()) + "; re-encode at the ct level");
   const RnsCtBody& ba = body(a);
   std::vector<RnsPoly> polys;
   polys.reserve(ba.polys.size());
@@ -597,7 +605,7 @@ Ciphertext RnsBackend::multiply_plain(const Ciphertext& a,
 }
 
 Ciphertext RnsBackend::relinearize(const Ciphertext& a) const {
-  count_op("relinearize");
+  OpScope op(*this, OpKind::kRelinearize, a);
   const RnsCtBody& ba = body(a);
   if (ba.polys.size() == 2) return a;
   PPHE_CHECK(ba.polys.size() == 3, "can only relinearize size-3 ciphertexts");
@@ -616,7 +624,7 @@ Ciphertext RnsBackend::relinearize(const Ciphertext& a) const {
 }
 
 Ciphertext RnsBackend::rescale(const Ciphertext& a) const {
-  count_op("rescale");
+  OpScope op(*this, OpKind::kRescale, a);
   PPHE_CHECK(a.level() > 0, "no prime left to rescale by");
   const RnsCtBody& ba = body(a);
   const auto l = static_cast<std::size_t>(a.level());
@@ -652,7 +660,8 @@ Ciphertext RnsBackend::rescale(const Ciphertext& a) const {
 }
 
 Ciphertext RnsBackend::mod_drop_to(const Ciphertext& a, int level) const {
-  count_op("mod_drop");
+  OpScope op(*this, OpKind::kModDrop, a);
+  op.attr("target_level", level);
   PPHE_CHECK(level >= 0 && level <= a.level(), "invalid mod-drop target");
   if (level == a.level()) return a;
   const RnsCtBody& ba = body(a);
@@ -668,8 +677,8 @@ Ciphertext RnsBackend::mod_drop_to(const Ciphertext& a, int level) const {
 Ciphertext RnsBackend::apply_automorphism_ct(const Ciphertext& a,
                                              std::uint64_t exponent,
                                              const KswKey& key,
-                                             const char* op_name) const {
-  count_op(op_name);
+                                             OpKind op_kind) const {
+  OpScope op(*this, op_kind, a);
   const RnsCtBody& ba = body(a);
   PPHE_CHECK(ba.polys.size() == 2,
              "rotate/conjugate expects size-2 ciphertexts (relinearize first)");
@@ -718,10 +727,13 @@ const std::vector<std::uint32_t>& RnsBackend::ntt_permutation(
 }
 
 std::vector<Ciphertext> RnsBackend::rotate_batch(
-    const Ciphertext& a, const std::vector<int>& steps) const {
+    const Ciphertext& a, std::span<const int> steps) const {
   if (steps.size() <= 1) {
     return HeBackend::rotate_batch(a, steps);
   }
+  trace::Span batch_span("rotate_batch", "kernel");
+  batch_span.attr("steps", static_cast<double>(steps.size()));
+  batch_span.attr("level", a.level());
   const RnsCtBody& ba = body(a);
   PPHE_CHECK(ba.polys.size() == 2, "rotate expects size-2 ciphertexts");
   PPHE_CHECK(ba.polys[0].ntt && ba.polys[1].ntt,
@@ -738,6 +750,8 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
   // lifted to channel c at row j*channels + c, special last), NTT form.
   PolyBuffer digits_ntt(pool_, q_channels * channels, n, /*zero_fill=*/false);
   {
+    trace::Span hoist_span("rotate_hoist_decompose", "kernel");
+    hoist_span.attr("digits", static_cast<double>(q_channels));
     Stopwatch sw;
     for (std::size_t j = 0; j < q_channels; ++j) {
       ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
@@ -763,7 +777,8 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
   std::vector<Ciphertext> out;
   out.reserve(steps.size());
   for (const int step : steps) {
-    count_op("rotate_hoisted");
+    OpScope op(*this, OpKind::kRotateHoisted, a);
+    op.attr("step", step);
     const std::uint64_t exponent = rotation_exponent(step);
     auto key_it = galois_keys_.find(exponent);
     PPHE_CHECK(key_it != galois_keys_.end(),
@@ -843,7 +858,7 @@ void RnsBackend::multiply_acc(Ciphertext& acc, const Ciphertext& a,
     HeBackend::multiply_acc(acc, a, b);
     return;
   }
-  count_op("multiply_acc");
+  OpScope op(*this, OpKind::kMultiplyAcc, a);
   const RnsCtBody& ba = body(a);
   const RnsCtBody& bb = body(b);
   PPHE_CHECK(ba.polys.size() == 2 && bb.polys.size() == 2,
@@ -880,7 +895,7 @@ void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
     HeBackend::multiply_plain_acc(acc, a, b);
     return;
   }
-  count_op("multiply_plain_acc");
+  OpScope op(*this, OpKind::kMultiplyPlainAcc, a);
   const RnsCtBody& ba = body(a);
   const RnsPoly& pt = body(b).poly;
   auto& bacc = *static_cast<RnsCtBody*>(
@@ -907,7 +922,7 @@ Ciphertext RnsBackend::rotate(const Ciphertext& a, int step) const {
   PPHE_CHECK(it != galois_keys_.end(),
              "missing Galois key for step " + std::to_string(step) +
                  "; call ensure_galois_keys first");
-  return apply_automorphism_ct(a, exponent, it->second, "rotate");
+  return apply_automorphism_ct(a, exponent, it->second, OpKind::kRotate);
 }
 
 Ciphertext RnsBackend::conjugate(const Ciphertext& a) const {
@@ -915,10 +930,12 @@ Ciphertext RnsBackend::conjugate(const Ciphertext& a) const {
   auto it = galois_keys_.find(exponent);
   PPHE_CHECK(it != galois_keys_.end(),
              "missing conjugation key; call ensure_galois_keys({0})");
-  return apply_automorphism_ct(a, exponent, it->second, "conjugate");
+  return apply_automorphism_ct(a, exponent, it->second, OpKind::kConjugate);
 }
 
-void RnsBackend::ensure_galois_keys(const std::vector<int>& steps) {
+void RnsBackend::ensure_galois_keys(std::span<const int> steps) {
+  OpScope op(*this, OpKind::kGaloisKeys);
+  op.attr("steps", static_cast<double>(steps.size()));
   for (const int step : steps) {
     // Step 0 requests the conjugation key by convention.
     const std::uint64_t exponent =

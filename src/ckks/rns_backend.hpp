@@ -89,14 +89,16 @@ class RnsBackend final : public HeBackend {
   /// on the evaluation domain as an index permutation), saving the dominant
   /// per-rotation NTT work. ~3x faster than repeated rotate() for the baby
   /// steps of the BSGS diagonal method.
-  std::vector<Ciphertext> rotate_batch(
-      const Ciphertext& a, const std::vector<int>& steps) const override;
+  std::vector<Ciphertext> rotate_batch(const Ciphertext& a,
+                                       std::span<const int> steps) const override;
+  using HeBackend::rotate_batch;  // braced-list overload
   /// Fused acc += a (x) b without materializing the tensor product.
   void multiply_acc(Ciphertext& acc, const Ciphertext& a,
                     const Ciphertext& b) const override;
   void multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
                           const Plaintext& b) const override;
-  void ensure_galois_keys(const std::vector<int>& steps) override;
+  void ensure_galois_keys(std::span<const int> steps) override;
+  using HeBackend::ensure_galois_keys;  // braced-list overload
 
   /// Slot conjugation (automorphism X -> X^{2N-1}); not used by the CNNs but
   /// part of the scheme's public surface.
@@ -155,8 +157,7 @@ class RnsBackend final : public HeBackend {
 
   Ciphertext wrap(std::vector<RnsPoly> polys, double scale, int level) const;
   Ciphertext apply_automorphism_ct(const Ciphertext& a, std::uint64_t exponent,
-                                   const KswKey& key,
-                                   const char* op_name) const;
+                                   const KswKey& key, OpKind op) const;
 
   CkksParams params_;
   CkksEncoder encoder_;

@@ -1,8 +1,10 @@
 #include "common/cli.hpp"
 
+#include <cstdio>
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/trace.hpp"
 
 namespace pphe {
 
@@ -60,6 +62,35 @@ bool CliFlags::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::string init_tracing_from_flags(const CliFlags& flags) {
+  const std::string path = flags.get("trace-out", "");
+  if (!path.empty()) trace::set_enabled(true);
+  return path;
+}
+
+bool finish_tracing(const std::string& path, bool print_summary) {
+  if (path.empty()) return true;
+  trace::set_enabled(false);
+  if (print_summary) {
+    std::printf("\n[trace] per-op latency (category \"he\"):\n%s",
+                trace::summary_table("he").c_str());
+  }
+  const bool ok = trace::write_chrome_json(path);
+  if (ok) {
+    std::printf("[trace] %zu events -> %s (load in chrome://tracing or "
+                "ui.perfetto.dev)\n",
+                trace::event_count(), path.c_str());
+    const auto dropped = trace::dropped_count();
+    if (dropped > 0) {
+      std::printf("[trace] WARNING: %llu events dropped (ring overflow)\n",
+                  static_cast<unsigned long long>(dropped));
+    }
+  } else {
+    std::fprintf(stderr, "[trace] ERROR: could not write %s\n", path.c_str());
+  }
+  return ok;
 }
 
 }  // namespace pphe

@@ -27,4 +27,13 @@ class CliFlags {
   std::vector<std::string> positional_;
 };
 
+/// Reads `--trace-out=<file>` and, when present, turns homomorphic-op
+/// tracing on for the process. Returns the output path ("" = tracing off).
+/// The caller writes the trace at exit via `finish_tracing(path)`.
+std::string init_tracing_from_flags(const CliFlags& flags);
+
+/// Writes the recorded trace to `path` (no-op on "") and prints the per-op
+/// latency summary when `print_summary` is set. Returns false on I/O error.
+bool finish_tracing(const std::string& path, bool print_summary = true);
+
 }  // namespace pphe

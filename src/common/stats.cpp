@@ -56,4 +56,88 @@ std::string LatencyStats::summary(int precision) const {
   return os.str();
 }
 
+namespace {
+
+std::size_t log2_bucket(std::uint64_t ns) {
+  if (ns == 0) return 0;
+  std::size_t b = 0;
+  while (ns >>= 1) ++b;
+  return std::min(b, Histogram::kBuckets - 1);
+}
+
+}  // namespace
+
+void Histogram::add_ns(std::uint64_t ns) {
+  ++buckets_[log2_bucket(ns)];
+  if (count_ == 0) {
+    min_ns_ = max_ns_ = ns;
+  } else {
+    min_ns_ = std::min(min_ns_, ns);
+    max_ns_ = std::max(max_ns_, ns);
+  }
+  ++count_;
+  sum_ns_ += static_cast<double>(ns);
+}
+
+std::uint64_t Histogram::min_ns() const {
+  PPHE_CHECK(count_ > 0, "no samples");
+  return min_ns_;
+}
+
+std::uint64_t Histogram::max_ns() const {
+  PPHE_CHECK(count_ > 0, "no samples");
+  return max_ns_;
+}
+
+double Histogram::avg_ns() const {
+  PPHE_CHECK(count_ > 0, "no samples");
+  return sum_ns_ / static_cast<double>(count_);
+}
+
+double Histogram::percentile_ns(double q) const {
+  PPHE_CHECK(count_ > 0, "no samples");
+  PPHE_CHECK(q >= 0.0 && q <= 1.0, "percentile out of range");
+  const double target = q * static_cast<double>(count_ - 1);
+  std::uint64_t seen = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    seen += buckets_[i];
+    if (static_cast<double>(seen) > target) {
+      // Midpoint of bucket [2^i, 2^(i+1)).
+      const double lo = i == 0 ? 0.0 : std::ldexp(1.0, static_cast<int>(i));
+      const double hi = std::ldexp(1.0, static_cast<int>(i) + 1);
+      return 0.5 * (lo + hi);
+    }
+  }
+  return static_cast<double>(max_ns_);
+}
+
+std::string Histogram::render() const {
+  if (count_ == 0) return "(empty)";
+  std::size_t lo = kBuckets, hi = 0;
+  for (std::size_t i = 0; i < kBuckets; ++i) {
+    if (buckets_[i] == 0) continue;
+    lo = std::min(lo, i);
+    hi = std::max(hi, i);
+  }
+  std::ostringstream os;
+  os << "2^" << lo << "..2^" << (hi + 1) << "ns [";
+  for (std::size_t i = lo; i <= hi; ++i) os << " " << buckets_[i];
+  os << " ]";
+  return os.str();
+}
+
+void Histogram::merge(const Histogram& other) {
+  if (other.count_ == 0) return;
+  for (std::size_t i = 0; i < kBuckets; ++i) buckets_[i] += other.buckets_[i];
+  if (count_ == 0) {
+    min_ns_ = other.min_ns_;
+    max_ns_ = other.max_ns_;
+  } else {
+    min_ns_ = std::min(min_ns_, other.min_ns_);
+    max_ns_ = std::max(max_ns_, other.max_ns_);
+  }
+  count_ += other.count_;
+  sum_ns_ += other.sum_ns_;
+}
+
 }  // namespace pphe

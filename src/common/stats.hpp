@@ -2,6 +2,7 @@
 
 #include <chrono>
 #include <cstddef>
+#include <cstdint>
 #include <string>
 #include <vector>
 
@@ -46,6 +47,39 @@ class LatencyStats {
 
  private:
   std::vector<double> samples_;
+};
+
+/// Fixed-footprint latency histogram with log2-nanosecond buckets: bucket i
+/// holds samples in [2^i, 2^(i+1)) ns. Unlike LatencyStats it never
+/// allocates per sample, so the tracer can fold millions of spans into it.
+class Histogram {
+ public:
+  static constexpr std::size_t kBuckets = 64;
+
+  void add_ns(std::uint64_t ns);
+
+  std::uint64_t count() const { return count_; }
+  bool empty() const { return count_ == 0; }
+  std::uint64_t min_ns() const;
+  std::uint64_t max_ns() const;
+  double avg_ns() const;
+  double total_ns() const { return sum_ns_; }
+  std::uint64_t bucket(std::size_t i) const { return buckets_[i]; }
+  /// Approximate quantile from bucket boundaries (q in [0,1]).
+  double percentile_ns(double q) const;
+
+  /// Compact one-line bar render of the occupied bucket range, e.g.
+  /// "2^10..2^14 [ 3 17 42 9 1 ]".
+  std::string render() const;
+
+  void merge(const Histogram& other);
+
+ private:
+  std::uint64_t buckets_[kBuckets] = {};
+  std::uint64_t count_ = 0;
+  std::uint64_t min_ns_ = 0;
+  std::uint64_t max_ns_ = 0;
+  double sum_ns_ = 0.0;
 };
 
 }  // namespace pphe

@@ -1,0 +1,238 @@
+#include "common/trace.hpp"
+
+#include <chrono>
+#include <cmath>
+#include <fstream>
+#include <iomanip>
+#include <memory>
+#include <mutex>
+#include <sstream>
+
+namespace pphe::trace {
+
+namespace detail {
+
+std::atomic<bool> g_enabled{false};
+
+namespace {
+
+/// Per-thread fixed-capacity ring of completed events. Owned jointly by the
+/// writing thread (via thread_local shared_ptr) and the global registry, so
+/// events survive thread exit until clear(). The writing thread is the only
+/// writer; readers (snapshot/export) briefly flip g_enabled off or accept a
+/// racy-but-bounded view — `size` is atomic with release stores so a reader
+/// never sees an index ahead of the event data it covers.
+struct Ring {
+  static constexpr std::size_t kCapacity = 1u << 15;  // 32768 events/thread
+
+  std::vector<Event> events{std::vector<Event>(kCapacity)};
+  std::atomic<std::size_t> size{0};       ///< events written, may exceed cap
+  std::uint32_t tid = 0;
+
+  void push(const Event& ev) {
+    const std::size_t n = size.load(std::memory_order_relaxed);
+    events[n % kCapacity] = ev;
+    size.store(n + 1, std::memory_order_release);
+  }
+};
+
+struct Registry {
+  std::mutex mutex;
+  std::vector<std::shared_ptr<Ring>> rings;
+  std::uint32_t next_tid = 0;
+};
+
+Registry& registry() {
+  static Registry* r = new Registry();  // leaked: usable during static dtors
+  return *r;
+}
+
+Ring& thread_ring() {
+  thread_local std::shared_ptr<Ring> ring = [] {
+    auto r = std::make_shared<Ring>();
+    Registry& reg = registry();
+    std::lock_guard<std::mutex> lock(reg.mutex);
+    r->tid = reg.next_tid++;
+    reg.rings.push_back(r);
+    return r;
+  }();
+  return *ring;
+}
+
+thread_local std::uint32_t t_depth = 0;
+
+std::uint64_t epoch_ns() {
+  static const std::uint64_t epoch = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return epoch;
+}
+
+void collect(std::vector<Event>* out, std::uint64_t* dropped) {
+  Registry& reg = registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  for (const auto& ring : reg.rings) {
+    const std::size_t n = ring->size.load(std::memory_order_acquire);
+    const std::size_t kept = std::min(n, Ring::kCapacity);
+    if (dropped != nullptr) *dropped += n - kept;
+    if (out == nullptr) continue;
+    // Oldest-first: when the ring wrapped, the oldest surviving event sits
+    // at index n % capacity.
+    const std::size_t start = n > Ring::kCapacity ? n % Ring::kCapacity : 0;
+    for (std::size_t i = 0; i < kept; ++i) {
+      out->push_back(ring->events[(start + i) % Ring::kCapacity]);
+    }
+  }
+}
+
+std::string json_escape(const char* s) {
+  std::string out;
+  for (; *s != '\0'; ++s) {
+    const char c = *s;
+    switch (c) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\t': out += "\\t"; break;
+      case '\r': out += "\\r"; break;
+      default:
+        if (static_cast<unsigned char>(c) < 0x20) {
+          char buf[8];
+          std::snprintf(buf, sizeof(buf), "\\u%04x", c);
+          out += buf;
+        } else {
+          out += c;
+        }
+    }
+  }
+  return out;
+}
+
+/// JSON has no NaN/Inf literals; clamp to null-safe numbers.
+void append_number(std::ostringstream& os, double v) {
+  if (std::isfinite(v)) {
+    os << std::setprecision(17) << v;
+  } else {
+    os << 0;
+  }
+}
+
+}  // namespace
+
+std::uint64_t now_ns() {
+  const std::uint64_t now = static_cast<std::uint64_t>(
+      std::chrono::duration_cast<std::chrono::nanoseconds>(
+          std::chrono::steady_clock::now().time_since_epoch())
+          .count());
+  return now - epoch_ns();
+}
+
+std::uint32_t thread_depth_enter() { return t_depth++; }
+
+void thread_depth_exit() { --t_depth; }
+
+void record(const Event& ev) {
+  Ring& ring = thread_ring();
+  Event copy = ev;
+  copy.tid = ring.tid;
+  ring.push(copy);
+}
+
+}  // namespace detail
+
+bool enabled() { return detail::g_enabled.load(std::memory_order_relaxed); }
+
+void set_enabled(bool on) {
+  if (on) detail::now_ns();  // pin the epoch before the first span
+  detail::g_enabled.store(on, std::memory_order_relaxed);
+}
+
+void clear() {
+  detail::Registry& reg = detail::registry();
+  std::lock_guard<std::mutex> lock(reg.mutex);
+  // Rings stay registered (threads hold live pointers); just empty them.
+  for (const auto& ring : reg.rings) {
+    ring->size.store(0, std::memory_order_release);
+  }
+}
+
+std::vector<Event> snapshot() {
+  std::vector<Event> out;
+  detail::collect(&out, nullptr);
+  return out;
+}
+
+std::size_t event_count() { return snapshot().size(); }
+
+std::uint64_t dropped_count() {
+  std::uint64_t dropped = 0;
+  detail::collect(nullptr, &dropped);
+  return dropped;
+}
+
+std::map<std::string, Histogram> op_histograms(const std::string& category) {
+  std::map<std::string, Histogram> out;
+  for (const Event& ev : snapshot()) {
+    if (!category.empty() && category != ev.cat) continue;
+    out[ev.name].add_ns(ev.dur_ns);
+  }
+  return out;
+}
+
+std::string summary_table(const std::string& category) {
+  const auto hists = op_histograms(category);
+  std::ostringstream os;
+  os << std::left << std::setw(22) << "op" << std::right << std::setw(10)
+     << "count" << std::setw(12) << "total_ms" << std::setw(12) << "avg_us"
+     << "  histogram\n";
+  for (const auto& [name, h] : hists) {
+    os << std::left << std::setw(22) << name << std::right << std::setw(10)
+       << h.count() << std::setw(12) << std::fixed << std::setprecision(2)
+       << h.total_ns() / 1e6 << std::setw(12) << std::setprecision(2)
+       << h.avg_ns() / 1e3 << "  " << h.render() << "\n";
+  }
+  return os.str();
+}
+
+std::string to_chrome_json() {
+  const std::vector<Event> events = snapshot();
+  std::uint64_t dropped = 0;
+  detail::collect(nullptr, &dropped);
+
+  std::ostringstream os;
+  os << "{\"traceEvents\":[";
+  bool first = true;
+  for (const Event& ev : events) {
+    if (!first) os << ",";
+    first = false;
+    os << "{\"name\":\"" << detail::json_escape(ev.name) << "\""
+       << ",\"cat\":\"" << detail::json_escape(ev.cat) << "\""
+       << ",\"ph\":\"X\",\"pid\":1,\"tid\":" << ev.tid << ",\"ts\":";
+    detail::append_number(os, static_cast<double>(ev.start_ns) / 1e3);
+    os << ",\"dur\":";
+    detail::append_number(os, static_cast<double>(ev.dur_ns) / 1e3);
+    if (ev.attr_count > 0) {
+      os << ",\"args\":{";
+      for (std::uint32_t i = 0; i < ev.attr_count; ++i) {
+        if (i > 0) os << ",";
+        os << "\"" << detail::json_escape(ev.attrs[i].key) << "\":";
+        detail::append_number(os, ev.attrs[i].value);
+      }
+      os << "}";
+    }
+    os << "}";
+  }
+  os << "],\"displayTimeUnit\":\"ms\",\"otherData\":{\"dropped\":" << dropped
+     << "}}";
+  return os.str();
+}
+
+bool write_chrome_json(const std::string& path) {
+  std::ofstream f(path, std::ios::binary | std::ios::trunc);
+  if (!f) return false;
+  f << to_chrome_json();
+  return static_cast<bool>(f);
+}
+
+}  // namespace pphe::trace

@@ -1,0 +1,158 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <cstring>
+#include <map>
+#include <string>
+#include <vector>
+
+#include "common/stats.hpp"
+
+/// Compile-time gate. Building with -DPPHE_TRACE_COMPILED=0 turns Span into
+/// an empty struct and every trace call into a no-op, for deployments where
+/// even a relaxed atomic load per op is unwelcome. Default is compiled-in:
+/// the runtime flag (trace::set_enabled) already keeps the disabled-path cost
+/// to one predictable branch.
+#ifndef PPHE_TRACE_COMPILED
+#define PPHE_TRACE_COMPILED 1
+#endif
+
+namespace pphe::trace {
+
+/// One completed span. Name/category/attribute keys are stored inline (not
+/// as pointers) so events outlive any dynamically-built label — per-layer
+/// spans format "layer:conv1" into a stack buffer that dies with the Span.
+struct Event {
+  static constexpr std::size_t kNameCap = 48;
+  static constexpr std::size_t kCatCap = 16;
+  static constexpr std::size_t kKeyCap = 16;
+  static constexpr std::size_t kMaxAttrs = 8;
+
+  char name[kNameCap];
+  char cat[kCatCap];
+  struct Attr {
+    char key[kKeyCap];
+    double value;
+  };
+  Attr attrs[kMaxAttrs];
+  std::uint32_t attr_count = 0;
+  std::uint64_t start_ns = 0;  ///< since trace epoch (first use of the clock)
+  std::uint64_t dur_ns = 0;
+  std::uint32_t tid = 0;   ///< small dense thread id, stable per thread
+  std::uint32_t depth = 0; ///< nesting depth at open time (0 = top level)
+};
+
+/// True when spans are being recorded. Relaxed load; this is the only cost
+/// a disabled Span pays beyond a branch.
+bool enabled();
+
+/// Turns recording on/off. Enabling does NOT clear prior events.
+void set_enabled(bool on);
+
+/// Discards all recorded events and the dropped-event counter.
+void clear();
+
+/// Events recorded so far across all threads (snapshot order: per-thread
+/// chronological, threads concatenated by registration order).
+std::vector<Event> snapshot();
+std::size_t event_count();
+
+/// Events lost to per-thread ring-buffer overflow since the last clear().
+std::uint64_t dropped_count();
+
+/// Per-op-name latency histograms for spans in `category` (empty = all).
+std::map<std::string, Histogram> op_histograms(const std::string& category);
+
+/// Human-readable per-op table (count, total ms, avg us, log2-ns histogram)
+/// for the given category (empty = all categories).
+std::string summary_table(const std::string& category = "");
+
+/// Serializes all recorded events as Chrome trace-event JSON (the format
+/// chrome://tracing and https://ui.perfetto.dev load directly).
+std::string to_chrome_json();
+
+/// Writes to_chrome_json() to `path`. Returns false on I/O failure.
+bool write_chrome_json(const std::string& path);
+
+namespace detail {
+// Hot-path internals; only Span below should call these.
+extern std::atomic<bool> g_enabled;
+std::uint64_t now_ns();
+std::uint32_t thread_depth_enter();
+void thread_depth_exit();
+void record(const Event& ev);
+}  // namespace detail
+
+#if PPHE_TRACE_COMPILED
+
+/// RAII scoped span. Construction when tracing is disabled costs one relaxed
+/// atomic load and a branch; no locks are ever taken on the hot path (events
+/// land in a pre-registered per-thread ring buffer).
+///
+///   {
+///     trace::Span span("multiply", "he");
+///     span.attr("level", ct.level());
+///     ... work ...
+///   }  // span records itself here
+class Span {
+ public:
+  Span(const char* name, const char* category) {
+    if (!detail::g_enabled.load(std::memory_order_relaxed)) return;
+    open(name, category);
+  }
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  ~Span() {
+    if (!live_) return;
+    close();
+  }
+
+  /// Attaches a numeric attribute (shows up under args{} in the JSON).
+  /// Silently ignored when the span is not recording or attrs are full.
+  void attr(const char* key, double value) {
+    if (!live_ || ev_.attr_count >= Event::kMaxAttrs) return;
+    auto& a = ev_.attrs[ev_.attr_count++];
+    copy_str(a.key, Event::kKeyCap, key);
+    a.value = value;
+  }
+
+  bool recording() const { return live_; }
+
+ private:
+  void open(const char* name, const char* category) {
+    live_ = true;
+    copy_str(ev_.name, Event::kNameCap, name);
+    copy_str(ev_.cat, Event::kCatCap, category);
+    ev_.depth = detail::thread_depth_enter();
+    ev_.start_ns = detail::now_ns();
+  }
+  void close() {
+    ev_.dur_ns = detail::now_ns() - ev_.start_ns;
+    detail::thread_depth_exit();
+    detail::record(ev_);
+  }
+  static void copy_str(char* dst, std::size_t cap, const char* src) {
+    std::size_t i = 0;
+    for (; src[i] != '\0' && i + 1 < cap; ++i) dst[i] = src[i];
+    dst[i] = '\0';
+  }
+
+  Event ev_{};
+  bool live_ = false;
+};
+
+#else  // !PPHE_TRACE_COMPILED
+
+class Span {
+ public:
+  Span(const char*, const char*) {}
+  Span(const Span&) = delete;
+  Span& operator=(const Span&) = delete;
+  void attr(const char*, double) {}
+  bool recording() const { return false; }
+};
+
+#endif  // PPHE_TRACE_COMPILED
+
+}  // namespace pphe::trace

@@ -5,10 +5,13 @@
 #include <map>
 #include <set>
 
+#include <cstdio>
+
 #include "ckks/noise.hpp"
 #include "common/check.hpp"
 #include "common/parallel_sim.hpp"
 #include "common/stats.hpp"
+#include "common/trace.hpp"
 
 namespace pphe {
 namespace {
@@ -77,6 +80,7 @@ HeModel::WeightOperand HeModel::make_weight(const std::vector<double>& values,
 }
 
 void HeModel::plan() {
+  trace::Span compile_span("model_compile", "model");
   const std::size_t slots = backend_.slot_count();
   const double delta = backend_.params().scale;
 
@@ -309,6 +313,8 @@ void HeModel::plan() {
         fill_slot(bias, t, static_cast<double>(lin.bias[t]));
       }
       lp.bias = make_weight(bias, scale, level);
+      plan_stage.name = "linear " + std::to_string(lin.in_dim) + "->" +
+                        std::to_string(lin.out_dim);
       first_linear = false;
     } else {
       const ActivationSpec& act = stage.activation;
@@ -403,7 +409,10 @@ void HeModel::plan() {
       rescale_noise(level_before, scale_before, level, noise);
       ap.level_out = level;
       ap.scale_out = scale;
+      plan_stage.name = "activation deg " + std::to_string(ap.degree);
     }
+    plan_stage.predicted_err = NoiseTracker::slot_error(noise, scale);
+    plan_stage.value_bound = value_bound;
     stages_.push_back(std::move(plan_stage));
   }
   // Cryptographic noise plus one unit of fixed-point headroom for the
@@ -556,13 +565,41 @@ Ciphertext HeModel::run_activation(const ActivationPlan& plan,
 Ciphertext HeModel::eval(const std::vector<Ciphertext>& branch_inputs) const {
   PPHE_CHECK(!stages_.empty(), "empty model");
   PPHE_CHECK(stages_.front().is_linear, "model must start with a linear stage");
-  Ciphertext ct = run_linear(stages_.front().linear, branch_inputs);
-  for (std::size_t s = 1; s < stages_.size(); ++s) {
+  trace::Span eval_span("model_eval", "model");
+  Ciphertext ct;
+  for (std::size_t s = 0; s < stages_.size(); ++s) {
     const StagePlan& stage = stages_[s];
-    if (stage.is_linear) {
+    // Span name carries the stage index and label; the buffer lives past the
+    // Span ctor only because Event copies the name inline.
+    char label[trace::Event::kNameCap];
+    std::snprintf(label, sizeof(label), "layer%zu:%s", s, stage.name.c_str());
+    trace::Span span(label, "layer");
+    const int level_in = ct.valid()
+                             ? ct.level()
+                             : (branch_inputs.empty() ? 0
+                                                      : branch_inputs[0].level());
+    if (s == 0) {
+      ct = run_linear(stage.linear, branch_inputs);
+    } else if (stage.is_linear) {
       ct = run_linear(stage.linear, {ct});
     } else {
       ct = run_activation(stage.activation, ct);
+    }
+    if (span.recording()) {
+      span.attr("level_in", level_in);
+      span.attr("level", ct.level());
+      span.attr("scale_log2", std::log2(ct.scale()));
+      span.attr("budget_bits", noise_budget_bits(backend_, ct));
+      span.attr("predicted_err", stage.predicted_err);
+      if (options_.trace_noise_budget) {
+        // Debug-key path: decrypt the intermediate (the backend holds the
+        // key) and compare measured slot magnitude against the plan's bound.
+        const auto values = backend_.decrypt_decode(ct);
+        double measured = 0.0;
+        for (const double v : values) measured = std::max(measured, std::abs(v));
+        span.attr("measured_max", measured);
+        span.attr("value_bound", stage.value_bound);
+      }
     }
   }
   return ct;
@@ -570,6 +607,8 @@ Ciphertext HeModel::eval(const std::vector<Ciphertext>& branch_inputs) const {
 
 std::vector<Ciphertext> HeModel::encrypt_images(
     const std::vector<std::span<const float>>& images) const {
+  trace::Span span("encrypt_input", "model");
+  span.attr("images", static_cast<double>(images.size()));
   PPHE_CHECK(!stages_.empty() && stages_.front().is_linear, "empty model");
   PPHE_CHECK(images.size() == options_.batch,
              "image count must equal options.batch");
@@ -628,6 +667,7 @@ std::size_t HeModel::output_dim() const {
 }
 
 std::vector<double> HeModel::decrypt_logits(const Ciphertext& ct) const {
+  trace::Span span("decrypt_logits", "model");
   const auto all = backend_.decrypt_decode(ct);
   const std::size_t out_dim = output_dim();
   if (options_.batch > 1) {
@@ -642,6 +682,8 @@ std::vector<double> HeModel::decrypt_logits(const Ciphertext& ct) const {
 
 HeModel::BatchResult HeModel::infer_batch(
     const std::vector<std::vector<float>>& images) const {
+  trace::Span span("infer_batch", "model");
+  span.attr("batch", static_cast<double>(images.size()));
   BatchResult result;
   std::vector<std::span<const float>> views;
   views.reserve(images.size());
@@ -675,6 +717,7 @@ HeModel::BatchResult HeModel::infer_batch(
 }
 
 InferenceResult HeModel::infer(std::span<const float> image) const {
+  trace::Span span("infer", "model");
   InferenceResult result;
   Stopwatch sw;
   const auto inputs = encrypt_input(image);

@@ -33,6 +33,13 @@ struct HeModelOptions {
   /// focus). Must be a power of two with batch * max_layer_dim <= slots.
   /// batch == 1 uses the replicated single-image layout.
   std::size_t batch = 1;
+  /// Debug-key telemetry: when set AND tracing is enabled, every per-layer
+  /// trace span additionally decrypts the intermediate ciphertext (the
+  /// backend owns the secret key, standing in for a supplied debug key) and
+  /// records the measured slot magnitude next to the planned value bound —
+  /// the decrypted-vs-expected budget check. Costs one decrypt per layer;
+  /// never use for timing runs.
+  bool trace_noise_budget = false;
 };
 
 /// One encrypted inference (Fig. 1's round trip), with the latency split the
@@ -153,6 +160,15 @@ class HeModel {
     bool is_linear = false;
     LinearPlan linear;
     ActivationPlan activation;
+    /// Short human label ("linear 784->128", "slaf deg 2"), used to name the
+    /// per-layer trace span.
+    std::string name;
+    /// Analytic slot-error bound at this stage's OUTPUT (NoiseTracker state
+    /// captured during plan()), exported on the layer span.
+    double predicted_err = 0.0;
+    /// Planned bound on the output slot magnitudes (for the
+    /// trace_noise_budget decrypted-vs-expected comparison).
+    double value_bound = 0.0;
   };
 
   // Compilation helpers.

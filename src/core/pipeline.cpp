@@ -9,6 +9,7 @@
 #include "ckks/rns_backend.hpp"
 #include "common/check.hpp"
 #include "common/parallel_sim.hpp"
+#include "common/trace.hpp"
 #include "nn/serialize.hpp"
 
 namespace pphe {
@@ -32,6 +33,8 @@ ExperimentConfig ExperimentConfig::from_flags(const CliFlags& flags) {
   cfg.cache_dir = flags.get("cache-dir", cfg.cache_dir);
   cfg.seed = static_cast<std::uint64_t>(flags.get_int("seed", 1234));
   cfg.verbose = !flags.get_bool("quiet", false);
+  cfg.trace_out = flags.get("trace-out", "");
+  if (!cfg.trace_out.empty()) trace::set_enabled(true);
   return cfg;
 }
 
@@ -138,6 +141,8 @@ EncryptedEvalResult run_encrypted_eval(HeBackend& backend,
   Stopwatch setup;
   const HeModel model(backend, spec, options);
   result.setup_seconds = setup.seconds();
+  trace::Span eval_span("encrypted_eval", "pipeline");
+  eval_span.attr("workers", static_cast<double>(cfg.workers));
 
   // Plaintext reference accuracy over the full test set.
   std::size_t correct = 0;
@@ -155,6 +160,8 @@ EncryptedEvalResult run_encrypted_eval(HeBackend& backend,
   result.samples = samples;
   std::size_t he_correct = 0, agree = 0;
   for (std::size_t i = 0; i < samples; ++i) {
+    trace::Span sample_span("sample", "pipeline");
+    sample_span.attr("index", static_cast<double>(i));
     const float* img = test.images.data() + i * 784;
     const std::vector<float> image(img, img + 784);
 

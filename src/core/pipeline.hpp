@@ -27,9 +27,13 @@ struct ExperimentConfig {
   std::string cache_dir = "ppcnn-cache";
   std::uint64_t seed = 1234;
   bool verbose = true;
+  /// When non-empty, homomorphic-op tracing is enabled for the run and a
+  /// Chrome trace-event JSON (chrome://tracing / Perfetto loadable) is
+  /// written here on finish_trace() / at the harness's end-of-run hook.
+  std::string trace_out;
 
   /// Reads --paper --train-size --test-size --epochs --slaf-epochs --samples
-  /// --workers --mnist-dir --cache-dir --seed --quiet.
+  /// --workers --mnist-dir --cache-dir --seed --quiet --trace-out.
   static ExperimentConfig from_flags(const CliFlags& flags);
 
   CkksParams ckks_params() const;

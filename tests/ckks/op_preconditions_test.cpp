@@ -1,0 +1,122 @@
+// Regression tests for the typed op-precondition checks: mismatched
+// operands must fail fast with a message naming the op and the offending
+// levels/scales, instead of producing silently wrong slots.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <memory>
+#include <string>
+
+#include "ckks/big_backend.hpp"
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams small() { return CkksParams::test_small(); }
+
+std::unique_ptr<HeBackend> make(const std::string& kind) {
+  if (kind == "rns") return std::make_unique<RnsBackend>(small());
+  return std::make_unique<BigBackend>(small());
+}
+
+std::vector<double> ramp(std::size_t n) {
+  std::vector<double> v(n);
+  for (std::size_t i = 0; i < n; ++i) v[i] = 0.001 * static_cast<double>(i);
+  return v;
+}
+
+/// Runs `fn` expecting an Error whose message contains every `needle`.
+template <typename Fn>
+void expect_error_naming(Fn&& fn, std::initializer_list<const char*> needles) {
+  try {
+    fn();
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    const std::string msg = e.what();
+    for (const char* needle : needles) {
+      EXPECT_NE(msg.find(needle), std::string::npos)
+          << "missing \"" << needle << "\" in: " << msg;
+    }
+  }
+}
+
+class OpPreconditionsTest : public ::testing::TestWithParam<const char*> {
+ protected:
+  std::unique_ptr<HeBackend> backend_ = make(GetParam());
+};
+
+TEST_P(OpPreconditionsTest, MismatchedScaleAddThrowsWithOpAndScales) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  const double s = small().scale;
+  const auto a = be.encrypt(be.encode(v, s, be.max_level()));
+  const auto b = be.encrypt(be.encode(v, 2.0 * s, be.max_level()));
+  expect_error_naming([&] { (void)be.add(a, b); },
+                      {"add", "scales differ", "2^26", "2^27"});
+}
+
+TEST_P(OpPreconditionsTest, MatchedAddStillWorks) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  const auto a = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto got = be.decrypt_decode(be.add(a, a));
+  for (std::size_t i = 0; i < 8; ++i) EXPECT_NEAR(got[i], 2.0 * v[i], 1e-3);
+}
+
+TEST_P(OpPreconditionsTest, MultiplyBeyondModulusCapacityThrows) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  // At level 0 only the 40-bit base prime remains; a 26+26 = 52-bit product
+  // scale cannot be represented and used to wrap silently.
+  const auto ct = be.mod_drop_to(
+      be.encrypt(be.encode(v, small().scale, be.max_level())), 0);
+  expect_error_naming([&] { (void)be.multiply(ct, ct); },
+                      {"multiply", "product scale", "capacity", "level 0"});
+}
+
+TEST_P(OpPreconditionsTest, MismatchedScaleAddPlainThrows) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  const double s = small().scale;
+  const auto ct = be.encrypt(be.encode(v, s, be.max_level()));
+  const auto pt = be.encode(v, 2.0 * s, be.max_level());
+  expect_error_naming([&] { (void)be.add_plain(ct, pt); },
+                      {"add_plain", "scales differ"});
+}
+
+INSTANTIATE_TEST_SUITE_P(BothBackends, OpPreconditionsTest,
+                         ::testing::Values("rns", "big"),
+                         [](const auto& info) { return info.param; });
+
+TEST(OpPreconditionsBig, AddPlainLevelMismatchNamesLevels) {
+  BigBackend be(small());
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const auto pt = be.encode(v, small().scale, be.max_level() - 1);
+  expect_error_naming([&] { (void)be.add_plain(ct, pt); },
+                      {"add_plain", "level"});
+}
+
+TEST(OpPreconditions, OpCountsUseTypedKinds) {
+  RnsBackend be(small());
+  be.reset_op_counts();
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  (void)be.add(ct, ct);
+  (void)be.add(ct, ct);
+  EXPECT_EQ(be.op_count(OpKind::kEncode), 1u);
+  EXPECT_EQ(be.op_count(OpKind::kEncrypt), 1u);
+  EXPECT_EQ(be.op_count(OpKind::kAdd), 2u);
+  EXPECT_EQ(be.op_count(OpKind::kMultiply), 0u);
+  const auto counts = be.op_counts();
+  EXPECT_EQ(counts.at("add"), 2u);
+  EXPECT_EQ(counts.count("multiply"), 0u);  // zero entries are omitted
+  be.reset_op_counts();
+  EXPECT_TRUE(be.op_counts().empty());
+}
+
+}  // namespace
+}  // namespace pphe

@@ -71,5 +71,80 @@ TEST(LatencyStats, SummaryFormat) {
   EXPECT_EQ(s.summary(2), "1.23/2.35/1.79");
 }
 
+TEST(Histogram, EmptyThrows) {
+  Histogram h;
+  EXPECT_TRUE(h.empty());
+  EXPECT_EQ(h.count(), 0u);
+  EXPECT_THROW(h.min_ns(), Error);
+  EXPECT_THROW(h.max_ns(), Error);
+  EXPECT_THROW(h.avg_ns(), Error);
+  EXPECT_THROW(h.percentile_ns(0.5), Error);
+}
+
+TEST(Histogram, MinMaxAvgTotal) {
+  Histogram h;
+  h.add_ns(100);
+  h.add_ns(1000);
+  h.add_ns(400);
+  EXPECT_EQ(h.count(), 3u);
+  EXPECT_EQ(h.min_ns(), 100u);
+  EXPECT_EQ(h.max_ns(), 1000u);
+  EXPECT_DOUBLE_EQ(h.avg_ns(), 500.0);
+  EXPECT_DOUBLE_EQ(h.total_ns(), 1500.0);
+}
+
+TEST(Histogram, BucketsAreLog2Ns) {
+  Histogram h;
+  h.add_ns(1);     // bucket 0
+  h.add_ns(1000);  // 2^9 <= 1000 < 2^10 -> bucket 9
+  h.add_ns(1023);
+  EXPECT_EQ(h.bucket(0), 1u);
+  EXPECT_EQ(h.bucket(9), 2u);
+}
+
+TEST(Histogram, PercentileStaysWithinBucketBounds) {
+  Histogram h;
+  for (int i = 0; i < 100; ++i) h.add_ns(1000);
+  // All samples in the 2^9..2^10 bucket; any quantile must land inside it.
+  for (const double q : {0.0, 0.5, 0.99, 1.0}) {
+    const double p = h.percentile_ns(q);
+    EXPECT_GE(p, 512.0);
+    EXPECT_LE(p, 1024.0);
+  }
+  EXPECT_THROW(h.percentile_ns(-0.1), Error);
+  EXPECT_THROW(h.percentile_ns(1.1), Error);
+}
+
+TEST(Histogram, PercentileSeparatesModes) {
+  Histogram h;
+  for (int i = 0; i < 90; ++i) h.add_ns(100);      // fast mode
+  for (int i = 0; i < 10; ++i) h.add_ns(1 << 20);  // slow tail
+  EXPECT_LT(h.percentile_ns(0.5), 256.0);
+  EXPECT_GT(h.percentile_ns(0.95), 1e5);
+}
+
+TEST(Histogram, MergeCombines) {
+  Histogram a;
+  Histogram b;
+  a.add_ns(100);
+  b.add_ns(10000);
+  a.merge(b);
+  EXPECT_EQ(a.count(), 2u);
+  EXPECT_EQ(a.min_ns(), 100u);
+  EXPECT_EQ(a.max_ns(), 10000u);
+  Histogram empty;
+  a.merge(empty);
+  EXPECT_EQ(a.count(), 2u);
+}
+
+TEST(Histogram, RenderShowsOccupiedRange) {
+  Histogram h;
+  h.add_ns(1000);
+  const std::string r = h.render();
+  EXPECT_NE(r.find("2^9"), std::string::npos);
+  EXPECT_NE(r.find("1"), std::string::npos);
+  EXPECT_EQ(Histogram().render(), "(empty)");
+}
+
 }  // namespace
 }  // namespace pphe

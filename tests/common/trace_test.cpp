@@ -1,0 +1,297 @@
+#include "common/trace.hpp"
+
+#include <gtest/gtest.h>
+
+#include <cctype>
+#include <fstream>
+#include <map>
+#include <sstream>
+#include <string>
+#include <thread>
+#include <vector>
+
+namespace pphe::trace {
+namespace {
+
+#if !PPHE_TRACE_COMPILED
+
+TEST(TraceCompiledOut, SpansAreInertNoOps) {
+  set_enabled(true);
+  {
+    Span span("ignored", "test");
+    span.attr("x", 1.0);
+    EXPECT_FALSE(span.recording());
+  }
+  set_enabled(false);
+  EXPECT_EQ(event_count(), 0u);
+}
+
+#else  // PPHE_TRACE_COMPILED
+
+/// Every trace test owns the global recorder for its duration: start from a
+/// clean, disabled state and leave it that way.
+class TraceTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    set_enabled(false);
+    clear();
+  }
+  void TearDown() override {
+    set_enabled(false);
+    clear();
+  }
+};
+
+const Event* find_event(const std::vector<Event>& events, const char* name) {
+  for (const Event& ev : events) {
+    if (std::string(ev.name) == name) return &ev;
+  }
+  return nullptr;
+}
+
+TEST_F(TraceTest, DisabledRecordsNothing) {
+  ASSERT_FALSE(enabled());
+  {
+    Span span("ignored", "test");
+    span.attr("x", 1.0);
+    EXPECT_FALSE(span.recording());
+  }
+  EXPECT_EQ(event_count(), 0u);
+}
+
+TEST_F(TraceTest, RecordsNameCategoryDurationAndAttrs) {
+  set_enabled(true);
+  {
+    Span span("multiply", "he");
+    EXPECT_TRUE(span.recording());
+    span.attr("level", 3.0);
+    span.attr("scale_log2", 26.0);
+  }
+  set_enabled(false);
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  const Event& ev = events[0];
+  EXPECT_STREQ(ev.name, "multiply");
+  EXPECT_STREQ(ev.cat, "he");
+  ASSERT_EQ(ev.attr_count, 2u);
+  EXPECT_STREQ(ev.attrs[0].key, "level");
+  EXPECT_DOUBLE_EQ(ev.attrs[0].value, 3.0);
+  EXPECT_STREQ(ev.attrs[1].key, "scale_log2");
+  EXPECT_DOUBLE_EQ(ev.attrs[1].value, 26.0);
+  // steady_clock is monotone; the span closed after it opened.
+  EXPECT_GE(ev.dur_ns, 0u);
+}
+
+TEST_F(TraceTest, NestedSpansRecordDepth) {
+  set_enabled(true);
+  {
+    Span outer("outer", "test");
+    {
+      Span inner("inner", "test");
+      { Span deepest("deepest", "test"); }
+    }
+    { Span sibling("sibling", "test"); }
+  }
+  set_enabled(false);
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 4u);
+  EXPECT_EQ(find_event(events, "outer")->depth, 0u);
+  EXPECT_EQ(find_event(events, "inner")->depth, 1u);
+  EXPECT_EQ(find_event(events, "deepest")->depth, 2u);
+  EXPECT_EQ(find_event(events, "sibling")->depth, 1u);
+  // Depth unwinds fully: a fresh span is top-level again.
+  set_enabled(true);
+  { Span after("after", "test"); }
+  set_enabled(false);
+  EXPECT_EQ(find_event(snapshot(), "after")->depth, 0u);
+}
+
+TEST_F(TraceTest, OverlongNamesAreTruncatedNotOverrun) {
+  set_enabled(true);
+  const std::string long_name(4 * Event::kNameCap, 'x');
+  {
+    Span span(long_name.c_str(), "test");
+    span.attr("a_really_quite_long_attribute_key", 1.0);
+  }
+  set_enabled(false);
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(std::string(events[0].name).size(), Event::kNameCap - 1);
+  EXPECT_EQ(std::string(events[0].attrs[0].key).size(), Event::kKeyCap - 1);
+}
+
+TEST_F(TraceTest, AttrsBeyondCapacityAreDropped) {
+  set_enabled(true);
+  {
+    Span span("busy", "test");
+    for (int i = 0; i < 20; ++i) span.attr("k", static_cast<double>(i));
+  }
+  set_enabled(false);
+  const auto events = snapshot();
+  ASSERT_EQ(events.size(), 1u);
+  EXPECT_EQ(events[0].attr_count, Event::kMaxAttrs);
+}
+
+TEST_F(TraceTest, ThreadsRecordConcurrentlyWithoutLoss) {
+  constexpr int kThreads = 8;
+  constexpr int kSpansPerThread = 500;
+  set_enabled(true);
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([t] {
+      for (int i = 0; i < kSpansPerThread; ++i) {
+        Span span("work", "test");
+        span.attr("thread", static_cast<double>(t));
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  set_enabled(false);
+  EXPECT_EQ(event_count(), static_cast<std::size_t>(kThreads) * kSpansPerThread);
+  EXPECT_EQ(dropped_count(), 0u);
+  // Within each thread the ring is chronological: start times never regress.
+  std::map<std::uint32_t, std::uint64_t> last_start;
+  for (const Event& ev : snapshot()) {
+    auto [it, fresh] = last_start.try_emplace(ev.tid, ev.start_ns);
+    if (!fresh) {
+      EXPECT_GE(ev.start_ns, it->second);
+      it->second = ev.start_ns;
+    }
+  }
+}
+
+TEST_F(TraceTest, RingOverflowCountsDroppedEvents) {
+  constexpr std::size_t kTotal = 50000;  // > per-thread ring capacity (2^15)
+  set_enabled(true);
+  // A dedicated thread gets a fresh ring, so the arithmetic below is exact.
+  std::thread([] {
+    for (std::size_t i = 0; i < kTotal; ++i) Span span("spin", "test");
+  }).join();
+  set_enabled(false);
+  EXPECT_GT(dropped_count(), 0u);
+  EXPECT_EQ(event_count() + dropped_count(), kTotal);
+  clear();
+  EXPECT_EQ(event_count(), 0u);
+  EXPECT_EQ(dropped_count(), 0u);
+}
+
+TEST_F(TraceTest, ClearDiscardsEvents) {
+  set_enabled(true);
+  { Span span("a", "test"); }
+  { Span span("b", "test"); }
+  EXPECT_EQ(event_count(), 2u);
+  clear();
+  EXPECT_EQ(event_count(), 0u);
+  { Span span("c", "test"); }
+  set_enabled(false);
+  EXPECT_EQ(event_count(), 1u);
+}
+
+TEST_F(TraceTest, HistogramsFilterByCategory) {
+  set_enabled(true);
+  { Span span("multiply", "he"); }
+  { Span span("multiply", "he"); }
+  { Span span("key_switch", "kernel"); }
+  set_enabled(false);
+  const auto he = op_histograms("he");
+  ASSERT_EQ(he.size(), 1u);
+  EXPECT_EQ(he.at("multiply").count(), 2u);
+  const auto all = op_histograms("");
+  EXPECT_EQ(all.size(), 2u);
+  EXPECT_EQ(all.at("key_switch").count(), 1u);
+  const std::string table = summary_table("he");
+  EXPECT_NE(table.find("multiply"), std::string::npos);
+  EXPECT_EQ(table.find("key_switch"), std::string::npos);
+}
+
+// ---------------------------------------------------------------------------
+// JSON export
+
+/// Minimal structural JSON checker: verifies braces/brackets balance outside
+/// strings, string escapes are legal, and no raw control characters leak.
+bool json_is_well_formed(const std::string& s) {
+  std::vector<char> stack;
+  bool in_string = false;
+  for (std::size_t i = 0; i < s.size(); ++i) {
+    const char c = s[i];
+    if (in_string) {
+      if (static_cast<unsigned char>(c) < 0x20) return false;
+      if (c == '\\') {
+        if (i + 1 >= s.size()) return false;
+        const char e = s[++i];
+        if (std::string("\"\\/bfnrtu").find(e) == std::string::npos) {
+          return false;
+        }
+        if (e == 'u') {
+          if (i + 4 >= s.size()) return false;
+          for (int k = 0; k < 4; ++k) {
+            if (!std::isxdigit(static_cast<unsigned char>(s[++i]))) {
+              return false;
+            }
+          }
+        }
+      } else if (c == '"') {
+        in_string = false;
+      }
+      continue;
+    }
+    switch (c) {
+      case '"': in_string = true; break;
+      case '{': stack.push_back('}'); break;
+      case '[': stack.push_back(']'); break;
+      case '}':
+      case ']':
+        if (stack.empty() || stack.back() != c) return false;
+        stack.pop_back();
+        break;
+      default: break;
+    }
+  }
+  return !in_string && stack.empty();
+}
+
+TEST_F(TraceTest, ChromeJsonIsWellFormed) {
+  set_enabled(true);
+  {
+    Span span("add", "he");
+    span.attr("level", 2.0);
+  }
+  {  // Hostile name: quotes, backslash, newline, tab must all be escaped.
+    Span span("we\"ird\\na\nme\t", "he");
+  }
+  set_enabled(false);
+  const std::string json = to_chrome_json();
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":["), std::string::npos);
+  EXPECT_NE(json.find("\"ph\":\"X\""), std::string::npos);
+  EXPECT_NE(json.find("\"name\":\"add\""), std::string::npos);
+  EXPECT_NE(json.find("\"args\":{\"level\":2}"), std::string::npos);
+  EXPECT_NE(json.find("we\\\"ird\\\\na\\nme\\t"), std::string::npos);
+  EXPECT_NE(json.find("\"otherData\":{\"dropped\":0}"), std::string::npos);
+}
+
+TEST_F(TraceTest, EmptyTraceStillSerializes) {
+  const std::string json = to_chrome_json();
+  EXPECT_TRUE(json_is_well_formed(json)) << json;
+  EXPECT_NE(json.find("\"traceEvents\":[]"), std::string::npos);
+}
+
+TEST_F(TraceTest, WriteChromeJsonRoundTrips) {
+  set_enabled(true);
+  { Span span("encode", "he"); }
+  set_enabled(false);
+  const std::string path =
+      ::testing::TempDir() + "/pphe_trace_test_roundtrip.json";
+  ASSERT_TRUE(write_chrome_json(path));
+  std::ifstream f(path, std::ios::binary);
+  ASSERT_TRUE(f.good());
+  std::stringstream buf;
+  buf << f.rdbuf();
+  EXPECT_EQ(buf.str(), to_chrome_json());
+  EXPECT_FALSE(write_chrome_json("/nonexistent-dir-zz/trace.json"));
+}
+
+#endif  // PPHE_TRACE_COMPILED
+
+}  // namespace
+}  // namespace pphe::trace

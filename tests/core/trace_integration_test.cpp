@@ -1,0 +1,199 @@
+// End-to-end tracing invariants: for a 2-layer model on both backends, the
+// category-"he" spans recorded during an inference mirror the backend's
+// typed op counters exactly, and every per-layer span carries level/scale
+// telemetry.
+
+#include <gtest/gtest.h>
+
+#include <cmath>
+#include <map>
+#include <string>
+
+#include "ckks/big_backend.hpp"
+#include "ckks/rns_backend.hpp"
+#include "common/prng.hpp"
+#include "common/trace.hpp"
+#include "core/he_model.hpp"
+
+namespace pphe {
+namespace {
+
+#if PPHE_TRACE_COMPILED
+
+CkksParams tiny_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+/// linear(in->mid) -> SLAF(deg 3) -> linear(mid->out), small random weights.
+ModelSpec tiny_spec(std::size_t in, std::size_t mid, std::size_t out,
+                    std::uint64_t seed) {
+  Prng prng(seed);
+  ModelSpec spec;
+  spec.name = "tiny";
+  auto linear = [&](std::size_t i, std::size_t o) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = i;
+    s.linear.out_dim = o;
+    s.linear.weight.resize(i * o);
+    s.linear.bias.resize(o);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.3);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(in, mid));
+  {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kActivation;
+    s.activation.features = mid;
+    s.activation.degree = 3;
+    s.activation.coeffs.resize(mid * 4);
+    for (auto& c : s.activation.coeffs) {
+      c = static_cast<float>(prng.normal() * 0.2);
+    }
+    spec.stages.push_back(std::move(s));
+  }
+  spec.stages.push_back(linear(mid, out));
+  return spec;
+}
+
+std::vector<float> random_image(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<float> img(n);
+  for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+  return img;
+}
+
+std::map<std::string, std::uint64_t> span_counts_by_name(
+    const std::string& category) {
+  std::map<std::string, std::uint64_t> counts;
+  for (const trace::Event& ev : trace::snapshot()) {
+    if (category == ev.cat) ++counts[ev.name];
+  }
+  return counts;
+}
+
+double attr_or(const trace::Event& ev, const char* key, double fallback) {
+  for (std::uint32_t i = 0; i < ev.attr_count; ++i) {
+    if (std::string(ev.attrs[i].key) == key) return ev.attrs[i].value;
+  }
+  return fallback;
+}
+
+class TraceIntegrationTest : public ::testing::Test {
+ protected:
+  void SetUp() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+  void TearDown() override {
+    trace::set_enabled(false);
+    trace::clear();
+  }
+
+  /// Compiles the model untraced, then records exactly one traced inference
+  /// with op counters reset, so spans and counters cover the same window.
+  void run_traced_inference(HeBackend& backend) {
+    const ModelSpec spec = tiny_spec(8, 4, 3, 7);
+    HeModelOptions options;
+    options.encrypted_weights = true;
+    const HeModel model(backend, spec, options);
+
+    trace::clear();
+    backend.reset_op_counts();
+    trace::set_enabled(true);
+    (void)model.infer(random_image(8, 99));
+    trace::set_enabled(false);
+  }
+};
+
+TEST_F(TraceIntegrationTest, HeSpansMatchOpCountsOnRns) {
+  RnsBackend backend(tiny_params());
+  run_traced_inference(backend);
+  EXPECT_EQ(trace::dropped_count(), 0u);
+  const auto spans = span_counts_by_name("he");
+  EXPECT_FALSE(spans.empty());
+  EXPECT_EQ(spans, backend.op_counts());
+}
+
+TEST_F(TraceIntegrationTest, HeSpansMatchOpCountsOnBig) {
+  BigBackend backend(tiny_params());
+  run_traced_inference(backend);
+  EXPECT_EQ(trace::dropped_count(), 0u);
+  const auto spans = span_counts_by_name("he");
+  EXPECT_FALSE(spans.empty());
+  EXPECT_EQ(spans, backend.op_counts());
+}
+
+TEST_F(TraceIntegrationTest, LayerSpansCarryLevelAndScale) {
+  RnsBackend backend(tiny_params());
+  run_traced_inference(backend);
+  std::size_t layers = 0;
+  int prev_level = 1 << 20;
+  for (const trace::Event& ev : trace::snapshot()) {
+    if (std::string(ev.cat) != "layer") continue;
+    ++layers;
+    EXPECT_EQ(std::string(ev.name).rfind("layer", 0), 0u) << ev.name;
+    const int level = static_cast<int>(attr_or(ev, "level", -1));
+    const double scale_log2 = attr_or(ev, "scale_log2", -1);
+    EXPECT_GE(level, 0) << ev.name;
+    // Levels never increase through the network.
+    EXPECT_LE(level, prev_level) << ev.name;
+    prev_level = level;
+    EXPECT_GT(scale_log2, 1.0) << ev.name;
+    EXPECT_GE(attr_or(ev, "budget_bits", -1), 0.0) << ev.name;
+  }
+  EXPECT_EQ(layers, 3u);  // linear, activation, linear
+  // The model-category wrapper spans are present too.
+  const auto models = span_counts_by_name("model");
+  EXPECT_EQ(models.at("model_eval"), 1u);
+  EXPECT_EQ(models.at("infer"), 1u);
+  EXPECT_EQ(models.at("encrypt_input"), 1u);
+  EXPECT_EQ(models.at("decrypt_logits"), 1u);
+}
+
+TEST_F(TraceIntegrationTest, NoiseBudgetTelemetryMeasuresIntermediates) {
+  RnsBackend backend(tiny_params());
+  const ModelSpec spec = tiny_spec(8, 4, 3, 7);
+  HeModelOptions options;
+  options.encrypted_weights = true;
+  options.trace_noise_budget = true;  // debug-key decrypt per layer
+  const HeModel model(backend, spec, options);
+  trace::clear();
+  trace::set_enabled(true);
+  (void)model.infer(random_image(8, 99));
+  trace::set_enabled(false);
+  std::size_t measured = 0;
+  for (const trace::Event& ev : trace::snapshot()) {
+    if (std::string(ev.cat) != "layer") continue;
+    const double got = attr_or(ev, "measured_max", -1.0);
+    const double bound = attr_or(ev, "value_bound", -1.0);
+    ASSERT_GE(got, 0.0) << ev.name;
+    ASSERT_GT(bound, 0.0) << ev.name;
+    // The planner's bound must actually bound the decrypted magnitude.
+    EXPECT_LE(got, bound * 1.01) << ev.name;
+    ++measured;
+  }
+  EXPECT_EQ(measured, 3u);
+}
+
+TEST_F(TraceIntegrationTest, KernelSpansCoverKeySwitching) {
+  RnsBackend backend(tiny_params());
+  run_traced_inference(backend);
+  const auto kernels = span_counts_by_name("kernel");
+  ASSERT_FALSE(kernels.empty());
+  EXPECT_GT(kernels.at("key_switch"), 0u);
+  EXPECT_GT(kernels.count("rotate_batch") + kernels.count("rotate_hoist_decompose"),
+            0u);
+}
+
+#endif  // PPHE_TRACE_COMPILED
+
+}  // namespace
+}  // namespace pphe

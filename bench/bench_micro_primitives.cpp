@@ -7,10 +7,16 @@
 #include <benchmark/benchmark.h>
 
 #include <memory>
+#include <string>
+#include <string_view>
+#include <vector>
 
 #include "ckks/big_backend.hpp"
 #include "ckks/rns_backend.hpp"
 #include "common/prng.hpp"
+#include "math/modarith.hpp"
+#include "math/ntt.hpp"
+#include "math/primes.hpp"
 
 namespace pphe {
 namespace {
@@ -129,6 +135,127 @@ void BM_Encode(benchmark::State& state, const std::string& kind) {
   });
 }
 
+// Word-level kernel rows: the per-residue NTT and dyadic loops every
+// RNS-domain latency above decomposes into. N=2^14 forward+inverse is the
+// kernel-speedup gate tracked across PRs.
+struct NttFixture {
+  Modulus mod;
+  NttTable ntt;
+  std::vector<std::uint64_t> a, b, bq, c;
+
+  explicit NttFixture(std::size_t n)
+      : mod(generate_ntt_primes(n, 50, 1)[0]), ntt(n, mod), a(n), b(n), bq(n),
+        c(n) {
+    Prng prng(n);
+    for (auto& v : a) v = prng.uniform_below(mod.value());
+    for (auto& v : b) v = prng.uniform_below(mod.value());
+    dyadic::shoup_precompute(b, bq, mod);  // b as the fixed operand
+  }
+
+  static NttFixture& get(std::size_t n) {
+    static NttFixture f12(std::size_t{1} << 12);
+    static NttFixture f14(std::size_t{1} << 14);
+    return n == (std::size_t{1} << 12) ? f12 : f14;
+  }
+};
+
+void BM_NttForward(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.ntt.forward(f.a);
+    benchmark::DoNotOptimize(f.a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_NttInverse(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.ntt.inverse(f.a);
+    benchmark::DoNotOptimize(f.a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+/// The gate row: one forward + one inverse pass (what every homomorphic op
+/// pays per representation change).
+void BM_NttForwardInverse(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.ntt.forward(f.a);
+    f.ntt.inverse(f.a);
+    benchmark::DoNotOptimize(f.a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_PointwiseBarrett(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    f.ntt.pointwise(f.a, f.b, f.c);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+// Fused dyadic kernels: the multiply-accumulate and fixed-operand (Shoup)
+// variants the RNS evaluator runs in ct-pt products and key switching.
+void BM_DyadicMulAcc(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dyadic::mul_acc(f.a, f.b, f.c, f.mod);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_DyadicMulShoup(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dyadic::mul_shoup(f.a, f.b, f.bq, f.c, f.mod);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_DyadicMulAccShoup(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dyadic::mul_acc_shoup(f.a, f.b, f.bq, f.c, f.mod);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_ShoupPrecompute(benchmark::State& state) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    dyadic::shoup_precompute(f.b, f.c, f.mod);
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+#define PPCNN_KERNEL_BENCH(fn) \
+  BENCHMARK(fn)->Arg(1 << 12)->Arg(1 << 14)->Unit(benchmark::kMicrosecond)
+
+PPCNN_KERNEL_BENCH(BM_NttForward);
+PPCNN_KERNEL_BENCH(BM_NttInverse);
+PPCNN_KERNEL_BENCH(BM_NttForwardInverse);
+PPCNN_KERNEL_BENCH(BM_PointwiseBarrett);
+PPCNN_KERNEL_BENCH(BM_DyadicMulAcc);
+PPCNN_KERNEL_BENCH(BM_DyadicMulShoup);
+PPCNN_KERNEL_BENCH(BM_DyadicMulAccShoup);
+PPCNN_KERNEL_BENCH(BM_ShoupPrecompute);
+
 // Ablation (DESIGN.md §6.1): relinearizing after every product vs deferring
 // a single relinearization to the end of an 8-term inner product.
 void BM_InnerProduct8_RelinEach(benchmark::State& state,
@@ -178,4 +305,34 @@ PPCNN_BENCH(BM_InnerProduct8_RelinDeferred);
 }  // namespace
 }  // namespace pphe
 
-BENCHMARK_MAIN();
+// Custom main so callers (run_benches.sh, CI) can ask for machine-readable
+// output with a single flag: `--json[=path]` expands to google-benchmark's
+// --benchmark_out=<path> --benchmark_out_format=json (default path
+// BENCH_micro.json in the current directory). All other flags pass through.
+int main(int argc, char** argv) {
+  std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  std::vector<char*> args;
+  args.reserve(static_cast<std::size_t>(argc) + 2);
+  for (int i = 0; i < argc; ++i) {
+    const std::string_view a(argv[i]);
+    if (a == "--json") {
+      out_flag = "--benchmark_out=BENCH_micro.json";
+    } else if (a.rfind("--json=", 0) == 0) {
+      out_flag = "--benchmark_out=" + std::string(a.substr(7));
+    } else {
+      args.push_back(argv[i]);
+    }
+  }
+  if (!out_flag.empty()) {
+    args.push_back(out_flag.data());
+    args.push_back(fmt_flag.data());
+  }
+  int patched_argc = static_cast<int>(args.size());
+  benchmark::Initialize(&patched_argc, args.data());
+  if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
+    return 1;
+  }
+  benchmark::RunSpecifiedBenchmarks();
+  benchmark::Shutdown();
+  return 0;
+}

@@ -30,7 +30,9 @@ quick_args() {
   case "$1" in
     bench_fig2_rns) echo "--ops=20000 --reps=5" ;;
     bench_micro_primitives)
-      echo "--benchmark_min_time=0.05 --benchmark_filter=rns" ;;
+      # RNS op rows plus the word-level NTT/dyadic kernel rows; --json drops
+      # BENCH_micro.json at the repo root (we cd there above) for CI diffing.
+      echo "--benchmark_min_time=0.05 --benchmark_filter=rns|Ntt|Dyadic|Shoup --json" ;;
     *) echo "" ;;
   esac
 }

@@ -40,9 +40,14 @@ enum class OpKind : std::uint8_t {
   kRotateHoisted,
   kConjugate,
   kGaloisKeys,
+  // Representation changes (NTT passes): counted by RnsBackend whenever a
+  // polynomial actually crosses between coefficient and evaluation domain,
+  // the per-op kernel cost every latency above decomposes into.
+  kNttForward,
+  kNttInverse,
 };
 inline constexpr std::size_t kOpKindCount =
-    static_cast<std::size_t>(OpKind::kGaloisKeys) + 1;
+    static_cast<std::size_t>(OpKind::kNttInverse) + 1;
 
 /// Stable display/report name (these strings are the legacy op_counts() keys;
 /// bench tables and tests key on them).
@@ -66,6 +71,8 @@ constexpr const char* op_name(OpKind kind) {
     case OpKind::kRotateHoisted: return "rotate_hoisted";
     case OpKind::kConjugate: return "conjugate";
     case OpKind::kGaloisKeys: return "galois_keys";
+    case OpKind::kNttForward: return "ntt_forward";
+    case OpKind::kNttInverse: return "ntt_inverse";
   }
   return "?";
 }

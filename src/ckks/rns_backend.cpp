@@ -119,6 +119,8 @@ void check_channel_compat(const RnsPoly& a, const RnsPoly& b,
 
 void RnsBackend::to_ntt(RnsPoly& p) const {
   if (p.ntt) return;
+  OpScope op(*this, OpKind::kNttForward);
+  op.attr("channels", static_cast<double>(p.channels()));
   parallel_channels(p.channels(),
                     [&](std::size_t c) { ntt_for(p, c).forward(p.ch(c)); });
   p.ntt = true;
@@ -126,6 +128,8 @@ void RnsBackend::to_ntt(RnsPoly& p) const {
 
 void RnsBackend::to_coeff(RnsPoly& p) const {
   if (!p.ntt) return;
+  OpScope op(*this, OpKind::kNttInverse);
+  op.attr("channels", static_cast<double>(p.channels()));
   parallel_channels(p.channels(),
                     [&](std::size_t c) { ntt_for(p, c).inverse(p.ch(c)); });
   p.ntt = false;
@@ -223,12 +227,7 @@ void RnsBackend::pointwise_inplace(RnsPoly& a, const RnsPoly& b) const {
   const std::size_t k = std::min(a.channels(), b.channels());
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
-    const Modulus& mod = mod_for(a, c);
-    auto dst = a.ch(c);
-    const auto src = b.ch(c);
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = mod.mul(dst[i], src[i]);
-    }
+    dyadic::mul(a.ch(c), b.ch(c), a.ch(c), mod_for(a, c));
   });
 }
 
@@ -244,13 +243,35 @@ RnsPoly RnsBackend::pointwise(const RnsPoly& a, const RnsPoly& b) const {
   out.has_special = a.has_special && k == a.channels();
   check_channel_compat(out, b, k);
   parallel_channels(k, [&](std::size_t c) {
-    const Modulus& mod = mod_for(out, c);
-    const auto sa = a.ch(c);
-    const auto sb = b.ch(c);
-    auto dst = out.ch(c);
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = mod.mul(sa[i], sb[i]);
-    }
+    dyadic::mul(a.ch(c), b.ch(c), out.ch(c), mod_for(out, c));
+  });
+  return out;
+}
+
+PolyBuffer RnsBackend::shoup_form(const RnsPoly& p) const {
+  PolyBuffer q(pool_, p.channels(), params_.degree, /*zero_fill=*/false);
+  for (std::size_t c = 0; c < p.channels(); ++c) {
+    dyadic::shoup_precompute(p.ch(c), q[c], mod_for(p, c));
+  }
+  return q;
+}
+
+const PolyBuffer& RnsBackend::pt_shoup(const RnsPtBody& pt) const {
+  std::call_once(pt.shoup_once, [&] { pt.shoup = shoup_form(pt.poly); });
+  return pt.shoup;
+}
+
+RnsPoly RnsBackend::pointwise_shoup(const RnsPoly& w, const PolyBuffer& wq,
+                                    const RnsPoly& b) const {
+  PPHE_CHECK(w.ntt && b.ntt, "pointwise product expects NTT form");
+  const std::size_t k = std::min(w.channels(), b.channels());
+  RnsPoly out;
+  out.buf = PolyBuffer(pool_, k, params_.degree, /*zero_fill=*/false);
+  out.ntt = true;
+  out.has_special = w.has_special && k == w.channels();
+  check_channel_compat(out, b, k);
+  parallel_channels(k, [&](std::size_t c) {
+    dyadic::mul_shoup(b.ch(c), w.ch(c), wq[c], out.ch(c), mod_for(out, c));
   });
   return out;
 }
@@ -276,6 +297,8 @@ void RnsBackend::generate_keys() {
   pk_b_ = pointwise(pk_a_, sk_ntt_);
   negate_inplace(pk_b_);
   add_inplace(pk_b_, e_poly);
+  pk_b_shoup_ = shoup_form(pk_b_);
+  pk_a_shoup_ = shoup_form(pk_a_);
 
   // Relinearization key: targets s^2.
   RnsPoly s2 = pointwise(sk_ntt_, sk_ntt_);
@@ -288,6 +311,7 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
   const int top = max_level();
   KswKey key;
   key.digits.resize(q_moduli_.size());
+  key.shoup.resize(q_moduli_.size());
   for (std::size_t j = 0; j < q_moduli_.size(); ++j) {
     RnsPoly a_j = uniform_poly(top, /*with_special=*/true);
     const auto e = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
@@ -304,6 +328,7 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
     for (std::size_t i = 0; i < bch.size(); ++i) {
       bch[i] = mod_j.add(bch[i], mod_j.mul(p_j, tch[i]));
     }
+    key.shoup[j] = {shoup_form(b_j), shoup_form(a_j)};
     key.digits[j] = {std::move(b_j), std::move(a_j)};
   }
   return key;
@@ -350,14 +375,13 @@ std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
         for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
       }
       ntt.forward(lift);
-      const auto kb = key.digits[j][0].ch(key_c);
-      const auto ka = key.digits[j][1].ch(key_c);
-      auto a0 = acc0.ch(c);
-      auto a1 = acc1.ch(c);
-      for (std::size_t i = 0; i < n; ++i) {
-        a0[i] = mod.add(a0[i], mod.mul(lift[i], kb[i]));
-        a1[i] = mod.add(a1[i], mod.mul(lift[i], ka[i]));
-      }
+      // Fused digit accumulation: the key polys are fixed operands, so each
+      // channel row is one mul_acc_shoup pass (two muls per element) instead
+      // of Barrett-multiply followed by modular add.
+      dyadic::mul_acc_shoup(lift, key.digits[j][0].ch(key_c),
+                            key.shoup[j][0][key_c], acc0.ch(c), mod);
+      dyadic::mul_acc_shoup(lift, key.digits[j][1].ch(key_c),
+                            key.shoup[j][1][key_c], acc1.ch(c), mod);
     });
     ParallelSim::global().record_parallel(channels, sw.seconds());
   }
@@ -446,10 +470,10 @@ Ciphertext RnsBackend::encrypt(const Plaintext& pt) const {
       false);
   to_ntt(e1);
 
-  RnsPoly c0 = pointwise(pk_b_, u_poly);
+  RnsPoly c0 = pointwise_shoup(pk_b_, pk_b_shoup_, u_poly);
   add_inplace(c0, e0);
   add_inplace(c0, ptb.poly);
-  RnsPoly c1 = pointwise(pk_a_, u_poly);
+  RnsPoly c1 = pointwise_shoup(pk_a_, pk_a_shoup_, u_poly);
   add_inplace(c1, e1);
 
   std::vector<RnsPoly> polys;
@@ -598,9 +622,13 @@ Ciphertext RnsBackend::multiply_plain(const Ciphertext& a,
                  std::to_string(b.level()) + " but the ciphertext is at level " +
                  std::to_string(a.level()) + "; re-encode at the ct level");
   const RnsCtBody& ba = body(a);
+  const RnsPtBody& bp = body(b);
+  const PolyBuffer& wq = pt_shoup(bp);
   std::vector<RnsPoly> polys;
   polys.reserve(ba.polys.size());
-  for (const auto& p : ba.polys) polys.push_back(pointwise(p, body(b).poly));
+  for (const auto& p : ba.polys) {
+    polys.push_back(pointwise_shoup(bp.poly, wq, p));
+  }
   return wrap(std::move(polys), a.scale() * b.scale(), a.level());
 }
 
@@ -795,14 +823,20 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
       const std::size_t key_c = is_special ? q_moduli_.size() : c;
       auto a0 = acc0.ch(c);
       auto a1 = acc1.ch(c);
+      const std::uint64_t pc = mod.value();
       for (std::size_t j = 0; j < q_channels; ++j) {
         const auto dj = digits_ntt[j * channels + c];
         const auto kb = key.digits[j][0].ch(key_c);
         const auto ka = key.digits[j][1].ch(key_c);
+        const auto kbq = key.shoup[j][0][key_c];
+        const auto kaq = key.shoup[j][1][key_c];
+        // Gather through the automorphism permutation, fused-accumulating
+        // against the fixed key operands (scalar Shoup path: the permuted
+        // read defeats the flat kernels).
         for (std::size_t i = 0; i < n; ++i) {
           const std::uint64_t v = dj[perm[i]];
-          a0[i] = mod.add(a0[i], mod.mul(v, kb[i]));
-          a1[i] = mod.add(a1[i], mod.mul(v, ka[i]));
+          a0[i] = dyadic::mul_acc_shoup_scalar(a0[i], v, kb[i], kbq[i], pc);
+          a1[i] = dyadic::mul_acc_shoup_scalar(a1[i], v, ka[i], kaq[i], pc);
         }
       }
     });
@@ -877,11 +911,16 @@ void RnsBackend::multiply_acc(Ciphertext& acc, const Ciphertext& a,
     auto d0 = bacc.polys[0].ch(c);
     auto d1 = bacc.polys[1].ch(c);
     auto d2 = bacc.polys[2].ch(c);
+    // One Barrett pass per output word: product(s) + accumulator stay under
+    // 2p^2 + p < 2^125, within reduce128's input range.
     for (std::size_t i = 0; i < d0.size(); ++i) {
-      d0[i] = mod.add(d0[i], mod.mul(a0[i], b0[i]));
-      d1[i] = mod.add(d1[i],
-                      mod.add(mod.mul(a0[i], b1[i]), mod.mul(a1[i], b0[i])));
-      d2[i] = mod.add(d2[i], mod.mul(a1[i], b1[i]));
+      d0[i] = mod.reduce128(
+          static_cast<unsigned __int128>(a0[i]) * b0[i] + d0[i]);
+      d1[i] = mod.reduce128(static_cast<unsigned __int128>(a0[i]) * b1[i] +
+                            static_cast<unsigned __int128>(a1[i]) * b0[i] +
+                            d1[i]);
+      d2[i] = mod.reduce128(
+          static_cast<unsigned __int128>(a1[i]) * b1[i] + d2[i]);
     }
   });
   ParallelSim::global().record_parallel(k, sw.seconds());
@@ -897,7 +936,9 @@ void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
   }
   OpScope op(*this, OpKind::kMultiplyPlainAcc, a);
   const RnsCtBody& ba = body(a);
-  const RnsPoly& pt = body(b).poly;
+  const RnsPtBody& bp = body(b);
+  const RnsPoly& pt = bp.poly;
+  const PolyBuffer& wq = pt_shoup(bp);
   auto& bacc = *static_cast<RnsCtBody*>(
       const_cast<void*>(static_cast<const void*>(acc.impl().get())));
   const std::size_t k = bacc.polys[0].channels();
@@ -906,11 +947,8 @@ void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
     const Modulus& mod = q_moduli_[c];
     const auto w = pt.ch(c);
     for (std::size_t t = 0; t < bacc.polys.size(); ++t) {
-      const auto src = ba.polys[t].ch(c);
-      auto dst = bacc.polys[t].ch(c);
-      for (std::size_t i = 0; i < dst.size(); ++i) {
-        dst[i] = mod.add(dst[i], mod.mul(src[i], w[i]));
-      }
+      dyadic::mul_acc_shoup(ba.polys[t].ch(c), w, wq[c], bacc.polys[t].ch(c),
+                            mod);
     }
   });
   ParallelSim::global().record_parallel(k, sw.seconds());

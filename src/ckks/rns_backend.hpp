@@ -4,6 +4,7 @@
 #include <cstdint>
 #include <map>
 #include <memory>
+#include <mutex>
 #include <optional>
 #include <vector>
 
@@ -44,6 +45,12 @@ struct RnsCtBody {
 /// Payload behind a Plaintext handle produced by RnsBackend.
 struct RnsPtBody {
   RnsPoly poly;  // q channels 0..level, NTT form
+  // Shoup form of `poly`, built lazily on the first ct-pt product
+  // (RnsBackend::pt_shoup): weight plaintexts are multiplied against many
+  // ciphertexts, so the precompute amortizes, while plaintexts that are only
+  // encrypted or added never pay for it.
+  mutable std::once_flag shoup_once;
+  mutable PolyBuffer shoup;
 };
 
 /// CKKS-RNS evaluator (Cheon–Han–Kim–Kim–Song [9] as engineered in SEAL):
@@ -124,6 +131,10 @@ class RnsBackend final : public HeBackend {
   struct KswKey {
     // digits[j] = (b_j, a_j), channels = all q primes + special, NTT form.
     std::vector<std::array<RnsPoly, 2>> digits;
+    // shoup[j] = Shoup quotients of digits[j], channel rows aligned with the
+    // key polys: key material is the fixed operand of every key-switch inner
+    // product, so the accumulation runs dyadic::mul_acc_shoup.
+    std::vector<std::array<PolyBuffer, 2>> shoup;
   };
 
   // -- poly helpers ----------------------------------------------------
@@ -142,6 +153,14 @@ class RnsBackend final : public HeBackend {
   void negate_inplace(RnsPoly& a) const;
   void pointwise_inplace(RnsPoly& a, const RnsPoly& b) const;
   RnsPoly pointwise(const RnsPoly& a, const RnsPoly& b) const;
+  /// Shoup quotients of every channel of `p` (fixed-operand precompute).
+  PolyBuffer shoup_form(const RnsPoly& p) const;
+  /// Lazily built (and cached) Shoup form of a plaintext body.
+  const PolyBuffer& pt_shoup(const RnsPtBody& pt) const;
+  /// out = w (x) b where `w` is a FIXED operand with precomputed Shoup form
+  /// `wq` (same channel truncation rules as pointwise, with w as `a`).
+  RnsPoly pointwise_shoup(const RnsPoly& w, const PolyBuffer& wq,
+                          const RnsPoly& b) const;
 
   // -- key material ----------------------------------------------------
   void generate_keys();
@@ -179,6 +198,7 @@ class RnsBackend final : public HeBackend {
   RnsPoly sk_ntt_;    // all channels, NTT
   RnsPoly sk_coeff_;  // all channels, coeff (for automorphism targets)
   RnsPoly pk_b_, pk_a_;  // q channels, NTT
+  PolyBuffer pk_b_shoup_, pk_a_shoup_;  // fixed operands of every encrypt
   KswKey relin_key_;
   std::map<std::uint64_t, KswKey> galois_keys_;  // by automorphism exponent
 };

@@ -44,6 +44,7 @@ namespace {
 /// valid state and exits immediately.
 struct ForState {
   std::size_t count = 0;
+  std::size_t chunk = 1;
   const std::function<void(std::size_t)>* fn = nullptr;
   std::atomic<std::size_t> next{0};
   std::atomic<std::size_t> done{0};
@@ -54,15 +55,22 @@ struct ForState {
 
   void drain() {
     for (;;) {
-      const std::size_t i = next.fetch_add(1, std::memory_order_relaxed);
-      if (i >= count) break;
-      try {
-        (*fn)(i);
-      } catch (...) {
-        std::lock_guard lock(error_mutex);
-        if (!first_error) first_error = std::current_exception();
+      // Chunked striding: one fetch_add claims `chunk` iterations, so the
+      // shared index is touched count/chunk times total instead of `count`.
+      const std::size_t begin = next.fetch_add(chunk, std::memory_order_relaxed);
+      if (begin >= count) break;
+      const std::size_t end = std::min(begin + chunk, count);
+      for (std::size_t i = begin; i < end; ++i) {
+        try {
+          (*fn)(i);
+        } catch (...) {
+          std::lock_guard lock(error_mutex);
+          if (!first_error) first_error = std::current_exception();
+        }
       }
-      if (done.fetch_add(1, std::memory_order_acq_rel) + 1 == count) {
+      const std::size_t finished = end - begin;
+      if (done.fetch_add(finished, std::memory_order_acq_rel) + finished ==
+          count) {
         std::lock_guard lock(done_mutex);
         done_cv.notify_all();
       }
@@ -82,15 +90,19 @@ void ThreadPool::parallel_for(std::size_t count,
 
   auto state = std::make_shared<ForState>();
   state->count = count;
+  state->chunk = chunk_size(count, workers_.size());
   state->fn = &fn;  // valid until every iteration completed (we wait below)
 
-  const std::size_t helpers = std::min(workers_.size(), count);
+  // No point waking more helpers than there are chunks to claim.
+  const std::size_t chunks = (count + state->chunk - 1) / state->chunk;
+  const std::size_t helpers = std::min(workers_.size(), chunks);
   {
     std::lock_guard lock(mutex_);
     for (std::size_t i = 0; i < helpers; ++i) {
       tasks_.emplace([state] { state->drain(); });
     }
   }
+  tasks_enqueued_.fetch_add(helpers, std::memory_order_relaxed);
   cv_.notify_all();
   state->drain();  // the calling thread participates
 

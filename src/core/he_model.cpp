@@ -1,6 +1,7 @@
 #include "core/he_model.hpp"
 
 #include <algorithm>
+#include <bit>
 #include <cmath>
 #include <map>
 #include <set>
@@ -26,13 +27,85 @@ double close_enough(double a, double b) {
   return std::abs(a - b) <= 1e-6 * std::max(std::abs(a), std::abs(b));
 }
 
+/// FNV-1a over the full cache key (pointer, flags, scale bits, values).
+std::size_t weight_key_hash(const HeBackend* backend, bool encrypted,
+                            int level, std::uint64_t scale_bits,
+                            std::span<const double> values) {
+  std::uint64_t h = 14695981039346656037ull;
+  const auto mix = [&h](std::uint64_t v) {
+    h ^= v;
+    h *= 1099511628211ull;
+  };
+  mix(reinterpret_cast<std::uintptr_t>(backend));
+  mix(encrypted ? 1 : 0);
+  mix(static_cast<std::uint64_t>(level));
+  mix(scale_bits);
+  for (const double d : values) mix(std::bit_cast<std::uint64_t>(d));
+  return static_cast<std::size_t>(h);
+}
+
 }  // namespace
+
+// ---------------------------------------------------------------------------
+// WeightOperandCache
+// ---------------------------------------------------------------------------
+
+WeightOperand WeightOperandCache::get_or_make(const HeBackend& backend,
+                                              bool encrypted,
+                                              std::span<const double> values,
+                                              double scale, int level,
+                                              const Factory& make) {
+  const std::uint64_t scale_bits = std::bit_cast<std::uint64_t>(scale);
+  const std::size_t h =
+      weight_key_hash(&backend, encrypted, level, scale_bits, values);
+  // The lock is held across the encode: models compile on one thread, so
+  // there is no contention to speak of, and holding it guarantees each key
+  // is made exactly once.
+  std::lock_guard<std::mutex> lock(mutex_);
+  auto& bucket = buckets_[h];
+  for (const Entry& e : bucket) {
+    if (e.backend == &backend && e.encrypted == encrypted &&
+        e.level == level && e.scale_bits == scale_bits &&
+        std::equal(e.values.begin(), e.values.end(), values.begin(),
+                   values.end())) {
+      ++stats_.hits;
+      return e.operand;
+    }
+  }
+  ++stats_.misses;
+  ++stats_.entries;
+  Entry e;
+  e.backend = &backend;
+  e.encrypted = encrypted;
+  e.level = level;
+  e.scale_bits = scale_bits;
+  e.values.assign(values.begin(), values.end());
+  e.operand = make();
+  bucket.push_back(std::move(e));
+  return bucket.back().operand;
+}
+
+WeightOperandCache::Stats WeightOperandCache::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return stats_;
+}
+
+void WeightOperandCache::clear() {
+  std::lock_guard<std::mutex> lock(mutex_);
+  buckets_.clear();
+  stats_ = {};
+}
 
 HeModel::HeModel(HeBackend& backend, const ModelSpec& spec,
                  HeModelOptions options)
     : backend_(backend), spec_(spec), options_(options) {
   PPHE_CHECK(options_.rns_branches >= 1, "need at least one branch");
   PPHE_CHECK(options_.pixel_levels >= 2, "invalid pixel quantization");
+  if (!options_.weight_cache) {
+    // Private cache: still dedupes duplicate diagonals within this model and
+    // full re-encodes when the level-retry loop below re-plans.
+    options_.weight_cache = std::make_shared<WeightOperandCache>();
+  }
   // Start at the lowest level that still fits the model's depth: fewer
   // residue channels per operation at identical (better) security. Scale
   // drift can occasionally demand one more level than depth(); retry upward.
@@ -72,11 +145,15 @@ void HeModel::simulate_rescale(int& level, double& scale) const {
              "levels than the parameters provide)");
 }
 
-HeModel::WeightOperand HeModel::make_weight(const std::vector<double>& values,
-                                            double scale, int level) const {
-  const Plaintext pt = backend_.encode(values, scale, level);
-  if (options_.encrypted_weights) return backend_.encrypt(pt);
-  return pt;
+WeightOperand HeModel::make_weight(const std::vector<double>& values,
+                                   double scale, int level) const {
+  const auto make = [&]() -> WeightOperand {
+    const Plaintext pt = backend_.encode(values, scale, level);
+    if (options_.encrypted_weights) return backend_.encrypt(pt);
+    return pt;
+  };
+  return options_.weight_cache->get_or_make(
+      backend_, options_.encrypted_weights, values, scale, level, make);
 }
 
 void HeModel::plan() {

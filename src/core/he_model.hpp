@@ -1,8 +1,12 @@
 #pragma once
 
 #include <cstdint>
+#include <functional>
+#include <memory>
+#include <mutex>
 #include <span>
 #include <string>
+#include <unordered_map>
 #include <variant>
 #include <vector>
 
@@ -10,6 +14,53 @@
 #include "core/models.hpp"
 
 namespace pphe {
+
+/// A weight in the form a compiled model multiplies/adds it: encoded
+/// plaintext (CryptoNets setting) or encrypted ciphertext (the paper's §VI
+/// encrypted-weights setting).
+using WeightOperand = std::variant<Plaintext, Ciphertext>;
+
+/// Encode-once cache of weight operands, content-addressed by
+/// (backend, encrypted?, scale, level, values): each distinct weight vector
+/// pays for encoding (and its NTT passes, and encryption when weights are
+/// encrypted) exactly once per (scale, level) and every further use — a
+/// duplicate diagonal, a re-plan after a level retry, another model compiled
+/// against the same backend — reuses the stored handle. Handles are
+/// immutable, so sharing one operand across uses is safe. Thread-safe.
+class WeightOperandCache {
+ public:
+  struct Stats {
+    std::uint64_t hits = 0;
+    std::uint64_t misses = 0;
+    std::size_t entries = 0;
+  };
+
+  using Factory = std::function<WeightOperand()>;
+
+  /// Returns the operand cached under the full key, invoking `make` exactly
+  /// once per distinct key. The full value vector is part of the key (not
+  /// just its hash), so collisions cannot alias two different weights.
+  WeightOperand get_or_make(const HeBackend& backend, bool encrypted,
+                            std::span<const double> values, double scale,
+                            int level, const Factory& make);
+
+  Stats stats() const;
+  void clear();
+
+ private:
+  struct Entry {
+    const HeBackend* backend = nullptr;
+    bool encrypted = false;
+    int level = 0;
+    std::uint64_t scale_bits = 0;
+    std::vector<double> values;
+    WeightOperand operand;
+  };
+
+  mutable std::mutex mutex_;
+  std::unordered_map<std::size_t, std::vector<Entry>> buckets_;
+  Stats stats_;
+};
 
 /// Options for compiling a ModelSpec onto a backend.
 struct HeModelOptions {
@@ -40,6 +91,11 @@ struct HeModelOptions {
   /// the decrypted-vs-expected budget check. Costs one decrypt per layer;
   /// never use for timing runs.
   bool trace_noise_budget = false;
+  /// Encode-once weight cache. Null = the model creates a private one, which
+  /// still dedupes within the compilation (duplicate diagonals, level-retry
+  /// re-plans). Pass a shared instance to reuse encodings across models
+  /// compiled against the same backend.
+  std::shared_ptr<WeightOperandCache> weight_cache;
 };
 
 /// One encrypted inference (Fig. 1's round trip), with the latency split the
@@ -117,8 +173,6 @@ class HeModel {
   double predicted_output_error() const { return predicted_output_error_; }
 
  private:
-  using WeightOperand = std::variant<Plaintext, Ciphertext>;
-
   struct LinearPlan {
     std::size_t in_dim = 0, out_dim = 0, tile = 0, giant = 0;
     std::size_t rot_mult = 1;  // slot stride per logical rotation step

@@ -138,9 +138,18 @@ EncryptedEvalResult run_encrypted_eval(HeBackend& backend,
                                        const ExperimentConfig& cfg) {
   EncryptedEvalResult result;
 
+  // Install an encode-once weight cache when the caller did not supply one,
+  // so the cache stats below always describe this compilation.
+  HeModelOptions opts = options;
+  if (!opts.weight_cache) {
+    opts.weight_cache = std::make_shared<WeightOperandCache>();
+  }
   Stopwatch setup;
-  const HeModel model(backend, spec, options);
+  const HeModel model(backend, spec, opts);
   result.setup_seconds = setup.seconds();
+  const WeightOperandCache::Stats cache_stats = opts.weight_cache->stats();
+  result.weight_cache_hits = cache_stats.hits;
+  result.weight_cache_misses = cache_stats.misses;
   trace::Span eval_span("encrypted_eval", "pipeline");
   eval_span.attr("workers", static_cast<double>(cfg.workers));
 

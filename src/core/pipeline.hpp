@@ -78,6 +78,10 @@ struct EncryptedEvalResult {
   double max_logit_err = 0.0;   // max |HE logit - plaintext logit|
   double setup_seconds = 0.0;   // compile: weight encryption + Galois keys
   std::size_t samples = 0;
+  /// Encode-once weight cache behaviour during compilation (hits = weight
+  /// vectors that reused a cached encoding instead of re-encoding).
+  std::uint64_t weight_cache_hits = 0;
+  std::uint64_t weight_cache_misses = 0;
 };
 
 /// Runs `cfg.he_samples` encrypted inferences of `spec` on `backend` and the

@@ -56,6 +56,21 @@ std::uint64_t Modulus::reduce128(unsigned __int128 x) const {
   return r;
 }
 
+std::uint64_t Modulus::shoup_quotient(std::uint64_t w) const {
+  PPHE_CHECK(w < value_, "Shoup operand must be reduced");
+  // floor(w * 2^64 / p) from the Barrett constant: with x = w * 2^64 the
+  // 256-bit Barrett quotient collapses to two multiplies (x_lo = 0), and may
+  // undershoot the true quotient by at most 2 — fixed up exactly below.
+  unsigned __int128 q = static_cast<unsigned __int128>(w) * barrett_hi_ +
+                        ((static_cast<unsigned __int128>(w) * barrett_lo_) >> 64);
+  unsigned __int128 r = (static_cast<unsigned __int128>(w) << 64) - q * value_;
+  while (r >= value_) {
+    r -= value_;
+    ++q;
+  }
+  return static_cast<std::uint64_t>(q);
+}
+
 std::uint64_t Modulus::pow(std::uint64_t a, std::uint64_t e) const {
   std::uint64_t base = reduce(a);
   std::uint64_t result = 1;
@@ -87,10 +102,91 @@ std::uint64_t Modulus::inv(std::uint64_t a) const {
                : static_cast<std::uint64_t>(t);
 }
 
-ShoupMul::ShoupMul(std::uint64_t w, const Modulus& mod) : operand(w) {
-  PPHE_CHECK(w < mod.value(), "Shoup operand must be reduced");
-  quotient = static_cast<std::uint64_t>(
-      (static_cast<unsigned __int128>(w) << 64) / mod.value());
+ShoupMul::ShoupMul(std::uint64_t w, const Modulus& mod)
+    : operand(w), quotient(mod.shoup_quotient(w)) {}
+
+namespace dyadic {
+
+void mul(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod) {
+  PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
+             "dyadic size mismatch");
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pb = b.data();
+  std::uint64_t* pc = c.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    pc[i] = mod.reduce128(static_cast<unsigned __int128>(pa[i]) * pb[i]);
+  }
 }
+
+void mul_acc(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+             std::span<std::uint64_t> c, const Modulus& mod) {
+  PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
+             "dyadic size mismatch");
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pb = b.data();
+  std::uint64_t* pc = c.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    // product + accumulator < p^2 + p < 2^125: one Barrett pass reduces both.
+    pc[i] = mod.reduce128(static_cast<unsigned __int128>(pa[i]) * pb[i] +
+                          pc[i]);
+  }
+}
+
+void shoup_precompute(std::span<const std::uint64_t> w,
+                      std::span<std::uint64_t> wq, const Modulus& mod) {
+  PPHE_CHECK(w.size() == wq.size(), "dyadic size mismatch");
+  for (std::size_t i = 0; i < w.size(); ++i) {
+    wq[i] = mod.shoup_quotient(w[i]);
+  }
+}
+
+void mul_shoup(std::span<const std::uint64_t> a,
+               std::span<const std::uint64_t> w,
+               std::span<const std::uint64_t> wq, std::span<std::uint64_t> c,
+               const Modulus& mod) {
+  PPHE_CHECK(a.size() == w.size() && a.size() == wq.size() &&
+                 a.size() == c.size(),
+             "dyadic size mismatch");
+  const std::uint64_t p = mod.value();
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pw = w.data();
+  const std::uint64_t* pq = wq.data();
+  std::uint64_t* pc = c.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(pa[i]) * pq[i]) >> 64);
+    const std::uint64_t r = pa[i] * pw[i] - q * p;
+    pc[i] = r >= p ? r - p : r;
+  }
+}
+
+void mul_acc_shoup(std::span<const std::uint64_t> a,
+                   std::span<const std::uint64_t> w,
+                   std::span<const std::uint64_t> wq,
+                   std::span<std::uint64_t> c, const Modulus& mod) {
+  PPHE_CHECK(a.size() == w.size() && a.size() == wq.size() &&
+                 a.size() == c.size(),
+             "dyadic size mismatch");
+  const std::uint64_t p = mod.value();
+  const std::uint64_t two_p = 2 * p;
+  const std::uint64_t* pa = a.data();
+  const std::uint64_t* pw = w.data();
+  const std::uint64_t* pq = wq.data();
+  std::uint64_t* pc = c.data();
+  const std::size_t n = a.size();
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(pa[i]) * pq[i]) >> 64);
+    std::uint64_t s = pc[i] + (pa[i] * pw[i] - q * p);  // < 3p
+    s = s >= two_p ? s - two_p : s;
+    pc[i] = s >= p ? s - p : s;
+  }
+}
+
+}  // namespace dyadic
 
 }  // namespace pphe

@@ -1,6 +1,7 @@
 #pragma once
 
 #include <cstdint>
+#include <span>
 
 namespace pphe {
 
@@ -40,6 +41,12 @@ class Modulus {
     return reduce128(static_cast<unsigned __int128>(a) * b);
   }
 
+  /// floor(w * 2^64 / value) for reduced w: the Shoup precomputed quotient.
+  /// Computed from the Barrett constant plus an exact fix-up (no 128-bit
+  /// division), so vector precomputations (dyadic::shoup_precompute) cost a
+  /// few multiplies per element instead of a libcall division.
+  std::uint64_t shoup_quotient(std::uint64_t w) const;
+
   /// a^e mod value (square-and-multiply).
   std::uint64_t pow(std::uint64_t a, std::uint64_t e) const;
 
@@ -73,6 +80,68 @@ struct ShoupMul {
     const std::uint64_t r = x * operand - q * p;
     return r >= p ? r - p : r;
   }
+
+  /// Lazy product in [0, 2p), valid for ANY 64-bit x (not only x < p): the
+  /// Shoup quotient undershoots floor(x*operand/p) by at most 1 whenever
+  /// x < 2^64, so one correction is owed but deferred. The lazy NTT
+  /// butterflies feed values in [0, 4p) straight through this.
+  std::uint64_t mul_lazy(std::uint64_t x, std::uint64_t p) const {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(x) * quotient) >> 64);
+    return x * operand - q * p;
+  }
 };
+
+/// Flat dyadic (element-wise) kernels over residue spans: the word-level hot
+/// loops of the RNS evaluator. All spans must have equal length; inputs are
+/// fully reduced in [0, p) and outputs are fully reduced. The `_shoup`
+/// variants take the FIXED operand `w` together with its precomputed Shoup
+/// quotients `wq` (see shoup_precompute) and replace the 128-bit Barrett
+/// reduction by two multiplies per element — the payoff for operands reused
+/// across many products (plaintext weights, key-switching keys, public keys).
+namespace dyadic {
+
+/// c[i] = a[i] * b[i] mod p (Barrett).
+void mul(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod);
+
+/// Fused multiply-accumulate c[i] = (c[i] + a[i] * b[i]) mod p: one Barrett
+/// reduction of the 128-bit product-plus-accumulator instead of
+/// reduce-then-modular-add, and no intermediate product slab.
+void mul_acc(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+             std::span<std::uint64_t> c, const Modulus& mod);
+
+/// wq[i] = floor(w[i] * 2^64 / p): Shoup form of a fixed operand vector.
+void shoup_precompute(std::span<const std::uint64_t> w,
+                      std::span<std::uint64_t> wq, const Modulus& mod);
+
+/// c[i] = a[i] * w[i] mod p with w in Shoup form.
+void mul_shoup(std::span<const std::uint64_t> a,
+               std::span<const std::uint64_t> w,
+               std::span<const std::uint64_t> wq, std::span<std::uint64_t> c,
+               const Modulus& mod);
+
+/// c[i] = (c[i] + a[i] * w[i]) mod p with w in Shoup form.
+void mul_acc_shoup(std::span<const std::uint64_t> a,
+                   std::span<const std::uint64_t> w,
+                   std::span<const std::uint64_t> wq,
+                   std::span<std::uint64_t> c, const Modulus& mod);
+
+/// Scalar fused step for gather loops (hoisted rotations read the variable
+/// operand through an NTT permutation, so they cannot run the flat kernels):
+/// returns (acc + x*w) mod p for reduced acc and any 64-bit x. The lazy Shoup
+/// product is < 2p, so acc + product < 3p needs the two-step correction.
+inline std::uint64_t mul_acc_shoup_scalar(std::uint64_t acc, std::uint64_t x,
+                                          std::uint64_t w, std::uint64_t wq,
+                                          std::uint64_t p) {
+  const std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(x) * wq) >> 64);
+  std::uint64_t s = acc + (x * w - q * p);  // < 3p
+  const std::uint64_t two_p = 2 * p;
+  s = s >= two_p ? s - two_p : s;
+  return s >= p ? s - p : s;
+}
+
+}  // namespace dyadic
 
 }  // namespace pphe

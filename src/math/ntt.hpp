@@ -16,6 +16,20 @@ namespace pphe {
 /// libraries. forward() leaves values in bit-reversed evaluation order;
 /// pointwise products of two forward() outputs followed by inverse() realize
 /// negacyclic convolution, i.e. multiplication in Z_p[X]/(X^n + 1).
+///
+/// Both transforms use Harvey's lazy reduction (the SEAL/HEXL kernel):
+///
+///  * forward(): butterfly values live in [0, 4p) throughout the transform
+///    (one conditional subtract of 2p on the top input, a correction-free
+///    lazy Shoup product in [0, 2p) on the bottom), and a single deferred
+///    correction sweep maps [0, 4p) -> [0, p) at the end. Requires p < 2^62
+///    (enforced by Modulus) so 4p never overflows a word.
+///  * inverse(): values live in [0, 2p) between stages; the final stage folds
+///    the 1/n scaling into both butterfly outputs (saving the standalone
+///    scaling pass) and fully reduces.
+///
+/// Outputs are always fully reduced in [0, p) and bit-identical to the
+/// eagerly-reduced scalar transform (tests pin this against a reference).
 class NttTable {
  public:
   NttTable(std::size_t n, const Modulus& modulus);
@@ -32,7 +46,9 @@ class NttTable {
   /// output in natural coefficient order (includes the 1/n scaling).
   void inverse(std::span<std::uint64_t> a) const;
 
-  /// c[i] = a[i] * b[i] mod p (evaluation-domain product).
+  /// c[i] = a[i] * b[i] mod p (evaluation-domain product, Barrett). When one
+  /// operand is fixed across many products, precompute its Shoup form and
+  /// use dyadic::mul_shoup instead.
   void pointwise(std::span<const std::uint64_t> a,
                  std::span<const std::uint64_t> b,
                  std::span<std::uint64_t> c) const;
@@ -44,6 +60,7 @@ class NttTable {
   std::vector<ShoupMul> root_powers_;       // psi^brv(i)
   std::vector<ShoupMul> inv_root_powers_;   // psi^{-brv(i)} with GS layout
   ShoupMul inv_n_;
+  ShoupMul inv_n_root_;  // inv_n * inv_root_powers_[1] (folded last GS stage)
 };
 
 }  // namespace pphe

@@ -62,6 +62,47 @@ TEST(ThreadPool, InlinePropagatesExceptions) {
       Error);
 }
 
+TEST(ThreadPool, ChunkSizeArithmetic) {
+  // Small loops (residue channels) keep per-iteration stealing...
+  EXPECT_EQ(ThreadPool::chunk_size(8, 4), 1u);
+  EXPECT_EQ(ThreadPool::chunk_size(1, 16), 1u);
+  // ...large flat loops claim big chunks: ~4 per participant.
+  EXPECT_EQ(ThreadPool::chunk_size(1'000'000, 4), 50'001u);
+  EXPECT_GE(ThreadPool::chunk_size(1'000'000, 0), 250'000u);
+}
+
+TEST(ThreadPool, ChunkedStridingCoversEveryIterationOnce) {
+  ThreadPool pool(4);
+  const std::size_t count = 100'003;  // prime: no chunk-boundary alignment
+  std::vector<std::atomic<int>> hits(count);
+  pool.parallel_for(count, [&](std::size_t i) { hits[i].fetch_add(1); });
+  for (std::size_t i = 0; i < count; ++i) {
+    ASSERT_EQ(hits[i].load(), 1) << "index " << i;
+  }
+}
+
+TEST(ThreadPool, ContentionRegressionEnqueuesBoundedHelperTasks) {
+  // The regression this pins: parallel_for must enqueue at most one helper
+  // per worker AND never more helpers than chunks (a tiny loop on a wide
+  // pool must not wake the whole pool).
+  ThreadPool pool(4);
+  const std::uint64_t before = pool.tasks_enqueued();
+  pool.parallel_for(100'000, [](std::size_t) {});
+  const std::uint64_t large_delta = pool.tasks_enqueued() - before;
+  EXPECT_LE(large_delta, 4u);
+  EXPECT_GE(large_delta, 1u);
+
+  // 2 iterations with chunk 1 -> 2 chunks -> at most 2 helpers woken.
+  const std::uint64_t before_small = pool.tasks_enqueued();
+  pool.parallel_for(2, [](std::size_t) {});
+  EXPECT_LE(pool.tasks_enqueued() - before_small, 2u);
+
+  // Inline fallback (count == 1) enqueues nothing.
+  const std::uint64_t before_inline = pool.tasks_enqueued();
+  pool.parallel_for(1, [](std::size_t) {});
+  EXPECT_EQ(pool.tasks_enqueued() - before_inline, 0u);
+}
+
 TEST(ThreadPool, GlobalPoolExists) {
   auto& pool = ThreadPool::global();
   std::atomic<int> n{0};

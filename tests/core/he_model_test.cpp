@@ -283,5 +283,68 @@ TEST(HeModel, WrongInputSizeThrows) {
   EXPECT_THROW(model.infer(img), Error);
 }
 
+TEST(WeightOperandCache, EncodesEachDistinctKeyOnce) {
+  RnsBackend backend(tiny_params());
+  auto cache = std::make_shared<WeightOperandCache>();
+  int made = 0;
+  const std::vector<double> v1{1.0, 2.0, 3.0};
+  const std::vector<double> v2{1.0, 2.0, 4.0};
+  const auto factory = [&]() -> WeightOperand {
+    ++made;
+    return backend.encode(v1, 1024.0, 1);
+  };
+  (void)cache->get_or_make(backend, false, v1, 1024.0, 1, factory);
+  (void)cache->get_or_make(backend, false, v1, 1024.0, 1, factory);  // hit
+  (void)cache->get_or_make(backend, false, v2, 1024.0, 1, factory);  // values
+  (void)cache->get_or_make(backend, false, v1, 2048.0, 1, factory);  // scale
+  (void)cache->get_or_make(backend, false, v1, 1024.0, 0, factory);  // level
+  (void)cache->get_or_make(backend, true, v1, 1024.0, 1, factory);   // enc
+  EXPECT_EQ(made, 5);
+  const auto stats = cache->stats();
+  EXPECT_EQ(stats.hits, 1u);
+  EXPECT_EQ(stats.misses, 5u);
+  EXPECT_EQ(stats.entries, 5u);
+
+  // The hit returns the SAME handle, not a re-encode.
+  const WeightOperand a =
+      cache->get_or_make(backend, false, v1, 1024.0, 1, factory);
+  const WeightOperand b =
+      cache->get_or_make(backend, false, v1, 1024.0, 1, factory);
+  EXPECT_EQ(std::get<Plaintext>(a).impl().get(),
+            std::get<Plaintext>(b).impl().get());
+
+  cache->clear();
+  EXPECT_EQ(cache->stats().entries, 0u);
+}
+
+TEST(WeightOperandCache, SharedCacheDedupesAcrossModels) {
+  RnsBackend backend(tiny_params());
+  const ModelSpec spec = tiny_spec(12, 8, 5, 2, 11);
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  options.weight_cache = std::make_shared<WeightOperandCache>();
+
+  const HeModel first(backend, spec, options);
+  const auto after_first = options.weight_cache->stats();
+  EXPECT_GT(after_first.misses, 0u);
+
+  // Compiling the identical spec again must hit for every weight.
+  const HeModel second(backend, spec, options);
+  const auto after_second = options.weight_cache->stats();
+  EXPECT_EQ(after_second.misses, after_first.misses);
+  EXPECT_GE(after_second.hits, after_first.misses);
+
+  // And the cached-weight model still computes the right logits. Each infer
+  // encrypts the image with fresh randomness, so the two runs agree only up
+  // to CKKS encryption noise, not bit-exactly.
+  const auto img = random_image(12, 7);
+  const auto want = first.infer(img).logits;
+  const auto got = second.infer(img).logits;
+  ASSERT_EQ(want.size(), got.size());
+  for (std::size_t i = 0; i < want.size(); ++i) {
+    EXPECT_NEAR(got[i], want[i], 1e-3);
+  }
+}
+
 }  // namespace
 }  // namespace pphe

@@ -98,5 +98,96 @@ TEST(ShoupMul, RejectsUnreducedOperand) {
   EXPECT_THROW(ShoupMul(17, m), Error);
 }
 
+TEST(ShoupMul, QuotientMatchesExactDivision) {
+  Prng prng(7);
+  for (const int bits : {20, 40, 59}) {
+    const std::uint64_t p = generate_ntt_primes(256, bits, 1)[0];
+    const Modulus m(p);
+    for (const std::uint64_t w :
+         {std::uint64_t{0}, std::uint64_t{1}, p - 1, prng.uniform_below(p)}) {
+      const auto expect = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(w) << 64) / p);
+      EXPECT_EQ(m.shoup_quotient(w), expect) << "p=" << p << " w=" << w;
+    }
+  }
+}
+
+TEST(ShoupMul, LazyProductStaysBelowTwoPForAnyInput) {
+  // mul_lazy accepts ANY 64-bit x (the lazy NTT feeds it values in [0, 4p))
+  // and must return a value congruent to w*x that is < 2p.
+  const std::uint64_t p = generate_ntt_primes(1024, 59, 1)[0];
+  const Modulus m(p);
+  Prng prng(8);
+  for (int i = 0; i < 500; ++i) {
+    const std::uint64_t w = i < 4 ? p - 1 - static_cast<std::uint64_t>(i)
+                                  : prng.uniform_below(p);
+    const ShoupMul shoup(w, m);
+    for (const std::uint64_t x :
+         {std::uint64_t{0}, p - 1, 2 * p - 1, 4 * p - 1, ~std::uint64_t{0},
+          prng.next_u64()}) {
+      const std::uint64_t r = shoup.mul_lazy(x, p);
+      ASSERT_LT(r, 2 * p);
+      ASSERT_EQ(m.reduce(r), m.mul(w, m.reduce(x)));
+    }
+  }
+}
+
+TEST(Dyadic, MulAndMulAccMatchReference) {
+  const std::uint64_t p = generate_ntt_primes(1024, 50, 1)[0];
+  const Modulus m(p);
+  Prng prng(9);
+  const std::size_t n = 257;  // odd length: no vector-width alignment luck
+  std::vector<std::uint64_t> a(n), b(n), c(n), acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = i < 3 ? p - 1 : prng.uniform_below(p);
+    b[i] = i < 3 ? p - 1 : prng.uniform_below(p);
+    acc[i] = i < 3 ? p - 1 : prng.uniform_below(p);
+  }
+  dyadic::mul(a, b, c, m);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(c[i], m.mul(a[i], b[i]));
+  auto acc2 = acc;
+  dyadic::mul_acc(a, b, acc2, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(acc2[i], m.add(acc[i], m.mul(a[i], b[i])));
+  }
+}
+
+TEST(Dyadic, ShoupKernelsMatchBarrettAtExtremes) {
+  const std::uint64_t p = generate_ntt_primes(1024, 59, 1)[0];
+  const Modulus m(p);
+  Prng prng(10);
+  const std::size_t n = 129;
+  std::vector<std::uint64_t> a(n), w(n), wq(n), c(n), acc(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    a[i] = i % 3 == 0 ? p - 1 : prng.uniform_below(p);
+    w[i] = i % 5 == 0 ? p - 1 : prng.uniform_below(p);
+    acc[i] = i % 7 == 0 ? p - 1 : prng.uniform_below(p);
+  }
+  dyadic::shoup_precompute(w, wq, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(wq[i], m.shoup_quotient(w[i]));
+  }
+  dyadic::mul_shoup(a, w, wq, c, m);
+  for (std::size_t i = 0; i < n; ++i) ASSERT_EQ(c[i], m.mul(a[i], w[i]));
+  auto acc2 = acc;
+  dyadic::mul_acc_shoup(a, w, wq, acc2, m);
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(acc2[i], m.add(acc[i], m.mul(a[i], w[i])));
+  }
+  // The scalar gather-loop variant agrees too.
+  for (std::size_t i = 0; i < n; ++i) {
+    ASSERT_EQ(dyadic::mul_acc_shoup_scalar(acc[i], a[i], w[i], wq[i], p),
+              m.add(acc[i], m.mul(a[i], w[i])));
+  }
+}
+
+TEST(Dyadic, RejectsSizeMismatch) {
+  const Modulus m(17);
+  std::vector<std::uint64_t> a(4, 1), b(3, 1), c(4, 0);
+  EXPECT_THROW(dyadic::mul(a, b, c, m), Error);
+  EXPECT_THROW(dyadic::mul_acc(a, b, c, m), Error);
+  EXPECT_THROW(dyadic::shoup_precompute(a, b, m), Error);
+}
+
 }  // namespace
 }  // namespace pphe

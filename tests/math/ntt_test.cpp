@@ -70,6 +70,117 @@ INSTANTIATE_TEST_SUITE_P(
     ::testing::Combine(::testing::Values(8, 64, 256, 2048),
                        ::testing::Values(20, 30, 50, 59)));
 
+/// Naive O(n^2) forward transform: output slot j of the merged-twist NTT is
+/// the evaluation of a(X) at psi^(2*brv(j)+1). Pins the lazy-reduction
+/// kernel's exact output layout, not just invertibility.
+std::vector<std::uint64_t> naive_forward(const std::vector<std::uint64_t>& a,
+                                         const NttTable& ntt,
+                                         const Modulus& mod) {
+  const std::size_t n = a.size();
+  int bits = 0;
+  while ((std::size_t{1} << bits) < n) ++bits;
+  std::vector<std::uint64_t> out(n, 0);
+  for (std::size_t j = 0; j < n; ++j) {
+    std::size_t brv = 0, x = j;
+    for (int b = 0; b < bits; ++b) {
+      brv = (brv << 1) | (x & 1);
+      x >>= 1;
+    }
+    const std::uint64_t root = mod.pow(ntt.psi(), 2 * brv + 1);
+    std::uint64_t acc = 0, power = 1;
+    for (std::size_t i = 0; i < n; ++i) {
+      acc = mod.add(acc, mod.mul(a[i], power));
+      power = mod.mul(power, root);
+    }
+    out[j] = acc;
+  }
+  return out;
+}
+
+TEST_P(NttParamTest, ForwardMatchesNaiveEvaluation) {
+  const auto [n, bits] = GetParam();
+  if (n > 256) GTEST_SKIP() << "naive reference too slow";
+  const Modulus mod(generate_ntt_primes(n, bits, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(n * 13 + static_cast<std::size_t>(bits));
+  std::vector<std::uint64_t> a(n);
+  for (auto& x : a) x = prng.uniform_below(mod.value());
+  const auto ref = naive_forward(a, ntt, mod);
+  ntt.forward(a);
+  EXPECT_EQ(a, ref);  // bit-identical, not merely congruent
+}
+
+TEST_P(NttParamTest, LazyBoundsAtResidueExtremes) {
+  // The Harvey butterflies keep intermediates in [0, 4p) / [0, 2p); all-
+  // (p-1) inputs (and a couple of adversarial mixes) drive every butterfly
+  // to its maximum. Outputs must still come back fully reduced and the
+  // round trip exact.
+  const auto [n, bits] = GetParam();
+  const Modulus mod(generate_ntt_primes(n, bits, 1)[0]);
+  const NttTable ntt(n, mod);
+  const std::uint64_t pm1 = mod.value() - 1;
+  std::vector<std::vector<std::uint64_t>> extremes;
+  extremes.emplace_back(n, pm1);  // every coefficient at p-1
+  extremes.emplace_back(n, 0);
+  std::vector<std::uint64_t> alt(n);
+  for (std::size_t i = 0; i < n; ++i) alt[i] = (i % 2 == 0) ? pm1 : 0;
+  extremes.push_back(std::move(alt));
+  std::vector<std::uint64_t> half(n, pm1);
+  for (std::size_t i = 0; i < n / 2; ++i) half[i] = 1;
+  extremes.push_back(std::move(half));
+  for (const auto& original : extremes) {
+    auto v = original;
+    ntt.forward(v);
+    for (const auto x : v) ASSERT_LT(x, mod.value());
+    ntt.inverse(v);
+    for (const auto x : v) ASSERT_LT(x, mod.value());
+    EXPECT_EQ(v, original);
+  }
+}
+
+TEST(Ntt, RandomizedRoundTripsStayExactAndReduced) {
+  const std::size_t n = 512;
+  const Modulus mod(generate_ntt_primes(n, 59, 1)[0]);
+  const NttTable ntt(n, mod);
+  Prng prng(321);
+  for (int trial = 0; trial < 50; ++trial) {
+    std::vector<std::uint64_t> a(n);
+    for (auto& x : a) {
+      // Bias toward the residue extremes to stress the lazy corrections.
+      const std::uint64_t r = prng.uniform_below(10);
+      if (r == 0) {
+        x = mod.value() - 1;
+      } else if (r == 1) {
+        x = 0;
+      } else {
+        x = prng.uniform_below(mod.value());
+      }
+    }
+    auto b = a;
+    ntt.forward(b);
+    for (const auto x : b) ASSERT_LT(x, mod.value());
+    ntt.inverse(b);
+    ASSERT_EQ(a, b) << "trial " << trial;
+  }
+}
+
+TEST(Ntt, SmallestSizeHandlesFoldedFinalStage) {
+  // n == 2 exercises the inverse path where the folded 1/n stage IS the
+  // whole transform.
+  const std::size_t n = 2;
+  const Modulus mod(generate_ntt_primes(n, 30, 1)[0]);
+  const NttTable ntt(n, mod);
+  for (const std::uint64_t a0 : {std::uint64_t{0}, mod.value() - 1}) {
+    for (const std::uint64_t a1 : {std::uint64_t{1}, mod.value() - 1}) {
+      std::vector<std::uint64_t> v{a0, a1};
+      const auto original = v;
+      ntt.forward(v);
+      ntt.inverse(v);
+      EXPECT_EQ(v, original);
+    }
+  }
+}
+
 TEST(Ntt, LinearityOfForward) {
   const std::size_t n = 128;
   const Modulus mod(generate_ntt_primes(n, 40, 1)[0]);

@@ -9,6 +9,7 @@
 
 #include "ckks/security.hpp"
 #include "common/cli.hpp"
+#include "common/fault.hpp"
 #include "common/table.hpp"
 #include "common/trace.hpp"
 #include "core/pipeline.hpp"
@@ -30,6 +31,13 @@ inline void print_header(const char* table_name, const ExperimentConfig& cfg) {
     trace::set_enabled(true);
     std::printf("[trace] recording homomorphic-op spans -> %s\n\n",
                 cfg.trace_out.c_str());
+  }
+  if (fault::armed()) {
+    // --faults=<spec> was parsed by ExperimentConfig::from_flags; numbers
+    // below are chaos-mode numbers, not clean measurements.
+    std::printf("[faults] WARNING: fault injection armed (%s) — results are "
+                "not comparable to clean runs\n\n",
+                cfg.faults.c_str());
   }
 }
 

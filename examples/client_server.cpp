@@ -2,36 +2,24 @@
 // "cloud" run in one process but communicate exclusively through the
 // serialized wire format (ckks/serialize.hpp) — the cloud half never touches
 // the secret key object, only ciphertext byte strings.
+//
+// The round trip runs through the hardened serving layer (core/serving.hpp):
+// checksummed wire sections, pre-eval ciphertext validation, the
+// noise-budget guardrail, a per-request watchdog, and bounded
+// retry-with-recompute. Pass --faults=<spec> to watch the recovery path,
+// e.g.:
+//   client_server --faults="seed=7,wire.upload:bitflip*1"
+//   client_server --faults="worker:crash*1" --watchdog-ms=30000
 
 #include <cstdio>
 
 #include "ckks/rns_backend.hpp"
 #include "ckks/serialize.hpp"
+#include "common/fault.hpp"
 #include "core/pipeline.hpp"
+#include "core/serving.hpp"
 
 using namespace pphe;
-
-namespace {
-
-/// The cloud: holds the compiled encrypted model, consumes input bytes,
-/// produces logits bytes. (In a real deployment this runs in a different
-/// trust domain; the evaluation key material inside the backend is public.)
-struct Cloud {
-  const RnsBackend& backend;
-  const HeModel& model;
-
-  std::string classify(const std::vector<std::string>& branch_bytes) const {
-    std::vector<Ciphertext> inputs;
-    inputs.reserve(branch_bytes.size());
-    for (const auto& bytes : branch_bytes) {
-      inputs.push_back(ciphertext_from_string(bytes, backend));
-    }
-    const Ciphertext logits = model.eval(inputs);
-    return ciphertext_to_string(backend, logits);
-  }
-};
-
-}  // namespace
 
 int main(int argc, char** argv) {
   const CliFlags flags(argc, argv);
@@ -46,39 +34,49 @@ int main(int argc, char** argv) {
   HeModelOptions options;
   options.encrypted_weights = true;
   options.rns_branches = 3;
+  options.min_noise_budget_bits = flags.get_double("min-budget-bits", 1.0);
   const HeModel model(backend, compile_model(trained), options);
-  const Cloud cloud{backend, model};
 
-  // Client side: encrypt, serialize, "send".
   const float* img = exp.test_set().images.data();
   const std::vector<float> image(img, img + 784);
-  const auto inputs = model.encrypt_input(image);
-  std::vector<std::string> upload;
-  std::size_t upload_bytes = 0;
-  for (const auto& ct : inputs) {
-    upload.push_back(ciphertext_to_string(backend, ct));
-    upload_bytes += upload.back().size();
+  {
+    const auto inputs = model.encrypt_input(image);
+    std::size_t upload_bytes = 0;
+    for (const auto& ct : inputs) {
+      upload_bytes += ciphertext_byte_size(backend, ct);
+    }
+    std::printf("[client] upload: %zu branch ciphertexts, %.2f MiB total\n",
+                inputs.size(),
+                static_cast<double>(upload_bytes) / (1024.0 * 1024.0));
   }
-  std::printf("[client] uploaded %zu branch ciphertexts, %.2f MiB total\n",
-              upload.size(),
-              static_cast<double>(upload_bytes) / (1024.0 * 1024.0));
 
-  // Cloud side: bytes in, bytes out.
-  const std::string download = cloud.classify(upload);
-  std::printf("[cloud]  returned encrypted logits, %.2f MiB\n",
-              static_cast<double>(download.size()) / (1024.0 * 1024.0));
+  ServingOptions serving;
+  serving.max_retries = static_cast<int>(flags.get_int("max-retries", 2));
+  serving.watchdog_seconds = flags.get_double("watchdog-ms", 60000.0) / 1000.0;
 
-  // Client side: deserialize and decrypt.
-  const Ciphertext logits_ct = ciphertext_from_string(download, backend);
-  const auto logits = model.decrypt_logits(logits_ct);
-  const auto pred = static_cast<int>(
-      std::max_element(logits.begin(), logits.end()) - logits.begin());
-  std::printf("[client] decrypted prediction: %d (true label %d)\n", pred,
-              exp.test_set().labels[0]);
+  const ServeOutcome outcome = serve_classify(backend, model, image, serving);
+  for (const ServeAttempt& a : outcome.faults) {
+    std::printf("[serve]  detected %s fault — %s\n",
+                error_code_name(a.code),
+                outcome.ok ? "re-encrypting and retrying" : "giving up");
+  }
+  if (outcome.degraded) {
+    std::printf("[serve]  DEGRADED: noise budget below floor; no logits "
+                "returned\n");
+    return 1;
+  }
+  if (!outcome.ok) {
+    std::printf("[serve]  FAILED after %d attempts\n", outcome.attempts);
+    return 1;
+  }
+  std::printf("[client] decrypted prediction: %d (true label %d, %d "
+              "attempt%s)\n",
+              outcome.predicted, exp.test_set().labels[0], outcome.attempts,
+              outcome.attempts == 1 ? "" : "s");
   std::printf(
       "\nnote the asymmetry Fig. 1 relies on: the download is smaller than\n"
       "the upload (the logits ciphertext sits at a lower level after %d\n"
       "rescales, so it carries fewer residue channels).\n",
       model.levels_used());
-  return pred == exp.test_set().labels[0] ? 0 : 1;
+  return outcome.predicted == exp.test_set().labels[0] ? 0 : 1;
 }

@@ -4,6 +4,7 @@
 #include <atomic>
 #include <cmath>
 #include <cstdint>
+#include <functional>
 #include <initializer_list>
 #include <map>
 #include <memory>
@@ -203,6 +204,40 @@ class HeBackend {
     acc = acc.valid() ? add(acc, prod) : prod;
   }
 
+  /// Ciphertext health validation: checks the handle's mirrored metadata and
+  /// (in backends that override it) the payload's structural invariants —
+  /// limb/channel layout vs level, NTT-form flags, residue ranges, and the
+  /// wire integrity digest when the ciphertext was deserialized. Throws
+  /// pphe::Error with a typed code (kIntegrity / kLevelMismatch /
+  /// kScaleMismatch) on the first violated invariant; returns normally on a
+  /// healthy ciphertext. HeModel::eval runs this on every branch input before
+  /// touching the compiled plan (HeModelOptions::validate_inputs).
+  virtual void validate_ciphertext(const Ciphertext& ct) const {
+    PPHE_CHECK_CODE(ct.valid(), ErrorCode::kIntegrity,
+                    "validate_ciphertext: empty ciphertext handle");
+    PPHE_CHECK_CODE(ct.level() >= 0 && ct.level() <= max_level(),
+                    ErrorCode::kLevelMismatch,
+                    "validate_ciphertext: level " + std::to_string(ct.level()) +
+                        " outside [0, " + std::to_string(max_level()) + "]");
+    PPHE_CHECK_CODE(std::isfinite(ct.scale()) && ct.scale() > 0.0,
+                    ErrorCode::kScaleMismatch,
+                    "validate_ciphertext: non-positive or non-finite scale");
+    PPHE_CHECK_CODE(ct.size() >= 2 && ct.size() <= 3, ErrorCode::kIntegrity,
+                    "validate_ciphertext: component count " +
+                        std::to_string(ct.size()) + " outside {2, 3}");
+  }
+
+  /// Deep-copies `ct` and lets `mutate` rewrite the raw limb words of one
+  /// polynomial component — the fault harness's storage-corruption hook
+  /// (fault::flip_limb). Backends whose payload is not word-addressable may
+  /// return the ciphertext unchanged.
+  virtual Ciphertext clone_mutate_limbs(
+      const Ciphertext& ct,
+      const std::function<void(std::span<std::uint64_t>)>& mutate) const {
+    (void)mutate;
+    return ct;
+  }
+
   /// Pre-generates Galois keys for the given rotation steps (idempotent).
   virtual void ensure_galois_keys(std::span<const int> steps) = 0;
   void ensure_galois_keys(std::initializer_list<int> steps) {
@@ -289,20 +324,20 @@ class HeBackend {
   /// `op` names the primitive in the failure message.
   void check_same_level(const char* op, const Ciphertext& a,
                         const Ciphertext& b) const {
-    PPHE_CHECK(a.level() == b.level(),
-               std::string(op) + ": operand levels differ (lhs level " +
-                   std::to_string(a.level()) + ", rhs level " +
-                   std::to_string(b.level()) +
-                   "); align with mod_drop_to first");
+    PPHE_CHECK_CODE(a.level() == b.level(), ErrorCode::kLevelMismatch,
+                    std::string(op) + ": operand levels differ (lhs level " +
+                        std::to_string(a.level()) + ", rhs level " +
+                        std::to_string(b.level()) +
+                        "); align with mod_drop_to first");
   }
   void check_same_scale(const char* op, double a_scale, double b_scale) const {
     const double rel = std::abs(a_scale - b_scale) /
                        std::max({std::abs(a_scale), std::abs(b_scale), 1.0});
-    PPHE_CHECK(rel < 1e-9,
-               std::string(op) + ": operand scales differ (lhs 2^" +
-                   std::to_string(std::log2(a_scale)) + ", rhs 2^" +
-                   std::to_string(std::log2(b_scale)) +
-                   "); rescale or re-encode to a common scale");
+    PPHE_CHECK_CODE(rel < 1e-9, ErrorCode::kScaleMismatch,
+                    std::string(op) + ": operand scales differ (lhs 2^" +
+                        std::to_string(std::log2(a_scale)) + ", rhs 2^" +
+                        std::to_string(std::log2(b_scale)) +
+                        "); rescale or re-encode to a common scale");
   }
   /// The product scale must fit under the remaining modulus, or coefficients
   /// wrap and every slot is silently garbage; catching it here names the op,
@@ -313,8 +348,8 @@ class HeBackend {
     double capacity_bits = 0.0;
     for (int l = 0; l <= level; ++l) capacity_bits += std::log2(level_prime(l));
     const double product_bits = std::log2(a.scale()) + std::log2(b.scale());
-    PPHE_CHECK(product_bits < capacity_bits,
-               std::string(op) + ": product scale 2^" +
+    PPHE_CHECK_CODE(product_bits < capacity_bits, ErrorCode::kCapacityExceeded,
+                    std::string(op) + ": product scale 2^" +
                    std::to_string(product_bits) + " exceeds modulus capacity 2^" +
                    std::to_string(capacity_bits) + " at level " +
                    std::to_string(level) + " (lhs level " +

@@ -548,11 +548,11 @@ Ciphertext BigBackend::negate(const Ciphertext& a) const {
 Ciphertext BigBackend::add_plain(const Ciphertext& a,
                                  const Plaintext& b) const {
   OpScope op(*this, OpKind::kAddPlain, a);
-  PPHE_CHECK(b.level() == a.level(),
-             "add_plain: BigBackend requires matching encode level "
-             "(ciphertext level " +
-                 std::to_string(a.level()) + ", plaintext level " +
-                 std::to_string(b.level()) + ")");
+  PPHE_CHECK_CODE(b.level() == a.level(), ErrorCode::kLevelMismatch,
+                  "add_plain: BigBackend requires matching encode level "
+                  "(ciphertext level " +
+                      std::to_string(a.level()) + ", plaintext level " +
+                      std::to_string(b.level()) + ")");
   check_same_scale("add_plain", a.scale(), b.scale());
   std::vector<BigPoly> polys = body(a).polys;
   add_inplace(polys[0], body(b).poly);

@@ -3,6 +3,7 @@
 #include <cmath>
 #include <cstring>
 
+#include "ckks/serialize.hpp"
 #include "common/check.hpp"
 #include "common/parallel_sim.hpp"
 #include "common/stats.hpp"
@@ -569,10 +570,11 @@ Ciphertext RnsBackend::negate(const Ciphertext& a) const {
 Ciphertext RnsBackend::add_plain(const Ciphertext& a,
                                  const Plaintext& b) const {
   OpScope op(*this, OpKind::kAddPlain, a);
-  PPHE_CHECK(b.level() >= a.level(),
-             "add_plain: plaintext encoded at level " +
-                 std::to_string(b.level()) + " but the ciphertext is at level " +
-                 std::to_string(a.level()) + "; re-encode at the ct level");
+  PPHE_CHECK_CODE(b.level() >= a.level(), ErrorCode::kLevelMismatch,
+                  "add_plain: plaintext encoded at level " +
+                      std::to_string(b.level()) +
+                      " but the ciphertext is at level " +
+                      std::to_string(a.level()) + "; re-encode at the ct level");
   check_same_scale("add_plain", a.scale(), b.scale());
   const RnsCtBody& ba = body(a);
   std::vector<RnsPoly> polys = ba.polys;
@@ -969,6 +971,63 @@ Ciphertext RnsBackend::conjugate(const Ciphertext& a) const {
   PPHE_CHECK(it != galois_keys_.end(),
              "missing conjugation key; call ensure_galois_keys({0})");
   return apply_automorphism_ct(a, exponent, it->second, OpKind::kConjugate);
+}
+
+void RnsBackend::validate_ciphertext(const Ciphertext& ct) const {
+  HeBackend::validate_ciphertext(ct);  // handle metadata
+  const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
+  PPHE_CHECK_CODE(body.polys.size() == ct.size(), ErrorCode::kIntegrity,
+                  "ciphertext body/handle component counts disagree");
+  const auto channels = static_cast<std::size_t>(ct.level()) + 1;
+  std::uint64_t digest = 0;
+  for (const RnsPoly& poly : body.polys) {
+    PPHE_CHECK_CODE(poly.channels() == channels, ErrorCode::kIntegrity,
+                    "ciphertext limb count does not match its level (" +
+                        std::to_string(poly.channels()) + " channels, level " +
+                        std::to_string(ct.level()) + ")");
+    PPHE_CHECK_CODE(poly.buf.degree() == params_.degree,
+                    ErrorCode::kIntegrity,
+                    "ciphertext polynomial degree mismatch");
+    PPHE_CHECK_CODE(poly.ntt && !poly.has_special, ErrorCode::kIntegrity,
+                    "ciphertext polynomials must be in NTT form without the "
+                    "key-switching channel");
+    for (std::size_t c = 0; c < channels; ++c) {
+      const std::uint64_t q = q_moduli_[c].value();
+      for (const std::uint64_t v : poly.ch(c)) {
+        PPHE_CHECK_CODE(v < q, ErrorCode::kIntegrity,
+                        "ciphertext residue out of range for its modulus");
+      }
+    }
+    if (body.wire_digest != 0) {
+      digest = wire_digest_combine(
+          digest, wire_checksum(poly.buf.data(),
+                                channels * params_.degree * 8));
+    }
+  }
+  // Deserialized ciphertexts carry the verified wire digest; recomputing it
+  // here catches in-memory corruption that stayed below every modulus (a
+  // low-bit flip) and would otherwise decrypt to silently wrong slots.
+  PPHE_CHECK_CODE(body.wire_digest == 0 || digest == body.wire_digest,
+                  ErrorCode::kIntegrity,
+                  "ciphertext integrity digest mismatch (limb data changed "
+                  "since deserialization)");
+}
+
+Ciphertext RnsBackend::clone_mutate_limbs(
+    const Ciphertext& ct,
+    const std::function<void(std::span<std::uint64_t>)>& mutate) const {
+  PPHE_CHECK(ct.valid(), "invalid ciphertext");
+  const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
+  auto impl = std::make_shared<RnsCtBody>();
+  impl->polys.reserve(body.polys.size());
+  for (const RnsPoly& poly : body.polys) impl->polys.push_back(poly);  // deep
+  impl->wire_digest = body.wire_digest;
+  if (!impl->polys.empty()) {
+    PolyBuffer& slab = impl->polys[0].buf;
+    mutate(std::span<std::uint64_t>(slab.data(),
+                                    slab.channels() * slab.degree()));
+  }
+  return Ciphertext(std::move(impl), ct.scale(), ct.level(), ct.size());
 }
 
 void RnsBackend::ensure_galois_keys(std::span<const int> steps) {

@@ -40,6 +40,11 @@ struct RnsPoly {
 /// Payload behind a Ciphertext handle produced by RnsBackend.
 struct RnsCtBody {
   std::vector<RnsPoly> polys;  // size 2, or 3 before relinearization
+  /// Combined wire payload digest set by serialize's read_ciphertext (the
+  /// trust boundary) and re-verified by validate_ciphertext, so storage
+  /// corruption between decode and eval is caught even when the flipped
+  /// residue still lies below its modulus. 0 = locally produced, untracked.
+  std::uint64_t wire_digest = 0;
 };
 
 /// Payload behind a Plaintext handle produced by RnsBackend.
@@ -110,6 +115,18 @@ class RnsBackend final : public HeBackend {
   /// Slot conjugation (automorphism X -> X^{2N-1}); not used by the CNNs but
   /// part of the scheme's public surface.
   Ciphertext conjugate(const Ciphertext& a) const;
+
+  /// Full structural health check of an RNS ciphertext: handle metadata
+  /// (base class), per-poly channel count == level + 1, degree, NTT form,
+  /// residues below their moduli, and — for deserialized ciphertexts — the
+  /// recorded wire digest recomputed over the slabs.
+  void validate_ciphertext(const Ciphertext& ct) const override;
+  /// Deep copy with `mutate` applied to component 0's slab words (the fault
+  /// harness's storage-corruption hook).
+  Ciphertext clone_mutate_limbs(
+      const Ciphertext& ct,
+      const std::function<void(std::span<std::uint64_t>)>& mutate)
+      const override;
 
   const CkksEncoder& encoder() const { return encoder_; }
   /// Ciphertext prime values q_0..q_L (exposed for tests and benches).

@@ -1,5 +1,6 @@
 #include "ckks/serialize.hpp"
 
+#include <cmath>
 #include <cstring>
 #include <istream>
 #include <ostream>
@@ -14,7 +15,14 @@ namespace {
 constexpr std::uint32_t kMagicParams = 0x70706331;  // "ppc1"
 constexpr std::uint32_t kMagicCipher = 0x70706332;
 constexpr std::uint32_t kMagicPlain = 0x70706333;
-constexpr std::uint32_t kVersion = 1;
+constexpr std::uint32_t kVersion = 2;  // v2: per-section checksums
+
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
 
 template <typename T>
 void write_pod(std::ostream& out, T value) {
@@ -25,9 +33,62 @@ template <typename T>
 T read_pod(std::istream& in) {
   T value{};
   in.read(reinterpret_cast<char*>(&value), sizeof(T));
-  PPHE_CHECK(static_cast<bool>(in), "truncated serialized stream");
+  PPHE_CHECK_CODE(static_cast<bool>(in), ErrorCode::kSerialization,
+                  "truncated serialized stream");
   return value;
 }
+
+void read_exact(std::istream& in, void* dst, std::size_t bytes) {
+  in.read(static_cast<char*>(dst), static_cast<std::streamsize>(bytes));
+  PPHE_CHECK_CODE(static_cast<bool>(in), ErrorCode::kSerialization,
+                  "truncated serialized stream");
+}
+
+/// Reads the stored section checksum and verifies it against the computed
+/// one; a mismatch means the preceding payload bytes were corrupted.
+void verify_checksum(std::istream& in, std::uint64_t computed,
+                     const char* section) {
+  const auto stored = read_pod<std::uint64_t>(in);
+  PPHE_CHECK_CODE(stored == computed, ErrorCode::kChecksumMismatch,
+                  std::string(section) + " section checksum mismatch "
+                                         "(corrupted bytes)");
+}
+
+/// Fixed-size metadata block appended by packers below; checksummed as one
+/// section so readers can reject garbage before allocating anything.
+struct MetaPacker {
+  unsigned char bytes[32];
+  std::size_t len = 0;
+
+  template <typename T>
+  void put(T value) {
+    std::memcpy(bytes + len, &value, sizeof(T));
+    len += sizeof(T);
+  }
+  void write(std::ostream& out) const {
+    out.write(reinterpret_cast<const char*>(bytes),
+              static_cast<std::streamsize>(len));
+    write_pod(out, wire_checksum(bytes, len));
+  }
+};
+
+struct MetaReader {
+  unsigned char bytes[32];
+  std::size_t len = 0;
+  std::size_t pos = 0;
+
+  MetaReader(std::istream& in, std::size_t n, const char* section) : len(n) {
+    read_exact(in, bytes, n);
+    verify_checksum(in, wire_checksum(bytes, n), section);
+  }
+  template <typename T>
+  T take() {
+    T value{};
+    std::memcpy(&value, bytes + pos, sizeof(T));
+    pos += sizeof(T);
+    return value;
+  }
+};
 
 void write_header(std::ostream& out, std::uint32_t magic) {
   write_pod(out, magic);
@@ -35,44 +96,61 @@ void write_header(std::ostream& out, std::uint32_t magic) {
 }
 
 void read_header(std::istream& in, std::uint32_t magic) {
-  PPHE_CHECK(read_pod<std::uint32_t>(in) == magic,
-             "bad magic in serialized stream");
-  PPHE_CHECK(read_pod<std::uint32_t>(in) == kVersion,
-             "unsupported serialization version");
+  PPHE_CHECK_CODE(read_pod<std::uint32_t>(in) == magic,
+                  ErrorCode::kSerialization, "bad magic in serialized stream");
+  const auto version = read_pod<std::uint32_t>(in);
+  PPHE_CHECK_CODE(version == kVersion, ErrorCode::kSerialization,
+                  "unsupported serialization version " +
+                      std::to_string(version) + " (this build reads v" +
+                      std::to_string(kVersion) + ")");
 }
 
-void write_poly(std::ostream& out, const RnsPoly& poly) {
+/// Writes one polynomial section; returns its payload checksum (what
+/// RnsCtBody::wire_digest accumulates).
+std::uint64_t write_poly(std::ostream& out, const RnsPoly& poly) {
   write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(poly.channels()));
   write_pod<std::uint8_t>(out, poly.ntt ? 1 : 0);
   write_pod<std::uint8_t>(out, poly.has_special ? 1 : 0);
   // The slab is contiguous channel-major, so the payload is one write.
+  const std::size_t bytes =
+      poly.channels() * poly.buf.degree() * sizeof(std::uint64_t);
   out.write(reinterpret_cast<const char*>(poly.buf.data()),
-            static_cast<std::streamsize>(poly.channels() * poly.buf.degree() *
-                                         sizeof(std::uint64_t)));
+            static_cast<std::streamsize>(bytes));
+  const std::uint64_t checksum = wire_checksum(poly.buf.data(), bytes);
+  write_pod(out, checksum);
+  return checksum;
 }
 
+/// Reads one polynomial section; `digest` accumulates the verified payload
+/// checksum. Structure (channel count, flags) is validated against the
+/// backend's parameters BEFORE the slab allocation, so a hostile stream
+/// cannot make the reader over-allocate.
 RnsPoly read_poly(std::istream& in, const RnsBackend& backend,
-                  std::size_t expected_channels) {
+                  std::size_t expected_channels, std::uint64_t& digest) {
   RnsPoly poly;
   const auto channels = read_pod<std::uint32_t>(in);
-  PPHE_CHECK(channels == expected_channels,
-             "serialized channel count does not match the level");
+  PPHE_CHECK_CODE(channels == expected_channels, ErrorCode::kSerialization,
+                  "serialized channel count does not match the level");
   poly.ntt = read_pod<std::uint8_t>(in) != 0;
   poly.has_special = read_pod<std::uint8_t>(in) != 0;
-  PPHE_CHECK(!poly.has_special,
-             "transport streams never carry the key-switching channel");
+  PPHE_CHECK_CODE(!poly.has_special, ErrorCode::kSerialization,
+                  "transport streams never carry the key-switching channel");
   const std::size_t n = backend.params().degree;
   // Check the slab out of the backend's arena so deserialized ciphertexts
   // feed the same free list as freshly computed ones.
   poly.buf = PolyBuffer(backend.pool(), channels, n, /*zero_fill=*/false);
-  in.read(reinterpret_cast<char*>(poly.buf.data()),
-          static_cast<std::streamsize>(channels * n * sizeof(std::uint64_t)));
-  PPHE_CHECK(static_cast<bool>(in), "truncated polynomial data");
-  // Validate residues against the moduli so corrupted streams are rejected.
+  const std::size_t bytes = channels * n * sizeof(std::uint64_t);
+  read_exact(in, poly.buf.data(), bytes);
+  const std::uint64_t checksum = wire_checksum(poly.buf.data(), bytes);
+  verify_checksum(in, checksum, "polynomial");
+  digest = wire_digest_combine(digest, checksum);
+  // Validate residues against the moduli: the checksum catches transport
+  // corruption, the range check catches a writer that produced garbage.
   for (std::size_t c = 0; c < channels; ++c) {
     const std::uint64_t q = backend.q_moduli()[c].value();
     for (const auto v : poly.ch(c)) {
-      PPHE_CHECK(v < q, "serialized residue out of range");
+      PPHE_CHECK_CODE(v < q, ErrorCode::kIntegrity,
+                      "serialized residue out of range");
     }
   }
   return poly;
@@ -80,33 +158,96 @@ RnsPoly read_poly(std::istream& in, const RnsBackend& backend,
 
 }  // namespace
 
+std::uint64_t wire_checksum(const void* data, std::size_t bytes) {
+  const auto* p = static_cast<const unsigned char*>(data);
+  std::uint64_t h = 0x1234567890abcdefull ^ (bytes * 0xff51afd7ed558ccdull);
+  std::size_t n = bytes;
+  while (n >= 8) {
+    std::uint64_t w;
+    std::memcpy(&w, p, 8);
+    h = mix64(h ^ w);
+    p += 8;
+    n -= 8;
+  }
+  if (n != 0) {
+    std::uint64_t w = 0;
+    std::memcpy(&w, p, n);
+    h = mix64(h ^ w ^ (static_cast<std::uint64_t>(n) << 56));
+  }
+  return h;
+}
+
 void write_params(std::ostream& out, const CkksParams& params) {
   write_header(out, kMagicParams);
-  write_pod<std::uint64_t>(out, params.degree);
-  write_pod<std::uint32_t>(out,
-                           static_cast<std::uint32_t>(params.q_bit_sizes.size()));
-  for (const int b : params.q_bit_sizes) write_pod<std::int32_t>(out, b);
-  write_pod<std::int32_t>(out, params.special_bit_size);
-  write_pod<double>(out, params.scale);
-  write_pod<std::uint64_t>(out, params.hamming_weight);
-  write_pod<double>(out, params.noise_sigma);
-  write_pod<std::uint64_t>(out, params.seed);
+  // The chain is variable-length, so the params "section" is serialized into
+  // a scratch buffer first and checksummed as a whole.
+  std::string buf;
+  const auto put = [&buf](const void* p, std::size_t n) {
+    buf.append(static_cast<const char*>(p), n);
+  };
+  const std::uint64_t degree = params.degree;
+  put(&degree, 8);
+  const auto count = static_cast<std::uint32_t>(params.q_bit_sizes.size());
+  put(&count, 4);
+  for (const int b : params.q_bit_sizes) {
+    const auto b32 = static_cast<std::int32_t>(b);
+    put(&b32, 4);
+  }
+  const auto special = static_cast<std::int32_t>(params.special_bit_size);
+  put(&special, 4);
+  put(&params.scale, 8);
+  const std::uint64_t hw = params.hamming_weight;
+  put(&hw, 8);
+  put(&params.noise_sigma, 8);
+  put(&params.seed, 8);
+  out.write(buf.data(), static_cast<std::streamsize>(buf.size()));
+  write_pod(out, wire_checksum(buf.data(), buf.size()));
   PPHE_CHECK(static_cast<bool>(out), "failed writing parameters");
 }
 
 CkksParams read_params(std::istream& in) {
   read_header(in, kMagicParams);
   CkksParams params;
-  params.degree = read_pod<std::uint64_t>(in);
-  const auto count = read_pod<std::uint32_t>(in);
-  PPHE_CHECK(count >= 1 && count <= 64, "implausible chain length");
+  // Fixed prefix: degree + chain length. The length is bounds-checked before
+  // sizing anything, so adversarial streams cannot force an allocation.
+  unsigned char prefix[12];
+  read_exact(in, prefix, sizeof(prefix));
+  std::uint64_t degree = 0;
+  std::uint32_t count = 0;
+  std::memcpy(&degree, prefix, 8);
+  std::memcpy(&count, prefix + 8, 4);
+  params.degree = degree;
+  PPHE_CHECK_CODE(count >= 1 && count <= 64, ErrorCode::kSerialization,
+                  "implausible chain length");
+  // Per-prime bit sizes, then special/scale/hamming/sigma/seed (4+8+8+8+8).
+  std::string rest(count * 4 + 36, '\0');
+  read_exact(in, rest.data(), rest.size());
+  // One checksum covers the whole section (prefix + rest).
+  std::string whole(reinterpret_cast<const char*>(prefix), sizeof(prefix));
+  whole += rest;
+  verify_checksum(in, wire_checksum(whole.data(), whole.size()),
+                  "parameters");
+  const char* p = rest.data();
   params.q_bit_sizes.resize(count);
-  for (auto& b : params.q_bit_sizes) b = read_pod<std::int32_t>(in);
-  params.special_bit_size = read_pod<std::int32_t>(in);
-  params.scale = read_pod<double>(in);
-  params.hamming_weight = read_pod<std::uint64_t>(in);
-  params.noise_sigma = read_pod<double>(in);
-  params.seed = read_pod<std::uint64_t>(in);
+  for (auto& b : params.q_bit_sizes) {
+    std::int32_t b32 = 0;
+    std::memcpy(&b32, p, 4);
+    p += 4;
+    b = b32;
+  }
+  std::int32_t special = 0;
+  std::memcpy(&special, p, 4);
+  p += 4;
+  params.special_bit_size = special;
+  std::memcpy(&params.scale, p, 8);
+  p += 8;
+  std::uint64_t hw = 0;
+  std::memcpy(&hw, p, 8);
+  p += 8;
+  params.hamming_weight = hw;
+  std::memcpy(&params.noise_sigma, p, 8);
+  p += 8;
+  std::memcpy(&params.seed, p, 8);
   params.validate();
   return params;
 }
@@ -116,31 +257,44 @@ void write_ciphertext(std::ostream& out, const RnsBackend& backend,
   PPHE_CHECK(ct.valid(), "invalid ciphertext");
   const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
   write_header(out, kMagicCipher);
-  write_pod<std::uint64_t>(out, backend.params().degree);
-  write_pod<std::int32_t>(out, ct.level());
-  write_pod<double>(out, ct.scale());
-  write_pod<std::uint32_t>(out, static_cast<std::uint32_t>(body.polys.size()));
+  MetaPacker meta;
+  meta.put<std::uint64_t>(backend.params().degree);
+  meta.put<std::int32_t>(ct.level());
+  meta.put<double>(ct.scale());
+  meta.put<std::uint32_t>(static_cast<std::uint32_t>(body.polys.size()));
+  meta.write(out);
   for (const auto& poly : body.polys) write_poly(out, poly);
   PPHE_CHECK(static_cast<bool>(out), "failed writing ciphertext");
 }
 
 Ciphertext read_ciphertext(std::istream& in, const RnsBackend& backend) {
   read_header(in, kMagicCipher);
-  PPHE_CHECK(read_pod<std::uint64_t>(in) == backend.params().degree,
-             "ciphertext was produced under a different ring degree");
-  const auto level = read_pod<std::int32_t>(in);
-  PPHE_CHECK(level >= 0 && level <= backend.max_level(),
-             "ciphertext level outside this backend's chain");
-  const double scale = read_pod<double>(in);
-  PPHE_CHECK(scale > 0.0, "non-positive scale");
-  const auto size = read_pod<std::uint32_t>(in);
-  PPHE_CHECK(size == 2 || size == 3, "ciphertext must have 2 or 3 components");
+  // Fail fast: the metadata section (and its checksum) is verified before
+  // any polynomial slab is allocated.
+  MetaReader meta(in, 8 + 4 + 8 + 4, "ciphertext metadata");
+  PPHE_CHECK_CODE(meta.take<std::uint64_t>() == backend.params().degree,
+                  ErrorCode::kSerialization,
+                  "ciphertext was produced under a different ring degree");
+  const auto level = meta.take<std::int32_t>();
+  PPHE_CHECK_CODE(level >= 0 && level <= backend.max_level(),
+                  ErrorCode::kSerialization,
+                  "ciphertext level outside this backend's chain");
+  const double scale = meta.take<double>();
+  PPHE_CHECK_CODE(scale > 0.0 && std::isfinite(scale),
+                  ErrorCode::kSerialization, "non-positive scale");
+  const auto size = meta.take<std::uint32_t>();
+  PPHE_CHECK_CODE(size == 2 || size == 3, ErrorCode::kSerialization,
+                  "ciphertext must have 2 or 3 components");
 
   auto impl = std::make_shared<RnsCtBody>();
   const auto channels = static_cast<std::size_t>(level) + 1;
+  std::uint64_t digest = 0;
   for (std::uint32_t i = 0; i < size; ++i) {
-    impl->polys.push_back(read_poly(in, backend, channels));
+    impl->polys.push_back(read_poly(in, backend, channels, digest));
   }
+  // Verified payload digest: validate_ciphertext re-derives it from the
+  // slabs before eval, detecting post-decode in-memory corruption.
+  impl->wire_digest = digest;
   return Ciphertext(std::move(impl), scale, level, size);
 }
 
@@ -149,23 +303,31 @@ void write_plaintext(std::ostream& out, const RnsBackend& backend,
   PPHE_CHECK(pt.valid(), "invalid plaintext");
   const auto& body = *static_cast<const RnsPtBody*>(pt.impl().get());
   write_header(out, kMagicPlain);
-  write_pod<std::uint64_t>(out, backend.params().degree);
-  write_pod<std::int32_t>(out, pt.level());
-  write_pod<double>(out, pt.scale());
+  MetaPacker meta;
+  meta.put<std::uint64_t>(backend.params().degree);
+  meta.put<std::int32_t>(pt.level());
+  meta.put<double>(pt.scale());
+  meta.write(out);
   write_poly(out, body.poly);
   PPHE_CHECK(static_cast<bool>(out), "failed writing plaintext");
 }
 
 Plaintext read_plaintext(std::istream& in, const RnsBackend& backend) {
   read_header(in, kMagicPlain);
-  PPHE_CHECK(read_pod<std::uint64_t>(in) == backend.params().degree,
-             "plaintext was produced under a different ring degree");
-  const auto level = read_pod<std::int32_t>(in);
-  PPHE_CHECK(level >= 0 && level <= backend.max_level(), "bad level");
-  const double scale = read_pod<double>(in);
+  MetaReader meta(in, 8 + 4 + 8, "plaintext metadata");
+  PPHE_CHECK_CODE(meta.take<std::uint64_t>() == backend.params().degree,
+                  ErrorCode::kSerialization,
+                  "plaintext was produced under a different ring degree");
+  const auto level = meta.take<std::int32_t>();
+  PPHE_CHECK_CODE(level >= 0 && level <= backend.max_level(),
+                  ErrorCode::kSerialization, "bad level");
+  const double scale = meta.take<double>();
+  PPHE_CHECK_CODE(scale > 0.0 && std::isfinite(scale),
+                  ErrorCode::kSerialization, "non-positive scale");
   auto impl = std::make_shared<RnsPtBody>();
+  std::uint64_t digest = 0;
   impl->poly =
-      read_poly(in, backend, static_cast<std::size_t>(level) + 1);
+      read_poly(in, backend, static_cast<std::size_t>(level) + 1, digest);
   return Plaintext(std::move(impl), scale, level);
 }
 
@@ -185,9 +347,11 @@ Ciphertext ciphertext_from_string(const std::string& bytes,
 std::size_t ciphertext_byte_size(const RnsBackend& backend,
                                  const Ciphertext& ct) {
   const auto& body = *static_cast<const RnsCtBody*>(ct.impl().get());
-  std::size_t total = 8 + 8 + 4 + 8 + 4;  // headers + metadata
+  // magic+version, metadata section + checksum.
+  std::size_t total = 8 + (8 + 4 + 8 + 4) + 8;
   for (const auto& poly : body.polys) {
-    total += 6 + poly.channels() * backend.params().degree * 8;
+    // poly header + payload + checksum.
+    total += 6 + poly.channels() * backend.params().degree * 8 + 8;
   }
   return total;
 }

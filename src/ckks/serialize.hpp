@@ -1,5 +1,7 @@
 #pragma once
 
+#include <cstddef>
+#include <cstdint>
 #include <iosfwd>
 #include <string>
 
@@ -16,10 +18,29 @@ class RnsBackend;
 /// and ciphertexts of the RNS backend — the deployed representation; the
 /// multiprecision backend is a baseline for measurement, not transport.
 ///
-/// Format: magic + version header, then little-endian fixed-width fields.
-/// Readers validate structure (sizes, levels, flags) against the backend's
-/// parameters and throw pphe::Error on any mismatch — ciphertexts from a
-/// different parameter set are rejected, not misinterpreted.
+/// Format (version 2): magic + version header, then little-endian
+/// fixed-width sections, each followed by a 64-bit checksum of its payload —
+/// a fixed-size metadata section first, then one section per polynomial.
+/// Readers fail fast: the metadata section is verified (checksum + structure
+/// against the backend's parameters) BEFORE any polynomial slab is
+/// allocated, so truncated or adversarial byte streams are rejected with a
+/// typed pphe::Error (ErrorCode::kSerialization / kChecksumMismatch) and can
+/// never over-allocate, read out of bounds, or misinterpret a ciphertext
+/// from a different parameter set. Deserialized ciphertexts additionally
+/// carry the combined payload digest (RnsCtBody::wire_digest), which
+/// RnsBackend::validate_ciphertext re-verifies before evaluation.
+
+/// Checksum used for every wire section: splitmix64-style mix over 8-byte
+/// words plus a length-salted tail. Not cryptographic — it detects transport
+/// and storage corruption; authenticity needs a MAC on the outer channel.
+std::uint64_t wire_checksum(const void* data, std::size_t bytes);
+
+/// Order-sensitive combination of section checksums into one digest.
+inline std::uint64_t wire_digest_combine(std::uint64_t digest,
+                                         std::uint64_t section) {
+  digest ^= section + 0x9e3779b97f4a7c15ull + (digest << 6) + (digest >> 2);
+  return digest;
+}
 
 /// Parameters round-trip independently of any backend.
 void write_params(std::ostream& out, const CkksParams& params);

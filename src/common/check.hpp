@@ -1,26 +1,85 @@
 #pragma once
 
+#include <cstdint>
 #include <sstream>
 #include <stdexcept>
 #include <string>
 
 namespace pphe {
 
+/// Machine-readable classification of a pphe::Error. A multi-tenant serving
+/// loop routes on these (retry? reject the request? alert?) instead of
+/// parsing message strings; the chaos suite asserts each injected fault
+/// surfaces as its expected code.
+enum class ErrorCode : std::uint8_t {
+  /// Precondition / invariant failure with no more specific class.
+  kGeneric = 0,
+  /// Malformed serialized bytes: bad magic, unsupported version, truncation,
+  /// or structure inconsistent with the receiving backend's parameters.
+  kSerialization,
+  /// A wire-section checksum did not match its payload (bytes corrupted in
+  /// transit or at rest).
+  kChecksumMismatch,
+  /// Ciphertext health validation failed: limb/channel layout, NTT-form
+  /// invariants, or the in-memory integrity digest no longer match.
+  kIntegrity,
+  /// Operand levels differ (or a ciphertext arrived at a level the compiled
+  /// plan cannot accept).
+  kLevelMismatch,
+  /// Operand scales differ beyond tolerance.
+  kScaleMismatch,
+  /// A product's scale would exceed the remaining modulus capacity.
+  kCapacityExceeded,
+  /// Pre-eval noise-budget guardrail: evaluating would return logits below
+  /// the configured precision floor, so the result is refused as degraded.
+  kNoiseBudget,
+  /// A watchdog deadline expired before the guarded work finished.
+  kTimeout,
+  /// A (simulated) worker crashed mid-request.
+  kWorkerCrash,
+};
+
+constexpr const char* error_code_name(ErrorCode code) {
+  switch (code) {
+    case ErrorCode::kGeneric: return "generic";
+    case ErrorCode::kSerialization: return "serialization";
+    case ErrorCode::kChecksumMismatch: return "checksum_mismatch";
+    case ErrorCode::kIntegrity: return "integrity";
+    case ErrorCode::kLevelMismatch: return "level_mismatch";
+    case ErrorCode::kScaleMismatch: return "scale_mismatch";
+    case ErrorCode::kCapacityExceeded: return "capacity_exceeded";
+    case ErrorCode::kNoiseBudget: return "noise_budget";
+    case ErrorCode::kTimeout: return "timeout";
+    case ErrorCode::kWorkerCrash: return "worker_crash";
+  }
+  return "?";
+}
+
 /// Error thrown by PPHE_CHECK failures: invalid arguments, broken invariants,
 /// incompatible ciphertext parameters, etc. All library preconditions are
-/// enforced with this (never assert()), so callers can recover.
+/// enforced with this (never assert()), so callers can recover; code() tells
+/// a recovery loop WHICH class of failure it is handling.
 class Error : public std::runtime_error {
  public:
   explicit Error(const std::string& what) : std::runtime_error(what) {}
+  Error(ErrorCode code, const std::string& what)
+      : std::runtime_error(what), code_(code) {}
+
+  ErrorCode code() const { return code_; }
+
+ private:
+  ErrorCode code_ = ErrorCode::kGeneric;
 };
 
 namespace detail {
 [[noreturn]] inline void throw_check_failure(const char* expr, const char* file,
-                                             int line, const std::string& msg) {
+                                             int line, const std::string& msg,
+                                             ErrorCode code =
+                                                 ErrorCode::kGeneric) {
   std::ostringstream os;
   os << "check failed: " << expr << " at " << file << ":" << line;
   if (!msg.empty()) os << " — " << msg;
-  throw Error(os.str());
+  throw Error(code, os.str());
 }
 }  // namespace detail
 
@@ -33,5 +92,15 @@ namespace detail {
     if (!(cond)) {                                                        \
       ::pphe::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
                                           (msg));                         \
+    }                                                                     \
+  } while (0)
+
+/// PPHE_CHECK with an explicit ErrorCode, for checks a serving loop routes
+/// on (wire decoding, ciphertext compatibility, noise guardrails).
+#define PPHE_CHECK_CODE(cond, code, msg)                                  \
+  do {                                                                    \
+    if (!(cond)) {                                                        \
+      ::pphe::detail::throw_check_failure(#cond, __FILE__, __LINE__,      \
+                                          (msg), (code));                 \
     }                                                                     \
   } while (0)

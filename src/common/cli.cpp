@@ -4,6 +4,7 @@
 #include <cstdlib>
 
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/trace.hpp"
 
 namespace pphe {
@@ -62,6 +63,16 @@ bool CliFlags::get_bool(const std::string& name, bool fallback) const {
   const auto it = flags_.find(name);
   if (it == flags_.end()) return fallback;
   return it->second != "false" && it->second != "0" && it->second != "no";
+}
+
+std::string init_faults_from_flags(const CliFlags& flags) {
+  const std::string spec = flags.get("faults", "");
+  if (!spec.empty()) {
+    const fault::FaultSpec parsed = fault::FaultSpec::parse(spec);
+    fault::configure(parsed);
+    std::printf("[faults] armed: %s\n", parsed.describe().c_str());
+  }
+  return spec;
 }
 
 std::string init_tracing_from_flags(const CliFlags& flags) {

@@ -36,4 +36,9 @@ std::string init_tracing_from_flags(const CliFlags& flags);
 /// latency summary when `print_summary` is set. Returns false on I/O error.
 bool finish_tracing(const std::string& path, bool print_summary = true);
 
+/// Reads `--faults=<spec>` and, when present, arms the process-wide fault
+/// plan (see fault::FaultSpec::parse for the grammar). Returns the armed
+/// spec string ("" = injection off). Throws pphe::Error on a bad spec.
+std::string init_faults_from_flags(const CliFlags& flags);
+
 }  // namespace pphe

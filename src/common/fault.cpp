@@ -1,0 +1,308 @@
+#include "common/fault.hpp"
+
+#include <chrono>
+#include <mutex>
+#include <thread>
+
+#include "common/check.hpp"
+
+namespace pphe::fault {
+namespace {
+
+/// Armed plan + per-rule opportunity counters, guarded by one mutex: fault
+/// decisions are off the hot path (hooks bail on the armed() atomic first).
+struct State {
+  FaultSpec spec;
+  std::vector<std::uint64_t> opportunities;  // per rule
+  std::vector<std::uint64_t> fired;          // per rule
+  FaultStats stats;
+};
+
+std::mutex& state_mutex() {
+  static std::mutex m;
+  return m;
+}
+
+State& state() {
+  static State s;
+  return s;
+}
+
+/// splitmix64: the per-decision hash. Statistically uniform for any input,
+/// so probability thresholds behave even with sequential counters.
+std::uint64_t mix64(std::uint64_t x) {
+  x += 0x9e3779b97f4a7c15ull;
+  x = (x ^ (x >> 30)) * 0xbf58476d1ce4e5b9ull;
+  x = (x ^ (x >> 27)) * 0x94d049bb133111ebull;
+  return x ^ (x >> 31);
+}
+
+std::uint64_t decision_hash(std::uint64_t seed, Site site, Kind kind,
+                            std::uint64_t counter, std::uint64_t salt) {
+  std::uint64_t h = mix64(seed);
+  h = mix64(h ^ (static_cast<std::uint64_t>(site) << 8 |
+                 static_cast<std::uint64_t>(kind)));
+  h = mix64(h ^ counter);
+  return mix64(h ^ salt);
+}
+
+double to_unit(std::uint64_t h) {
+  return static_cast<double>(h >> 11) * 0x1.0p-53;
+}
+
+constexpr Kind kWireKinds[] = {Kind::kLimbBitFlip, Kind::kTruncate,
+                               Kind::kGarbage};
+constexpr Kind kEvalKinds[] = {Kind::kLimbBitFlip, Kind::kScaleMismatch,
+                               Kind::kLevelMismatch};
+constexpr Kind kWorkerKinds[] = {Kind::kSlowWorker, Kind::kCrashWorker};
+
+/// Returns the firing hash when (site, kind) fires at this opportunity, or 0.
+/// The hash doubles as the entropy all perturbation parameters (which bit,
+/// which span) derive from, so one decision fixes the whole fault.
+std::uint64_t fire_entropy(Site site, Kind kind) {
+  std::lock_guard<std::mutex> lock(state_mutex());
+  State& s = state();
+  for (std::size_t r = 0; r < s.spec.rules.size(); ++r) {
+    const Rule& rule = s.spec.rules[r];
+    if (rule.site != site || rule.kind != kind) continue;
+    const std::uint64_t n = s.opportunities[r]++;
+    if (s.fired[r] >= rule.budget) return 0;
+    const std::uint64_t h = decision_hash(s.spec.seed, site, kind, n, 0);
+    if (to_unit(h) >= rule.probability) return 0;
+    ++s.fired[r];
+    ++s.stats.fired[static_cast<std::size_t>(site)]
+                   [static_cast<std::size_t>(kind)];
+    ++s.stats.total;
+    return h | 1;  // never 0
+  }
+  return 0;
+}
+
+}  // namespace
+
+namespace detail {
+std::atomic<bool> armed_flag{false};
+}
+
+const char* site_name(Site site) {
+  switch (site) {
+    case Site::kWireUpload: return "wire.upload";
+    case Site::kWireDownload: return "wire.download";
+    case Site::kEvalInput: return "eval.input";
+    case Site::kWorker: return "worker";
+  }
+  return "?";
+}
+
+const char* kind_name(Kind kind) {
+  switch (kind) {
+    case Kind::kLimbBitFlip: return "bitflip";
+    case Kind::kTruncate: return "truncate";
+    case Kind::kGarbage: return "garbage";
+    case Kind::kScaleMismatch: return "scale";
+    case Kind::kLevelMismatch: return "level";
+    case Kind::kSlowWorker: return "slow";
+    case Kind::kCrashWorker: return "crash";
+  }
+  return "?";
+}
+
+std::span<const Kind> site_kinds(Site site) {
+  switch (site) {
+    case Site::kWireUpload:
+    case Site::kWireDownload:
+      return kWireKinds;
+    case Site::kEvalInput:
+      return kEvalKinds;
+    case Site::kWorker:
+      return kWorkerKinds;
+  }
+  return {};
+}
+
+FaultSpec FaultSpec::parse(const std::string& text) {
+  FaultSpec spec;
+  std::size_t pos = 0;
+  while (pos < text.size()) {
+    std::size_t end = text.find_first_of(",;", pos);
+    if (end == std::string::npos) end = text.size();
+    const std::string entry = text.substr(pos, end - pos);
+    pos = end + 1;
+    if (entry.empty()) continue;
+
+    if (entry.rfind("seed=", 0) == 0) {
+      spec.seed = std::stoull(entry.substr(5));
+      continue;
+    }
+    if (entry.rfind("slow-ms=", 0) == 0) {
+      spec.slow_seconds = std::stod(entry.substr(8)) / 1000.0;
+      continue;
+    }
+
+    const std::size_t colon = entry.find(':');
+    PPHE_CHECK(colon != std::string::npos,
+               "fault spec entry needs site:kind — got \"" + entry + "\"");
+    Rule rule;
+    std::string kind_part = entry.substr(colon + 1);
+    // Optional suffixes: @probability, *budget (either order after kind).
+    const auto take_suffix = [&kind_part](char marker) -> std::string {
+      const std::size_t at = kind_part.find(marker);
+      if (at == std::string::npos) return "";
+      // The suffix runs to the next marker or end.
+      std::size_t stop = kind_part.size();
+      for (const char other : {'@', '*'}) {
+        const std::size_t p = kind_part.find(other, at + 1);
+        if (p != std::string::npos) stop = std::min(stop, p);
+      }
+      const std::string value = kind_part.substr(at + 1, stop - at - 1);
+      kind_part.erase(at, stop - at);
+      return value;
+    };
+    const std::string prob = take_suffix('@');
+    const std::string budget = take_suffix('*');
+    if (!prob.empty()) rule.probability = std::stod(prob);
+    if (!budget.empty()) rule.budget = std::stoull(budget);
+    PPHE_CHECK(rule.probability >= 0.0 && rule.probability <= 1.0,
+               "fault probability must be in [0, 1]: " + entry);
+
+    const std::string site_part = entry.substr(0, colon);
+    bool found_site = false;
+    for (std::size_t i = 0; i < kSiteCount; ++i) {
+      if (site_part == site_name(static_cast<Site>(i))) {
+        rule.site = static_cast<Site>(i);
+        found_site = true;
+        break;
+      }
+    }
+    PPHE_CHECK(found_site, "unknown fault site \"" + site_part +
+                               "\" (wire.upload, wire.download, eval.input, "
+                               "worker)");
+    bool found_kind = false;
+    for (std::size_t i = 0; i < kKindCount; ++i) {
+      if (kind_part == kind_name(static_cast<Kind>(i))) {
+        rule.kind = static_cast<Kind>(i);
+        found_kind = true;
+        break;
+      }
+    }
+    PPHE_CHECK(found_kind, "unknown fault kind \"" + kind_part +
+                               "\" (bitflip, truncate, garbage, scale, "
+                               "level, slow, crash)");
+    bool applicable = false;
+    for (const Kind k : site_kinds(rule.site)) {
+      if (k == rule.kind) applicable = true;
+    }
+    PPHE_CHECK(applicable, "fault kind \"" + std::string(kind_name(rule.kind)) +
+                               "\" cannot fire at site \"" +
+                               site_name(rule.site) + "\"");
+    spec.rules.push_back(rule);
+  }
+  return spec;
+}
+
+std::string FaultSpec::describe() const {
+  std::string out = "seed=" + std::to_string(seed);
+  for (const Rule& r : rules) {
+    out += std::string(",") + site_name(r.site) + ":" + kind_name(r.kind);
+    if (r.probability != 1.0) {
+      out += "@" + std::to_string(r.probability);
+    }
+    if (r.budget != ~0ull) out += "*" + std::to_string(r.budget);
+  }
+  return out;
+}
+
+void configure(const FaultSpec& spec) {
+  std::lock_guard<std::mutex> lock(state_mutex());
+  State& s = state();
+  s.spec = spec;
+  s.opportunities.assign(spec.rules.size(), 0);
+  s.fired.assign(spec.rules.size(), 0);
+  s.stats = FaultStats{};
+  detail::armed_flag.store(!spec.rules.empty(), std::memory_order_relaxed);
+}
+
+void disarm() { configure(FaultSpec{}); }
+
+FaultStats stats() {
+  std::lock_guard<std::mutex> lock(state_mutex());
+  return state().stats;
+}
+
+void reset_stats() {
+  std::lock_guard<std::mutex> lock(state_mutex());
+  state().stats = FaultStats{};
+}
+
+bool should_fire(Site site, Kind kind) {
+  if (!armed()) return false;
+  return fire_entropy(site, kind) != 0;
+}
+
+void corrupt_wire(Site site, std::string& bytes) {
+  if (!armed() || bytes.empty()) return;
+  if (const std::uint64_t h = fire_entropy(site, Kind::kTruncate)) {
+    // Keep at least one byte so decoders exercise the partial-read path.
+    bytes.resize(1 + mix64(h) % bytes.size());
+    return;
+  }
+  if (const std::uint64_t h = fire_entropy(site, Kind::kGarbage)) {
+    // Overwrite a short seeded span (or the whole buffer when tiny).
+    const std::size_t span_len =
+        std::min<std::size_t>(bytes.size(), 1 + mix64(h) % 64);
+    const std::size_t start = mix64(h ^ 0xabcd) % (bytes.size() - span_len + 1);
+    std::uint64_t g = h;
+    for (std::size_t i = 0; i < span_len; ++i) {
+      g = mix64(g);
+      bytes[start + i] = static_cast<char>(g & 0xff);
+    }
+    return;
+  }
+  if (const std::uint64_t h = fire_entropy(site, Kind::kLimbBitFlip)) {
+    const std::size_t bit = mix64(h) % (bytes.size() * 8);
+    bytes[bit / 8] = static_cast<char>(
+        static_cast<unsigned char>(bytes[bit / 8]) ^ (1u << (bit % 8)));
+  }
+}
+
+void worker_checkpoint() {
+  if (!armed()) return;
+  if (fire_entropy(Site::kWorker, Kind::kSlowWorker)) {
+    double seconds;
+    {
+      std::lock_guard<std::mutex> lock(state_mutex());
+      seconds = state().spec.slow_seconds;
+    }
+    std::this_thread::sleep_for(std::chrono::duration<double>(seconds));
+  }
+  if (fire_entropy(Site::kWorker, Kind::kCrashWorker)) {
+    throw Error(ErrorCode::kWorkerCrash,
+                "injected fault: simulated worker crash");
+  }
+}
+
+bool flip_limb(Site site, std::span<std::uint64_t> words) {
+  if (!armed() || words.empty()) return false;
+  const std::uint64_t h = fire_entropy(site, Kind::kLimbBitFlip);
+  if (h == 0) return false;
+  const std::size_t word = mix64(h) % words.size();
+  const std::size_t bit = mix64(h ^ 0x5a5a) % 64;
+  words[word] ^= (std::uint64_t{1} << bit);
+  return true;
+}
+
+bool perturb_scale(Site site, double& scale) {
+  if (!armed()) return false;
+  if (fire_entropy(site, Kind::kScaleMismatch) == 0) return false;
+  scale *= 2.0;
+  return true;
+}
+
+bool perturb_level(Site site, int& level) {
+  if (!armed()) return false;
+  if (fire_entropy(site, Kind::kLevelMismatch) == 0) return false;
+  level = level > 0 ? level - 1 : level + 1;
+  return true;
+}
+
+}  // namespace pphe::fault

@@ -1,0 +1,122 @@
+#pragma once
+
+#include <atomic>
+#include <cstdint>
+#include <span>
+#include <string>
+#include <vector>
+
+namespace pphe::fault {
+
+/// Deterministic, seed-driven fault injection for the serving path.
+///
+/// A FaultSpec arms rules of the form (site, kind, probability, budget); the
+/// library's injection points then query the plan at well-known sites and
+/// apply the corresponding perturbation. Every decision derives from
+/// hash(seed, site, kind, per-rule counter), so a sweep under a fixed seed
+/// replays bit-for-bit — the chaos suite relies on this.
+///
+/// When no plan is armed (the default), every hook reduces to one relaxed
+/// atomic load, keeping the guarded serving path within noise of the
+/// unguarded one (run_benches.sh --quick asserts <2%).
+
+/// Named injection points.
+enum class Site : std::uint8_t {
+  kWireUpload,    // client->cloud ciphertext bytes, after serialization
+  kWireDownload,  // cloud->client logits bytes, after serialization
+  kEvalInput,     // decoded branch ciphertexts, at HeModel::eval entry
+  kWorker,        // the cloud-side worker executing one request
+};
+inline constexpr std::size_t kSiteCount = 4;
+
+/// Fault kinds.
+enum class Kind : std::uint8_t {
+  kLimbBitFlip,    // flip one bit of an RNS limb (wire bytes or storage words)
+  kTruncate,       // drop a suffix of the wire bytes
+  kGarbage,        // overwrite a span of wire bytes with seeded garbage
+  kScaleMismatch,  // perturb a ciphertext handle's mirrored scale
+  kLevelMismatch,  // perturb a ciphertext handle's mirrored level
+  kSlowWorker,     // stall the worker (watchdog fodder)
+  kCrashWorker,    // simulated worker crash (throws Error(kWorkerCrash))
+};
+inline constexpr std::size_t kKindCount = 7;
+
+const char* site_name(Site site);
+const char* kind_name(Kind kind);
+
+/// Kinds that are meaningful at `site` (the chaos matrix sweeps exactly
+/// these): wire sites take the byte faults, eval input takes limb/metadata
+/// faults, the worker takes slow/crash.
+std::span<const Kind> site_kinds(Site site);
+
+struct Rule {
+  Site site = Site::kWireUpload;
+  Kind kind = Kind::kLimbBitFlip;
+  double probability = 1.0;       // chance each opportunity fires
+  std::uint64_t budget = ~0ull;   // max number of firings (0 = disabled)
+};
+
+/// A parsed fault plan.
+struct FaultSpec {
+  std::uint64_t seed = 1;
+  double slow_seconds = 0.2;  // stall injected by kSlowWorker
+  std::vector<Rule> rules;
+
+  /// Parses the --faults=<spec> grammar:
+  ///   spec  := entry (',' entry)*
+  ///   entry := 'seed=' N | 'slow-ms=' N | site ':' kind ['@' prob] ['*' max]
+  /// e.g. "seed=7,wire.upload:garbage@0.5,worker:crash*1". Site and kind use
+  /// the names printed by site_name/kind_name. Throws pphe::Error on syntax
+  /// errors or a kind that cannot fire at its site.
+  static FaultSpec parse(const std::string& text);
+
+  std::string describe() const;
+};
+
+/// Arms `spec` process-wide (replacing any previous plan) / disarms.
+void configure(const FaultSpec& spec);
+void disarm();
+
+namespace detail {
+extern std::atomic<bool> armed_flag;
+}
+/// True when a plan with at least one rule is armed. The only cost every
+/// fault hook pays when injection is off.
+inline bool armed() {
+  return detail::armed_flag.load(std::memory_order_relaxed);
+}
+
+/// Per-(site, kind) firing tallies since the last configure()/reset_stats().
+struct FaultStats {
+  std::uint64_t fired[kSiteCount][kKindCount] = {};
+  std::uint64_t total = 0;
+};
+FaultStats stats();
+void reset_stats();
+
+/// Core decision: does an armed rule for (site, kind) fire at this
+/// opportunity? Deterministic in (seed, site, kind, opportunity index);
+/// bumps the rule's counter and the firing stats when it fires.
+bool should_fire(Site site, Kind kind);
+
+// --- site helpers (the library's injection points call these) -------------
+
+/// Applies any armed wire-byte fault for `site` to `bytes` in place:
+/// kTruncate drops a seeded-length suffix, kGarbage overwrites a seeded span,
+/// kLimbBitFlip flips one seeded bit. No-op when nothing fires.
+void corrupt_wire(Site site, std::string& bytes);
+
+/// Worker checkpoint: stalls for slow_seconds when kSlowWorker fires and
+/// throws Error(ErrorCode::kWorkerCrash) when kCrashWorker fires.
+void worker_checkpoint();
+
+/// Flips one seeded bit of `words` when (site, kLimbBitFlip) fires.
+/// Returns true when a bit was flipped.
+bool flip_limb(Site site, std::span<std::uint64_t> words);
+
+/// Perturbs a mirrored scale / level when the matching eval-input fault
+/// fires. Return true when perturbed.
+bool perturb_scale(Site site, double& scale);
+bool perturb_level(Site site, int& level);
+
+}  // namespace pphe::fault

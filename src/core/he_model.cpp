@@ -3,6 +3,7 @@
 #include <algorithm>
 #include <bit>
 #include <cmath>
+#include <limits>
 #include <map>
 #include <set>
 
@@ -10,6 +11,7 @@
 
 #include "ckks/noise.hpp"
 #include "common/check.hpp"
+#include "common/fault.hpp"
 #include "common/parallel_sim.hpp"
 #include "common/stats.hpp"
 #include "common/trace.hpp"
@@ -25,6 +27,20 @@ std::size_t next_pow2(std::size_t x) {
 
 double close_enough(double a, double b) {
   return std::abs(a - b) <= 1e-6 * std::max(std::abs(a), std::abs(b));
+}
+
+/// Applies any armed eval.input fault to `ct` in place: a limb bit flip on a
+/// deep-copied slab (clone_mutate_limbs, so the caller's ciphertext is never
+/// touched) and/or a perturbation of the handle's mirrored scale/level.
+void faulted_copy(const HeBackend& backend, Ciphertext& ct) {
+  ct = backend.clone_mutate_limbs(ct, [](std::span<std::uint64_t> words) {
+    fault::flip_limb(fault::Site::kEvalInput, words);
+  });
+  double scale = ct.scale();
+  int level = ct.level();
+  bool changed = fault::perturb_scale(fault::Site::kEvalInput, scale);
+  changed = fault::perturb_level(fault::Site::kEvalInput, level) || changed;
+  if (changed) ct = Ciphertext(ct.impl(), scale, level, ct.size());
 }
 
 /// FNV-1a over the full cache key (pointer, flags, scale bits, values).
@@ -538,9 +554,16 @@ Ciphertext HeModel::apply_rescale(Ciphertext ct) const {
 Ciphertext HeModel::run_linear_single(
     const LinearPlan& plan, const std::vector<LinearPlan::Group>& groups,
     const Ciphertext& x) const {
-  PPHE_CHECK(x.level() == plan.level_in, "linear stage level mismatch");
-  PPHE_CHECK(close_enough(x.scale(), plan.scale_in),
-             "linear stage scale mismatch");
+  PPHE_CHECK_CODE(x.level() == plan.level_in, ErrorCode::kLevelMismatch,
+                  "linear stage level mismatch (input level " +
+                      std::to_string(x.level()) + ", plan expects " +
+                      std::to_string(plan.level_in) + ")");
+  PPHE_CHECK_CODE(close_enough(x.scale(), plan.scale_in),
+                  ErrorCode::kScaleMismatch,
+                  "linear stage scale mismatch (input scale 2^" +
+                      std::to_string(std::log2(x.scale())) +
+                      ", plan expects 2^" +
+                      std::to_string(std::log2(plan.scale_in)) + ")");
 
   // All baby rotations of x at once (hoisted key switching in the backend).
   // Logical steps scale by rot_mult under the interleaved batch layout.
@@ -614,7 +637,10 @@ Ciphertext HeModel::run_linear(
 
 Ciphertext HeModel::run_activation(const ActivationPlan& plan,
                                    const Ciphertext& x) const {
-  PPHE_CHECK(x.level() == plan.level_in, "activation level mismatch");
+  PPHE_CHECK_CODE(x.level() == plan.level_in, ErrorCode::kLevelMismatch,
+                  "activation level mismatch (input level " +
+                      std::to_string(x.level()) + ", plan expects " +
+                      std::to_string(plan.level_in) + ")");
   std::vector<Ciphertext> powers(plan.degree + 1);
   powers[1] = x;
   for (std::size_t p = 2; p <= plan.degree; ++p) {
@@ -639,10 +665,63 @@ Ciphertext HeModel::run_activation(const ActivationPlan& plan,
   return acc;
 }
 
+double HeModel::planned_input_budget_bits() const {
+  double modulus_bits = 0.0;
+  for (int l = 0; l <= input_level_; ++l) {
+    modulus_bits += std::log2(backend_.level_prime(l));
+  }
+  return modulus_bits - std::log2(backend_.params().scale) - 1.0;
+}
+
+double HeModel::planned_output_budget_bits() const {
+  double modulus_bits = 0.0;
+  for (int l = 0; l <= output_level_; ++l) {
+    modulus_bits += std::log2(backend_.level_prime(l));
+  }
+  return modulus_bits - std::log2(output_scale_) - 1.0;
+}
+
 Ciphertext HeModel::eval(const std::vector<Ciphertext>& branch_inputs) const {
   PPHE_CHECK(!stages_.empty(), "empty model");
   PPHE_CHECK(stages_.front().is_linear, "model must start with a linear stage");
   trace::Span eval_span("model_eval", "model");
+
+  // Fault harness: when armed, eval.input faults perturb copies of the branch
+  // inputs — limb bit flips on a deep-copied slab, scale/level perturbations
+  // on the mirrored handle metadata. The guards below must catch every one.
+  const std::vector<Ciphertext>* inputs = &branch_inputs;
+  std::vector<Ciphertext> faulted;
+  if (fault::armed()) {
+    faulted = branch_inputs;
+    for (Ciphertext& in : faulted) {
+      faulted_copy(backend_, in);
+    }
+    inputs = &faulted;
+  }
+
+  if (options_.validate_inputs) {
+    for (const Ciphertext& in : *inputs) {
+      backend_.validate_ciphertext(in);
+    }
+  }
+  if (options_.min_noise_budget_bits > 0.0 && !inputs->empty()) {
+    // Guardrail: the logits come out with the plan's output budget minus any
+    // deficit the inputs arrived with (mod-dropped, over-scaled, pre-used).
+    double actual = std::numeric_limits<double>::infinity();
+    for (const Ciphertext& in : *inputs) {
+      actual = std::min(actual, noise_budget_bits(backend_, in));
+    }
+    const double deficit =
+        std::max(0.0, planned_input_budget_bits() - actual);
+    const double projected = planned_output_budget_bits() - deficit;
+    PPHE_CHECK_CODE(projected >= options_.min_noise_budget_bits,
+                    ErrorCode::kNoiseBudget,
+                    "noise-budget guardrail: projected output budget " +
+                        std::to_string(projected) + " bits is below the " +
+                        std::to_string(options_.min_noise_budget_bits) +
+                        "-bit floor; refusing to produce degraded logits");
+  }
+
   Ciphertext ct;
   for (std::size_t s = 0; s < stages_.size(); ++s) {
     const StagePlan& stage = stages_[s];
@@ -653,10 +732,9 @@ Ciphertext HeModel::eval(const std::vector<Ciphertext>& branch_inputs) const {
     trace::Span span(label, "layer");
     const int level_in = ct.valid()
                              ? ct.level()
-                             : (branch_inputs.empty() ? 0
-                                                      : branch_inputs[0].level());
+                             : (inputs->empty() ? 0 : (*inputs)[0].level());
     if (s == 0) {
-      ct = run_linear(stage.linear, branch_inputs);
+      ct = run_linear(stage.linear, *inputs);
     } else if (stage.is_linear) {
       ct = run_linear(stage.linear, {ct});
     } else {
@@ -801,7 +879,17 @@ InferenceResult HeModel::infer(std::span<const float> image) const {
   result.encrypt_seconds = sw.seconds();
 
   sw.reset();
-  const Ciphertext out = eval(inputs);
+  Ciphertext out;
+  try {
+    out = eval(inputs);
+  } catch (const Error& e) {
+    // The guardrail refusing to evaluate is a typed degraded result, not a
+    // failure of the request machinery — report it as such.
+    if (e.code() != ErrorCode::kNoiseBudget) throw;
+    result.eval_seconds = sw.seconds();
+    result.degraded = true;
+    return result;
+  }
   result.eval_seconds = sw.seconds();
 
   sw.reset();

@@ -96,6 +96,16 @@ struct HeModelOptions {
   /// re-plans). Pass a shared instance to reuse encodings across models
   /// compiled against the same backend.
   std::shared_ptr<WeightOperandCache> weight_cache;
+  /// Run backend.validate_ciphertext on every branch input at eval() entry
+  /// (limb layout, NTT form, residue ranges, wire integrity digest). Off only
+  /// for benches that want the unguarded number.
+  bool validate_inputs = true;
+  /// Noise-budget guardrail: eval() refuses to run (Error(kNoiseBudget))
+  /// when the budget the logits would come out with — the plan's output
+  /// budget minus any deficit the inputs arrived with — falls below this
+  /// floor. 0 disables the guard. A refused request surfaces as a typed,
+  /// retryable error instead of garbage logits that still argmax somewhere.
+  double min_noise_budget_bits = 0.0;
 };
 
 /// One encrypted inference (Fig. 1's round trip), with the latency split the
@@ -106,6 +116,9 @@ struct InferenceResult {
   double encrypt_seconds = 0.0;
   double eval_seconds = 0.0;
   double decrypt_seconds = 0.0;
+  /// True when the noise-budget guardrail refused evaluation: logits are
+  /// empty and predicted is -1 — a typed degraded result, never garbage.
+  bool degraded = false;
 };
 
 /// A ModelSpec compiled onto a CKKS backend:
@@ -171,6 +184,13 @@ class HeModel {
   /// (NoiseTracker propagated through the plan). Tests check that measured
   /// logit errors stay below this; benches print it next to the measurement.
   double predicted_output_error() const { return predicted_output_error_; }
+
+  /// Noise budget (bits above the scale, SEAL-style) a FRESH input ciphertext
+  /// has at the plan's input level / scale, and the budget the logits come
+  /// out with when inputs arrive fresh. The eval() guardrail charges any
+  /// input deficit against the planned output budget.
+  double planned_input_budget_bits() const;
+  double planned_output_budget_bits() const;
 
  private:
   struct LinearPlan {

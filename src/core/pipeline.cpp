@@ -35,6 +35,7 @@ ExperimentConfig ExperimentConfig::from_flags(const CliFlags& flags) {
   cfg.verbose = !flags.get_bool("quiet", false);
   cfg.trace_out = flags.get("trace-out", "");
   if (!cfg.trace_out.empty()) trace::set_enabled(true);
+  cfg.faults = init_faults_from_flags(flags);
   return cfg;
 }
 
@@ -91,7 +92,22 @@ const TrainedModel& Experiment::model(Arch arch, Activation act) {
   m.activation = act;
   m.network = build_network(arch, act, cfg_.seed);
   const std::string path = cache_path(arch, act);
-  if (load_weights(*m.network, path)) {
+  bool loaded = false;
+  try {
+    loaded = load_weights(*m.network, path);
+  } catch (const Error&) {
+    loaded = false;  // corrupt cache is a cache miss, never a crash
+  }
+  if (!loaded && std::filesystem::exists(path)) {
+    // A present-but-unreadable file is corrupt or from an incompatible run:
+    // fall through to retraining, which overwrites it with a good one.
+    std::fprintf(stderr,
+                 "[model] discarding corrupt cache file %s (retraining)\n",
+                 path.c_str());
+    // Partial loads may have overwritten some buffers; rebuild from scratch.
+    m.network = build_network(arch, act, cfg_.seed);
+  }
+  if (loaded) {
     m.train_accuracy = evaluate(*m.network, train_);
     m.test_accuracy = evaluate(*m.network, test_);
     if (cfg_.verbose) {

@@ -31,9 +31,12 @@ struct ExperimentConfig {
   /// Chrome trace-event JSON (chrome://tracing / Perfetto loadable) is
   /// written here on finish_trace() / at the harness's end-of-run hook.
   std::string trace_out;
+  /// When non-empty, the fault-injection plan armed for the run (the
+  /// --faults=<spec> flag; grammar in fault::FaultSpec::parse).
+  std::string faults;
 
   /// Reads --paper --train-size --test-size --epochs --slaf-epochs --samples
-  /// --workers --mnist-dir --cache-dir --seed --quiet --trace-out.
+  /// --workers --mnist-dir --cache-dir --seed --quiet --trace-out --faults.
   static ExperimentConfig from_flags(const CliFlags& flags);
 
   CkksParams ckks_params() const;

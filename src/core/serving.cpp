@@ -1,0 +1,106 @@
+#include "core/serving.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <future>
+#include <thread>
+
+#include "ckks/rns_backend.hpp"
+#include "ckks/serialize.hpp"
+#include "common/fault.hpp"
+#include "common/trace.hpp"
+
+namespace pphe {
+namespace {
+
+/// One serialized hop: encode to bytes, let the fault harness corrupt them,
+/// decode on the receiving side. Decoding is where transport corruption is
+/// detected (typed kSerialization / kChecksumMismatch / kIntegrity).
+Ciphertext ship(const RnsBackend& backend, const Ciphertext& ct,
+                fault::Site site) {
+  std::string bytes = ciphertext_to_string(backend, ct);
+  fault::corrupt_wire(site, bytes);
+  return ciphertext_from_string(bytes, backend);
+}
+
+/// Cloud-side evaluation under the per-attempt watchdog. The worker thread
+/// cannot be killed, so on expiry it is joined (its stall is bounded by the
+/// fault plan's slow_seconds) and its result discarded; the attempt then
+/// fails with a typed kTimeout.
+Ciphertext guarded_eval(const HeModel& model,
+                        const std::vector<Ciphertext>& inputs,
+                        double watchdog_seconds) {
+  if (watchdog_seconds <= 0.0) {
+    fault::worker_checkpoint();
+    return model.eval(inputs);
+  }
+  std::packaged_task<Ciphertext()> task([&model, &inputs] {
+    fault::worker_checkpoint();
+    return model.eval(inputs);
+  });
+  std::future<Ciphertext> future = task.get_future();
+  std::thread worker(std::move(task));
+  const bool timed_out =
+      future.wait_for(std::chrono::duration<double>(watchdog_seconds)) ==
+      std::future_status::timeout;
+  worker.join();
+  if (timed_out) {
+    try {
+      future.get();  // discard the straggler's result or exception
+    } catch (...) {
+    }
+    throw Error(ErrorCode::kTimeout,
+                "watchdog: evaluation exceeded " +
+                    std::to_string(watchdog_seconds) + " s deadline");
+  }
+  return future.get();
+}
+
+}  // namespace
+
+ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
+                            std::span<const float> image,
+                            const ServingOptions& options) {
+  PPHE_CHECK(&model.backend() == static_cast<const HeBackend*>(&backend),
+             "serve_classify: model was compiled on a different backend");
+  trace::Span span("serve_classify", "serving");
+  ServeOutcome outcome;
+  const int attempts_allowed = 1 + std::max(0, options.max_retries);
+  for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
+    ++outcome.attempts;
+    try {
+      // Client side: fresh encrypt every attempt (retry-with-recompute).
+      const std::vector<Ciphertext> fresh = model.encrypt_input(image);
+      // Client -> cloud hop, per branch ciphertext.
+      std::vector<Ciphertext> cloud_inputs;
+      cloud_inputs.reserve(fresh.size());
+      for (const Ciphertext& ct : fresh) {
+        cloud_inputs.push_back(ship(backend, ct, fault::Site::kWireUpload));
+      }
+      // Cloud side: validation + guardrails run inside eval.
+      const Ciphertext encrypted_logits =
+          guarded_eval(model, cloud_inputs, options.watchdog_seconds);
+      // Cloud -> client hop, then client-side decrypt.
+      const Ciphertext received =
+          ship(backend, encrypted_logits, fault::Site::kWireDownload);
+      outcome.logits = model.decrypt_logits(received);
+      outcome.predicted = static_cast<int>(
+          std::max_element(outcome.logits.begin(), outcome.logits.end()) -
+          outcome.logits.begin());
+      outcome.ok = true;
+      break;
+    } catch (const Error& e) {
+      outcome.faults.push_back({e.code(), e.what()});
+      if (e.code() == ErrorCode::kNoiseBudget) {
+        // Retrying cannot add modulus back; report a degraded outcome.
+        outcome.degraded = true;
+        break;
+      }
+    }
+  }
+  span.attr("attempts", static_cast<double>(outcome.attempts));
+  span.attr("ok", outcome.ok ? 1.0 : 0.0);
+  return outcome;
+}
+
+}  // namespace pphe

@@ -1,0 +1,60 @@
+#pragma once
+
+#include <span>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "core/he_model.hpp"
+
+namespace pphe {
+
+class RnsBackend;
+
+/// Hardened Fig. 1 round trip: the client encrypts and serializes, the wire
+/// may corrupt the bytes (fault::Site::kWireUpload / kWireDownload), the
+/// cloud worker may stall or crash (fault::Site::kWorker), and every failure
+/// the guards detect surfaces as a typed pphe::Error the recovery loop
+/// routes on. Recovery is retry-with-recompute: the client re-encrypts and
+/// resends, because a detected corruption says nothing about which side's
+/// copy is still good. A noise-budget refusal (ErrorCode::kNoiseBudget) is
+/// NOT retried — recomputing cannot add modulus back — and is reported as a
+/// degraded outcome instead.
+
+struct ServingOptions {
+  /// Additional attempts after the first (bounded retry-with-recompute).
+  int max_retries = 2;
+  /// Per-attempt watchdog over the cloud-side evaluation; 0 disables it. On
+  /// expiry the attempt fails with ErrorCode::kTimeout (the straggler is
+  /// joined and its result discarded).
+  double watchdog_seconds = 0.0;
+};
+
+/// One failed attempt, as the recovery loop saw it.
+struct ServeAttempt {
+  ErrorCode code = ErrorCode::kGeneric;
+  std::string message;
+};
+
+struct ServeOutcome {
+  std::vector<double> logits;
+  int predicted = -1;
+  /// True when some attempt completed and produced logits.
+  bool ok = false;
+  /// True when the noise-budget guardrail refused evaluation (no retry).
+  bool degraded = false;
+  /// Failures recorded per failed attempt, in order.
+  std::vector<ServeAttempt> faults;
+  /// Attempts consumed (successful one included).
+  int attempts = 0;
+};
+
+/// Classifies `image` through `model` over the serialized client/cloud
+/// round trip. `backend` must be the RnsBackend the model was compiled on
+/// (serialization is RNS-specific). Never throws on an injected/transport
+/// fault — every detected failure lands in the returned outcome.
+ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
+                            std::span<const float> image,
+                            const ServingOptions& options = {});
+
+}  // namespace pphe

@@ -1,5 +1,6 @@
 #include "nn/serialize.hpp"
 
+#include <cmath>
 #include <cstdint>
 #include <fstream>
 
@@ -31,7 +32,14 @@ bool read_floats(std::ifstream& in, std::vector<float>& v) {
   if (n != v.size()) return false;  // shape mismatch
   in.read(reinterpret_cast<char*>(v.data()),
           static_cast<std::streamsize>(v.size() * sizeof(float)));
-  return static_cast<bool>(in);
+  if (!in) return false;
+  // Bit rot / partial writes can produce NaN/Inf payloads that would train
+  // fine-looking garbage; reject them so the caller treats the file as a
+  // cache miss and retrains.
+  for (const float x : v) {
+    if (!std::isfinite(x)) return false;
+  }
+  return true;
 }
 
 /// Gathers every float vector a network owns: parameter tensors in order,

@@ -254,9 +254,11 @@ TEST(BackendAgreement, RnsAndBigDecryptTheSameComputation) {
 }
 
 TEST(SerializedGolden, CiphertextBitstreamMatchesPreRefactorFixture) {
-  // Golden fixture captured from the seed (vector-of-vectors) storage code:
-  // the slab refactor must not change a single serialized byte. Identity is
-  // checked as length + FNV-1a over the stream rather than 160 KiB of hex.
+  // Golden fixture for wire format v2 (checksummed sections): storage-layer
+  // refactors must not change a single serialized byte. Identity is checked
+  // as length + FNV-1a over the stream rather than 160 KiB of hex. The v1
+  // fixture was 163884 bytes / 0x176640f4fcd8f2f7; v2 adds the metadata and
+  // per-poly section checksums.
   CkksParams p = CkksParams::test_small();
   p.seed = 424242;
   const RnsBackend be(p);
@@ -266,13 +268,13 @@ TEST(SerializedGolden, CiphertextBitstreamMatchesPreRefactorFixture) {
   }
   const Ciphertext ct = be.encrypt(be.encode(v, p.scale, be.max_level()));
   const std::string bytes = ciphertext_to_string(be, ct);
-  EXPECT_EQ(bytes.size(), 163884u);
+  EXPECT_EQ(bytes.size(), 163908u);
   std::uint64_t h = 1469598103934665603ull;  // FNV-1a offset basis
   for (const unsigned char c : bytes) {
     h ^= c;
     h *= 1099511628211ull;  // FNV prime
   }
-  EXPECT_EQ(h, 0x176640f4fcd8f2f7ull);
+  EXPECT_EQ(h, 0x94c5341b255c63f3ull);
   // And the stream still round-trips through the refactored reader.
   const Ciphertext back = ciphertext_from_string(bytes, be);
   const auto got = be.decrypt_decode(back);

@@ -43,6 +43,19 @@ void expect_error_naming(Fn&& fn, std::initializer_list<const char*> needles) {
   }
 }
 
+/// Runs `fn` expecting an Error carrying the given typed code (what a
+/// serving recovery loop routes on, instead of parsing messages).
+template <typename Fn>
+void expect_error_code(Fn&& fn, ErrorCode code) {
+  try {
+    fn();
+    FAIL() << "expected Error(" << error_code_name(code) << ")";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), code)
+        << "got " << error_code_name(e.code()) << ": " << e.what();
+  }
+}
+
 class OpPreconditionsTest : public ::testing::TestWithParam<const char*> {
  protected:
   std::unique_ptr<HeBackend> backend_ = make(GetParam());
@@ -85,6 +98,50 @@ TEST_P(OpPreconditionsTest, MismatchedScaleAddPlainThrows) {
   const auto pt = be.encode(v, 2.0 * s, be.max_level());
   expect_error_naming([&] { (void)be.add_plain(ct, pt); },
                       {"add_plain", "scales differ"});
+}
+
+TEST_P(OpPreconditionsTest, CompatibilityChecksCarryTypedCodes) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  const double s = small().scale;
+  const auto a = be.encrypt(be.encode(v, s, be.max_level()));
+  // Scale mismatch -> kScaleMismatch.
+  const auto b = be.encrypt(be.encode(v, 2.0 * s, be.max_level()));
+  expect_error_code([&] { (void)be.add(a, b); }, ErrorCode::kScaleMismatch);
+  // Level mismatch -> kLevelMismatch. add() auto-aligns ciphertext levels,
+  // so the check fires on add_plain, where a stale plaintext encoding is
+  // unrecoverable (RNS needs pt level >= ct level, Big needs equality).
+  const auto stale = be.encode(v, s, be.max_level() - 1);
+  expect_error_code([&] { (void)be.add_plain(a, stale); },
+                    ErrorCode::kLevelMismatch);
+  // Capacity overflow -> kCapacityExceeded.
+  const auto bottom = be.mod_drop_to(a, 0);
+  expect_error_code([&] { (void)be.multiply(bottom, bottom); },
+                    ErrorCode::kCapacityExceeded);
+  // Unclassified precondition failures keep the default code.
+  expect_error_code([&] { (void)be.encode(v, s, be.max_level() + 1); },
+                    ErrorCode::kGeneric);
+}
+
+TEST_P(OpPreconditionsTest, BaseValidateCiphertextChecksHandleMetadata) {
+  HeBackend& be = *backend_;
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  EXPECT_NO_THROW(be.validate_ciphertext(ct));
+  expect_error_code([&] { be.validate_ciphertext(Ciphertext()); },
+                    ErrorCode::kIntegrity);
+  expect_error_code(
+      [&] {
+        be.validate_ciphertext(Ciphertext(ct.impl(), ct.scale(),
+                                          be.max_level() + 3, ct.size()));
+      },
+      ErrorCode::kLevelMismatch);
+  expect_error_code(
+      [&] {
+        be.validate_ciphertext(
+            Ciphertext(ct.impl(), -1.0, ct.level(), ct.size()));
+      },
+      ErrorCode::kScaleMismatch);
 }
 
 INSTANTIATE_TEST_SUITE_P(BothBackends, OpPreconditionsTest,

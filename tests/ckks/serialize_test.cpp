@@ -93,10 +93,26 @@ TEST(Serialize, PlaintextRoundTrip) {
   }
 }
 
+/// Decodes and returns the typed code of the Error it throws (kGeneric when
+/// it unexpectedly succeeds, which the callers then fail on).
+ErrorCode decode_code(const std::string& bytes, const RnsBackend& be) {
+  try {
+    (void)ciphertext_from_string(bytes, be);
+  } catch (const Error& e) {
+    return e.code();
+  }
+  return ErrorCode::kGeneric;
+}
+
 TEST(Serialize, RejectsWrongMagic) {
   RnsBackend be(small());
   std::istringstream bad(std::string(64, 'x'), std::ios::binary);
-  EXPECT_THROW(read_ciphertext(bad, be), Error);
+  try {
+    read_ciphertext(bad, be);
+    FAIL() << "expected Error";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kSerialization);
+  }
 }
 
 TEST(Serialize, RejectsTruncatedStream) {
@@ -105,7 +121,64 @@ TEST(Serialize, RejectsTruncatedStream) {
   const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
   std::string bytes = ciphertext_to_string(be, ct);
   bytes.resize(bytes.size() / 2);
-  EXPECT_THROW(ciphertext_from_string(bytes, be), Error);
+  EXPECT_EQ(decode_code(bytes, be), ErrorCode::kSerialization);
+}
+
+TEST(Serialize, FlippedPayloadBitSurfacesAsChecksumMismatch) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  std::string bytes = ciphertext_to_string(be, ct);
+  // A LOW bit of some residue: the value stays below its modulus, so only
+  // the section checksum can catch it (v1 would have decrypted garbage).
+  bytes[100] = static_cast<char>(bytes[100] ^ 0x01);
+  EXPECT_EQ(decode_code(bytes, be), ErrorCode::kChecksumMismatch);
+}
+
+TEST(Serialize, CorruptedMetadataRejectedBeforeAllocation) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  std::string bytes = ciphertext_to_string(be, ct);
+  // Level field sits right after the 8-byte header + 8-byte degree. Claiming
+  // a huge level must fail in the metadata section, not at a later slab.
+  bytes[16] = static_cast<char>(0x7f);
+  const ErrorCode code = decode_code(bytes, be);
+  EXPECT_TRUE(code == ErrorCode::kSerialization ||
+              code == ErrorCode::kChecksumMismatch)
+      << error_code_name(code);
+}
+
+TEST(Serialize, DeserializedCiphertextPassesValidation) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const Ciphertext back =
+      ciphertext_from_string(ciphertext_to_string(be, ct), be);
+  EXPECT_NO_THROW(be.validate_ciphertext(back));
+}
+
+TEST(Serialize, PostDecodeLimbCorruptionCaughtByDigest) {
+  RnsBackend be(small());
+  const auto v = wave(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  const Ciphertext back =
+      ciphertext_from_string(ciphertext_to_string(be, ct), be);
+  // Corrupt storage AFTER the wire checks passed: flip a low bit of one limb
+  // word; the residue stays in range, so only the digest recheck catches it.
+  const Ciphertext bad =
+      be.clone_mutate_limbs(back, [](std::span<std::uint64_t> words) {
+        words[words.size() / 2] ^= 1u;
+      });
+  try {
+    be.validate_ciphertext(bad);
+    FAIL() << "expected Error(kIntegrity)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kIntegrity);
+  }
+  // Locally produced ciphertexts carry no digest: mutation is not detected
+  // by validation (they never crossed a trust boundary).
+  EXPECT_NO_THROW(be.validate_ciphertext(ct));
 }
 
 TEST(Serialize, RejectsWrongDegree) {

@@ -1,0 +1,169 @@
+#include "common/fault.hpp"
+
+#include <gtest/gtest.h>
+
+#include <algorithm>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pphe::fault {
+namespace {
+
+/// Every test disarms on exit so later tests (and other suites in this
+/// binary) see the default quiescent state.
+class FaultTest : public ::testing::Test {
+ protected:
+  void TearDown() override { disarm(); }
+};
+
+TEST_F(FaultTest, DisarmedHooksAreNoOps) {
+  ASSERT_FALSE(armed());
+  std::string bytes = "hello wire";
+  corrupt_wire(Site::kWireUpload, bytes);
+  EXPECT_EQ(bytes, "hello wire");
+  EXPECT_FALSE(should_fire(Site::kWorker, Kind::kCrashWorker));
+  EXPECT_NO_THROW(worker_checkpoint());
+  EXPECT_EQ(stats().total, 0u);
+}
+
+TEST_F(FaultTest, ParseRoundTripsTheGrammar) {
+  const FaultSpec spec =
+      FaultSpec::parse("seed=7,wire.upload:garbage@0.5,worker:crash*1");
+  EXPECT_EQ(spec.seed, 7u);
+  ASSERT_EQ(spec.rules.size(), 2u);
+  EXPECT_EQ(spec.rules[0].site, Site::kWireUpload);
+  EXPECT_EQ(spec.rules[0].kind, Kind::kGarbage);
+  EXPECT_DOUBLE_EQ(spec.rules[0].probability, 0.5);
+  EXPECT_EQ(spec.rules[1].site, Site::kWorker);
+  EXPECT_EQ(spec.rules[1].kind, Kind::kCrashWorker);
+  EXPECT_EQ(spec.rules[1].budget, 1u);
+  // describe() emits the same grammar.
+  const FaultSpec again = FaultSpec::parse(spec.describe());
+  EXPECT_EQ(again.rules.size(), spec.rules.size());
+  EXPECT_EQ(again.seed, spec.seed);
+}
+
+TEST_F(FaultTest, ParseRejectsGarbage) {
+  EXPECT_THROW(FaultSpec::parse("no-colon-here"), Error);
+  EXPECT_THROW(FaultSpec::parse("mars.base:bitflip"), Error);
+  EXPECT_THROW(FaultSpec::parse("wire.upload:frobnicate"), Error);
+  // Kind not applicable at the site.
+  EXPECT_THROW(FaultSpec::parse("worker:bitflip"), Error);
+  EXPECT_THROW(FaultSpec::parse("wire.upload:crash"), Error);
+  EXPECT_THROW(FaultSpec::parse("eval.input:bitflip@1.5"), Error);
+}
+
+TEST_F(FaultTest, BudgetBoundsFirings) {
+  FaultSpec spec;
+  spec.rules.push_back({Site::kWorker, Kind::kCrashWorker, 1.0, 2});
+  configure(spec);
+  int fired = 0;
+  for (int i = 0; i < 10; ++i) {
+    if (should_fire(Site::kWorker, Kind::kCrashWorker)) ++fired;
+  }
+  EXPECT_EQ(fired, 2);
+  EXPECT_EQ(stats().total, 2u);
+}
+
+TEST_F(FaultTest, DecisionsAreDeterministicInTheSeed) {
+  const auto run = [](std::uint64_t seed) {
+    FaultSpec spec;
+    spec.seed = seed;
+    spec.rules.push_back({Site::kWireUpload, Kind::kGarbage, 0.5, ~0ull});
+    configure(spec);
+    std::vector<bool> fires;
+    for (int i = 0; i < 64; ++i) {
+      fires.push_back(should_fire(Site::kWireUpload, Kind::kGarbage));
+    }
+    return fires;
+  };
+  const auto a = run(42), b = run(42), c = run(43);
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, c);  // 2^-64 flake odds
+  // p=0.5 over 64 opportunities: both outcomes occur.
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 0);
+  EXPECT_NE(std::count(a.begin(), a.end(), true), 64);
+}
+
+TEST_F(FaultTest, CorruptWireIsDeterministicAndMutates) {
+  const auto run = [] {
+    FaultSpec spec;
+    spec.seed = 5;
+    spec.rules.push_back({Site::kWireUpload, Kind::kGarbage, 1.0, ~0ull});
+    configure(spec);
+    std::string bytes(256, '\x42');
+    corrupt_wire(Site::kWireUpload, bytes);
+    return bytes;
+  };
+  const std::string a = run(), b = run();
+  EXPECT_EQ(a, b);
+  EXPECT_NE(a, std::string(256, '\x42'));
+  EXPECT_EQ(a.size(), 256u);  // garbage overwrites, never resizes
+}
+
+TEST_F(FaultTest, TruncateKeepsAtLeastOneByte) {
+  FaultSpec spec;
+  spec.rules.push_back({Site::kWireDownload, Kind::kTruncate, 1.0, ~0ull});
+  configure(spec);
+  for (int i = 0; i < 16; ++i) {
+    std::string bytes(100 + i, 'x');
+    corrupt_wire(Site::kWireDownload, bytes);
+    EXPECT_GE(bytes.size(), 1u);
+    EXPECT_LT(bytes.size(), 100u + static_cast<std::size_t>(i));
+  }
+}
+
+TEST_F(FaultTest, FlipLimbFlipsExactlyOneBit) {
+  FaultSpec spec;
+  spec.rules.push_back({Site::kEvalInput, Kind::kLimbBitFlip, 1.0, 1});
+  configure(spec);
+  std::vector<std::uint64_t> words(32, 0);
+  EXPECT_TRUE(flip_limb(Site::kEvalInput, words));
+  int set_bits = 0;
+  for (const auto w : words) set_bits += __builtin_popcountll(w);
+  EXPECT_EQ(set_bits, 1);
+  // Budget exhausted: second call is a no-op.
+  EXPECT_FALSE(flip_limb(Site::kEvalInput, words));
+}
+
+TEST_F(FaultTest, WorkerCrashThrowsTypedError) {
+  FaultSpec spec;
+  spec.rules.push_back({Site::kWorker, Kind::kCrashWorker, 1.0, 1});
+  configure(spec);
+  try {
+    worker_checkpoint();
+    FAIL() << "expected Error(kWorkerCrash)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kWorkerCrash);
+  }
+  EXPECT_NO_THROW(worker_checkpoint());  // budget spent
+}
+
+TEST_F(FaultTest, PerturbHelpersTouchMetadata) {
+  FaultSpec spec;
+  spec.rules.push_back({Site::kEvalInput, Kind::kScaleMismatch, 1.0, 1});
+  spec.rules.push_back({Site::kEvalInput, Kind::kLevelMismatch, 1.0, 1});
+  configure(spec);
+  double scale = 1024.0;
+  EXPECT_TRUE(perturb_scale(Site::kEvalInput, scale));
+  EXPECT_NE(scale, 1024.0);
+  int level = 0;
+  EXPECT_TRUE(perturb_level(Site::kEvalInput, level));
+  EXPECT_NE(level, 0);
+  EXPECT_GE(level, 0);  // level 0 perturbs upward, staying representable
+  EXPECT_EQ(stats().total, 2u);
+}
+
+TEST_F(FaultTest, SiteKindsCoverEveryKindOnce) {
+  std::size_t total = 0;
+  for (std::size_t s = 0; s < kSiteCount; ++s) {
+    total += site_kinds(static_cast<Site>(s)).size();
+  }
+  // wire.upload/download take 3 byte kinds each, eval.input 3, worker 2.
+  EXPECT_EQ(total, 11u);
+}
+
+}  // namespace
+}  // namespace pphe::fault

@@ -1,0 +1,172 @@
+// The client/server round trip of examples/client_server.cpp as a ctest:
+// serialized upload, cloud-side eval, serialized download, plus the recovery
+// path — one injected wire corruption must be detected at decode and healed
+// by retry-with-recompute.
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ckks/rns_backend.hpp"
+#include "ckks/serialize.hpp"
+#include "common/check.hpp"
+#include "common/fault.hpp"
+#include "common/prng.hpp"
+#include "core/serving.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams tiny_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+ModelSpec tiny_spec(std::uint64_t seed) {
+  Prng prng(seed);
+  ModelSpec spec;
+  spec.name = "serving-tiny";
+  auto linear = [&](std::size_t i, std::size_t o) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = i;
+    s.linear.out_dim = o;
+    s.linear.weight.resize(i * o);
+    s.linear.bias.resize(o);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.3);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(12, 8));
+  {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kActivation;
+    s.activation.features = 8;
+    s.activation.degree = 2;
+    s.activation.coeffs.resize(8 * 3);
+    for (auto& c : s.activation.coeffs) {
+      c = static_cast<float>(prng.normal() * 0.2);
+    }
+    spec.stages.push_back(std::move(s));
+  }
+  spec.stages.push_back(linear(8, 5));
+  return spec;
+}
+
+std::vector<float> test_image() {
+  Prng prng(99);
+  std::vector<float> img(12);
+  for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+  return img;
+}
+
+/// Backend + compiled model shared across this binary's round-trip tests
+/// (compilation encrypts every weight, which dominates the suite otherwise).
+struct Rig {
+  RnsBackend backend;
+  HeModel model;
+  Rig()
+      : backend(tiny_params()),
+        model(backend, tiny_spec(31),
+              [] {
+                HeModelOptions o;
+                o.encrypted_weights = false;
+                return o;
+              }()) {}
+};
+
+Rig& rig() {
+  static Rig r;
+  return r;
+}
+
+class ClientServerTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(ClientServerTest, CleanRoundTripClassifiesInOneAttempt) {
+  const ServeOutcome outcome =
+      serve_classify(rig().backend, rig().model, test_image());
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 1);
+  EXPECT_TRUE(outcome.faults.empty());
+  EXPECT_FALSE(outcome.degraded);
+  ASSERT_EQ(outcome.logits.size(), 5u);
+  EXPECT_GE(outcome.predicted, 0);
+  // The served prediction equals the direct (no wire) inference.
+  const InferenceResult direct = rig().model.infer(test_image());
+  EXPECT_EQ(outcome.predicted, direct.predicted);
+  for (std::size_t i = 0; i < outcome.logits.size(); ++i) {
+    EXPECT_NEAR(outcome.logits[i], direct.logits[i], 1e-3) << i;
+  }
+}
+
+TEST_F(ClientServerTest, InjectedUploadCorruptionIsDetectedAndRetried) {
+  fault::FaultSpec spec;
+  spec.seed = 4;
+  spec.rules.push_back(
+      {fault::Site::kWireUpload, fault::Kind::kLimbBitFlip, 1.0, 1});
+  fault::configure(spec);
+
+  const ServeOutcome outcome =
+      serve_classify(rig().backend, rig().model, test_image());
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 2);  // detected once, recomputed once
+  ASSERT_EQ(outcome.faults.size(), 1u);
+  EXPECT_TRUE(outcome.faults[0].code == ErrorCode::kChecksumMismatch ||
+              outcome.faults[0].code == ErrorCode::kSerialization)
+      << error_code_name(outcome.faults[0].code);
+  // Recovery converged on the right answer, not just any answer.
+  const InferenceResult direct = rig().model.infer(test_image());
+  EXPECT_EQ(outcome.predicted, direct.predicted);
+}
+
+TEST_F(ClientServerTest, RetryBudgetExhaustionReportsFailure) {
+  fault::FaultSpec spec;
+  spec.seed = 4;
+  // Unlimited truncations: every attempt's upload is destroyed.
+  spec.rules.push_back(
+      {fault::Site::kWireUpload, fault::Kind::kTruncate, 1.0, ~0ull});
+  fault::configure(spec);
+
+  ServingOptions options;
+  options.max_retries = 2;
+  const ServeOutcome outcome =
+      serve_classify(rig().backend, rig().model, test_image(), options);
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 3);
+  ASSERT_EQ(outcome.faults.size(), 3u);
+  for (const auto& f : outcome.faults) {
+    EXPECT_EQ(f.code, ErrorCode::kSerialization) << f.message;
+  }
+}
+
+TEST_F(ClientServerTest, WatchdogConvertsStallIntoTimeoutThenRecovers) {
+  fault::FaultSpec spec;
+  spec.seed = 1;
+  // The stall precedes eval, so it alone must exceed the deadline; the
+  // deadline stays generous enough that the clean retry never trips it.
+  spec.slow_seconds = 3.0;
+  spec.rules.push_back(
+      {fault::Site::kWorker, fault::Kind::kSlowWorker, 1.0, 1});
+  fault::configure(spec);
+
+  ServingOptions options;
+  options.watchdog_seconds = 2.0;
+  const ServeOutcome outcome =
+      serve_classify(rig().backend, rig().model, test_image(), options);
+  ASSERT_TRUE(outcome.ok);
+  EXPECT_EQ(outcome.attempts, 2);
+  ASSERT_EQ(outcome.faults.size(), 1u);
+  EXPECT_EQ(outcome.faults[0].code, ErrorCode::kTimeout);
+}
+
+}  // namespace
+}  // namespace pphe

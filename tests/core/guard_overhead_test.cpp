@@ -1,0 +1,125 @@
+// In-process A/B gate for the robustness layer's hot-path cost: with fault
+// injection compiled in but disarmed, the guarded eval path (input
+// validation + noise-budget projection) must track the unguarded path
+// within a small budget. The two arms alternate inside one process and the
+// comparison uses the min over repetitions, so host load spikes hit both
+// arms and cancel — unlike cross-run wall-clock diffs, which on a shared
+// 1-core box swing by 20%. `run_benches.sh --quick` runs this test with
+// OVERHEAD_TOLERANCE_PCT=2; the default stays looser so tier-1 ctest does
+// not flake on a busy machine.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <cstdlib>
+#include <limits>
+#include <vector>
+
+#include "ckks/rns_backend.hpp"
+#include "common/fault.hpp"
+#include "common/prng.hpp"
+#include "core/he_model.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams tiny_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+ModelSpec tiny_spec() {
+  Prng prng(23);
+  ModelSpec spec;
+  spec.name = "overhead-tiny";
+  auto linear = [&](std::size_t i, std::size_t o) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = i;
+    s.linear.out_dim = o;
+    s.linear.weight.resize(i * o);
+    s.linear.bias.resize(o);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.3);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(12, 8));
+  {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kActivation;
+    s.activation.features = 8;
+    s.activation.degree = 2;
+    s.activation.coeffs.resize(8 * 3);
+    for (auto& c : s.activation.coeffs) {
+      c = static_cast<float>(prng.normal() * 0.2);
+    }
+    spec.stages.push_back(std::move(s));
+  }
+  spec.stages.push_back(linear(8, 5));
+  return spec;
+}
+
+double time_batch(const HeModel& model, const std::vector<float>& img,
+                  int evals) {
+  const auto start = std::chrono::steady_clock::now();
+  for (int i = 0; i < evals; ++i) {
+    const InferenceResult r = model.infer(img);
+    EXPECT_FALSE(r.degraded) << "guard fired in an overhead measurement";
+  }
+  const auto stop = std::chrono::steady_clock::now();
+  return std::chrono::duration<double>(stop - start).count();
+}
+
+TEST(GuardOverhead, DisarmedGuardsStayWithinBudget) {
+  ASSERT_FALSE(fault::armed()) << "overhead is defined with faults disarmed";
+  RnsBackend backend(tiny_params());
+  const ModelSpec spec = tiny_spec();
+
+  HeModelOptions guarded_opts;
+  guarded_opts.encrypted_weights = false;
+  guarded_opts.min_noise_budget_bits = 1.0;  // guardrail armed, passes
+  const HeModel guarded(backend, spec, guarded_opts);
+
+  HeModelOptions raw_opts;
+  raw_opts.encrypted_weights = false;
+  raw_opts.validate_inputs = false;
+  const HeModel raw(backend, spec, raw_opts);
+
+  Prng prng(5);
+  std::vector<float> img(12);
+  for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+
+  // Warm both arms (operand caches, arena pools, code paths).
+  time_batch(raw, img, 1);
+  time_batch(guarded, img, 1);
+
+  constexpr int kReps = 5;
+  constexpr int kEvalsPerBatch = 3;
+  double best_guarded = std::numeric_limits<double>::infinity();
+  double best_raw = std::numeric_limits<double>::infinity();
+  for (int rep = 0; rep < kReps; ++rep) {
+    best_raw = std::min(best_raw, time_batch(raw, img, kEvalsPerBatch));
+    best_guarded =
+        std::min(best_guarded, time_batch(guarded, img, kEvalsPerBatch));
+  }
+
+  double tolerance_pct = 10.0;
+  if (const char* env = std::getenv("OVERHEAD_TOLERANCE_PCT")) {
+    tolerance_pct = std::atof(env);
+  }
+  const double overhead_pct = 100.0 * (best_guarded / best_raw - 1.0);
+  RecordProperty("overhead_pct", std::to_string(overhead_pct));
+  std::printf("guard overhead (disarmed, min over %d reps): %+.2f%% "
+              "(budget %.1f%%)\n",
+              kReps, overhead_pct, tolerance_pct);
+  EXPECT_LE(best_guarded, best_raw * (1.0 + tolerance_pct / 100.0))
+      << "guarded eval " << best_guarded << "s vs raw " << best_raw << "s";
+}
+
+}  // namespace
+}  // namespace pphe

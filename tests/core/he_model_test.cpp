@@ -283,6 +283,73 @@ TEST(HeModel, WrongInputSizeThrows) {
   EXPECT_THROW(model.infer(img), Error);
 }
 
+TEST(HeModel, PlannedBudgetsArePositiveAndOrdered) {
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  const HeModel model(backend, tiny_spec(12, 8, 5, 2, 21), options);
+  // Evaluation consumes modulus, so the output budget is strictly smaller.
+  EXPECT_GT(model.planned_output_budget_bits(), 0.0);
+  EXPECT_GT(model.planned_input_budget_bits(),
+            model.planned_output_budget_bits());
+}
+
+TEST(HeModel, NoiseGuardrailRefusesWithTypedErrorNotGarbage) {
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  options.min_noise_budget_bits = 1e6;  // unreachable floor
+  const HeModel model(backend, tiny_spec(12, 8, 5, 2, 22), options);
+  const auto img = random_image(12, 3);
+  try {
+    model.eval(model.encrypt_input(img));
+    FAIL() << "expected Error(kNoiseBudget)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoiseBudget);
+  }
+  // infer() reports the refusal as a typed degraded result.
+  const InferenceResult r = model.infer(img);
+  EXPECT_TRUE(r.degraded);
+  EXPECT_TRUE(r.logits.empty());
+  EXPECT_EQ(r.predicted, -1);
+}
+
+TEST(HeModel, NoiseGuardrailPassesWithAchievableFloor) {
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  const HeModel probe(backend, tiny_spec(12, 8, 5, 2, 23), options);
+  // A floor just under the planned output budget admits fresh inputs.
+  options.min_noise_budget_bits = probe.planned_output_budget_bits() - 1.0;
+  ASSERT_GT(options.min_noise_budget_bits, 0.0);
+  const HeModel model(backend, tiny_spec(12, 8, 5, 2, 23), options);
+  const InferenceResult r = model.infer(random_image(12, 4));
+  EXPECT_FALSE(r.degraded);
+  EXPECT_FALSE(r.logits.empty());
+}
+
+TEST(HeModel, NoiseGuardrailChargesInputDeficit) {
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  const HeModel probe(backend, tiny_spec(12, 8, 5, 2, 24), options);
+  options.min_noise_budget_bits = probe.planned_output_budget_bits() - 1.0;
+  const HeModel model(backend, tiny_spec(12, 8, 5, 2, 24), options);
+  auto inputs = model.encrypt_input(random_image(12, 5));
+  // Dropping a prime from the inputs costs ~26 bits of budget: the deficit
+  // pushes the projected output budget below the floor BEFORE the level
+  // checks would reject the plan mismatch — the guard owns this failure.
+  for (auto& ct : inputs) {
+    ct = backend.mod_drop_to(ct, ct.level() - 1);
+  }
+  try {
+    model.eval(inputs);
+    FAIL() << "expected Error(kNoiseBudget)";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kNoiseBudget);
+  }
+}
+
 TEST(WeightOperandCache, EncodesEachDistinctKeyOnce) {
   RnsBackend backend(tiny_params());
   auto cache = std::make_shared<WeightOperandCache>();

@@ -2,7 +2,12 @@
 
 #include <gtest/gtest.h>
 
+#include <filesystem>
+#include <fstream>
+#include <limits>
+
 #include "common/check.hpp"
+#include "common/fault.hpp"
 
 namespace pphe {
 namespace {
@@ -54,6 +59,62 @@ TEST(Experiment, BuildsDataAndCachesModels) {
   Experiment exp2(tiny_config());
   const TrainedModel& reloaded = exp2.model(Arch::kCnn1, Activation::kSlaf);
   EXPECT_NEAR(reloaded.test_accuracy, m1.test_accuracy, 1e-3);
+}
+
+TEST(Experiment, CorruptCacheFileIsACacheMissNotACrash) {
+  ExperimentConfig cfg = tiny_config();
+  cfg.cache_dir = ::testing::TempDir() + "/ppcnn-corrupt-cache";
+  std::filesystem::remove_all(cfg.cache_dir);
+  {
+    // Populate the cache, then damage the weight file several ways.
+    Experiment exp(cfg);
+    (void)exp.model(Arch::kCnn1, Activation::kSlaf);
+  }
+  std::filesystem::path weights;
+  for (const auto& entry : std::filesystem::directory_iterator(cfg.cache_dir)) {
+    weights = entry.path();
+  }
+  ASSERT_FALSE(weights.empty());
+  const auto size = std::filesystem::file_size(weights);
+
+  const auto retrains_cleanly = [&] {
+    Experiment exp(cfg);
+    const TrainedModel& m = exp.model(Arch::kCnn1, Activation::kSlaf);
+    EXPECT_GT(m.test_accuracy, 30.0f);
+  };
+  // Truncated file (partial write / disk full).
+  std::filesystem::resize_file(weights, size / 2);
+  retrains_cleanly();
+  // NaN payload (bit rot that keeps the structure intact).
+  {
+    std::fstream f(weights, std::ios::in | std::ios::out | std::ios::binary);
+    f.seekp(64);
+    const float nan = std::numeric_limits<float>::quiet_NaN();
+    f.write(reinterpret_cast<const char*>(&nan), sizeof(nan));
+  }
+  retrains_cleanly();
+  // Garbage header.
+  {
+    std::ofstream f(weights, std::ios::binary | std::ios::trunc);
+    f << "not a weight file";
+  }
+  retrains_cleanly();
+  // Each recovery rewrote a good cache: the final load succeeds.
+  Experiment exp(cfg);
+  EXPECT_GT(exp.model(Arch::kCnn1, Activation::kSlaf).test_accuracy, 30.0f);
+}
+
+TEST(ExperimentConfig, FaultsFlagArmsThePlan) {
+  std::vector<std::string> storage = {
+      "prog", "--quiet", "--faults=seed=3,wire.upload:truncate*1"};
+  std::vector<char*> argv;
+  for (auto& s : storage) argv.push_back(s.data());
+  const CliFlags flags(static_cast<int>(argv.size()), argv.data());
+  const ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
+  EXPECT_EQ(cfg.faults, "seed=3,wire.upload:truncate*1");
+  EXPECT_TRUE(fault::armed());
+  fault::disarm();
+  EXPECT_FALSE(fault::armed());
 }
 
 TEST(Experiment, SpecIsCompilable) {

@@ -1,0 +1,240 @@
+// Batch-serving throughput sweep: drives the BatchServer (src/serve/) with
+// synthetic load at SIMD batch sizes {1, 4, 8, 16} and reports throughput
+// (img/s) plus per-request p50/p99 latency. The interesting number is the
+// amortization curve: a batch-8 evaluation costs roughly one batch-1
+// evaluation (same ciphertext, same rotations), so throughput should scale
+// near-linearly with the batch until the slots run out.
+//
+//   bench_serving [--images=N] [--workers=N] [--linger-ms=MS] [--json]
+//
+// --json drops BENCH_serving.json in the CWD, shaped like a
+// google-benchmark export ("benchmarks" rows with run_type "iteration" and
+// per-image "real_time" in ns) so run_benches.sh can reuse the BENCH_micro
+// drift machinery, plus a top-level batch-8-vs-1 speedup field the quick
+// gate asserts on.
+
+#include <cstdio>
+#include <string>
+#include <vector>
+
+#include "ckks/rns_backend.hpp"
+#include "common/cli.hpp"
+#include "common/prng.hpp"
+#include "common/stats.hpp"
+#include "common/table.hpp"
+#include "serve/server.hpp"
+
+using namespace pphe;
+
+namespace {
+
+// test_small with a 7-prime chain: enough levels for the 3-stage spec below
+// while keeping N=2048 (1024 slots) so the sweep runs in seconds on 1 core.
+CkksParams bench_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+// Synthetic 64 -> 32 -> (deg-2 activation) -> 16 model: tile 64, so 1024
+// slots hold exactly the batch-16 top of the sweep. Seeded, not trained —
+// throughput does not care about accuracy.
+ModelSpec bench_spec() {
+  Prng prng(1234);
+  ModelSpec spec;
+  spec.name = "serving-bench";
+  auto linear = [&](std::size_t in, std::size_t out) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = in;
+    s.linear.out_dim = out;
+    s.linear.weight.resize(in * out);
+    s.linear.bias.resize(out);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.2);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(64, 32));
+  {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kActivation;
+    s.activation.features = 32;
+    s.activation.degree = 2;
+    s.activation.coeffs.resize(32 * 3);
+    for (auto& c : s.activation.coeffs) {
+      c = static_cast<float>(prng.normal() * 0.2);
+    }
+    spec.stages.push_back(std::move(s));
+  }
+  spec.stages.push_back(linear(32, 16));
+  return spec;
+}
+
+struct SweepPoint {
+  std::size_t batch = 0;
+  std::size_t images = 0;
+  std::uint64_t batches = 0;
+  double wall_seconds = 0.0;
+  double throughput = 0.0;  // img/s
+  double p50_ms = 0.0;
+  double p99_ms = 0.0;
+};
+
+SweepPoint run_point(serve::BatchModelSet& models, std::size_t batch,
+                     std::size_t images, std::size_t workers,
+                     double linger_ms) {
+  serve::ServerOptions opts;
+  opts.workers = workers;
+  opts.max_batch = batch;
+  // Generous linger: back-to-back submits always coalesce to full batches
+  // (a full batch cuts immediately), so linger never gates throughput here.
+  opts.linger_ms = linger_ms;
+  opts.queue_capacity = images + 16;
+  serve::BatchServer server(models, opts);
+
+  // Warm wave (untimed): first evaluation at this batch size pays any lazy
+  // backend setup (NTT permutation maps, Galois-key lookups).
+  {
+    std::vector<std::future<serve::ServeReply>> warm;
+    for (std::size_t i = 0; i < batch; ++i) {
+      Prng prng(9000 + i);
+      std::vector<float> img(64);
+      for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+      warm.push_back(server.submit(std::move(img)));
+    }
+    for (auto& f : warm) f.get();
+  }
+
+  std::vector<std::vector<float>> pool(images);
+  for (std::size_t i = 0; i < images; ++i) {
+    Prng prng(100 + i);
+    pool[i].resize(64);
+    for (auto& v : pool[i]) v = static_cast<float>(prng.uniform_double());
+  }
+
+  Stopwatch wall;
+  std::vector<std::future<serve::ServeReply>> futures;
+  futures.reserve(images);
+  for (auto& img : pool) futures.push_back(server.submit(std::move(img)));
+  LatencyStats latency;
+  for (auto& f : futures) {
+    const serve::ServeReply reply = f.get();
+    if (!reply.ok) {
+      std::fprintf(stderr, "bench_serving: reply failed (%s)\n",
+                   reply.message.c_str());
+      std::exit(1);
+    }
+    latency.add(reply.queue_seconds + reply.eval_seconds);
+  }
+  const double seconds = wall.seconds();
+  const serve::ServerStats stats = server.stats();
+
+  SweepPoint point;
+  point.batch = batch;
+  point.images = images;
+  point.batches = stats.batches - 1;  // minus the warm wave
+  point.wall_seconds = seconds;
+  point.throughput = static_cast<double>(images) / seconds;
+  point.p50_ms = latency.percentile(0.5) * 1e3;
+  point.p99_ms = latency.percentile(0.99) * 1e3;
+  return point;
+}
+
+bool write_json(const std::string& path, const std::vector<SweepPoint>& points,
+                std::size_t workers, double speedup_8v1) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"context\": {\"name\": \"bench_serving\", "
+               "\"workers\": %zu},\n  \"benchmarks\": [\n", workers);
+  for (std::size_t i = 0; i < points.size(); ++i) {
+    const SweepPoint& p = points[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"serving/batch:%zu\", \"run_type\": \"iteration\", "
+        "\"real_time\": %.1f, \"cpu_time\": %.1f, \"time_unit\": \"ns\", "
+        "\"iterations\": %zu, \"images_per_second\": %.3f, "
+        "\"batches\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        p.batch, 1e9 / p.throughput, 1e9 / p.throughput, p.images,
+        p.throughput, static_cast<unsigned long long>(p.batches), p.p50_ms,
+        p.p99_ms, i + 1 < points.size() ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"speedup_batch8_vs_batch1\": %.3f\n}\n",
+               speedup_8v1);
+  std::fclose(f);
+  return true;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  const std::size_t images =
+      static_cast<std::size_t>(flags.get_int("images", 48));
+  const std::size_t workers =
+      static_cast<std::size_t>(flags.get_int("workers", 1));
+  const double linger_ms = flags.get_double("linger-ms", 50.0);
+  const std::string trace_out = init_tracing_from_flags(flags);
+
+  std::printf("batch-serving throughput sweep (serve::BatchServer)\n");
+  RnsBackend backend(bench_params());
+  std::printf("params: %s\n", backend.params().describe().c_str());
+
+  HeModelOptions base;
+  base.encrypted_weights = false;  // CryptoNets setting: throughput focus
+  serve::BatchModelSet models(backend, bench_spec(), base);
+  std::printf("model: 64->32->act(deg2)->16, tile 64, max batch %zu; "
+              "%zu images per point, %zu worker%s\n\n",
+              models.max_batch(), images, workers, workers == 1 ? "" : "s");
+
+  std::vector<SweepPoint> points;
+  for (const std::size_t batch : {std::size_t{1}, std::size_t{4},
+                                  std::size_t{8}, std::size_t{16}}) {
+    if (batch > models.max_batch()) {
+      std::printf("skipping batch %zu (> max batch %zu)\n", batch,
+                  models.max_batch());
+      continue;
+    }
+    points.push_back(run_point(models, batch, images, workers, linger_ms));
+  }
+
+  const SweepPoint* base1 = nullptr;
+  const SweepPoint* base8 = nullptr;
+  for (const SweepPoint& p : points) {
+    if (p.batch == 1) base1 = &p;
+    if (p.batch == 8) base8 = &p;
+  }
+
+  TextTable table({"batch", "images", "evals", "wall (s)", "img/s",
+                   "p50 (ms)", "p99 (ms)", "x vs batch=1"});
+  for (const SweepPoint& p : points) {
+    table.add_row({std::to_string(p.batch), std::to_string(p.images),
+                   std::to_string(p.batches),
+                   TextTable::fixed(p.wall_seconds, 2),
+                   TextTable::fixed(p.throughput, 2),
+                   TextTable::fixed(p.p50_ms, 1), TextTable::fixed(p.p99_ms, 1),
+                   base1 ? TextTable::fixed(p.throughput / base1->throughput, 2)
+                         : "-"});
+  }
+  std::printf("%s", table.render().c_str());
+
+  const double speedup_8v1 =
+      (base1 && base8) ? base8->throughput / base1->throughput : 0.0;
+  if (base1 && base8) {
+    std::printf("\nslot-packing amortization: batch=8 throughput is %.2fx "
+                "batch=1 (one ciphertext, 8 images)\n", speedup_8v1);
+  }
+
+  if (flags.has("json")) {
+    const std::string path = "BENCH_serving.json";
+    if (!write_json(path, points, workers, speedup_8v1)) {
+      std::fprintf(stderr, "bench_serving: cannot write %s\n", path.c_str());
+      return 1;
+    }
+    std::printf("\nwrote %s\n", path.c_str());
+  }
+  return finish_tracing(trace_out) ? 0 : 1;
+}

@@ -3,39 +3,46 @@
 // serialized wire format (ckks/serialize.hpp) — the cloud half never touches
 // the secret key object, only ciphertext byte strings.
 //
-// The round trip runs through the hardened serving layer (core/serving.hpp):
-// checksummed wire sections, pre-eval ciphertext validation, the
-// noise-budget guardrail, a per-request watchdog, and bounded
-// retry-with-recompute. Pass --faults=<spec> to watch the recovery path,
-// e.g.:
-//   client_server --faults="seed=7,wire.upload:bitflip*1"
-//   client_server --faults="worker:crash*1" --watchdog-ms=30000
+// Two modes:
+//
+//  * default: ONE hardened round trip (core/serving.hpp) — checksummed wire
+//    sections, pre-eval ciphertext validation, the noise-budget guardrail, a
+//    per-request watchdog, and bounded retry-with-recompute. Pass
+//    --faults=<spec> to watch the recovery path, e.g.:
+//      client_server --faults="seed=7,wire.upload:bitflip*1"
+//      client_server --faults="worker:crash*1" --watchdog-ms=30000
+//
+//  * --serve: the batch-serving front end (src/serve/) — a BatchServer
+//    coalesces concurrent client requests into slot-packed SIMD batches and
+//    evaluates each batch through the same hardened round trip. A
+//    multi-threaded synthetic load generator plays the clients:
+//      client_server --serve --clients=4 --requests=32 --workers=2
+//                    --max-batch=8 --linger-ms=5 --queue-cap=64
 
 #include <cstdio>
+#include <mutex>
+#include <thread>
+#include <vector>
 
 #include "ckks/rns_backend.hpp"
 #include "ckks/serialize.hpp"
 #include "common/fault.hpp"
+#include "common/stats.hpp"
 #include "core/pipeline.hpp"
 #include "core/serving.hpp"
+#include "serve/server.hpp"
 
 using namespace pphe;
 
-int main(int argc, char** argv) {
-  const CliFlags flags(argc, argv);
-  ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
-  cfg.train_size = static_cast<std::size_t>(flags.get_int("train-size", 2000));
+namespace {
 
-  std::printf("== client/server round trip over serialized ciphertexts ==\n\n");
-  Experiment exp(cfg);
-  const TrainedModel& trained = exp.model(Arch::kCnn1, Activation::kSlaf);
-
-  RnsBackend backend(cfg.ckks_params());
+int run_single(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
   HeModelOptions options;
   options.encrypted_weights = true;
   options.rns_branches = 3;
   options.min_noise_budget_bits = flags.get_double("min-budget-bits", 1.0);
-  const HeModel model(backend, compile_model(trained), options);
+  const HeModel model(backend, exp.spec(Arch::kCnn1, Activation::kSlaf),
+                      options);
 
   const float* img = exp.test_set().images.data();
   const std::vector<float> image(img, img + 784);
@@ -79,4 +86,118 @@ int main(int argc, char** argv) {
       "rescales, so it carries fewer residue channels).\n",
       model.levels_used());
   return outcome.predicted == exp.test_set().labels[0] ? 0 : 1;
+}
+
+int run_serve(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
+  // Plain weights for the serving demo: the throughput story is about
+  // slot-packed batching; the encrypted-weights ablation lives in the
+  // single-shot mode above and the table benches.
+  HeModelOptions base;
+  base.encrypted_weights = false;
+  serve::BatchModelSet models(backend, exp.spec(Arch::kCnn1, Activation::kSlaf),
+                              base);
+
+  serve::ServerOptions opts;
+  opts.workers = static_cast<std::size_t>(flags.get_int("workers", 2));
+  opts.max_batch = static_cast<std::size_t>(flags.get_int("max-batch", 8));
+  opts.linger_ms = flags.get_double("linger-ms", 5.0);
+  opts.queue_capacity =
+      static_cast<std::size_t>(flags.get_int("queue-cap", 64));
+  opts.serving.max_retries =
+      static_cast<int>(flags.get_int("max-retries", 2));
+  opts.serving.watchdog_seconds =
+      flags.get_double("watchdog-ms", 60000.0) / 1000.0;
+
+  const std::size_t clients =
+      static_cast<std::size_t>(flags.get_int("clients", 4));
+  const std::size_t requests =
+      static_cast<std::size_t>(flags.get_int("requests", 32));
+
+  serve::BatchServer server(models, opts);
+  std::printf("[server] up: %zu worker%s, max batch %zu (model set holds up "
+              "to %zu), linger %.1f ms, queue capacity %zu\n",
+              server.options().workers, server.options().workers == 1 ? "" : "s",
+              server.options().max_batch, models.max_batch(),
+              server.options().linger_ms, server.options().queue_capacity);
+  std::printf("[load]   %zu client thread%s submitting %zu requests total\n\n",
+              clients, clients == 1 ? "" : "s", requests);
+
+  const Dataset& test = exp.test_set();
+  std::mutex agg_mutex;
+  LatencyStats latency;
+  std::size_t correct = 0, answered = 0, overloaded = 0;
+
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      for (std::size_t r = c; r < requests; r += clients) {
+        const std::size_t idx = r % test.size();
+        const float* px = test.images.data() + idx * 784;
+        Stopwatch sw;
+        std::future<serve::ServeReply> future;
+        try {
+          future = server.submit(std::vector<float>(px, px + 784));
+        } catch (const Error& e) {
+          if (e.code() != ErrorCode::kOverloaded) throw;
+          std::lock_guard<std::mutex> lock(agg_mutex);
+          ++overloaded;
+          continue;  // a real client would back off and resubmit
+        }
+        const serve::ServeReply reply = future.get();
+        std::lock_guard<std::mutex> lock(agg_mutex);
+        latency.add(sw.seconds());
+        if (reply.ok) {
+          ++answered;
+          if (reply.predicted == test.labels[idx]) ++correct;
+        }
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+  server.shutdown();
+
+  const serve::ServerStats stats = server.stats();
+  std::printf("[load]   done in %.2f s: %zu answered (%zu correct), %zu "
+              "rejected kOverloaded\n",
+              seconds, answered, correct, overloaded);
+  if (!latency.empty()) {
+    std::printf("[load]   throughput %.2f img/s; latency p50 %.0f ms, "
+                "p99 %.0f ms\n",
+                static_cast<double>(answered) / seconds,
+                latency.percentile(0.5) * 1e3, latency.percentile(0.99) * 1e3);
+  }
+  std::printf("[server] %llu batches over %llu requests",
+              static_cast<unsigned long long>(stats.batches),
+              static_cast<unsigned long long>(stats.completed));
+  for (const auto& [size, count] : stats.batch_sizes) {
+    std::printf("  %zux%llu", size, static_cast<unsigned long long>(count));
+  }
+  std::printf("  (retries %llu)\n",
+              static_cast<unsigned long long>(stats.retries));
+  std::printf("[server] queue p99 %.1f ms, eval p99 %.0f ms\n",
+              stats.queue_ns.percentile_ns(0.99) * 1e-6,
+              stats.eval_ns.percentile_ns(0.99) * 1e-6);
+  return answered > 0 ? 0 : 1;
+}
+
+}  // namespace
+
+int main(int argc, char** argv) {
+  const CliFlags flags(argc, argv);
+  ExperimentConfig cfg = ExperimentConfig::from_flags(flags);
+  cfg.train_size = static_cast<std::size_t>(flags.get_int("train-size", 2000));
+
+  const bool serve_mode = flags.has("serve");
+  std::printf(serve_mode
+                  ? "== batch serving over serialized ciphertexts ==\n\n"
+                  : "== client/server round trip over serialized "
+                    "ciphertexts ==\n\n");
+  Experiment exp(cfg);
+  exp.model(Arch::kCnn1, Activation::kSlaf);  // train (or load from cache)
+
+  RnsBackend backend(cfg.ckks_params());
+  return serve_mode ? run_serve(flags, exp, backend)
+                    : run_single(flags, exp, backend);
 }

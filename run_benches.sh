@@ -16,26 +16,36 @@ for arg in "$@"; do
 done
 
 if [ "$QUICK" -eq 1 ]; then
-  BENCHES=(bench_table2_params bench_fig2_rns bench_micro_primitives)
-  # Snapshot the previous run's microbench numbers before they are
-  # overwritten: the guard-overhead gate below compares against them.
+  BENCHES=(bench_table2_params bench_fig2_rns bench_serving \
+           bench_micro_primitives)
+  # Snapshot the previous run's numbers before they are overwritten: the
+  # drift reports below compare against them.
   BASELINE_JSON=""
   if [ -f BENCH_micro.json ]; then
     BASELINE_JSON=$(mktemp /tmp/ppcnn-bench-baseline.XXXXXX.json)
     cp BENCH_micro.json "$BASELINE_JSON"
   fi
+  SERVING_BASELINE_JSON=""
+  if [ -f BENCH_serving.json ]; then
+    SERVING_BASELINE_JSON=$(mktemp /tmp/ppcnn-serving-baseline.XXXXXX.json)
+    cp BENCH_serving.json "$SERVING_BASELINE_JSON"
+  fi
 else
   BENCHES=(bench_table2_params bench_sec3c_errors bench_fig2_rns \
            bench_fig34_arch bench_fig1_pipeline bench_batch_throughput \
-           bench_table3_cnn1 bench_table4_cnn1_moduli bench_fig5_parallel \
-           bench_table5_cnn2 bench_table6_cnn2_moduli bench_table1_sota \
-           bench_micro_primitives)
+           bench_serving bench_table3_cnn1 bench_table4_cnn1_moduli \
+           bench_fig5_parallel bench_table5_cnn2 bench_table6_cnn2_moduli \
+           bench_table1_sota bench_micro_primitives)
 fi
 
 quick_args() {
   # Per-bench reduced workloads for --quick.
   case "$1" in
     bench_fig2_rns) echo "--ops=20000 --reps=5" ;;
+    bench_serving)
+      # Small load, --json drops BENCH_serving.json at the repo root for the
+      # amortization gate and the drift report below.
+      echo "--images=16 --json" ;;
     bench_micro_primitives)
       # RNS op rows plus the word-level NTT/dyadic kernel rows; --json drops
       # BENCH_micro.json at the repo root (we cd there above) for CI diffing.
@@ -71,6 +81,50 @@ if [ "$QUICK" -eq 1 ]; then
     ./build/tests/test_robustness --gtest_filter='GuardOverhead.*' \
     --gtest_brief=1 2>&1 || { echo "guard overhead gate FAILED" >&2; exit 1; }
   echo "guard overhead gate OK"
+  echo
+
+  # Serving amortization gate: a batch-8 slot-packed evaluation classifies 8
+  # images for roughly the cost of one, so server throughput at batch 8 must
+  # be at least 3x batch 1 — far below the ~8x ideal, so host noise cannot
+  # trip it, but far above anything a broken batching path could produce.
+  echo "==================================================================="
+  echo "=== serving amortization gate (BENCH_serving.json)"
+  echo "==================================================================="
+  python3 - BENCH_serving.json <<'EOF' || { echo "serving gate FAILED" >&2; exit 1; }
+import json, sys
+d = json.load(open(sys.argv[1]))
+speedup = d["speedup_batch8_vs_batch1"]
+by_batch = {b["name"]: b["images_per_second"] for b in d["benchmarks"]}
+print(f"batch=8 throughput is {speedup:.2f}x batch=1 "
+      f"({by_batch.get('serving/batch:8', 0):.2f} vs "
+      f"{by_batch.get('serving/batch:1', 0):.2f} img/s)")
+assert speedup >= 3.0, f"slot-packing amortization collapsed: {speedup:.2f}x < 3x"
+EOF
+  echo "serving gate OK"
+  echo
+
+  # Serving drift report (informational, same noise caveat as the kernel
+  # rows): per-image real_time vs the previous quick run.
+  if [ -n "$SERVING_BASELINE_JSON" ]; then
+    python3 - "$SERVING_BASELINE_JSON" BENCH_serving.json <<'EOF'
+import json, math, sys
+base = {b["name"]: b["real_time"]
+        for b in json.load(open(sys.argv[1]))["benchmarks"]
+        if b.get("run_type") == "iteration"}
+cur = {b["name"]: b["real_time"]
+       for b in json.load(open(sys.argv[2]))["benchmarks"]
+       if b.get("run_type") == "iteration"}
+common = sorted(set(base) & set(cur))
+if common:
+    ratios = {n: cur[n] / base[n] for n in common}
+    geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
+    worst = max(common, key=lambda n: ratios[n])
+    print(f"serving drift vs previous run: geomean {100 * (geomean - 1):+.2f}% "
+          f"over {len(common)} rows "
+          f"(worst row {worst}: {100 * (ratios[worst] - 1):+.2f}%)")
+EOF
+    rm -f "$SERVING_BASELINE_JSON"
+  fi
   echo
 
   # Kernel-row drift report (informational): the microbench kernels contain

@@ -155,6 +155,7 @@ RnsPoly RnsBackend::lift_signed(std::span<const std::int64_t> coeffs,
 
 RnsPoly RnsBackend::uniform_poly(int level, bool with_special) const {
   RnsPoly p = zero_poly(level, with_special, /*ntt=*/true);
+  std::lock_guard<std::mutex> lock(prng_mutex_);
   for (std::size_t c = 0; c < p.channels(); ++c) {
     const Modulus& mod = mod_for(p, c);
     for (auto& v : p.ch(c)) v = prng_.uniform_below(mod.value());
@@ -315,7 +316,10 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
   key.shoup.resize(q_moduli_.size());
   for (std::size_t j = 0; j < q_moduli_.size(); ++j) {
     RnsPoly a_j = uniform_poly(top, /*with_special=*/true);
-    const auto e = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+    const auto e = [this] {
+      std::lock_guard<std::mutex> lock(prng_mutex_);
+      return sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+    }();
     RnsPoly e_j = lift_signed(e, top, /*with_special=*/true);
     to_ntt(e_j);
     // b_j = -a_j s + e_j + (p mod q_j) * target  [only on channel j].
@@ -458,17 +462,22 @@ Ciphertext RnsBackend::encrypt(const Plaintext& pt) const {
   const RnsPtBody& ptb = body(pt);
   const int level = pt.level();
 
-  const auto u = sample_ternary(prng_, params_.degree);
-  std::vector<std::int64_t> u64v(u.begin(), u.end());
+  // Draw all three samples under one lock (concurrent serving workers
+  // encrypt on different threads), then do the heavy lifting unlocked.
+  std::vector<std::int64_t> u64v;
+  std::vector<std::int64_t> e0v, e1v;
+  {
+    std::lock_guard<std::mutex> lock(prng_mutex_);
+    const auto u = sample_ternary(prng_, params_.degree);
+    u64v.assign(u.begin(), u.end());
+    e0v = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+    e1v = sample_gaussian(prng_, params_.degree, params_.noise_sigma);
+  }
   RnsPoly u_poly = lift_signed(u64v, level, false);
   to_ntt(u_poly);
-  RnsPoly e0 = lift_signed(
-      sample_gaussian(prng_, params_.degree, params_.noise_sigma), level,
-      false);
+  RnsPoly e0 = lift_signed(e0v, level, false);
   to_ntt(e0);
-  RnsPoly e1 = lift_signed(
-      sample_gaussian(prng_, params_.degree, params_.noise_sigma), level,
-      false);
+  RnsPoly e1 = lift_signed(e1v, level, false);
   to_ntt(e1);
 
   RnsPoly c0 = pointwise_shoup(pk_b_, pk_b_shoup_, u_poly);
@@ -730,6 +739,9 @@ Ciphertext RnsBackend::apply_automorphism_ct(const Ciphertext& a,
 
 const std::vector<std::uint32_t>& RnsBackend::ntt_permutation(
     std::uint64_t exponent) const {
+  // Guarded: concurrent serving workers rotate on different threads. Map
+  // nodes are stable, so the returned reference outlives the lock.
+  std::lock_guard<std::mutex> lock(ntt_perm_mutex_);
   auto it = ntt_perms_.find(exponent);
   if (it != ntt_perms_.end()) return it->second;
 
@@ -810,10 +822,15 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
     OpScope op(*this, OpKind::kRotateHoisted, a);
     op.attr("step", step);
     const std::uint64_t exponent = rotation_exponent(step);
-    auto key_it = galois_keys_.find(exponent);
-    PPHE_CHECK(key_it != galois_keys_.end(),
+    const KswKey* key_ptr = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+      auto key_it = galois_keys_.find(exponent);
+      if (key_it != galois_keys_.end()) key_ptr = &key_it->second;
+    }
+    PPHE_CHECK(key_ptr != nullptr,
                "missing Galois key for step " + std::to_string(step));
-    const KswKey& key = key_it->second;
+    const KswKey& key = *key_ptr;
     const auto& perm = ntt_permutation(exponent);
 
     RnsPoly acc0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
@@ -958,19 +975,31 @@ void RnsBackend::multiply_plain_acc(Ciphertext& acc, const Ciphertext& a,
 
 Ciphertext RnsBackend::rotate(const Ciphertext& a, int step) const {
   const std::uint64_t exponent = rotation_exponent(step);
-  auto it = galois_keys_.find(exponent);
-  PPHE_CHECK(it != galois_keys_.end(),
+  const KswKey* key = nullptr;
+  {
+    // Shared lock for the lookup only: keys are never erased, so the node
+    // reference stays valid while concurrent ensure_galois_keys() inserts.
+    std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+    auto it = galois_keys_.find(exponent);
+    if (it != galois_keys_.end()) key = &it->second;
+  }
+  PPHE_CHECK(key != nullptr,
              "missing Galois key for step " + std::to_string(step) +
                  "; call ensure_galois_keys first");
-  return apply_automorphism_ct(a, exponent, it->second, OpKind::kRotate);
+  return apply_automorphism_ct(a, exponent, *key, OpKind::kRotate);
 }
 
 Ciphertext RnsBackend::conjugate(const Ciphertext& a) const {
   const std::uint64_t exponent = 2 * params_.degree - 1;
-  auto it = galois_keys_.find(exponent);
-  PPHE_CHECK(it != galois_keys_.end(),
+  const KswKey* key = nullptr;
+  {
+    std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+    auto it = galois_keys_.find(exponent);
+    if (it != galois_keys_.end()) key = &it->second;
+  }
+  PPHE_CHECK(key != nullptr,
              "missing conjugation key; call ensure_galois_keys({0})");
-  return apply_automorphism_ct(a, exponent, it->second, OpKind::kConjugate);
+  return apply_automorphism_ct(a, exponent, *key, OpKind::kConjugate);
 }
 
 void RnsBackend::validate_ciphertext(const Ciphertext& ct) const {
@@ -1033,6 +1062,9 @@ Ciphertext RnsBackend::clone_mutate_limbs(
 void RnsBackend::ensure_galois_keys(std::span<const int> steps) {
   OpScope op(*this, OpKind::kGaloisKeys);
   op.attr("steps", static_cast<double>(steps.size()));
+  // Exclusive lock across the whole pass: concurrent serving sessions may
+  // ensure the same steps; the second caller must observe complete keys.
+  std::unique_lock<std::shared_mutex> lock(galois_mutex_);
   for (const int step : steps) {
     // Step 0 requests the conjugation key by convention.
     const std::uint64_t exponent =

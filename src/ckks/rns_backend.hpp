@@ -6,6 +6,7 @@
 #include <memory>
 #include <mutex>
 #include <optional>
+#include <shared_mutex>
 #include <vector>
 
 #include "ckks/backend.hpp"
@@ -210,14 +211,26 @@ class RnsBackend final : public HeBackend {
   // inv_q_mod_q_[l][i] = q_l^{-1} mod q_i, for i < l (rescale).
   std::vector<std::vector<std::uint64_t>> inv_q_mod_q_;
 
+  // The serving layer evaluates batches on concurrent worker threads, so the
+  // few mutable members a const evaluation path touches are guarded:
+  //  * prng_        — encrypt() samples (u, e0, e1) under prng_mutex_;
+  //  * ntt_perms_   — lazy automorphism permutations under ntt_perm_mutex_
+  //                   (map nodes are stable, so references stay valid after
+  //                   the lock is released);
+  //  * galois_keys_ — rotate()/conjugate() take a shared lock for the lookup,
+  //                   ensure_galois_keys() an exclusive one for inserts (keys
+  //                   are never erased, so looked-up references are stable).
   mutable Prng prng_;
+  mutable std::mutex prng_mutex_;
   mutable std::map<std::uint64_t, std::vector<std::uint32_t>> ntt_perms_;
+  mutable std::mutex ntt_perm_mutex_;
   RnsPoly sk_ntt_;    // all channels, NTT
   RnsPoly sk_coeff_;  // all channels, coeff (for automorphism targets)
   RnsPoly pk_b_, pk_a_;  // q channels, NTT
   PolyBuffer pk_b_shoup_, pk_a_shoup_;  // fixed operands of every encrypt
   KswKey relin_key_;
   std::map<std::uint64_t, KswKey> galois_keys_;  // by automorphism exponent
+  mutable std::shared_mutex galois_mutex_;
 };
 
 }  // namespace pphe

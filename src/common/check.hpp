@@ -1,5 +1,6 @@
 #pragma once
 
+#include <cstddef>
 #include <cstdint>
 #include <sstream>
 #include <stdexcept>
@@ -37,7 +38,16 @@ enum class ErrorCode : std::uint8_t {
   kTimeout,
   /// A (simulated) worker crashed mid-request.
   kWorkerCrash,
+  /// A caller-supplied argument is outside the accepted domain (e.g. a batch
+  /// size that is not a power of two or exceeds slot capacity). The message
+  /// names the allowed range so CLI layers can print it verbatim.
+  kInvalidArgument,
+  /// Admission control: the serving queue is full, the request was rejected
+  /// at submit time (backpressure — resubmit later or shed load upstream).
+  kOverloaded,
 };
+inline constexpr std::size_t kErrorCodeCount =
+    static_cast<std::size_t>(ErrorCode::kOverloaded) + 1;
 
 constexpr const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -51,6 +61,8 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kNoiseBudget: return "noise_budget";
     case ErrorCode::kTimeout: return "timeout";
     case ErrorCode::kWorkerCrash: return "worker_crash";
+    case ErrorCode::kInvalidArgument: return "invalid_argument";
+    case ErrorCode::kOverloaded: return "overloaded";
   }
   return "?";
 }

@@ -112,6 +112,30 @@ void WeightOperandCache::clear() {
   stats_ = {};
 }
 
+void HeModel::validate_batch(const HeBackend& backend, const ModelSpec& spec,
+                             std::size_t batch) {
+  std::size_t tile = 1;
+  for (const auto& stage : spec.stages) {
+    if (stage.kind == ModelSpec::Stage::Kind::kLinear) {
+      tile = std::max(tile, next_pow2(std::max(stage.linear.in_dim,
+                                               stage.linear.out_dim)));
+    }
+  }
+  const std::size_t slots = backend.slot_count();
+  const std::size_t max_batch = tile <= slots ? slots / tile : 0;
+  const std::string allowed =
+      "allowed for this model on " + backend.name() + ": powers of two in [1, " +
+      std::to_string(max_batch) + "] (tile " + std::to_string(tile) + ", " +
+      std::to_string(slots) + " slots)";
+  PPHE_CHECK_CODE(batch >= 1 && (batch & (batch - 1)) == 0,
+                  ErrorCode::kInvalidArgument,
+                  "batch " + std::to_string(batch) +
+                      " is not a power of two; " + allowed);
+  PPHE_CHECK_CODE(batch <= max_batch, ErrorCode::kInvalidArgument,
+                  "batch " + std::to_string(batch) +
+                      " exceeds slot capacity; " + allowed);
+}
+
 HeModel::HeModel(HeBackend& backend, const ModelSpec& spec,
                  HeModelOptions options)
     : backend_(backend), spec_(spec), options_(options) {
@@ -191,11 +215,9 @@ void HeModel::plan() {
     }
   }
   const std::size_t batch = options_.batch;
+  validate_batch(backend_, spec_, batch);
   std::size_t rot_mult = 1;
   if (batch > 1) {
-    PPHE_CHECK((batch & (batch - 1)) == 0, "batch must be a power of two");
-    PPHE_CHECK(tile * batch <= slots,
-               "batch * layer dimension exceeds slot capacity");
     tile = slots / batch;
     rot_mult = batch;
   }
@@ -811,8 +833,16 @@ std::vector<Ciphertext> HeModel::encrypt_images(
 std::vector<Ciphertext> HeModel::encrypt_input(
     std::span<const float> image) const {
   PPHE_CHECK(options_.batch == 1,
-             "use infer_batch / encrypt_images when options.batch > 1");
+             "use infer_batch / encrypt_batch when options.batch > 1");
   return encrypt_images({image});
+}
+
+std::vector<Ciphertext> HeModel::encrypt_batch(
+    const std::vector<std::vector<float>>& images) const {
+  std::vector<std::span<const float>> views;
+  views.reserve(images.size());
+  for (const auto& img : images) views.emplace_back(img);
+  return encrypt_images(views);
 }
 
 std::size_t HeModel::output_dim() const {
@@ -821,18 +851,29 @@ std::size_t HeModel::output_dim() const {
              : spec_.stages.back().activation.features;
 }
 
-std::vector<double> HeModel::decrypt_logits(const Ciphertext& ct) const {
+std::vector<std::vector<double>> HeModel::decrypt_logits_batch(
+    const Ciphertext& ct) const {
   trace::Span span("decrypt_logits", "model");
   const auto all = backend_.decrypt_decode(ct);
   const std::size_t out_dim = output_dim();
-  if (options_.batch > 1) {
-    // First image's logits under the interleaved layout.
-    std::vector<double> logits(out_dim);
-    for (std::size_t t = 0; t < out_dim; ++t) logits[t] = all[t * options_.batch];
-    return logits;
+  const std::size_t batch = options_.batch;
+  // The single de-interleave implementation: image `img`'s logit `t` lives at
+  // slot t*batch + img under the interleaved layout (slot t replicated when
+  // batch == 1). decrypt_logits and infer_batch both read through here, so
+  // batched and single-image decode paths cannot drift apart.
+  std::vector<std::vector<double>> logits(batch);
+  for (std::size_t img = 0; img < batch; ++img) {
+    auto& row = logits[img];
+    row.resize(out_dim);
+    for (std::size_t t = 0; t < out_dim; ++t) {
+      row[t] = batch > 1 ? all[t * batch + img] : all[t];
+    }
   }
-  return std::vector<double>(all.begin(),
-                             all.begin() + static_cast<long>(out_dim));
+  return logits;
+}
+
+std::vector<double> HeModel::decrypt_logits(const Ciphertext& ct) const {
+  return std::move(decrypt_logits_batch(ct).front());
 }
 
 HeModel::BatchResult HeModel::infer_batch(
@@ -853,17 +894,13 @@ HeModel::BatchResult HeModel::infer_batch(
   result.eval_seconds = sw.seconds();
 
   sw.reset();
-  const auto all = backend_.decrypt_decode(out);
-  const std::size_t out_dim = output_dim();
-  const std::size_t batch = options_.batch;
-  result.logits.resize(images.size());
+  auto all = decrypt_logits_batch(out);
+  result.logits.assign(std::make_move_iterator(all.begin()),
+                       std::make_move_iterator(all.begin() +
+                                               static_cast<long>(images.size())));
   result.predicted.resize(images.size());
   for (std::size_t img = 0; img < images.size(); ++img) {
-    auto& logits = result.logits[img];
-    logits.resize(out_dim);
-    for (std::size_t t = 0; t < out_dim; ++t) {
-      logits[t] = batch > 1 ? all[t * batch + img] : all[t];
-    }
+    const auto& logits = result.logits[img];
     result.predicted[img] = static_cast<int>(
         std::max_element(logits.begin(), logits.end()) - logits.begin());
   }

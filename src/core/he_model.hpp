@@ -153,8 +153,26 @@ class HeModel {
 
   /// Client-side: encode + encrypt the (quantized, branch-decomposed) image.
   std::vector<Ciphertext> encrypt_input(std::span<const float> image) const;
+  /// Client-side batched variant: encrypts options.batch images interleaved
+  /// across the slots (requires images.size() == options().batch).
+  std::vector<Ciphertext> encrypt_batch(
+      const std::vector<std::vector<float>>& images) const;
   /// Client-side: decrypt + decode logits.
   std::vector<double> decrypt_logits(const Ciphertext& ct) const;
+  /// Client-side batched variant: decrypts ONCE and de-interleaves every
+  /// image's logits from the packed layout. decrypt_logits(ct) is defined as
+  /// decrypt_logits_batch(ct)[0], so the two paths are bit-identical.
+  std::vector<std::vector<double>> decrypt_logits_batch(
+      const Ciphertext& ct) const;
+
+  /// Validates a requested SIMD batch size against the backend's slot
+  /// capacity and the spec's layer dimensions BEFORE compilation: batch must
+  /// be a power of two with batch * tile <= slots. Throws a typed
+  /// Error(ErrorCode::kInvalidArgument) naming the allowed range, so CLI and
+  /// config layers can reject bad --batch values with a usable message
+  /// instead of dying mid-compile.
+  static void validate_batch(const HeBackend& backend, const ModelSpec& spec,
+                             std::size_t batch);
 
   const ModelSpec& spec() const { return spec_; }
   const HeModelOptions& options() const { return options_; }

@@ -58,19 +58,48 @@ Ciphertext guarded_eval(const HeModel& model,
 
 }  // namespace
 
-ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
-                            std::span<const float> image,
-                            const ServingOptions& options) {
+ServeBatchOutcome serve_classify_batch(const RnsBackend& backend,
+                                       const HeModel& model,
+                                       const std::vector<std::vector<float>>& images,
+                                       const ServingOptions& options) {
   PPHE_CHECK(&model.backend() == static_cast<const HeBackend*>(&backend),
-             "serve_classify: model was compiled on a different backend");
-  trace::Span span("serve_classify", "serving");
-  ServeOutcome outcome;
+             "serve_classify_batch: model was compiled on a different backend");
+  const std::size_t batch = model.options().batch;
+  PPHE_CHECK_CODE(!images.empty() && images.size() <= batch,
+                  ErrorCode::kInvalidArgument,
+                  "serve_classify_batch: " + std::to_string(images.size()) +
+                      " images for a batch-" + std::to_string(batch) +
+                      " model (need 1.." + std::to_string(batch) + ")");
+  trace::Span span("serve_classify_batch", "serving");
+  span.attr("images", static_cast<double>(images.size()));
+  span.attr("batch", static_cast<double>(batch));
+
+  // One-time session setup, hoisted OUT of the retry loop: evaluation keys
+  // (relin + Galois) live for the whole client/cloud session, so a retry
+  // re-sends only the freshly re-encrypted inputs — never the key material,
+  // which dwarfs every other object in the protocol. The op-counter
+  // regression test pins kGaloisKeys to one bump per serve call regardless
+  // of how many attempts the fault plan forces.
+  model.backend().ensure_galois_keys(model.rotation_steps());
+
+  // Partial batches ride in the same slot-packed layout padded with zero
+  // images; their logits exist but are dropped before the outcome is built.
+  const std::vector<std::vector<float>>* submit = &images;
+  std::vector<std::vector<float>> padded;
+  if (images.size() < batch) {
+    padded = images;
+    const std::size_t in_dim = images.front().size();
+    padded.resize(batch, std::vector<float>(in_dim, 0.0f));
+    submit = &padded;
+  }
+
+  ServeBatchOutcome outcome;
   const int attempts_allowed = 1 + std::max(0, options.max_retries);
   for (int attempt = 0; attempt < attempts_allowed; ++attempt) {
     ++outcome.attempts;
     try {
       // Client side: fresh encrypt every attempt (retry-with-recompute).
-      const std::vector<Ciphertext> fresh = model.encrypt_input(image);
+      const std::vector<Ciphertext> fresh = model.encrypt_batch(*submit);
       // Client -> cloud hop, per branch ciphertext.
       std::vector<Ciphertext> cloud_inputs;
       cloud_inputs.reserve(fresh.size());
@@ -80,13 +109,20 @@ ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
       // Cloud side: validation + guardrails run inside eval.
       const Ciphertext encrypted_logits =
           guarded_eval(model, cloud_inputs, options.watchdog_seconds);
-      // Cloud -> client hop, then client-side decrypt.
+      // Cloud -> client hop, then client-side decrypt + de-interleave.
       const Ciphertext received =
           ship(backend, encrypted_logits, fault::Site::kWireDownload);
-      outcome.logits = model.decrypt_logits(received);
-      outcome.predicted = static_cast<int>(
-          std::max_element(outcome.logits.begin(), outcome.logits.end()) -
-          outcome.logits.begin());
+      auto all = model.decrypt_logits_batch(received);
+      outcome.logits.assign(
+          std::make_move_iterator(all.begin()),
+          std::make_move_iterator(all.begin() +
+                                  static_cast<long>(images.size())));
+      outcome.predicted.resize(images.size());
+      for (std::size_t i = 0; i < images.size(); ++i) {
+        const auto& row = outcome.logits[i];
+        outcome.predicted[i] = static_cast<int>(
+            std::max_element(row.begin(), row.end()) - row.begin());
+      }
       outcome.ok = true;
       break;
     } catch (const Error& e) {
@@ -98,6 +134,32 @@ ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
       }
     }
   }
+  span.attr("attempts", static_cast<double>(outcome.attempts));
+  span.attr("ok", outcome.ok ? 1.0 : 0.0);
+  return outcome;
+}
+
+ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
+                            std::span<const float> image,
+                            const ServingOptions& options) {
+  PPHE_CHECK(&model.backend() == static_cast<const HeBackend*>(&backend),
+             "serve_classify: model was compiled on a different backend");
+  trace::Span span("serve_classify", "serving");
+  // The single-image path IS the batch path with one image: the batched loop
+  // handles a batch-1 model (replicated layout) natively, so the two share
+  // the retry/recovery logic verbatim.
+  ServeBatchOutcome batched = serve_classify_batch(
+      backend, model, {std::vector<float>(image.begin(), image.end())},
+      options);
+  ServeOutcome outcome;
+  if (!batched.logits.empty()) {
+    outcome.logits = std::move(batched.logits.front());
+    outcome.predicted = batched.predicted.front();
+  }
+  outcome.ok = batched.ok;
+  outcome.degraded = batched.degraded;
+  outcome.faults = std::move(batched.faults);
+  outcome.attempts = batched.attempts;
   span.attr("attempts", static_cast<double>(outcome.attempts));
   span.attr("ok", outcome.ok ? 1.0 : 0.0);
   return outcome;

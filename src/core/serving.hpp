@@ -49,6 +49,25 @@ struct ServeOutcome {
   int attempts = 0;
 };
 
+/// Outcome of one slot-packed batch round trip. All requests in the batch
+/// share one ciphertext, so a transport/eval fault hits every request in it
+/// identically: `faults` is the batch-level attempt history, and the serve
+/// layer attributes it to each member request when it builds the replies.
+struct ServeBatchOutcome {
+  /// Per-request logits, indexed like the submitted image vector (padding
+  /// images added to fill the model's batch are dropped).
+  std::vector<std::vector<double>> logits;
+  std::vector<int> predicted;
+  /// True when some attempt completed and produced logits.
+  bool ok = false;
+  /// True when the noise-budget guardrail refused evaluation (no retry).
+  bool degraded = false;
+  /// Failures recorded per failed attempt, in order.
+  std::vector<ServeAttempt> faults;
+  /// Attempts consumed (successful one included).
+  int attempts = 0;
+};
+
 /// Classifies `image` through `model` over the serialized client/cloud
 /// round trip. `backend` must be the RnsBackend the model was compiled on
 /// (serialization is RNS-specific). Never throws on an injected/transport
@@ -56,5 +75,18 @@ struct ServeOutcome {
 ServeOutcome serve_classify(const RnsBackend& backend, const HeModel& model,
                             std::span<const float> image,
                             const ServingOptions& options = {});
+
+/// Batched variant: classifies up to options().batch images in ONE
+/// slot-packed evaluation through the same hardened round trip (fresh
+/// re-encrypt per attempt, wire hops on the single batched ciphertext,
+/// watchdogged eval, typed fault history). `images.size()` may be smaller
+/// than the model's batch — the remainder is padded with zero images whose
+/// logits are discarded. Evaluation keys are ensured ONCE before the retry
+/// loop (hoisted session setup): a retry re-sends only the re-encrypted
+/// inputs, never the key material.
+ServeBatchOutcome serve_classify_batch(const RnsBackend& backend,
+                                       const HeModel& model,
+                                       const std::vector<std::vector<float>>& images,
+                                       const ServingOptions& options = {});
 
 }  // namespace pphe

@@ -1,0 +1,139 @@
+#pragma once
+
+#include <chrono>
+#include <cstddef>
+#include <cstdint>
+#include <map>
+#include <optional>
+#include <utility>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pphe::serve {
+
+/// A batch the micro-batcher cut: items of ONE compatibility group, in
+/// arrival order, plus the arrival time of its oldest member (the linger
+/// latency of the batch is cut_time - oldest_arrival).
+template <typename T>
+struct MicroBatch {
+  std::uint64_t key = 0;
+  std::vector<T> items;
+  std::chrono::steady_clock::time_point oldest_arrival{};
+};
+
+/// Deadline-aware micro-batching DECISION logic — no threads, no clock of
+/// its own, every method a pure function of its arguments and prior calls,
+/// which is what makes the linger/dispatch policy deterministically
+/// testable with fabricated time points.
+///
+/// Requests accumulate per compatibility key (the server keys on the model
+/// set identity — only requests for the same compiled model/params may
+/// share a slot-packed ciphertext). The driving thread feeds arrivals with
+/// add(), asks next_deadline() how long it may sleep, and drains cut():
+///
+///  * a group that reached `max_batch` is cut immediately (a full batch
+///    never waits out its linger);
+///  * otherwise a group is cut once its OLDEST member has waited
+///    `max_linger` — bounded latency for the first request in line;
+///  * cut_any() force-cuts regardless of deadlines (shutdown drain).
+template <typename T>
+class MicroBatcher {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  MicroBatcher(std::size_t max_batch, Clock::duration max_linger)
+      : max_batch_(max_batch), linger_(max_linger) {
+    PPHE_CHECK(max_batch > 0, "MicroBatcher: max_batch must be positive");
+  }
+
+  void add(std::uint64_t key, T item, TimePoint arrival) {
+    Group& g = groups_[key];
+    g.items.push_back(std::move(item));
+    g.arrivals.push_back(arrival);
+    ++pending_;
+  }
+
+  /// Earliest linger expiry over all pending groups; nullopt when idle.
+  /// The driver sleeps until this instant (or a new arrival) and calls
+  /// cut() again. A full group makes the CURRENT time the deadline, but
+  /// drivers cut full groups immediately after add() anyway.
+  std::optional<TimePoint> next_deadline() const {
+    std::optional<TimePoint> earliest;
+    for (const auto& [key, g] : groups_) {
+      const TimePoint expiry = g.arrivals.front() + linger_;
+      if (!earliest || expiry < *earliest) earliest = expiry;
+    }
+    return earliest;
+  }
+
+  /// Cuts one ready batch: any FULL group first (taking exactly max_batch
+  /// items, oldest first — the remainder keeps waiting with a fresh
+  /// deadline), else the expired group whose oldest member arrived first.
+  /// nullopt when nothing is ready at `now`; drain with repeated calls.
+  std::optional<MicroBatch<T>> cut(TimePoint now) {
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (it->second.items.size() >= max_batch_) return take(it, max_batch_);
+    }
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (it->second.arrivals.front() + linger_ > now) continue;
+      if (best == groups_.end() ||
+          it->second.arrivals.front() < best->second.arrivals.front()) {
+        best = it;
+      }
+    }
+    if (best == groups_.end()) return std::nullopt;
+    return take(best, best->second.items.size());
+  }
+
+  /// Force-cuts the group with the oldest member (shutdown drain), at most
+  /// max_batch items at a time. nullopt when empty.
+  std::optional<MicroBatch<T>> cut_any() {
+    auto best = groups_.end();
+    for (auto it = groups_.begin(); it != groups_.end(); ++it) {
+      if (best == groups_.end() ||
+          it->second.arrivals.front() < best->second.arrivals.front()) {
+        best = it;
+      }
+    }
+    if (best == groups_.end()) return std::nullopt;
+    return take(best, std::min(best->second.items.size(), max_batch_));
+  }
+
+  std::size_t pending() const { return pending_; }
+  std::size_t max_batch() const { return max_batch_; }
+  Clock::duration max_linger() const { return linger_; }
+
+ private:
+  struct Group {
+    std::vector<T> items;
+    std::vector<TimePoint> arrivals;  // parallel to items, non-decreasing
+  };
+
+  MicroBatch<T> take(typename std::map<std::uint64_t, Group>::iterator it,
+                     std::size_t n) {
+    Group& g = it->second;
+    MicroBatch<T> batch;
+    batch.key = it->first;
+    batch.oldest_arrival = g.arrivals.front();
+    batch.items.assign(std::make_move_iterator(g.items.begin()),
+                       std::make_move_iterator(g.items.begin() +
+                                               static_cast<long>(n)));
+    g.items.erase(g.items.begin(), g.items.begin() + static_cast<long>(n));
+    g.arrivals.erase(g.arrivals.begin(),
+                     g.arrivals.begin() + static_cast<long>(n));
+    pending_ -= n;
+    if (g.items.empty()) groups_.erase(it);
+    return batch;
+  }
+
+  const std::size_t max_batch_;
+  const Clock::duration linger_;
+  // std::map for deterministic iteration order (tests replay exact cuts).
+  std::map<std::uint64_t, Group> groups_;
+  std::size_t pending_ = 0;
+};
+
+}  // namespace pphe::serve

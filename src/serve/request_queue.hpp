@@ -1,0 +1,136 @@
+#pragma once
+
+#include <chrono>
+#include <condition_variable>
+#include <cstddef>
+#include <deque>
+#include <mutex>
+#include <optional>
+#include <string>
+#include <utility>
+
+#include "common/check.hpp"
+
+namespace pphe::serve {
+
+/// Bounded multi-producer/multi-consumer queue — the admission-control edge
+/// of the batch server. Two producer disciplines coexist:
+///
+///  * push()      — never blocks. A full queue REJECTS the item with a typed
+///                  Error(ErrorCode::kOverloaded): backpressure surfaces to
+///                  the client at submit time instead of stalling it, so the
+///                  caller can shed load or resubmit later (the front door).
+///  * push_wait() — blocks until space frees up. Used on internal handoff
+///                  lanes (batcher -> workers) where the producer is our own
+///                  thread and stalling IT is exactly the backpressure we
+///                  want to propagate upstream.
+///
+/// close() stops producers and lets consumers drain what is already queued;
+/// pop_until() reports kClosed only once the queue is closed AND empty, so a
+/// shutdown never drops accepted work.
+template <typename T>
+class RequestQueue {
+ public:
+  using Clock = std::chrono::steady_clock;
+  using TimePoint = Clock::time_point;
+
+  enum class PopStatus {
+    kItem,     ///< an item was dequeued into `out`
+    kTimeout,  ///< the deadline expired with the queue still empty
+    kClosed,   ///< closed and fully drained — no item will ever arrive
+  };
+
+  explicit RequestQueue(std::size_t capacity) : capacity_(capacity) {
+    PPHE_CHECK(capacity > 0, "RequestQueue: capacity must be positive");
+  }
+
+  /// Admission-control producer: rejects instead of blocking. Throws
+  /// Error(kOverloaded) when full, Error(kGeneric) when closed.
+  void push(T item) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      PPHE_CHECK(!closed_, "RequestQueue: push on a closed queue");
+      PPHE_CHECK_CODE(items_.size() < capacity_, ErrorCode::kOverloaded,
+                      "queue full (" + std::to_string(capacity_) +
+                          " pending requests) — backpressure, resubmit later");
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+  }
+
+  /// Blocking producer for internal lanes: waits for space. Returns false
+  /// (dropping the item) only when the queue is closed.
+  bool push_wait(T item) {
+    {
+      std::unique_lock<std::mutex> lock(mutex_);
+      not_full_.wait(lock,
+                     [this] { return closed_ || items_.size() < capacity_; });
+      if (closed_) return false;
+      items_.push_back(std::move(item));
+    }
+    not_empty_.notify_one();
+    return true;
+  }
+
+  /// Non-blocking consumer; false when nothing is immediately available.
+  bool try_pop(T& out) {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      if (items_.empty()) return false;
+      out = std::move(items_.front());
+      items_.pop_front();
+    }
+    not_full_.notify_one();
+    return true;
+  }
+
+  /// Blocking consumer. With a deadline, gives up at that instant
+  /// (kTimeout); with nullopt it waits indefinitely for an item or close.
+  PopStatus pop_until(T& out, std::optional<TimePoint> deadline) {
+    std::unique_lock<std::mutex> lock(mutex_);
+    const auto ready = [this] { return closed_ || !items_.empty(); };
+    if (deadline) {
+      if (!not_empty_.wait_until(lock, *deadline, ready)) {
+        return PopStatus::kTimeout;
+      }
+    } else {
+      not_empty_.wait(lock, ready);
+    }
+    if (items_.empty()) return PopStatus::kClosed;  // closed and drained
+    out = std::move(items_.front());
+    items_.pop_front();
+    lock.unlock();
+    not_full_.notify_one();
+    return PopStatus::kItem;
+  }
+
+  /// Stops producers and wakes every waiter; queued items remain poppable.
+  void close() {
+    {
+      std::lock_guard<std::mutex> lock(mutex_);
+      closed_ = true;
+    }
+    not_empty_.notify_all();
+    not_full_.notify_all();
+  }
+
+  std::size_t size() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return items_.size();
+  }
+  std::size_t capacity() const { return capacity_; }
+  bool closed() const {
+    std::lock_guard<std::mutex> lock(mutex_);
+    return closed_;
+  }
+
+ private:
+  const std::size_t capacity_;
+  mutable std::mutex mutex_;
+  std::condition_variable not_empty_;
+  std::condition_variable not_full_;
+  std::deque<T> items_;
+  bool closed_ = false;
+};
+
+}  // namespace pphe::serve

@@ -1,0 +1,228 @@
+#include "serve/server.hpp"
+
+#include <algorithm>
+#include <chrono>
+#include <string>
+#include <utility>
+
+#include "ckks/rns_backend.hpp"
+#include "common/trace.hpp"
+
+namespace pphe::serve {
+
+namespace {
+using Clock = std::chrono::steady_clock;
+
+std::uint64_t ns_between(Clock::time_point from, Clock::time_point to) {
+  const auto d =
+      std::chrono::duration_cast<std::chrono::nanoseconds>(to - from).count();
+  return d > 0 ? static_cast<std::uint64_t>(d) : 0;
+}
+}  // namespace
+
+BatchServer::BatchServer(BatchModelSet& models, ServerOptions options)
+    : models_(models),
+      options_(std::move(options)),
+      queue_(options_.queue_capacity),
+      // Shallow lane: one cut batch waiting per worker is enough pipeline
+      // overlap; a deeper lane would only hide backpressure from clients.
+      batch_lane_(std::max<std::size_t>(1, options_.workers)) {
+  PPHE_CHECK(options_.workers >= 1, "BatchServer: need at least one worker");
+  options_.max_batch = std::min(options_.max_batch, models_.max_batch());
+  PPHE_CHECK(options_.max_batch >= 1, "BatchServer: max_batch must be >= 1");
+  batcher_thread_ = std::thread([this] { batcher_main(); });
+  workers_.reserve(options_.workers);
+  for (std::size_t i = 0; i < options_.workers; ++i) {
+    workers_.emplace_back([this] { worker_main(); });
+  }
+}
+
+BatchServer::~BatchServer() { shutdown(); }
+
+std::future<ServeReply> BatchServer::submit(std::vector<float> image) {
+  trace::Span span("serve.enqueue", "serve");
+  const std::size_t expect = models_.input_dim();
+  if (image.size() != expect) {
+    {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected[static_cast<std::size_t>(ErrorCode::kInvalidArgument)];
+    }
+    throw Error(ErrorCode::kInvalidArgument,
+                "submit: image has " + std::to_string(image.size()) +
+                    " values, model expects " + std::to_string(expect));
+  }
+  Pending pending;
+  pending.image = std::move(image);
+  pending.enqueue_time = Clock::now();
+  std::future<ServeReply> future = pending.promise.get_future();
+  try {
+    queue_.push(std::move(pending));
+  } catch (const Error& e) {
+    if (e.code() == ErrorCode::kOverloaded) {
+      std::lock_guard<std::mutex> lock(stats_mutex_);
+      ++stats_.rejected[static_cast<std::size_t>(ErrorCode::kOverloaded)];
+    }
+    throw;
+  }
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.submitted;
+  }
+  span.attr("depth", static_cast<double>(queue_.size()));
+  return future;
+}
+
+void BatchServer::batcher_main() {
+  MicroBatcher<Pending> batcher(
+      options_.max_batch,
+      std::chrono::duration_cast<Clock::duration>(
+          std::chrono::duration<double, std::milli>(options_.linger_ms)));
+  // All requests of this server target one model set, so they share one
+  // compatibility key; a multi-model server would key on the model identity.
+  constexpr std::uint64_t kKey = 0;
+  for (;;) {
+    // Slurp everything immediately available, then cut whatever is ready
+    // (full batches first, then expired lingers).
+    Pending req;
+    while (queue_.try_pop(req)) batcher.add(kKey, std::move(req), Clock::now());
+    const auto now = Clock::now();
+    while (auto batch = batcher.cut(now)) dispatch(std::move(*batch));
+    // Sleep until the earliest linger deadline or the next arrival.
+    const auto status = queue_.pop_until(req, batcher.next_deadline());
+    if (status == RequestQueue<Pending>::PopStatus::kItem) {
+      batcher.add(kKey, std::move(req), Clock::now());
+    } else if (status == RequestQueue<Pending>::PopStatus::kClosed) {
+      break;
+    }
+    // kTimeout falls through: the next cut() pass dispatches the expired
+    // group.
+  }
+  // Shutdown drain: force-cut every remaining group so no accepted request
+  // is ever dropped, then close the lane so workers exit once it is empty.
+  while (auto batch = batcher.cut_any()) dispatch(std::move(*batch));
+  batch_lane_.close();
+}
+
+void BatchServer::dispatch(MicroBatch<Pending> batch) {
+  trace::Span span("serve.batch", "serve");
+  const auto cut_time = Clock::now();
+  ReadyBatch ready;
+  ready.requests = std::move(batch.items);
+  ready.oldest_arrival = batch.oldest_arrival;
+  ready.cut_time = cut_time;
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    ++stats_.batches;
+    ++stats_.batches_in_flight;
+    ++stats_.batch_sizes[ready.requests.size()];
+    stats_.linger_ns.add_ns(ns_between(ready.oldest_arrival, cut_time));
+    for (const Pending& p : ready.requests) {
+      stats_.queue_ns.add_ns(ns_between(p.enqueue_time, cut_time));
+    }
+  }
+  span.attr("size", static_cast<double>(ready.requests.size()));
+  span.attr("linger_ns",
+            static_cast<double>(ns_between(ready.oldest_arrival, cut_time)));
+  // Blocking push: when every worker is busy and the lane is full, the
+  // batcher stalls here, the request queue fills, and submit() starts
+  // rejecting with kOverloaded — backpressure end to end.
+  batch_lane_.push_wait(std::move(ready));
+}
+
+void BatchServer::worker_main() {
+  for (;;) {
+    ReadyBatch batch;
+    const auto status = batch_lane_.pop_until(batch, std::nullopt);
+    if (status != RequestQueue<ReadyBatch>::PopStatus::kItem) break;
+    process(std::move(batch));
+  }
+}
+
+void BatchServer::process(ReadyBatch batch) {
+  const std::size_t n = batch.requests.size();
+  std::vector<std::vector<float>> images;
+  images.reserve(n);
+  for (Pending& p : batch.requests) images.push_back(std::move(p.image));
+
+  ServeBatchOutcome outcome;
+  Stopwatch sw;
+  try {
+    trace::Span span("serve.eval", "serve");
+    span.attr("size", static_cast<double>(n));
+    const HeModel& model = models_.model_for(n);
+    outcome = serve_classify_batch(models_.backend(), model, images,
+                                   options_.serving);
+  } catch (const Error& e) {
+    // serve_classify_batch only throws on caller bugs (wrong backend/shape);
+    // surface it through the replies rather than killing the worker.
+    outcome.ok = false;
+    outcome.attempts = std::max(outcome.attempts, 1);
+    outcome.faults.push_back({e.code(), e.what()});
+  }
+  const double eval_seconds = sw.seconds();
+
+  // Account BEFORE fulfilling the promises: a client that observes its
+  // future resolved must also observe the stats that include its request.
+  {
+    std::lock_guard<std::mutex> lock(stats_mutex_);
+    --stats_.batches_in_flight;
+    stats_.completed += n;
+    if (outcome.ok) {
+      stats_.ok += n;
+    } else if (outcome.degraded) {
+      stats_.degraded += n;
+    } else {
+      stats_.failed += n;
+    }
+    stats_.retries +=
+        static_cast<std::uint64_t>(std::max(0, outcome.attempts - 1));
+    stats_.eval_ns.add_ns(static_cast<std::uint64_t>(eval_seconds * 1e9));
+  }
+
+  trace::Span reply_span("serve.reply", "serve");
+  reply_span.attr("size", static_cast<double>(n));
+  reply_span.attr("ok", outcome.ok ? 1.0 : 0.0);
+  for (std::size_t i = 0; i < n; ++i) {
+    ServeReply reply;
+    reply.ok = outcome.ok;
+    reply.degraded = outcome.degraded;
+    reply.faults = outcome.faults;  // batch-level history, attributed to each
+    reply.attempts = outcome.attempts;
+    reply.batch_size = n;
+    reply.queue_seconds =
+        static_cast<double>(
+            ns_between(batch.requests[i].enqueue_time, batch.cut_time)) *
+        1e-9;
+    reply.eval_seconds = eval_seconds;
+    if (outcome.ok) {
+      reply.logits = std::move(outcome.logits[i]);
+      reply.predicted = outcome.predicted[i];
+    } else if (!outcome.faults.empty()) {
+      reply.error = outcome.faults.back().code;
+      reply.message = outcome.faults.back().message;
+    }
+    batch.requests[i].promise.set_value(std::move(reply));
+  }
+}
+
+void BatchServer::shutdown() {
+  {
+    std::lock_guard<std::mutex> lock(shutdown_mutex_);
+    if (shut_down_) return;
+    shut_down_ = true;
+  }
+  queue_.close();
+  if (batcher_thread_.joinable()) batcher_thread_.join();
+  for (std::thread& w : workers_) {
+    if (w.joinable()) w.join();
+  }
+}
+
+ServerStats BatchServer::stats() const {
+  std::lock_guard<std::mutex> lock(stats_mutex_);
+  ServerStats out = stats_;
+  out.queue_depth = queue_.size();
+  return out;
+}
+
+}  // namespace pphe::serve

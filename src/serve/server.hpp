@@ -1,0 +1,151 @@
+#pragma once
+
+#include <array>
+#include <cstddef>
+#include <cstdint>
+#include <future>
+#include <map>
+#include <memory>
+#include <mutex>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/stats.hpp"
+#include "core/serving.hpp"
+#include "serve/batcher.hpp"
+#include "serve/model_set.hpp"
+#include "serve/request_queue.hpp"
+
+namespace pphe::serve {
+
+/// Knobs of the batch server (CLI flags map onto these 1:1).
+struct ServerOptions {
+  /// Evaluation worker threads. Each worker owns one batch at a time; the
+  /// homomorphic kernels inside an evaluation still parallelize through the
+  /// process-wide ThreadPool, so workers add pipeline overlap (a batch
+  /// evaluates while the next one coalesces), not kernel parallelism.
+  std::size_t workers = 1;
+  /// Largest SIMD batch to coalesce (clamped to the model set's max_batch).
+  std::size_t max_batch = 8;
+  /// How long the oldest queued request may wait for companions before its
+  /// partial batch is cut anyway (latency bound of micro-batching).
+  double linger_ms = 2.0;
+  /// Admission-control capacity: requests beyond this many pending are
+  /// rejected with Error(kOverloaded) at submit().
+  std::size_t queue_capacity = 64;
+  /// Per-batch recovery knobs (retries, watchdog) — the PR 4 loop.
+  ServingOptions serving;
+};
+
+/// What a client's future resolves to: the per-request slice of the batch
+/// outcome, with the batch-level fault history attributed to this request
+/// (every member of a slot-packed batch shares one ciphertext, so a fault
+/// hit them all identically).
+struct ServeReply {
+  std::vector<double> logits;
+  int predicted = -1;
+  bool ok = false;
+  /// Noise-budget refusal: typed degraded outcome, never garbage logits.
+  bool degraded = false;
+  /// Code of the final failure when !ok (kGeneric when ok).
+  ErrorCode error = ErrorCode::kGeneric;
+  std::string message;
+  /// Full attempt history of the batch this request rode in.
+  std::vector<ServeAttempt> faults;
+  int attempts = 0;
+  /// Size of the dispatched batch (before padding to a power of two).
+  std::size_t batch_size = 0;
+  double queue_seconds = 0.0;  ///< submit -> batch cut
+  double eval_seconds = 0.0;   ///< batch round trip (shared across the batch)
+};
+
+/// Point-in-time server telemetry (copy, safe to read after the server is
+/// gone). Latency histograms use the tracer's log2-ns buckets.
+struct ServerStats {
+  std::size_t queue_depth = 0;      ///< requests awaiting batching
+  std::size_t batches_in_flight = 0;  ///< cut but not yet completed
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;  ///< replies delivered (ok + degraded + failed)
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  /// Extra attempts beyond the first, summed over batches (retry pressure).
+  std::uint64_t retries = 0;
+  /// submit()-time rejections by ErrorCode (kOverloaded = queue full,
+  /// kInvalidArgument = bad image dimension).
+  std::array<std::uint64_t, kErrorCodeCount> rejected{};
+  /// Dispatched batch size -> count (the coalescing histogram).
+  std::map<std::size_t, std::uint64_t> batch_sizes;
+  Histogram queue_ns;   ///< per request: submit -> batch cut
+  Histogram linger_ns;  ///< per batch: oldest arrival -> cut
+  Histogram eval_ns;    ///< per batch: hardened round trip wall time
+};
+
+/// Deadline-aware batch-serving front end over the hardened round trip:
+///
+///   submit() ──RequestQueue──▶ batcher thread ──batch lane──▶ N workers
+///   (admission control)        (MicroBatcher:                 (serve_classify_batch:
+///    kOverloaded when full)     coalesce ≤ max_batch           retry-by-recompute,
+///                               within linger_ms)              watchdog, noise guard)
+///
+/// Each cut batch is ONE slot-packed homomorphic evaluation on the model
+/// compiled for the batch's size (padded to the next power of two); the
+/// per-request logits are de-interleaved back out and delivered through the
+/// futures submit() returned. Stages are traced as serve.enqueue /
+/// serve.batch / serve.eval / serve.reply spans in category "serve".
+class BatchServer {
+ public:
+  BatchServer(BatchModelSet& models, ServerOptions options);
+  ~BatchServer();
+
+  BatchServer(const BatchServer&) = delete;
+  BatchServer& operator=(const BatchServer&) = delete;
+
+  /// Enqueues one image for classification. Returns the future its reply
+  /// will arrive on. Throws Error(kOverloaded) when the queue is full,
+  /// Error(kInvalidArgument) on a wrong-dimension image (both counted in
+  /// stats().rejected), Error(kGeneric) after shutdown().
+  std::future<ServeReply> submit(std::vector<float> image);
+
+  /// Stops admissions, drains everything already accepted (every returned
+  /// future resolves), joins all threads. Idempotent; the destructor calls
+  /// it.
+  void shutdown();
+
+  ServerStats stats() const;
+
+  const ServerOptions& options() const { return options_; }
+
+ private:
+  struct Pending {
+    std::vector<float> image;
+    std::promise<ServeReply> promise;
+    RequestQueue<int>::TimePoint enqueue_time;
+  };
+  struct ReadyBatch {
+    std::vector<Pending> requests;
+    RequestQueue<int>::TimePoint oldest_arrival;
+    RequestQueue<int>::TimePoint cut_time;
+  };
+
+  void batcher_main();
+  void worker_main();
+  void dispatch(MicroBatch<Pending> batch);
+  void process(ReadyBatch batch);
+
+  BatchModelSet& models_;
+  ServerOptions options_;
+  RequestQueue<Pending> queue_;
+  RequestQueue<ReadyBatch> batch_lane_;
+  std::thread batcher_thread_;
+  std::vector<std::thread> workers_;
+  bool shut_down_ = false;
+  std::mutex shutdown_mutex_;
+
+  mutable std::mutex stats_mutex_;
+  ServerStats stats_;
+};
+
+}  // namespace pphe::serve

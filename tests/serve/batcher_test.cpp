@@ -1,0 +1,129 @@
+// Deterministic micro-batcher tests: the batcher is pure decision logic fed
+// fabricated time points, so every linger-expiry/full-batch race is replayed
+// exactly — no sleeps, no clocks, no flakiness.
+
+#include <gtest/gtest.h>
+
+#include <chrono>
+#include <optional>
+
+#include "serve/batcher.hpp"
+
+namespace pphe::serve {
+namespace {
+
+using Batcher = MicroBatcher<int>;
+using Clock = Batcher::Clock;
+using std::chrono::milliseconds;
+
+Clock::time_point t(int ms) { return Clock::time_point(milliseconds(ms)); }
+
+TEST(MicroBatcher, FullBatchCutsImmediatelyWithoutWaitingOutTheLinger) {
+  Batcher b(/*max_batch=*/4, milliseconds(100));
+  for (int i = 0; i < 4; ++i) b.add(0, i, t(0));
+  // Deadline is far away; the full group must still cut right now.
+  auto batch = b.cut(t(1));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 4u);
+  EXPECT_EQ(batch->oldest_arrival, t(0));
+  EXPECT_EQ(b.pending(), 0u);
+  EXPECT_FALSE(b.cut(t(1)).has_value());
+}
+
+TEST(MicroBatcher, PartialBatchWaitsUntilLingerExpiry) {
+  Batcher b(/*max_batch=*/8, milliseconds(10));
+  b.add(0, 1, t(0));
+  b.add(0, 2, t(3));
+  // Before the oldest member's deadline: nothing to cut.
+  EXPECT_FALSE(b.cut(t(9)).has_value());
+  ASSERT_TRUE(b.next_deadline().has_value());
+  EXPECT_EQ(*b.next_deadline(), t(10));  // oldest arrival + linger
+  // At the deadline the partial batch dispatches with both members.
+  auto batch = b.cut(t(10));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 2u);
+  EXPECT_EQ(batch->items[0], 1);
+  EXPECT_EQ(batch->items[1], 2);
+}
+
+TEST(MicroBatcher, ArrivalOrderPreservedWithinABatch) {
+  Batcher b(4, milliseconds(10));
+  for (int i = 0; i < 4; ++i) b.add(0, 10 + i, t(i));
+  auto batch = b.cut(t(4));
+  ASSERT_TRUE(batch.has_value());
+  for (int i = 0; i < 4; ++i) EXPECT_EQ(batch->items[i], 10 + i);
+}
+
+TEST(MicroBatcher, IncompatibleKeysNeverShareABatch) {
+  Batcher b(4, milliseconds(10));
+  b.add(/*key=*/1, 100, t(0));
+  b.add(/*key=*/2, 200, t(1));
+  b.add(/*key=*/1, 101, t(2));
+  // Both groups expire; each cut returns ONE key's items, oldest group first.
+  auto first = b.cut(t(50));
+  ASSERT_TRUE(first.has_value());
+  EXPECT_EQ(first->key, 1u);
+  EXPECT_EQ(first->items.size(), 2u);
+  auto second = b.cut(t(50));
+  ASSERT_TRUE(second.has_value());
+  EXPECT_EQ(second->key, 2u);
+  EXPECT_EQ(second->items.size(), 1u);
+  EXPECT_EQ(second->items[0], 200);
+}
+
+TEST(MicroBatcher, OversizeGroupCutsMaxBatchAndRemainderKeepsFreshDeadline) {
+  Batcher b(4, milliseconds(10));
+  for (int i = 0; i < 6; ++i) b.add(0, i, t(i));
+  auto batch = b.cut(t(6));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->items.size(), 4u);  // exactly max_batch, oldest first
+  EXPECT_EQ(batch->items[0], 0);
+  EXPECT_EQ(batch->items[3], 3);
+  EXPECT_EQ(b.pending(), 2u);
+  // The remainder's deadline derives from ITS oldest member (arrival t(4)).
+  ASSERT_TRUE(b.next_deadline().has_value());
+  EXPECT_EQ(*b.next_deadline(), t(14));
+  EXPECT_FALSE(b.cut(t(13)).has_value());
+  auto rest = b.cut(t(14));
+  ASSERT_TRUE(rest.has_value());
+  EXPECT_EQ(rest->items.size(), 2u);
+  EXPECT_EQ(rest->items[0], 4);
+}
+
+TEST(MicroBatcher, NextDeadlineIsEarliestAcrossGroups) {
+  Batcher b(4, milliseconds(10));
+  EXPECT_FALSE(b.next_deadline().has_value());  // idle: sleep indefinitely
+  b.add(1, 1, t(5));
+  b.add(2, 2, t(3));
+  ASSERT_TRUE(b.next_deadline().has_value());
+  EXPECT_EQ(*b.next_deadline(), t(13));  // key 2 arrived first
+}
+
+TEST(MicroBatcher, ExpiredGroupsCutOldestFirst) {
+  Batcher b(4, milliseconds(10));
+  b.add(1, 1, t(8));
+  b.add(2, 2, t(2));
+  auto batch = b.cut(t(100));
+  ASSERT_TRUE(batch.has_value());
+  EXPECT_EQ(batch->key, 2u);  // oldest waiting request wins
+}
+
+TEST(MicroBatcher, CutAnyDrainsEverythingRegardlessOfDeadlines) {
+  Batcher b(4, milliseconds(1000));
+  b.add(1, 1, t(0));
+  b.add(2, 2, t(0));
+  for (int i = 0; i < 5; ++i) b.add(3, 10 + i, t(i));
+  std::size_t total = 0;
+  std::size_t batches = 0;
+  while (auto batch = b.cut_any()) {
+    EXPECT_LE(batch->items.size(), 4u);  // drain respects max_batch
+    total += batch->items.size();
+    ++batches;
+  }
+  EXPECT_EQ(total, 7u);
+  EXPECT_EQ(batches, 4u);  // 1 + 1 + (4 + 1)
+  EXPECT_EQ(b.pending(), 0u);
+}
+
+}  // namespace
+}  // namespace pphe::serve

@@ -1,0 +1,239 @@
+// Chaos-matrix extension through the BATCHED serving path: every (site,
+// applicable-kind) fault cell is swept through serve_classify_batch on a
+// padded partial batch, and the full server pipeline attributes batch-level
+// faults to each member request's reply. Also pins the hoisted-session-setup
+// contract: a retry re-sends inputs, never key material (op-counter proof).
+//
+// Lives in the robustness binary: fault plans are process-global, so these
+// tests must not share a process with suites that assume injection is off.
+
+#include <gtest/gtest.h>
+
+#include <string>
+#include <vector>
+
+#include "ckks/rns_backend.hpp"
+#include "common/check.hpp"
+#include "common/fault.hpp"
+#include "common/prng.hpp"
+#include "core/serving.hpp"
+#include "serve/server.hpp"
+
+namespace pphe {
+namespace {
+
+CkksParams tiny_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+ModelSpec tiny_spec(std::uint64_t seed) {
+  Prng prng(seed);
+  ModelSpec spec;
+  spec.name = "chaos-batch-tiny";
+  auto linear = [&](std::size_t i, std::size_t o) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = i;
+    s.linear.out_dim = o;
+    s.linear.weight.resize(i * o);
+    s.linear.bias.resize(o);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.3);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(12, 8));
+  spec.stages.push_back(linear(8, 5));
+  return spec;
+}
+
+std::vector<std::vector<float>> chaos_images() {
+  std::vector<std::vector<float>> images;
+  for (std::uint64_t s = 0; s < 3; ++s) {
+    Prng prng(70 + s);
+    std::vector<float> img(12);
+    for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+    images.push_back(std::move(img));
+  }
+  return images;
+}
+
+struct Rig {
+  RnsBackend backend;
+  serve::BatchModelSet models;
+  std::vector<int> baseline;  // fault-free per-image predictions
+  Rig()
+      : backend(tiny_params()), models(backend, tiny_spec(53), [] {
+          HeModelOptions o;
+          o.encrypted_weights = false;
+          return o;
+        }()) {
+    const auto outcome =
+        serve_classify_batch(backend, models.model_for(4), chaos_images());
+    baseline = outcome.predicted;
+  }
+};
+
+Rig& rig() {
+  static Rig r;
+  return r;
+}
+
+std::vector<ErrorCode> allowed_codes(fault::Site site, fault::Kind kind) {
+  using fault::Kind;
+  using fault::Site;
+  if (site == Site::kWireUpload || site == Site::kWireDownload) {
+    switch (kind) {
+      case Kind::kTruncate:
+        return {ErrorCode::kSerialization};
+      case Kind::kLimbBitFlip:
+      case Kind::kGarbage:
+        return {ErrorCode::kChecksumMismatch, ErrorCode::kSerialization,
+                ErrorCode::kIntegrity};
+      default:
+        break;
+    }
+  }
+  if (site == Site::kEvalInput) {
+    switch (kind) {
+      case Kind::kLimbBitFlip:
+        return {ErrorCode::kIntegrity};
+      case Kind::kScaleMismatch:
+        return {ErrorCode::kScaleMismatch};
+      case Kind::kLevelMismatch:
+        return {ErrorCode::kIntegrity, ErrorCode::kLevelMismatch};
+      default:
+        break;
+    }
+  }
+  if (site == Site::kWorker) {
+    return kind == Kind::kSlowWorker
+               ? std::vector<ErrorCode>{ErrorCode::kTimeout}
+               : std::vector<ErrorCode>{ErrorCode::kWorkerCrash};
+  }
+  return {};
+}
+
+class ChaosBatchTest : public ::testing::Test {
+ protected:
+  void TearDown() override { fault::disarm(); }
+};
+
+TEST_F(ChaosBatchTest, MatrixThroughBatchedPathDetectedOrTolerated) {
+  rig();  // build the rig (and its fault-free baseline) before arming
+  for (std::size_t s = 0; s < fault::kSiteCount; ++s) {
+    const auto site = static_cast<fault::Site>(s);
+    for (const fault::Kind kind : fault::site_kinds(site)) {
+      const std::string label = std::string(fault::site_name(site)) + ":" +
+                                fault::kind_name(kind);
+      fault::FaultSpec spec;
+      spec.seed = 911;
+      spec.slow_seconds = 3.0;
+      spec.rules.push_back({site, kind, 1.0, /*budget=*/1});
+      fault::configure(spec);
+
+      ServingOptions options;
+      options.max_retries = 2;
+      options.watchdog_seconds = 2.0;
+      // A 3-image batch on the batch-4 model: padding rides through the
+      // fault path too.
+      const ServeBatchOutcome outcome = serve_classify_batch(
+          rig().backend, rig().models.model_for(4), chaos_images(), options);
+      fault::disarm();
+
+      ASSERT_TRUE(outcome.ok) << label;
+      EXPECT_EQ(outcome.attempts, 2) << label;
+      ASSERT_EQ(outcome.faults.size(), 1u) << label;
+      const auto allowed = allowed_codes(site, kind);
+      bool code_ok = false;
+      for (const ErrorCode c : allowed) code_ok |= (c == outcome.faults[0].code);
+      EXPECT_TRUE(code_ok) << label << " surfaced unexpected code "
+                           << error_code_name(outcome.faults[0].code);
+      // Recovery converged on the fault-free prediction for EVERY member of
+      // the shared ciphertext, not just some.
+      ASSERT_EQ(outcome.predicted.size(), rig().baseline.size()) << label;
+      for (std::size_t i = 0; i < outcome.predicted.size(); ++i) {
+        EXPECT_EQ(outcome.predicted[i], rig().baseline[i]) << label << " " << i;
+      }
+    }
+  }
+}
+
+TEST_F(ChaosBatchTest, RetryReencryptsInputsButNeverReuploadsKeyMaterial) {
+  rig();  // build the rig (and its fault-free baseline) before arming
+  fault::FaultSpec spec;
+  spec.seed = 5;
+  spec.rules.push_back(
+      {fault::Site::kWireUpload, fault::Kind::kLimbBitFlip, 1.0, 1});
+  fault::configure(spec);
+
+  const HeModel& model = rig().models.model_for(4);
+  const std::uint64_t keys_before =
+      rig().backend.op_count(OpKind::kGaloisKeys);
+  const std::uint64_t encrypts_before =
+      rig().backend.op_count(OpKind::kEncrypt);
+  const ServeBatchOutcome outcome =
+      serve_classify_batch(rig().backend, model, chaos_images());
+  ASSERT_TRUE(outcome.ok);
+  ASSERT_EQ(outcome.attempts, 2);  // one detected corruption, one recompute
+  // Hoisted session setup: exactly ONE ensure_galois_keys for the whole
+  // serve call — the retry added no key-switch-key regeneration/re-upload.
+  EXPECT_EQ(rig().backend.op_count(OpKind::kGaloisKeys) - keys_before, 1u);
+  // ...while the inputs WERE re-encrypted (retry-by-recompute): one branch
+  // ciphertext per attempt.
+  EXPECT_EQ(rig().backend.op_count(OpKind::kEncrypt) - encrypts_before, 2u);
+}
+
+TEST_F(ChaosBatchTest, ServerAttributesBatchFaultsToEveryMemberReply) {
+  rig();  // build the rig (and its fault-free baseline) before arming
+  fault::FaultSpec spec;
+  spec.seed = 8;
+  spec.rules.push_back(
+      {fault::Site::kWireUpload, fault::Kind::kGarbage, 1.0, 1});
+  fault::configure(spec);
+
+  serve::ServerOptions opts;
+  opts.workers = 1;
+  opts.max_batch = 4;
+  opts.linger_ms = 50.0;  // the three submits coalesce into one batch
+  serve::BatchServer server(rig().models, opts);
+  std::vector<std::future<serve::ServeReply>> futures;
+  for (auto& img : chaos_images()) futures.push_back(server.submit(img));
+  for (std::size_t i = 0; i < futures.size(); ++i) {
+    const serve::ServeReply reply = futures[i].get();
+    ASSERT_TRUE(reply.ok) << i;
+    EXPECT_EQ(reply.batch_size, 3u) << i;
+    EXPECT_EQ(reply.attempts, 2) << i;
+    // Every member of the shared ciphertext carries the batch's fault
+    // history — per-request attribution of a batch-level failure.
+    ASSERT_EQ(reply.faults.size(), 1u) << i;
+    EXPECT_EQ(reply.predicted, rig().baseline[i]) << i;
+  }
+  const serve::ServerStats stats = server.stats();
+  EXPECT_EQ(stats.retries, 1u);
+  EXPECT_EQ(stats.ok, 3u);
+}
+
+TEST_F(ChaosBatchTest, NoiseBudgetRefusalIsDegradedAndFinalForTheWholeBatch) {
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  options.min_noise_budget_bits = 1e6;  // a floor fresh inputs cannot meet
+  options.batch = 4;
+  const HeModel guarded(rig().backend, tiny_spec(53), options);
+  const ServeBatchOutcome outcome =
+      serve_classify_batch(rig().backend, guarded, chaos_images());
+  EXPECT_FALSE(outcome.ok);
+  EXPECT_TRUE(outcome.degraded);
+  EXPECT_EQ(outcome.attempts, 1);  // no retry: recompute cannot add modulus
+  ASSERT_EQ(outcome.faults.size(), 1u);
+  EXPECT_EQ(outcome.faults[0].code, ErrorCode::kNoiseBudget);
+  EXPECT_TRUE(outcome.logits.empty());
+}
+
+}  // namespace
+}  // namespace pphe

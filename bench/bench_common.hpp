@@ -22,6 +22,10 @@ inline void print_header(const char* table_name, const ExperimentConfig& cfg) {
   std::printf("profile: %s | %s\n", cfg.paper_profile ? "PAPER" : "fast",
               params.describe().c_str());
   std::printf("%s\n", describe_security(params).c_str());
+  if (!cfg.isa.empty()) {
+    std::printf("math kernels: %s (override with --force-isa)\n",
+                cfg.isa.c_str());
+  }
   std::printf(
       "latency columns: Lat = measured sequential eval wall-clock on this "
       "1-core host;\nLat-par = ideal critical-path latency with %zu workers "

@@ -14,6 +14,7 @@
 #include "ckks/big_backend.hpp"
 #include "ckks/rns_backend.hpp"
 #include "common/prng.hpp"
+#include "math/hal/hal.hpp"
 #include "math/modarith.hpp"
 #include "math/ntt.hpp"
 #include "math/primes.hpp"
@@ -256,6 +257,48 @@ PPCNN_KERNEL_BENCH(BM_DyadicMulShoup);
 PPCNN_KERNEL_BENCH(BM_DyadicMulAccShoup);
 PPCNN_KERNEL_BENCH(BM_ShoupPrecompute);
 
+// Per-ISA kernel rows, driving one HAL table directly (bypassing the
+// process dispatch) against the same fixtures. The rows above keep their
+// historical names and measure whatever ISA the process dispatched to;
+// these pin it in the row name — BM_NttForwardInverse_scalar/16384 is the
+// denominator of run_benches.sh's SIMD speedup gate.
+void BM_NttForwardInverseIsa(benchmark::State& state,
+                             const hal::MathKernels* k) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    k->ntt_forward(f.a.data(), f.ntt.n(), f.ntt.root_powers().data(),
+                   f.mod.value());
+    k->ntt_inverse(f.a.data(), f.ntt.n(), f.ntt.inv_root_powers().data(),
+                   f.ntt.inv_n(), f.ntt.inv_n_root(), f.mod.value());
+    benchmark::DoNotOptimize(f.a.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_DyadicMulShoupIsa(benchmark::State& state, const hal::MathKernels* k) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    k->mul_shoup(f.a.data(), f.b.data(), f.bq.data(), f.c.data(), f.ntt.n(),
+                 f.mod.value());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
+void BM_DyadicMulAccShoupIsa(benchmark::State& state,
+                             const hal::MathKernels* k) {
+  auto& f = NttFixture::get(static_cast<std::size_t>(state.range(0)));
+  for (auto _ : state) {
+    k->mul_acc_shoup(f.a.data(), f.b.data(), f.bq.data(), f.c.data(),
+                     f.ntt.n(), f.mod.value());
+    benchmark::DoNotOptimize(f.c.data());
+  }
+  state.SetItemsProcessed(state.iterations() *
+                          static_cast<std::int64_t>(f.ntt.n()));
+}
+
 // Ablation (DESIGN.md §6.1): relinearizing after every product vs deferring
 // a single relinearization to the end of an 8-term inner product.
 void BM_InnerProduct8_RelinEach(benchmark::State& state,
@@ -303,14 +346,46 @@ PPCNN_BENCH(BM_InnerProduct8_RelinEach);
 PPCNN_BENCH(BM_InnerProduct8_RelinDeferred);
 
 }  // namespace
+
+// One row set per ISA this build+CPU can run (scalar always; avx2/avx512
+// when present). Must run after benchmark::Initialize.
+void register_per_isa_kernel_rows() {
+  for (const hal::Isa isa :
+       {hal::Isa::kScalar, hal::Isa::kAvx2, hal::Isa::kAvx512}) {
+    if (!hal::available(isa)) continue;
+    const hal::MathKernels* k = &hal::kernels(isa);
+    const std::string suffix = hal::isa_name(isa);
+    const struct {
+      const char* stem;
+      void (*fn)(benchmark::State&, const hal::MathKernels*);
+    } rows[] = {
+        {"BM_NttForwardInverse_", &BM_NttForwardInverseIsa},
+        {"BM_DyadicMulShoup_", &BM_DyadicMulShoupIsa},
+        {"BM_DyadicMulAccShoup_", &BM_DyadicMulAccShoupIsa},
+    };
+    for (const auto& row : rows) {
+      auto* fn = row.fn;
+      benchmark::RegisterBenchmark((row.stem + suffix).c_str(),
+                                   [fn, k](benchmark::State& st) { fn(st, k); })
+          ->Arg(1 << 12)
+          ->Arg(1 << 14)
+          ->Unit(benchmark::kMicrosecond);
+    }
+  }
+}
+
 }  // namespace pphe
 
 // Custom main so callers (run_benches.sh, CI) can ask for machine-readable
 // output with a single flag: `--json[=path]` expands to google-benchmark's
 // --benchmark_out=<path> --benchmark_out_format=json (default path
-// BENCH_micro.json in the current directory). All other flags pass through.
+// BENCH_micro.json in the current directory). `--force-isa=<name>` pins the
+// math HAL before any fixture is built, and the dispatched ISA is recorded
+// in the JSON context as "isa_dispatched" so the drift report can compare
+// like-for-like. All other flags pass through.
 int main(int argc, char** argv) {
   std::string out_flag, fmt_flag = "--benchmark_out_format=json";
+  std::string isa_flag;
   std::vector<char*> args;
   args.reserve(static_cast<std::size_t>(argc) + 2);
   for (int i = 0; i < argc; ++i) {
@@ -319,8 +394,17 @@ int main(int argc, char** argv) {
       out_flag = "--benchmark_out=BENCH_micro.json";
     } else if (a.rfind("--json=", 0) == 0) {
       out_flag = "--benchmark_out=" + std::string(a.substr(7));
+    } else if (a.rfind("--force-isa=", 0) == 0) {
+      isa_flag = std::string(a.substr(12));
     } else {
       args.push_back(argv[i]);
+    }
+  }
+  if (!isa_flag.empty()) {
+    if (isa_flag == "auto") {
+      pphe::hal::reset();
+    } else {
+      pphe::hal::force(pphe::hal::parse_isa(isa_flag));
     }
   }
   if (!out_flag.empty()) {
@@ -332,6 +416,8 @@ int main(int argc, char** argv) {
   if (benchmark::ReportUnrecognizedArguments(patched_argc, args.data())) {
     return 1;
   }
+  pphe::register_per_isa_kernel_rows();
+  benchmark::AddCustomContext("isa_dispatched", pphe::hal::active().name);
   benchmark::RunSpecifiedBenchmarks();
   benchmark::Shutdown();
   return 0;

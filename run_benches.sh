@@ -130,17 +130,42 @@ EOF
   # Kernel-row drift report (informational): the microbench kernels contain
   # no guard hooks, so any cross-run delta here is host noise or a real
   # kernel regression worth eyeballing — but it is not gated, for the same
-  # noise reason as above.
+  # noise reason as above. Tolerant of older/newer BENCH_micro.json schemas
+  # (missing keys, absent rows), and when the two runs dispatched different
+  # ISAs it compares only the ISA-pinned rows so the report stays
+  # like-for-like.
   if [ -n "$BASELINE_JSON" ]; then
     python3 - "$BASELINE_JSON" BENCH_micro.json <<'EOF'
 import json, math, sys
-base = {b["name"]: b["real_time"]
-        for b in json.load(open(sys.argv[1]))["benchmarks"]
-        if b.get("run_type") == "iteration"}
-cur = {b["name"]: b["real_time"]
-       for b in json.load(open(sys.argv[2]))["benchmarks"]
-       if b.get("run_type") == "iteration"}
+
+def load(path):
+    # Previous runs may predate (or postdate) this schema: missing context,
+    # missing run_type, renamed fields. Skip what we cannot read instead of
+    # erroring out of the whole report.
+    try:
+        with open(path) as f:
+            d = json.load(f)
+    except (OSError, ValueError):
+        return {}, "unknown"
+    isa = d.get("context", {}).get("isa_dispatched", "unknown")
+    rows = {}
+    for b in d.get("benchmarks", []):
+        name, rt = b.get("name"), b.get("real_time")
+        if name is None or rt is None:
+            continue
+        if b.get("run_type", "iteration") != "iteration":
+            continue
+        rows[name] = rt
+    return rows, isa
+
+base, base_isa = load(sys.argv[1])
+cur, cur_isa = load(sys.argv[2])
 common = sorted(set(base) & set(cur))
+if base_isa != cur_isa:
+    pinned = tuple(f"_{i}/" for i in ("scalar", "avx2", "avx512"))
+    common = [n for n in common if any(t in n for t in pinned)]
+    print(f"note: dispatched ISA changed ({base_isa} -> {cur_isa}); "
+          f"comparing only the ISA-pinned kernel rows")
 if common:
     ratios = {n: cur[n] / base[n] for n in common}
     geomean = math.exp(sum(math.log(r) for r in ratios.values()) / len(ratios))
@@ -148,9 +173,53 @@ if common:
     print(f"kernel drift vs previous run: geomean {100 * (geomean - 1):+.2f}% "
           f"over {len(common)} rows "
           f"(worst row {worst}: {100 * (ratios[worst] - 1):+.2f}%)")
+else:
+    print("kernel drift: no comparable rows (first run or schema change)")
 EOF
     rm -f "$BASELINE_JSON"
   fi
+  echo
+
+  # SIMD NTT speedup gate: on hosts where the dispatcher picked a SIMD ISA,
+  # the dispatched forward+inverse N=2^14 row must be at least 1.5x faster
+  # than the scalar-pinned row from the SAME run (same fixture, same host
+  # load). Hosts without SIMD kernels skip — a missing CPU feature is not a
+  # regression.
+  echo "==================================================================="
+  echo "=== SIMD NTT speedup gate (BENCH_micro.json)"
+  echo "==================================================================="
+  python3 - BENCH_micro.json <<'EOF' || { echo "SIMD NTT gate FAILED" >&2; exit 1; }
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        d = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"SIMD NTT gate skipped: cannot read BENCH_micro.json ({e})")
+    raise SystemExit(0)
+isa = d.get("context", {}).get("isa_dispatched", "unknown")
+# cpu_time, not real_time: the 1-core host gets scheduled out under load
+# and real_time charges that to whichever row was running.
+rows = {b.get("name"): (b.get("cpu_time") or b.get("real_time"))
+        for b in d.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"}
+if isa in ("scalar", "unknown"):
+    print(f"SIMD NTT gate skipped: dispatched ISA is '{isa}' "
+          f"(no SIMD kernels on this host)")
+    raise SystemExit(0)
+scalar = rows.get("BM_NttForwardInverse_scalar/16384")
+# The dispatched row and the ISA-pinned row time the SAME kernel; host
+# noise only ever inflates one, so the faster measurement is the truer one.
+simd_rows = [rows.get("BM_NttForwardInverse/16384"),
+             rows.get(f"BM_NttForwardInverse_{isa}/16384")]
+simd_rows = [t for t in simd_rows if t]
+if not scalar or not simd_rows:
+    print("SIMD NTT gate skipped: N=16384 rows missing from BENCH_micro.json")
+    raise SystemExit(0)
+speedup = scalar / min(simd_rows)
+print(f"{isa} NTT forward+inverse at N=16384: {speedup:.2f}x scalar")
+assert speedup >= 1.5, f"SIMD NTT speedup {speedup:.2f}x < 1.5x scalar"
+EOF
+  echo "SIMD NTT gate OK"
   echo
 
   # Trace smoke: one CNN1-HE-RNS inference with --trace-out, then verify the

@@ -194,12 +194,7 @@ void RnsBackend::add_inplace(RnsPoly& a, const RnsPoly& b) const {
   const std::size_t k = std::min(a.channels(), b.channels());
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
-    const Modulus& mod = mod_for(a, c);
-    auto dst = a.ch(c);
-    const auto src = b.ch(c);
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = mod.add(dst[i], src[i]);
-    }
+    dyadic::add(a.ch(c), b.ch(c), a.ch(c), mod_for(a, c));
   });
 }
 
@@ -208,19 +203,13 @@ void RnsBackend::sub_inplace(RnsPoly& a, const RnsPoly& b) const {
   const std::size_t k = std::min(a.channels(), b.channels());
   check_channel_compat(a, b, k);
   parallel_channels(k, [&](std::size_t c) {
-    const Modulus& mod = mod_for(a, c);
-    auto dst = a.ch(c);
-    const auto src = b.ch(c);
-    for (std::size_t i = 0; i < dst.size(); ++i) {
-      dst[i] = mod.sub(dst[i], src[i]);
-    }
+    dyadic::sub(a.ch(c), b.ch(c), a.ch(c), mod_for(a, c));
   });
 }
 
 void RnsBackend::negate_inplace(RnsPoly& a) const {
   parallel_channels(a.channels(), [&](std::size_t c) {
-    const Modulus& mod = mod_for(a, c);
-    for (auto& v : a.ch(c)) v = mod.neg(v);
+    dyadic::neg(a.ch(c), a.ch(c), mod_for(a, c));
   });
 }
 

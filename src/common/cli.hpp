@@ -41,4 +41,14 @@ bool finish_tracing(const std::string& path, bool print_summary = true);
 /// spec string ("" = injection off). Throws pphe::Error on a bad spec.
 std::string init_faults_from_flags(const CliFlags& flags);
 
+/// Reads `--force-isa=<scalar|avx2|avx512|auto>` and pins the math HAL's
+/// process-wide kernel dispatch ("auto" re-runs the startup dispatch: the
+/// PPHE_FORCE_ISA environment variable if set, else the widest ISA this
+/// build+CPU supports). Without the flag the dispatch is left as-is.
+/// Returns the name of the ISA active after the call. Throws
+/// Error(kInvalidArgument) on an unknown or unavailable ISA.
+/// (Declared here so every CLI surface shares the flag; defined in
+/// math/hal/cli_isa.cpp, below the dispatcher it configures.)
+std::string init_isa_from_flags(const CliFlags& flags);
+
 }  // namespace pphe

@@ -36,6 +36,7 @@ ExperimentConfig ExperimentConfig::from_flags(const CliFlags& flags) {
   cfg.trace_out = flags.get("trace-out", "");
   if (!cfg.trace_out.empty()) trace::set_enabled(true);
   cfg.faults = init_faults_from_flags(flags);
+  cfg.isa = init_isa_from_flags(flags);
   return cfg;
 }
 

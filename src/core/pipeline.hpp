@@ -34,9 +34,13 @@ struct ExperimentConfig {
   /// When non-empty, the fault-injection plan armed for the run (the
   /// --faults=<spec> flag; grammar in fault::FaultSpec::parse).
   std::string faults;
+  /// The math-HAL kernel set the run executes with ("scalar"/"avx2"/
+  /// "avx512"): the dispatched one, or whatever --force-isa pinned.
+  std::string isa;
 
   /// Reads --paper --train-size --test-size --epochs --slaf-epochs --samples
-  /// --workers --mnist-dir --cache-dir --seed --quiet --trace-out --faults.
+  /// --workers --mnist-dir --cache-dir --seed --quiet --trace-out --faults
+  /// --force-isa.
   static ExperimentConfig from_flags(const CliFlags& flags);
 
   CkksParams ckks_params() const;

@@ -1,0 +1,24 @@
+// Definition of the CLI hook declared in common/cli.hpp: it lives here (in
+// ppcnn_math, next to the dispatcher) rather than in ppcnn_common so the
+// common library stays below the math library in the link order.
+
+#include <string>
+
+#include "common/cli.hpp"
+#include "math/hal/hal.hpp"
+
+namespace pphe {
+
+std::string init_isa_from_flags(const CliFlags& flags) {
+  const std::string requested = flags.get("force-isa", "");
+  if (!requested.empty()) {
+    if (requested == "auto") {
+      hal::reset();
+    } else {
+      hal::force(hal::parse_isa(requested));
+    }
+  }
+  return hal::active().name;
+}
+
+}  // namespace pphe

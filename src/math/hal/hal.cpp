@@ -1,0 +1,110 @@
+#include "math/hal/hal.hpp"
+
+#include <atomic>
+#include <cstdlib>
+#include <string>
+
+#include "common/check.hpp"
+#include "math/hal/kernels_internal.hpp"
+
+namespace pphe::hal {
+namespace {
+
+const MathKernels* table_for(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return &detail::scalar_kernels();
+    case Isa::kAvx2: return detail::avx2_kernels();
+    case Isa::kAvx512: return detail::avx512_kernels();
+  }
+  return nullptr;
+}
+
+bool cpu_supports(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar:
+      return true;
+#if defined(__x86_64__) || defined(__i386__)
+    case Isa::kAvx2:
+      return __builtin_cpu_supports("avx2");
+    case Isa::kAvx512:
+      return __builtin_cpu_supports("avx512f") &&
+             __builtin_cpu_supports("avx512dq");
+#endif
+    default:
+      return false;
+  }
+}
+
+std::atomic<const MathKernels*>& active_slot() {
+  static std::atomic<const MathKernels*> slot{nullptr};
+  return slot;
+}
+
+/// Startup dispatch: the PPHE_FORCE_ISA environment variable wins (so any
+/// binary — tests, benches, the serving loop — can be pinned without a CLI
+/// change), else the widest ISA both compiled in and CPU-supported.
+const MathKernels& initial_dispatch() {
+  const char* env = std::getenv("PPHE_FORCE_ISA");
+  if (env != nullptr && *env != '\0') {
+    const Isa isa = parse_isa(env);
+    PPHE_CHECK_CODE(available(isa), ErrorCode::kInvalidArgument,
+                    std::string("PPHE_FORCE_ISA=") + env +
+                        " is not available on this host/build");
+    return *table_for(isa);
+  }
+  return *table_for(best_available());
+}
+
+}  // namespace
+
+bool available(Isa isa) {
+  return table_for(isa) != nullptr && cpu_supports(isa);
+}
+
+Isa best_available() {
+  if (available(Isa::kAvx512)) return Isa::kAvx512;
+  if (available(Isa::kAvx2)) return Isa::kAvx2;
+  return Isa::kScalar;
+}
+
+const MathKernels& kernels(Isa isa) {
+  const MathKernels* table = table_for(isa);
+  PPHE_CHECK_CODE(table != nullptr, ErrorCode::kInvalidArgument,
+                  std::string(isa_name(isa)) +
+                      " kernels are not compiled into this binary");
+  PPHE_CHECK_CODE(cpu_supports(isa), ErrorCode::kInvalidArgument,
+                  std::string("this CPU does not support ") + isa_name(isa));
+  return *table;
+}
+
+const MathKernels& active() {
+  const MathKernels* k = active_slot().load(std::memory_order_acquire);
+  if (k == nullptr) {
+    // Benign race: concurrent first calls resolve to the same table.
+    k = &initial_dispatch();
+    active_slot().store(k, std::memory_order_release);
+  }
+  return *k;
+}
+
+Isa active_isa() { return active().isa; }
+
+void force(Isa isa) {
+  active_slot().store(&kernels(isa), std::memory_order_release);
+}
+
+void reset() {
+  active_slot().store(&initial_dispatch(), std::memory_order_release);
+}
+
+Isa parse_isa(std::string_view name) {
+  if (name == "scalar") return Isa::kScalar;
+  if (name == "avx2") return Isa::kAvx2;
+  if (name == "avx512") return Isa::kAvx512;
+  PPHE_CHECK_CODE(false, ErrorCode::kInvalidArgument,
+                  "unknown ISA '" + std::string(name) +
+                      "' (expected scalar|avx2|avx512)");
+  __builtin_unreachable();
+}
+
+}  // namespace pphe::hal

@@ -1,0 +1,121 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string_view>
+
+#include "math/modarith.hpp"
+
+namespace pphe::hal {
+
+/// Instruction-set tiers the math HAL can dispatch to. kScalar is the
+/// always-available bit-exactness oracle; every wider tier must produce
+/// bit-identical outputs for the same inputs (the differential suite in
+/// tests/math/hal_test.cpp pins this).
+enum class Isa {
+  kScalar = 0,
+  kAvx2,
+  kAvx512,
+};
+
+constexpr const char* isa_name(Isa isa) {
+  switch (isa) {
+    case Isa::kScalar: return "scalar";
+    case Isa::kAvx2: return "avx2";
+    case Isa::kAvx512: return "avx512";
+  }
+  return "unknown";
+}
+
+/// The pluggable kernel table: every hot word-level primitive of the RNS
+/// evaluator, as raw-pointer loops over residue slabs. The public entry
+/// points (NttTable::forward/inverse, dyadic::*) validate sizes and then
+/// dispatch here, so implementations may assume well-formed arguments.
+///
+/// Contract every implementation must honour (see DESIGN.md §13):
+///  * ntt_forward: input any values in [0, 4p), output fully reduced [0, p),
+///    bit-identical to the scalar Harvey lazy-reduction transform.
+///  * ntt_inverse: input in [0, 2p) (fresh forward outputs are < p), output
+///    fully reduced, 1/n folded into the last Gentleman–Sande stage.
+///  * dyadic kernels: inputs fully reduced (except mul_acc_shoup's `a`,
+///    which tolerates any 64-bit value), outputs fully reduced.
+struct MathKernels {
+  Isa isa;
+  const char* name;
+
+  /// In-place negacyclic forward NTT (Cooley–Tukey, bit-reversed twiddles).
+  void (*ntt_forward)(std::uint64_t* x, std::size_t n, const ShoupMul* roots,
+                      std::uint64_t p);
+  /// In-place inverse NTT (Gentleman–Sande, 1/n folded into the last stage).
+  void (*ntt_inverse)(std::uint64_t* x, std::size_t n,
+                      const ShoupMul* inv_roots, ShoupMul inv_n,
+                      ShoupMul inv_n_root, std::uint64_t p);
+
+  /// c[i] = a[i] * b[i] mod p (128-bit Barrett).
+  void (*mul)(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* c,
+              std::size_t n, const Modulus& mod);
+  /// c[i] = (c[i] + a[i] * b[i]) mod p (one fused Barrett pass).
+  void (*mul_acc)(const std::uint64_t* a, const std::uint64_t* b,
+                  std::uint64_t* c, std::size_t n, const Modulus& mod);
+  /// c[i] = a[i] * w[i] mod p with w in Shoup form.
+  void (*mul_shoup)(const std::uint64_t* a, const std::uint64_t* w,
+                    const std::uint64_t* wq, std::uint64_t* c, std::size_t n,
+                    std::uint64_t p);
+  /// c[i] = (c[i] + a[i] * w[i]) mod p with w in Shoup form.
+  void (*mul_acc_shoup)(const std::uint64_t* a, const std::uint64_t* w,
+                        const std::uint64_t* wq, std::uint64_t* c,
+                        std::size_t n, std::uint64_t p);
+
+  /// c[i] = (a[i] + b[i]) mod p.
+  void (*add)(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* c,
+              std::size_t n, std::uint64_t p);
+  /// c[i] = (a[i] - b[i]) mod p.
+  void (*sub)(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* c,
+              std::size_t n, std::uint64_t p);
+  /// c[i] = (-a[i]) mod p.
+  void (*neg)(const std::uint64_t* a, std::uint64_t* c, std::size_t n,
+              std::uint64_t p);
+};
+
+/// True when `isa` is both compiled into this binary and supported by the
+/// CPU we are running on. kScalar is always available.
+bool available(Isa isa);
+
+/// Widest available ISA (dispatch order: avx512 > avx2 > scalar).
+Isa best_available();
+
+/// Kernel table for a specific ISA; throws Error(kInvalidArgument) when the
+/// ISA is unavailable. Used by the differential tests and per-ISA benches to
+/// drive a particular implementation regardless of the process dispatch.
+const MathKernels& kernels(Isa isa);
+
+/// The process-wide dispatched kernel table. First use resolves it once:
+/// the PPHE_FORCE_ISA environment variable if set (scalar|avx2|avx512,
+/// throws on an unknown or unavailable name), else best_available().
+const MathKernels& active();
+Isa active_isa();
+
+/// Pins the process-wide dispatch to `isa` (throws when unavailable).
+void force(Isa isa);
+
+/// Re-runs the startup dispatch (env override, else best available).
+void reset();
+
+/// Parses "scalar" | "avx2" | "avx512"; throws Error(kInvalidArgument) on
+/// anything else, naming the accepted values.
+Isa parse_isa(std::string_view name);
+
+/// RAII pin of the process dispatch, for tests that flip ISAs: forces `isa`
+/// on construction and restores the previously active table on destruction.
+class ScopedForceIsa {
+ public:
+  explicit ScopedForceIsa(Isa isa) : saved_(active_isa()) { force(isa); }
+  ~ScopedForceIsa() { force(saved_); }
+  ScopedForceIsa(const ScopedForceIsa&) = delete;
+  ScopedForceIsa& operator=(const ScopedForceIsa&) = delete;
+
+ private:
+  Isa saved_;
+};
+
+}  // namespace pphe::hal

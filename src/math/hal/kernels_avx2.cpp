@@ -1,0 +1,156 @@
+// AVX2 kernel table: 4 lanes of u64 per register. Compiled with -mavx2 only
+// when the toolchain supports it (PPHE_HAL_COMPILE_AVX2 set per-TU by
+// src/math/CMakeLists.txt); whether the kernels are *used* is a separate
+// runtime CPUID decision in hal.cpp.
+
+#include "math/hal/kernels_internal.hpp"
+
+#if defined(PPHE_HAL_COMPILE_AVX2)
+
+#include <immintrin.h>
+
+#include "math/hal/kernels_simd.hpp"
+
+namespace pphe::hal::detail {
+namespace {
+
+// AVX2 has no unsigned 64-bit compare and no 64x64 multiply, so both are
+// synthesized: compares flip the sign bit and use the signed vpcmpgtq; the
+// full 64x64 product is assembled from four 32x32 vpmuludq partials with the
+// exact carry (every partial sum stays below 2^34, so nothing truncates).
+struct V256 {
+  using vec = __m256i;
+  static constexpr std::size_t kLanes = 4;
+
+  static vec load(const std::uint64_t* p) {
+    return _mm256_loadu_si256(reinterpret_cast<const __m256i*>(p));
+  }
+  static void store(std::uint64_t* p, vec v) {
+    _mm256_storeu_si256(reinterpret_cast<__m256i*>(p), v);
+  }
+  static vec set1(std::uint64_t x) {
+    return _mm256_set1_epi64x(static_cast<long long>(x));
+  }
+  static vec add(vec a, vec b) { return _mm256_add_epi64(a, b); }
+  static vec sub(vec a, vec b) { return _mm256_sub_epi64(a, b); }
+
+  static vec mul_lo(vec x, vec y) {
+    const vec xh = _mm256_srli_epi64(x, 32);
+    const vec yh = _mm256_srli_epi64(y, 32);
+    const vec ll = _mm256_mul_epu32(x, y);
+    const vec cross = _mm256_add_epi64(_mm256_mul_epu32(x, yh),
+                                       _mm256_mul_epu32(xh, y));
+    return _mm256_add_epi64(ll, _mm256_slli_epi64(cross, 32));
+  }
+
+  static vec mul_hi(vec x, vec y) {
+    const vec mask32 = _mm256_set1_epi64x(0xffffffffll);
+    const vec xh = _mm256_srli_epi64(x, 32);
+    const vec yh = _mm256_srli_epi64(y, 32);
+    const vec ll = _mm256_mul_epu32(x, y);
+    const vec lh = _mm256_mul_epu32(x, yh);
+    const vec hl = _mm256_mul_epu32(xh, y);
+    const vec hh = _mm256_mul_epu32(xh, yh);
+    // carry = (ll>>32 + lo32(lh) + lo32(hl)) >> 32, each term < 2^32.
+    const vec carry = _mm256_srli_epi64(
+        _mm256_add_epi64(_mm256_srli_epi64(ll, 32),
+                         _mm256_add_epi64(_mm256_and_si256(lh, mask32),
+                                          _mm256_and_si256(hl, mask32))),
+        32);
+    return _mm256_add_epi64(
+        hh, _mm256_add_epi64(carry,
+                             _mm256_add_epi64(_mm256_srli_epi64(lh, 32),
+                                              _mm256_srli_epi64(hl, 32))));
+  }
+
+  static vec lt_mask(vec a, vec b) {  // a < b, unsigned
+    const vec flip = _mm256_set1_epi64x(
+        static_cast<long long>(0x8000000000000000ull));
+    return _mm256_cmpgt_epi64(_mm256_xor_si256(b, flip),
+                              _mm256_xor_si256(a, flip));
+  }
+
+  static vec csub(vec a, vec m) {  // a >= m ? a - m : a
+    return _mm256_sub_epi64(a, _mm256_andnot_si256(lt_mask(a, m), m));
+  }
+
+  static vec add_where_lt(vec t, vec a, vec b, vec m) {  // a < b ? t + m : t
+    return _mm256_add_epi64(t, _mm256_and_si256(lt_mask(a, b), m));
+  }
+
+  static vec neg_mod(vec a, vec p) {  // a == 0 ? 0 : p - a
+    const vec zero_mask = _mm256_cmpeq_epi64(a, _mm256_setzero_si256());
+    return _mm256_andnot_si256(zero_mask, _mm256_sub_epi64(p, a));
+  }
+
+  // Short-span NTT shuffles over an 8-element chunk (r0 = elements 0..3,
+  // r1 = 4..7). t == 2 uses 128-bit halves (natural butterfly lane order
+  // 0,1,2,3); t == 1 uses qword unpacks, which put the butterflies in lane
+  // order 0,2,1,3 — tail_twiddles uses the same unpacks on the interleaved
+  // {operand, quotient} pairs, so the orders agree by construction.
+  static void tail_split(std::size_t t, vec r0, vec r1, vec& a, vec& b) {
+    if (t == 2) {
+      a = _mm256_permute2x128_si256(r0, r1, 0x20);
+      b = _mm256_permute2x128_si256(r0, r1, 0x31);
+    } else {  // t == 1
+      a = _mm256_unpacklo_epi64(r0, r1);
+      b = _mm256_unpackhi_epi64(r0, r1);
+    }
+  }
+
+  static void tail_join(std::size_t t, vec a, vec b, vec& r0, vec& r1) {
+    if (t == 2) {
+      r0 = _mm256_permute2x128_si256(a, b, 0x20);
+      r1 = _mm256_permute2x128_si256(a, b, 0x31);
+    } else {  // t == 1
+      r0 = _mm256_unpacklo_epi64(a, b);
+      r1 = _mm256_unpackhi_epi64(a, b);
+    }
+  }
+
+  static void tail_twiddles(std::size_t t, const ShoupMul* base, vec& w,
+                            vec& wq) {
+    const vec t0 = load(reinterpret_cast<const std::uint64_t*>(base));
+    if (t == 2) {  // two pairs: [op0 q0 op1 q1] -> [op0 op0 op1 op1]
+      w = _mm256_permute4x64_epi64(t0, 0xA0);   // lanes 0,0,2,2
+      wq = _mm256_permute4x64_epi64(t0, 0xF5);  // lanes 1,1,3,3
+    } else {  // t == 1: four pairs, unpacked to the 0,2,1,3 lane order
+      const vec t1 = load(reinterpret_cast<const std::uint64_t*>(base + 2));
+      w = _mm256_unpacklo_epi64(t0, t1);   // [op0 op2 op1 op3]
+      wq = _mm256_unpackhi_epi64(t0, t1);  // [q0 q2 q1 q3]
+    }
+  }
+};
+
+}  // namespace
+
+const MathKernels* avx2_kernels() {
+  // 128-bit Barrett kernels (mul / mul_acc) stay on the scalar loops: the
+  // 256-bit Barrett product needs three 64x64 high halves per element, which
+  // emulated via vpmuludq is slower than the scalar mulx chain. Bit-exact
+  // either way; only the Shoup/NTT/pointwise kernels win from AVX2.
+  static const MathKernels k = {
+      Isa::kAvx2,
+      "avx2",
+      &simd_ntt_forward<V256>,
+      &simd_ntt_inverse<V256>,
+      &scalar_mul,
+      &scalar_mul_acc,
+      &simd_mul_shoup<V256>,
+      &simd_mul_acc_shoup<V256>,
+      &simd_add<V256>,
+      &simd_sub<V256>,
+      &simd_neg<V256>,
+  };
+  return &k;
+}
+
+}  // namespace pphe::hal::detail
+
+#else  // !PPHE_HAL_COMPILE_AVX2
+
+namespace pphe::hal::detail {
+const MathKernels* avx2_kernels() { return nullptr; }
+}  // namespace pphe::hal::detail
+
+#endif

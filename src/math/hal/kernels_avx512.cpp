@@ -1,0 +1,165 @@
+// AVX-512 kernel table: 8 lanes of u64 per register. Needs F (512-bit ops,
+// mask registers, unsigned compares) and DQ (vpmullq). Compiled with
+// -mavx512f -mavx512dq only when the toolchain supports both
+// (PPHE_HAL_COMPILE_AVX512 set per-TU by src/math/CMakeLists.txt); runtime
+// CPUID gating lives in hal.cpp.
+
+#include "math/hal/kernels_internal.hpp"
+
+#if defined(PPHE_HAL_COMPILE_AVX512)
+
+#include <immintrin.h>
+
+#include "math/hal/kernels_simd.hpp"
+
+namespace pphe::hal::detail {
+namespace {
+
+struct V512 {
+  using vec = __m512i;
+  static constexpr std::size_t kLanes = 8;
+
+  static vec load(const std::uint64_t* p) { return _mm512_loadu_si512(p); }
+  static void store(std::uint64_t* p, vec v) { _mm512_storeu_si512(p, v); }
+  static vec set1(std::uint64_t x) {
+    return _mm512_set1_epi64(static_cast<long long>(x));
+  }
+  static vec add(vec a, vec b) { return _mm512_add_epi64(a, b); }
+  static vec sub(vec a, vec b) { return _mm512_sub_epi64(a, b); }
+
+  static vec mul_lo(vec x, vec y) { return _mm512_mullo_epi64(x, y); }
+
+  static vec mul_hi(vec x, vec y) {
+    // Same exact four-partial 32x32 assembly as the AVX2 path (IFMA's 52-bit
+    // lanes cannot express the full 64-bit Shoup form, so it is not used).
+    const vec mask32 = _mm512_set1_epi64(0xffffffffll);
+    const vec xh = _mm512_srli_epi64(x, 32);
+    const vec yh = _mm512_srli_epi64(y, 32);
+    const vec ll = _mm512_mul_epu32(x, y);
+    const vec lh = _mm512_mul_epu32(x, yh);
+    const vec hl = _mm512_mul_epu32(xh, y);
+    const vec hh = _mm512_mul_epu32(xh, yh);
+    const vec carry = _mm512_srli_epi64(
+        _mm512_add_epi64(_mm512_srli_epi64(ll, 32),
+                         _mm512_add_epi64(_mm512_and_si512(lh, mask32),
+                                          _mm512_and_si512(hl, mask32))),
+        32);
+    return _mm512_add_epi64(
+        hh, _mm512_add_epi64(carry,
+                             _mm512_add_epi64(_mm512_srli_epi64(lh, 32),
+                                              _mm512_srli_epi64(hl, 32))));
+  }
+
+  static vec csub(vec a, vec m) {  // a >= m ? a - m : a
+    const __mmask8 ge = _mm512_cmpge_epu64_mask(a, m);
+    return _mm512_mask_sub_epi64(a, ge, a, m);
+  }
+
+  static vec add_where_lt(vec t, vec a, vec b, vec m) {  // a < b ? t + m : t
+    const __mmask8 lt = _mm512_cmplt_epu64_mask(a, b);
+    return _mm512_mask_add_epi64(t, lt, t, m);
+  }
+
+  static vec neg_mod(vec a, vec p) {  // a == 0 ? 0 : p - a
+    const __mmask8 nz = _mm512_test_epi64_mask(a, a);
+    return _mm512_maskz_sub_epi64(nz, p, a);
+  }
+
+  // Short-span NTT shuffles over a 16-element chunk (r0 = elements 0..7,
+  // r1 = 8..15). vpermt2q keeps every pattern to one shuffle uop; lane
+  // order inside (a, b) is natural butterfly order for every t, so
+  // tail_twiddles replicates base[s] over the s-th group of t lanes.
+  static vec idx(long long a0, long long a1, long long a2, long long a3,
+                 long long a4, long long a5, long long a6, long long a7) {
+    return _mm512_setr_epi64(a0, a1, a2, a3, a4, a5, a6, a7);
+  }
+
+  static void tail_split(std::size_t t, vec r0, vec r1, vec& a, vec& b) {
+    switch (t) {
+      case 4:
+        a = _mm512_permutex2var_epi64(r0, idx(0, 1, 2, 3, 8, 9, 10, 11), r1);
+        b = _mm512_permutex2var_epi64(r0, idx(4, 5, 6, 7, 12, 13, 14, 15), r1);
+        break;
+      case 2:
+        a = _mm512_permutex2var_epi64(r0, idx(0, 1, 4, 5, 8, 9, 12, 13), r1);
+        b = _mm512_permutex2var_epi64(r0, idx(2, 3, 6, 7, 10, 11, 14, 15), r1);
+        break;
+      default:  // t == 1
+        a = _mm512_permutex2var_epi64(r0, idx(0, 2, 4, 6, 8, 10, 12, 14), r1);
+        b = _mm512_permutex2var_epi64(r0, idx(1, 3, 5, 7, 9, 11, 13, 15), r1);
+        break;
+    }
+  }
+
+  static void tail_join(std::size_t t, vec a, vec b, vec& r0, vec& r1) {
+    switch (t) {
+      case 4:
+        r0 = _mm512_permutex2var_epi64(a, idx(0, 1, 2, 3, 8, 9, 10, 11), b);
+        r1 = _mm512_permutex2var_epi64(a, idx(4, 5, 6, 7, 12, 13, 14, 15), b);
+        break;
+      case 2:
+        r0 = _mm512_permutex2var_epi64(a, idx(0, 1, 8, 9, 2, 3, 10, 11), b);
+        r1 = _mm512_permutex2var_epi64(a, idx(4, 5, 12, 13, 6, 7, 14, 15), b);
+        break;
+      default:  // t == 1
+        r0 = _mm512_permutex2var_epi64(a, idx(0, 8, 1, 9, 2, 10, 3, 11), b);
+        r1 = _mm512_permutex2var_epi64(a, idx(4, 12, 5, 13, 6, 14, 7, 15), b);
+        break;
+    }
+  }
+
+  static void tail_twiddles(std::size_t t, const ShoupMul* base, vec& w,
+                            vec& wq) {
+    // base points at L/t interleaved {operand, quotient} pairs; the loads
+    // below stay inside the n-entry twiddle array for every chunk (checked
+    // against the last chunk at each span).
+    const vec t0 = _mm512_loadu_si512(base);
+    switch (t) {
+      case 4:
+        w = _mm512_permutexvar_epi64(idx(0, 0, 0, 0, 2, 2, 2, 2), t0);
+        wq = _mm512_permutexvar_epi64(idx(1, 1, 1, 1, 3, 3, 3, 3), t0);
+        break;
+      case 2:
+        w = _mm512_permutexvar_epi64(idx(0, 0, 2, 2, 4, 4, 6, 6), t0);
+        wq = _mm512_permutexvar_epi64(idx(1, 1, 3, 3, 5, 5, 7, 7), t0);
+        break;
+      default: {  // t == 1
+        const vec t1 = _mm512_loadu_si512(base + 4);
+        w = _mm512_permutex2var_epi64(t0, idx(0, 2, 4, 6, 8, 10, 12, 14), t1);
+        wq = _mm512_permutex2var_epi64(t0, idx(1, 3, 5, 7, 9, 11, 13, 15), t1);
+        break;
+      }
+    }
+  }
+};
+
+}  // namespace
+
+const MathKernels* avx512_kernels() {
+  // As with AVX2, the 128-bit Barrett kernels stay scalar (see the note in
+  // kernels_avx2.cpp); Shoup/NTT/pointwise kernels run 8 lanes wide.
+  static const MathKernels k = {
+      Isa::kAvx512,
+      "avx512",
+      &simd_ntt_forward<V512>,
+      &simd_ntt_inverse<V512>,
+      &scalar_mul,
+      &scalar_mul_acc,
+      &simd_mul_shoup<V512>,
+      &simd_mul_acc_shoup<V512>,
+      &simd_add<V512>,
+      &simd_sub<V512>,
+      &simd_neg<V512>,
+  };
+  return &k;
+}
+
+}  // namespace pphe::hal::detail
+
+#else  // !PPHE_HAL_COMPILE_AVX512
+
+namespace pphe::hal::detail {
+const MathKernels* avx512_kernels() { return nullptr; }
+}  // namespace pphe::hal::detail
+
+#endif

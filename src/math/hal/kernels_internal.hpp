@@ -1,0 +1,79 @@
+#pragma once
+
+// Internal seam between the dispatcher (hal.cpp) and the per-ISA kernel
+// translation units. Not installed into any public include path — everything
+// outside src/math/hal/ goes through hal.hpp.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "math/hal/hal.hpp"
+
+namespace pphe::hal::detail {
+
+/// The relocated scalar loops (kernels_scalar.cpp) — the bit-exactness
+/// oracle every SIMD implementation is tested against.
+const MathKernels& scalar_kernels();
+
+/// Per-ISA tables; nullptr when the translation unit was compiled without
+/// the matching -m flags (toolchain too old), independent of what the CPU
+/// supports at runtime.
+const MathKernels* avx2_kernels();
+const MathKernels* avx512_kernels();
+
+// Scalar entry points, exposed so the SIMD kernels can reuse them for lane
+// tails and for transforms too small to vectorize.
+void scalar_ntt_forward(std::uint64_t* x, std::size_t n, const ShoupMul* roots,
+                        std::uint64_t p);
+void scalar_ntt_inverse(std::uint64_t* x, std::size_t n,
+                        const ShoupMul* inv_roots, ShoupMul inv_n,
+                        ShoupMul inv_n_root, std::uint64_t p);
+void scalar_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, const Modulus& mod);
+void scalar_mul_acc(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* c, std::size_t n, const Modulus& mod);
+void scalar_mul_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                      const std::uint64_t* wq, std::uint64_t* c, std::size_t n,
+                      std::uint64_t p);
+void scalar_mul_acc_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                          const std::uint64_t* wq, std::uint64_t* c,
+                          std::size_t n, std::uint64_t p);
+void scalar_add(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, std::uint64_t p);
+void scalar_sub(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, std::uint64_t p);
+void scalar_neg(const std::uint64_t* a, std::uint64_t* c, std::size_t n,
+                std::uint64_t p);
+
+/// One forward Harvey butterfly: inputs in [0, 4p), outputs in [0, 4p).
+/// The SIMD transforms call this for the scalar tail stages (t < lanes), so
+/// it must stay bit-identical to the vector butterfly.
+inline void fwd_butterfly(std::uint64_t& a, std::uint64_t& b, std::uint64_t w,
+                          std::uint64_t wq, std::uint64_t p,
+                          std::uint64_t two_p) {
+  std::uint64_t u = a;
+  u = u >= two_p ? u - two_p : u;
+  const std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(b) * wq) >> 64);
+  const std::uint64_t v = b * w - q * p;
+  a = u + v;
+  b = u - v + two_p;
+}
+
+/// One inverse Gentleman–Sande butterfly: inputs in [0, 2p), outputs in
+/// [0, 2p).
+inline void inv_butterfly(std::uint64_t& a, std::uint64_t& b, std::uint64_t w,
+                          std::uint64_t wq, std::uint64_t p,
+                          std::uint64_t two_p) {
+  const std::uint64_t u = a;
+  const std::uint64_t v = b;
+  std::uint64_t s = u + v;
+  s = s >= two_p ? s - two_p : s;
+  a = s;
+  const std::uint64_t d = u - v + two_p;
+  const std::uint64_t q = static_cast<std::uint64_t>(
+      (static_cast<unsigned __int128>(d) * wq) >> 64);
+  b = d * w - q * p;
+}
+
+}  // namespace pphe::hal::detail

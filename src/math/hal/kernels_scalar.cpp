@@ -1,0 +1,152 @@
+// Scalar kernel table: the Harvey lazy-reduction NTT loops and dyadic
+// modular loops relocated verbatim from math/ntt.cpp and math/modarith.cpp.
+// This is the always-available implementation and the bit-exactness oracle
+// every SIMD backend is differentially tested against.
+
+#include "math/hal/kernels_internal.hpp"
+
+namespace pphe::hal::detail {
+
+void scalar_ntt_forward(std::uint64_t* x, std::size_t n, const ShoupMul* roots,
+                        std::uint64_t p) {
+  const std::uint64_t two_p = 2 * p;
+  std::size_t t = n;
+  for (std::size_t m = 1; m < n; m <<= 1) {
+    t >>= 1;
+    for (std::size_t i = 0; i < m; ++i) {
+      const std::uint64_t w = roots[m + i].operand;
+      const std::uint64_t wq = roots[m + i].quotient;
+      std::uint64_t* xa = x + 2 * i * t;
+      std::uint64_t* xb = xa + t;
+      // Harvey butterflies: inputs < 4p, outputs < 4p. The top input is
+      // conditionally brought below 2p; the lazy Shoup product is < 2p for
+      // any 64-bit input, so u+v < 4p and u-v+2p < 4p.
+      for (std::size_t j = 0; j < t; ++j) {
+        fwd_butterfly(xa[j], xb[j], w, wq, p, two_p);
+      }
+    }
+  }
+  // Deferred correction: one sweep maps [0, 4p) -> [0, p).
+  for (std::size_t j = 0; j < n; ++j) {
+    std::uint64_t v = x[j];
+    v = v >= two_p ? v - two_p : v;
+    x[j] = v >= p ? v - p : v;
+  }
+}
+
+void scalar_ntt_inverse(std::uint64_t* x, std::size_t n,
+                        const ShoupMul* inv_roots, ShoupMul inv_n,
+                        ShoupMul inv_n_root, std::uint64_t p) {
+  const std::uint64_t two_p = 2 * p;
+  std::size_t t = 1;
+  // Gentleman–Sande stages with values kept in [0, 2p): the sum gets one
+  // conditional subtract, the difference (< 2p after +2p bias) goes through
+  // the correction-free lazy Shoup product back into [0, 2p).
+  for (std::size_t m = n; m > 2; m >>= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const std::uint64_t w = inv_roots[h + i].operand;
+      const std::uint64_t wq = inv_roots[h + i].quotient;
+      std::uint64_t* xa = x + j1;
+      std::uint64_t* xb = xa + t;
+      for (std::size_t j = 0; j < t; ++j) {
+        inv_butterfly(xa[j], xb[j], w, wq, p, two_p);
+      }
+      j1 += 2 * t;
+    }
+    t <<= 1;
+  }
+  // Final stage (m == 2, single twiddle inv_roots[1]) with the 1/n scaling
+  // folded into both outputs: inv_n on the sum, inv_n_root (= inv_n *
+  // twiddle) on the difference. Fully reduces to [0, p). ShoupMul::mul
+  // handles any 64-bit input, so the [0, 2p) stage values and the n == 2
+  // case (raw inputs) both land here directly.
+  const std::size_t half = n >> 1;
+  for (std::size_t j = 0; j < half; ++j) {
+    const std::uint64_t u = x[j];
+    const std::uint64_t v = x[j + half];
+    x[j] = inv_n.mul(u + v, p);
+    x[j + half] = inv_n_root.mul(u - v + two_p, p);
+  }
+}
+
+void scalar_mul(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, const Modulus& mod) {
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = mod.reduce128(static_cast<unsigned __int128>(a[i]) * b[i]);
+  }
+}
+
+void scalar_mul_acc(const std::uint64_t* a, const std::uint64_t* b,
+                    std::uint64_t* c, std::size_t n, const Modulus& mod) {
+  for (std::size_t i = 0; i < n; ++i) {
+    // product + accumulator < p^2 + p < 2^125: one Barrett pass reduces both.
+    c[i] = mod.reduce128(static_cast<unsigned __int128>(a[i]) * b[i] + c[i]);
+  }
+}
+
+void scalar_mul_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                      const std::uint64_t* wq, std::uint64_t* c, std::size_t n,
+                      std::uint64_t p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a[i]) * wq[i]) >> 64);
+    const std::uint64_t r = a[i] * w[i] - q * p;
+    c[i] = r >= p ? r - p : r;
+  }
+}
+
+void scalar_mul_acc_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                          const std::uint64_t* wq, std::uint64_t* c,
+                          std::size_t n, std::uint64_t p) {
+  const std::uint64_t two_p = 2 * p;
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t q = static_cast<std::uint64_t>(
+        (static_cast<unsigned __int128>(a[i]) * wq[i]) >> 64);
+    std::uint64_t s = c[i] + (a[i] * w[i] - q * p);  // < 3p
+    s = s >= two_p ? s - two_p : s;
+    c[i] = s >= p ? s - p : s;
+  }
+}
+
+void scalar_add(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, std::uint64_t p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    const std::uint64_t s = a[i] + b[i];
+    c[i] = s >= p ? s - p : s;
+  }
+}
+
+void scalar_sub(const std::uint64_t* a, const std::uint64_t* b,
+                std::uint64_t* c, std::size_t n, std::uint64_t p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = a[i] >= b[i] ? a[i] - b[i] : a[i] + p - b[i];
+  }
+}
+
+void scalar_neg(const std::uint64_t* a, std::uint64_t* c, std::size_t n,
+                std::uint64_t p) {
+  for (std::size_t i = 0; i < n; ++i) {
+    c[i] = a[i] == 0 ? 0 : p - a[i];
+  }
+}
+
+const MathKernels& scalar_kernels() {
+  static const MathKernels k = {
+      Isa::kScalar,
+      "scalar",
+      &scalar_ntt_forward,
+      &scalar_ntt_inverse,
+      &scalar_mul,
+      &scalar_mul_acc,
+      &scalar_mul_shoup,
+      &scalar_mul_acc_shoup,
+      &scalar_add,
+      &scalar_sub,
+      &scalar_neg,
+  };
+  return k;
+}
+
+}  // namespace pphe::hal::detail

@@ -1,0 +1,279 @@
+#pragma once
+
+// SIMD kernel bodies shared by the AVX2 and AVX-512 translation units.
+// Everything here is templated on a vector-traits class V providing:
+//
+//   V::vec                      register type holding V::kLanes u64 lanes
+//   V::load / V::store          unaligned lane load/store
+//   V::set1(x)                  broadcast
+//   V::add / V::sub             lane-wise wrapping u64 add/sub
+//   V::mul_lo(x, y)             low 64 bits of x*y per lane (exact)
+//   V::mul_hi(x, y)             high 64 bits of x*y per lane (exact)
+//   V::csub(a, m)               a >= m ? a - m : a  (unsigned compare)
+//   V::add_where_lt(t, a, b, m) a < b ? t + m : t   (unsigned compare)
+//   V::neg_mod(a, p)            a == 0 ? 0 : p - a
+//
+// plus the short-span NTT shuffles (t in {1, 2, ..., kLanes/2}), which let
+// the final/first log2(kLanes) stages run in registers instead of falling
+// back to scalar butterflies:
+//
+//   V::tail_split(t, r0, r1, a, b)   gather the two butterfly operands of
+//                                    each span-t pair from a 2L-element
+//                                    chunk held in (r0, r1)
+//   V::tail_join(t, a, b, r0, r1)    exact inverse of tail_split
+//   V::tail_twiddles(t, base, w, wq) load L/t consecutive ShoupMul starting
+//                                    at base and replicate each t times, in
+//                                    the SAME lane order tail_split produced
+//
+// The lane order within (a, b) is trait-defined (whatever the cheapest
+// shuffle yields); correctness only requires split/twiddles/join to agree.
+//
+// Each template instantiation lives in a TU compiled with the matching -m
+// flags; this header itself must not reference intrinsics. The kernels are
+// bit-identical to the scalar oracle: same lazy-reduction bounds, same
+// correction steps, only evaluated kLanes at a time. Loads/stores are
+// unaligned on purpose — callers usually hand us 64-byte PolyBuffer slabs,
+// but tests and odd offsets must stay UB-free.
+
+#include <cstddef>
+#include <cstdint>
+
+#include "math/hal/kernels_internal.hpp"
+
+namespace pphe::hal::detail {
+
+/// Lazy Shoup product per lane: x * w - floor(x * wq / 2^64) * p, in [0, 2p)
+/// for any 64-bit x (matches ShoupMul::mul_lazy).
+template <class V>
+inline typename V::vec shoup_mul_lazy(typename V::vec x, typename V::vec w,
+                                      typename V::vec wq, typename V::vec p) {
+  const typename V::vec q = V::mul_hi(x, wq);
+  return V::sub(V::mul_lo(x, w), V::mul_lo(q, p));
+}
+
+template <class V>
+void simd_ntt_forward(std::uint64_t* x, std::size_t n, const ShoupMul* roots,
+                      std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  if (n < 2 * L) {
+    scalar_ntt_forward(x, n, roots, p);
+    return;
+  }
+  const std::uint64_t two_p = 2 * p;
+  const typename V::vec vp = V::set1(p);
+  const typename V::vec v2p = V::set1(two_p);
+  // Early stages have butterfly span t >= L: broadcast the block twiddle and
+  // run whole lanes. Stage order/bounds match scalar_ntt_forward exactly.
+  std::size_t t = n >> 1;
+  std::size_t m = 1;
+  for (; m < n && t >= L; m <<= 1, t >>= 1) {
+    for (std::size_t i = 0; i < m; ++i) {
+      const typename V::vec vw = V::set1(roots[m + i].operand);
+      const typename V::vec vwq = V::set1(roots[m + i].quotient);
+      std::uint64_t* xa = x + 2 * i * t;
+      std::uint64_t* xb = xa + t;
+      // Two independent butterflies in flight: the Shoup chain (mul_hi ->
+      // mul_lo -> sub) is long enough that a single chain under-fills the
+      // multiply ports; interleaving two halves the stall.
+      std::size_t j = 0;
+      for (; j + 2 * L <= t; j += 2 * L) {
+        const typename V::vec u0 = V::csub(V::load(xa + j), v2p);
+        const typename V::vec u1 = V::csub(V::load(xa + j + L), v2p);
+        const typename V::vec v0 =
+            shoup_mul_lazy<V>(V::load(xb + j), vw, vwq, vp);
+        const typename V::vec v1 =
+            shoup_mul_lazy<V>(V::load(xb + j + L), vw, vwq, vp);
+        V::store(xa + j, V::add(u0, v0));
+        V::store(xa + j + L, V::add(u1, v1));
+        V::store(xb + j, V::add(V::sub(u0, v0), v2p));
+        V::store(xb + j + L, V::add(V::sub(u1, v1), v2p));
+      }
+      for (; j < t; j += L) {
+        const typename V::vec u = V::csub(V::load(xa + j), v2p);
+        const typename V::vec v =
+            shoup_mul_lazy<V>(V::load(xb + j), vw, vwq, vp);
+        V::store(xa + j, V::add(u, v));
+        V::store(xb + j, V::add(V::sub(u, v), v2p));
+      }
+    }
+  }
+  // The vector-stage loop always exits at t == L/2 (n >= 2L, t halves from
+  // n/2). The last log2(L) stages have span t < L, so every remaining
+  // butterfly lives inside one 2L-element chunk: run them all in registers
+  // with the trait shuffles and fold the deferred [0, 4p) -> [0, p)
+  // correction sweep into the same pass — one memory round trip instead of
+  // log2(L)+1.
+  for (std::size_t chunk = 0; chunk < n; chunk += 2 * L) {
+    typename V::vec r0 = V::load(x + chunk);
+    typename V::vec r1 = V::load(x + chunk + L);
+    std::size_t mm = m;
+    for (std::size_t tt = t; tt >= 1; tt >>= 1, mm <<= 1) {
+      typename V::vec a, b, vw, vwq;
+      V::tail_split(tt, r0, r1, a, b);
+      V::tail_twiddles(tt, roots + mm + chunk / (2 * tt), vw, vwq);
+      const typename V::vec u = V::csub(a, v2p);
+      const typename V::vec v = shoup_mul_lazy<V>(b, vw, vwq, vp);
+      V::tail_join(tt, V::add(u, v), V::add(V::sub(u, v), v2p), r0, r1);
+    }
+    V::store(x + chunk, V::csub(V::csub(r0, v2p), vp));
+    V::store(x + chunk + L, V::csub(V::csub(r1, v2p), vp));
+  }
+}
+
+template <class V>
+void simd_ntt_inverse(std::uint64_t* x, std::size_t n,
+                      const ShoupMul* inv_roots, ShoupMul inv_n,
+                      ShoupMul inv_n_root, std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  if (n < 2 * L) {
+    scalar_ntt_inverse(x, n, inv_roots, inv_n, inv_n_root, p);
+    return;
+  }
+  const std::uint64_t two_p = 2 * p;
+  const typename V::vec vp = V::set1(p);
+  const typename V::vec v2p = V::set1(two_p);
+  // First log2(L) Gentleman–Sande stages have span t < L: as in the
+  // forward tail, every butterfly lives inside a 2L-element chunk, so run
+  // all of them in registers in one pass over the slab.
+  for (std::size_t chunk = 0; chunk < n; chunk += 2 * L) {
+    typename V::vec r0 = V::load(x + chunk);
+    typename V::vec r1 = V::load(x + chunk + L);
+    std::size_t hh = n >> 1;
+    for (std::size_t tt = 1; tt < L; tt <<= 1, hh >>= 1) {
+      typename V::vec a, b, vw, vwq;
+      V::tail_split(tt, r0, r1, a, b);
+      V::tail_twiddles(tt, inv_roots + hh + chunk / (2 * tt), vw, vwq);
+      const typename V::vec s = V::csub(V::add(a, b), v2p);
+      const typename V::vec d =
+          shoup_mul_lazy<V>(V::add(V::sub(a, b), v2p), vw, vwq, vp);
+      V::tail_join(tt, s, d, r0, r1);
+    }
+    V::store(x + chunk, r0);
+    V::store(x + chunk + L, r1);
+  }
+  std::size_t t = L;
+  std::size_t m = n / L;
+  // Remaining stages (t >= L, t a power of two): full lanes per butterfly.
+  for (; m > 2; m >>= 1, t <<= 1) {
+    std::size_t j1 = 0;
+    const std::size_t h = m >> 1;
+    for (std::size_t i = 0; i < h; ++i) {
+      const typename V::vec vw = V::set1(inv_roots[h + i].operand);
+      const typename V::vec vwq = V::set1(inv_roots[h + i].quotient);
+      std::uint64_t* xa = x + j1;
+      std::uint64_t* xb = xa + t;
+      // Same two-in-flight interleave as the forward vector stages.
+      std::size_t j = 0;
+      for (; j + 2 * L <= t; j += 2 * L) {
+        const typename V::vec u0 = V::load(xa + j);
+        const typename V::vec v0 = V::load(xb + j);
+        const typename V::vec u1 = V::load(xa + j + L);
+        const typename V::vec v1 = V::load(xb + j + L);
+        V::store(xa + j, V::csub(V::add(u0, v0), v2p));
+        V::store(xa + j + L, V::csub(V::add(u1, v1), v2p));
+        const typename V::vec d0 = V::add(V::sub(u0, v0), v2p);
+        const typename V::vec d1 = V::add(V::sub(u1, v1), v2p);
+        V::store(xb + j, shoup_mul_lazy<V>(d0, vw, vwq, vp));
+        V::store(xb + j + L, shoup_mul_lazy<V>(d1, vw, vwq, vp));
+      }
+      for (; j < t; j += L) {
+        const typename V::vec u = V::load(xa + j);
+        const typename V::vec v = V::load(xb + j);
+        V::store(xa + j, V::csub(V::add(u, v), v2p));
+        const typename V::vec d = V::add(V::sub(u, v), v2p);
+        V::store(xb + j, shoup_mul_lazy<V>(d, vw, vwq, vp));
+      }
+      j1 += 2 * t;
+    }
+  }
+  // Folded final stage: full Shoup reduction (lazy product + one csub) on
+  // both outputs, exactly ShoupMul::mul. half >= L since n >= 2L.
+  const std::size_t half = n >> 1;
+  const typename V::vec vnw = V::set1(inv_n.operand);
+  const typename V::vec vnq = V::set1(inv_n.quotient);
+  const typename V::vec vrw = V::set1(inv_n_root.operand);
+  const typename V::vec vrq = V::set1(inv_n_root.quotient);
+  for (std::size_t j = 0; j < half; j += L) {
+    const typename V::vec u = V::load(x + j);
+    const typename V::vec v = V::load(x + j + half);
+    const typename V::vec s =
+        shoup_mul_lazy<V>(V::add(u, v), vnw, vnq, vp);
+    V::store(x + j, V::csub(s, vp));
+    const typename V::vec d =
+        shoup_mul_lazy<V>(V::add(V::sub(u, v), v2p), vrw, vrq, vp);
+    V::store(x + j + half, V::csub(d, vp));
+  }
+}
+
+template <class V>
+void simd_mul_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                    const std::uint64_t* wq, std::uint64_t* c, std::size_t n,
+                    std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  const typename V::vec vp = V::set1(p);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const typename V::vec r = shoup_mul_lazy<V>(V::load(a + i), V::load(w + i),
+                                                V::load(wq + i), vp);
+    V::store(c + i, V::csub(r, vp));
+  }
+  if (i < n) scalar_mul_shoup(a + i, w + i, wq + i, c + i, n - i, p);
+}
+
+template <class V>
+void simd_mul_acc_shoup(const std::uint64_t* a, const std::uint64_t* w,
+                        const std::uint64_t* wq, std::uint64_t* c,
+                        std::size_t n, std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  const typename V::vec vp = V::set1(p);
+  const typename V::vec v2p = V::set1(2 * p);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const typename V::vec prod = shoup_mul_lazy<V>(
+        V::load(a + i), V::load(w + i), V::load(wq + i), vp);
+    typename V::vec s = V::add(V::load(c + i), prod);  // < 3p
+    s = V::csub(s, v2p);
+    V::store(c + i, V::csub(s, vp));
+  }
+  if (i < n) scalar_mul_acc_shoup(a + i, w + i, wq + i, c + i, n - i, p);
+}
+
+template <class V>
+void simd_add(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* c,
+              std::size_t n, std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  const typename V::vec vp = V::set1(p);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    V::store(c + i, V::csub(V::add(V::load(a + i), V::load(b + i)), vp));
+  }
+  if (i < n) scalar_add(a + i, b + i, c + i, n - i, p);
+}
+
+template <class V>
+void simd_sub(const std::uint64_t* a, const std::uint64_t* b, std::uint64_t* c,
+              std::size_t n, std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  const typename V::vec vp = V::set1(p);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    const typename V::vec va = V::load(a + i);
+    const typename V::vec vb = V::load(b + i);
+    V::store(c + i, V::add_where_lt(V::sub(va, vb), va, vb, vp));
+  }
+  if (i < n) scalar_sub(a + i, b + i, c + i, n - i, p);
+}
+
+template <class V>
+void simd_neg(const std::uint64_t* a, std::uint64_t* c, std::size_t n,
+              std::uint64_t p) {
+  constexpr std::size_t L = V::kLanes;
+  const typename V::vec vp = V::set1(p);
+  std::size_t i = 0;
+  for (; i + L <= n; i += L) {
+    V::store(c + i, V::neg_mod(V::load(a + i), vp));
+  }
+  if (i < n) scalar_neg(a + i, c + i, n - i, p);
+}
+
+}  // namespace pphe::hal::detail

@@ -3,6 +3,7 @@
 #include <bit>
 
 #include "common/check.hpp"
+#include "math/hal/hal.hpp"
 
 namespace pphe {
 
@@ -105,34 +106,23 @@ std::uint64_t Modulus::inv(std::uint64_t a) const {
 ShoupMul::ShoupMul(std::uint64_t w, const Modulus& mod)
     : operand(w), quotient(mod.shoup_quotient(w)) {}
 
+// The dyadic entry points validate spans here and dispatch the loops to the
+// process-wide HAL kernel table (scalar relocated to
+// math/hal/kernels_scalar.cpp; AVX2/AVX-512 lanes of the same arithmetic).
 namespace dyadic {
 
 void mul(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
          std::span<std::uint64_t> c, const Modulus& mod) {
   PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
              "dyadic size mismatch");
-  const std::uint64_t* pa = a.data();
-  const std::uint64_t* pb = b.data();
-  std::uint64_t* pc = c.data();
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    pc[i] = mod.reduce128(static_cast<unsigned __int128>(pa[i]) * pb[i]);
-  }
+  hal::active().mul(a.data(), b.data(), c.data(), a.size(), mod);
 }
 
 void mul_acc(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
              std::span<std::uint64_t> c, const Modulus& mod) {
   PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
              "dyadic size mismatch");
-  const std::uint64_t* pa = a.data();
-  const std::uint64_t* pb = b.data();
-  std::uint64_t* pc = c.data();
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    // product + accumulator < p^2 + p < 2^125: one Barrett pass reduces both.
-    pc[i] = mod.reduce128(static_cast<unsigned __int128>(pa[i]) * pb[i] +
-                          pc[i]);
-  }
+  hal::active().mul_acc(a.data(), b.data(), c.data(), a.size(), mod);
 }
 
 void shoup_precompute(std::span<const std::uint64_t> w,
@@ -150,18 +140,8 @@ void mul_shoup(std::span<const std::uint64_t> a,
   PPHE_CHECK(a.size() == w.size() && a.size() == wq.size() &&
                  a.size() == c.size(),
              "dyadic size mismatch");
-  const std::uint64_t p = mod.value();
-  const std::uint64_t* pa = a.data();
-  const std::uint64_t* pw = w.data();
-  const std::uint64_t* pq = wq.data();
-  std::uint64_t* pc = c.data();
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t q = static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(pa[i]) * pq[i]) >> 64);
-    const std::uint64_t r = pa[i] * pw[i] - q * p;
-    pc[i] = r >= p ? r - p : r;
-  }
+  hal::active().mul_shoup(a.data(), w.data(), wq.data(), c.data(), a.size(),
+                          mod.value());
 }
 
 void mul_acc_shoup(std::span<const std::uint64_t> a,
@@ -171,20 +151,28 @@ void mul_acc_shoup(std::span<const std::uint64_t> a,
   PPHE_CHECK(a.size() == w.size() && a.size() == wq.size() &&
                  a.size() == c.size(),
              "dyadic size mismatch");
-  const std::uint64_t p = mod.value();
-  const std::uint64_t two_p = 2 * p;
-  const std::uint64_t* pa = a.data();
-  const std::uint64_t* pw = w.data();
-  const std::uint64_t* pq = wq.data();
-  std::uint64_t* pc = c.data();
-  const std::size_t n = a.size();
-  for (std::size_t i = 0; i < n; ++i) {
-    const std::uint64_t q = static_cast<std::uint64_t>(
-        (static_cast<unsigned __int128>(pa[i]) * pq[i]) >> 64);
-    std::uint64_t s = pc[i] + (pa[i] * pw[i] - q * p);  // < 3p
-    s = s >= two_p ? s - two_p : s;
-    pc[i] = s >= p ? s - p : s;
-  }
+  hal::active().mul_acc_shoup(a.data(), w.data(), wq.data(), c.data(),
+                              a.size(), mod.value());
+}
+
+void add(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod) {
+  PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
+             "dyadic size mismatch");
+  hal::active().add(a.data(), b.data(), c.data(), a.size(), mod.value());
+}
+
+void sub(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod) {
+  PPHE_CHECK(a.size() == b.size() && a.size() == c.size(),
+             "dyadic size mismatch");
+  hal::active().sub(a.data(), b.data(), c.data(), a.size(), mod.value());
+}
+
+void neg(std::span<const std::uint64_t> a, std::span<std::uint64_t> c,
+         const Modulus& mod) {
+  PPHE_CHECK(a.size() == c.size(), "dyadic size mismatch");
+  hal::active().neg(a.data(), c.data(), a.size(), mod.value());
 }
 
 }  // namespace dyadic

@@ -99,6 +99,11 @@ struct ShoupMul {
 /// quotients `wq` (see shoup_precompute) and replace the 128-bit Barrett
 /// reduction by two multiplies per element — the payoff for operands reused
 /// across many products (plaintext weights, key-switching keys, public keys).
+///
+/// All kernels below (except shoup_precompute and the inline scalar step)
+/// validate sizes and dispatch through the math HAL (src/math/hal/), so the
+/// loops run scalar, AVX2, or AVX-512 — bit-identically — depending on the
+/// process-wide ISA selection.
 namespace dyadic {
 
 /// c[i] = a[i] * b[i] mod p (Barrett).
@@ -126,6 +131,18 @@ void mul_acc_shoup(std::span<const std::uint64_t> a,
                    std::span<const std::uint64_t> w,
                    std::span<const std::uint64_t> wq,
                    std::span<std::uint64_t> c, const Modulus& mod);
+
+/// c[i] = (a[i] + b[i]) mod p. In-place (c aliasing a or b) is fine.
+void add(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod);
+
+/// c[i] = (a[i] - b[i]) mod p. In-place is fine.
+void sub(std::span<const std::uint64_t> a, std::span<const std::uint64_t> b,
+         std::span<std::uint64_t> c, const Modulus& mod);
+
+/// c[i] = (-a[i]) mod p. In-place is fine.
+void neg(std::span<const std::uint64_t> a, std::span<std::uint64_t> c,
+         const Modulus& mod);
 
 /// Scalar fused step for gather loops (hoisted rotations read the variable
 /// operand through an NTT permutation, so they cannot run the flat kernels):

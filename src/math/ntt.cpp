@@ -1,6 +1,7 @@
 #include "math/ntt.hpp"
 
 #include "common/check.hpp"
+#include "math/hal/hal.hpp"
 #include "math/primes.hpp"
 
 namespace pphe {
@@ -56,83 +57,14 @@ NttTable::NttTable(std::size_t n, const Modulus& modulus)
 
 void NttTable::forward(std::span<std::uint64_t> a) const {
   PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
-  const std::uint64_t p = modulus_.value();
-  const std::uint64_t two_p = 2 * p;
-  std::uint64_t* x = a.data();
-  std::size_t t = n_;
-  for (std::size_t m = 1; m < n_; m <<= 1) {
-    t >>= 1;
-    for (std::size_t i = 0; i < m; ++i) {
-      const std::uint64_t w = root_powers_[m + i].operand;
-      const std::uint64_t wq = root_powers_[m + i].quotient;
-      std::uint64_t* xa = x + 2 * i * t;
-      std::uint64_t* xb = xa + t;
-      // Harvey butterflies: inputs < 4p, outputs < 4p. The top input is
-      // conditionally brought below 2p; the lazy Shoup product is < 2p for
-      // any 64-bit input, so u+v < 4p and u-v+2p < 4p.
-      for (std::size_t j = 0; j < t; ++j) {
-        std::uint64_t u = xa[j];
-        u = u >= two_p ? u - two_p : u;
-        const std::uint64_t q = static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(xb[j]) * wq) >> 64);
-        const std::uint64_t v = xb[j] * w - q * p;
-        xa[j] = u + v;
-        xb[j] = u - v + two_p;
-      }
-    }
-  }
-  // Deferred correction: one sweep maps [0, 4p) -> [0, p).
-  for (std::size_t j = 0; j < n_; ++j) {
-    std::uint64_t v = x[j];
-    v = v >= two_p ? v - two_p : v;
-    x[j] = v >= p ? v - p : v;
-  }
+  hal::active().ntt_forward(a.data(), n_, root_powers_.data(),
+                            modulus_.value());
 }
 
 void NttTable::inverse(std::span<std::uint64_t> a) const {
   PPHE_CHECK(a.size() == n_, "NTT input size mismatch");
-  const std::uint64_t p = modulus_.value();
-  const std::uint64_t two_p = 2 * p;
-  std::uint64_t* x = a.data();
-  std::size_t t = 1;
-  // Gentleman–Sande stages with values kept in [0, 2p): the sum gets one
-  // conditional subtract, the difference (< 2p after +2p bias) goes through
-  // the correction-free lazy Shoup product back into [0, 2p).
-  for (std::size_t m = n_; m > 2; m >>= 1) {
-    std::size_t j1 = 0;
-    const std::size_t h = m >> 1;
-    for (std::size_t i = 0; i < h; ++i) {
-      const std::uint64_t w = inv_root_powers_[h + i].operand;
-      const std::uint64_t wq = inv_root_powers_[h + i].quotient;
-      std::uint64_t* xa = x + j1;
-      std::uint64_t* xb = xa + t;
-      for (std::size_t j = 0; j < t; ++j) {
-        const std::uint64_t u = xa[j];
-        const std::uint64_t v = xb[j];
-        std::uint64_t s = u + v;
-        s = s >= two_p ? s - two_p : s;
-        xa[j] = s;
-        const std::uint64_t d = u - v + two_p;
-        const std::uint64_t q = static_cast<std::uint64_t>(
-            (static_cast<unsigned __int128>(d) * wq) >> 64);
-        xb[j] = d * w - q * p;
-      }
-      j1 += 2 * t;
-    }
-    t <<= 1;
-  }
-  // Final stage (m == 2, single twiddle inv_root_powers_[1]) with the 1/n
-  // scaling folded into both outputs: inv_n_ on the sum, inv_n_root_
-  // (= inv_n * twiddle) on the difference. Fully reduces to [0, p).
-  // ShoupMul::mul handles any 64-bit input, so the [0, 2p) stage values and
-  // the n == 2 case (raw inputs) both land here directly.
-  const std::size_t half = n_ >> 1;
-  for (std::size_t j = 0; j < half; ++j) {
-    const std::uint64_t u = x[j];
-    const std::uint64_t v = x[j + half];
-    x[j] = inv_n_.mul(u + v, p);
-    x[j + half] = inv_n_root_.mul(u - v + two_p, p);
-  }
+  hal::active().ntt_inverse(a.data(), n_, inv_root_powers_.data(), inv_n_,
+                            inv_n_root_, modulus_.value());
 }
 
 void NttTable::pointwise(std::span<const std::uint64_t> a,

@@ -30,6 +30,13 @@ namespace pphe {
 ///
 /// Outputs are always fully reduced in [0, p) and bit-identical to the
 /// eagerly-reduced scalar transform (tests pin this against a reference).
+///
+/// The transform loops themselves live behind the math HAL
+/// (src/math/hal/): forward()/inverse() validate and then dispatch to the
+/// process-wide kernel table (scalar oracle, AVX2, or AVX-512 — identical
+/// outputs, selected once by CPUID / --force-isa). The twiddle accessors
+/// below let the differential tests and per-ISA benches drive a specific
+/// kernel table directly against this table's precomputations.
 class NttTable {
  public:
   NttTable(std::size_t n, const Modulus& modulus);
@@ -52,6 +59,14 @@ class NttTable {
   void pointwise(std::span<const std::uint64_t> a,
                  std::span<const std::uint64_t> b,
                  std::span<std::uint64_t> c) const;
+
+  /// Precomputed twiddles in the layout the HAL kernels consume.
+  std::span<const ShoupMul> root_powers() const { return root_powers_; }
+  std::span<const ShoupMul> inv_root_powers() const {
+    return inv_root_powers_;
+  }
+  const ShoupMul& inv_n() const { return inv_n_; }
+  const ShoupMul& inv_n_root() const { return inv_n_root_; }
 
  private:
   std::size_t n_;

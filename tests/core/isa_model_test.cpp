@@ -1,0 +1,165 @@
+// Full-model half of the HAL differential suite (DESIGN.md §13): the
+// kernel-level tests in tests/math/hal_test.cpp pin bit-exactness per
+// primitive; these pin it end-to-end — an encrypted inference under
+// --force-isa=scalar and under the dispatched SIMD path must produce
+// BIT-identical logits (same keys, same randomness stream, same arithmetic),
+// and the content-addressed WeightOperandCache must see identical keys from
+// both encode paths (no silent double-storing).
+
+#include <gtest/gtest.h>
+
+#include <memory>
+#include <vector>
+
+#include "ckks/rns_backend.hpp"
+#include "common/prng.hpp"
+#include "core/he_model.hpp"
+#include "math/hal/hal.hpp"
+
+namespace pphe {
+namespace {
+
+using hal::Isa;
+
+CkksParams tiny_params() {
+  CkksParams p = CkksParams::test_small();
+  p.q_bit_sizes = {40, 26, 26, 26, 26, 26, 26};
+  return p;
+}
+
+ModelSpec tiny_spec(std::size_t in, std::size_t mid, std::size_t out,
+                    std::size_t degree, std::uint64_t seed) {
+  Prng prng(seed);
+  ModelSpec spec;
+  spec.name = "tiny";
+  auto linear = [&](std::size_t i, std::size_t o) {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kLinear;
+    s.linear.in_dim = i;
+    s.linear.out_dim = o;
+    s.linear.weight.resize(i * o);
+    s.linear.bias.resize(o);
+    for (auto& w : s.linear.weight) {
+      w = static_cast<float>(prng.normal() * 0.3);
+    }
+    for (auto& b : s.linear.bias) {
+      b = static_cast<float>(prng.normal() * 0.1);
+    }
+    return s;
+  };
+  spec.stages.push_back(linear(in, mid));
+  {
+    ModelSpec::Stage s;
+    s.kind = ModelSpec::Stage::Kind::kActivation;
+    s.activation.features = mid;
+    s.activation.degree = degree;
+    s.activation.coeffs.resize(mid * (degree + 1));
+    for (auto& c : s.activation.coeffs) {
+      c = static_cast<float>(prng.normal() * 0.2);
+    }
+    spec.stages.push_back(std::move(s));
+  }
+  spec.stages.push_back(linear(mid, out));
+  return spec;
+}
+
+std::vector<float> random_image(std::size_t n, std::uint64_t seed) {
+  Prng prng(seed);
+  std::vector<float> img(n);
+  for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+  return img;
+}
+
+// Runs the whole round trip — keygen, compile (encrypted weights, so key
+// switching and relinearization run too), encrypt, eval, decrypt — with the
+// process dispatch pinned to `isa`. Fresh backend per call: the PRNG stream
+// is seeded by the params, so both pins consume identical randomness.
+std::vector<double> logits_under(Isa isa, const ModelSpec& spec,
+                                 const std::vector<float>& img) {
+  hal::ScopedForceIsa pin(isa);
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = true;
+  const HeModel model(backend, spec, options);
+  const InferenceResult result = model.infer(img);
+  EXPECT_FALSE(result.degraded);
+  return result.logits;
+}
+
+TEST(IsaModel, EncryptedLogitsBitIdenticalScalarVsDispatched) {
+  const Isa best = hal::best_available();
+  if (best == Isa::kScalar) {
+    GTEST_SKIP() << "no SIMD kernels on this host/build";
+  }
+  const ModelSpec spec = tiny_spec(12, 8, 4, 2, 42);
+  const auto img = random_image(12, 7);
+
+  const std::vector<double> scalar_logits =
+      logits_under(Isa::kScalar, spec, img);
+  const std::vector<double> simd_logits = logits_under(best, spec, img);
+
+  ASSERT_EQ(scalar_logits.size(), simd_logits.size());
+  for (std::size_t i = 0; i < scalar_logits.size(); ++i) {
+    // Bitwise, not EXPECT_NEAR: the SIMD kernels implement the identical
+    // arithmetic, so even the noise is the same.
+    EXPECT_EQ(scalar_logits[i], simd_logits[i]) << "logit " << i;
+  }
+}
+
+TEST(IsaModel, WeightCacheKeysIdenticalAcrossIsas) {
+  const Isa best = hal::best_available();
+  if (best == Isa::kScalar) {
+    GTEST_SKIP() << "no SIMD kernels on this host/build";
+  }
+  const ModelSpec spec = tiny_spec(12, 8, 4, 2, 43);
+  const auto cache = std::make_shared<WeightOperandCache>();
+  RnsBackend backend(tiny_params());
+  HeModelOptions options;
+  options.encrypted_weights = false;
+  options.weight_cache = cache;
+
+  std::unique_ptr<HeModel> scalar_model;
+  {
+    hal::ScopedForceIsa pin(Isa::kScalar);
+    scalar_model = std::make_unique<HeModel>(backend, spec, options);
+  }
+  const auto after_scalar = cache->stats();
+  ASSERT_GT(after_scalar.misses, 0u);
+  ASSERT_EQ(after_scalar.entries, after_scalar.misses);
+
+  // Same spec compiled under the SIMD dispatch against the SAME cache: every
+  // weight encode must hit — the cache key is the raw (values, scale, level)
+  // content, which the encode path must produce identically under any ISA.
+  // New misses here would mean silent double-storing.
+  std::unique_ptr<HeModel> simd_model;
+  {
+    hal::ScopedForceIsa pin(best);
+    simd_model = std::make_unique<HeModel>(backend, spec, options);
+  }
+  const auto after_simd = cache->stats();
+  EXPECT_EQ(after_simd.misses, after_scalar.misses);
+  EXPECT_EQ(after_simd.entries, after_scalar.entries);
+  EXPECT_GE(after_simd.hits, after_scalar.hits + after_scalar.misses);
+
+  // The cross-compiled models evaluate one SAME encrypted input to bitwise
+  // equal logits: scalar-encoded cached operands consumed by SIMD kernels.
+  const auto img = random_image(12, 9);
+  std::vector<double> scalar_logits, simd_logits;
+  std::vector<Ciphertext> enc;
+  {
+    hal::ScopedForceIsa pin(Isa::kScalar);
+    enc = scalar_model->encrypt_input(img);
+    scalar_logits = scalar_model->decrypt_logits(scalar_model->eval(enc));
+  }
+  {
+    hal::ScopedForceIsa pin(best);
+    simd_logits = simd_model->decrypt_logits(simd_model->eval(enc));
+  }
+  ASSERT_EQ(scalar_logits.size(), simd_logits.size());
+  for (std::size_t i = 0; i < scalar_logits.size(); ++i) {
+    EXPECT_EQ(scalar_logits[i], simd_logits[i]) << "logit " << i;
+  }
+}
+
+}  // namespace
+}  // namespace pphe

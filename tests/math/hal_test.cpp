@@ -1,0 +1,274 @@
+// Differential bit-exactness suite for the math HAL (DESIGN.md §13): every
+// SIMD kernel table compiled into this binary and supported by the CPU is
+// driven against the scalar oracle over residue-extreme inputs (values at
+// the p / 2p / 4p lazy bounds), every prime of a generated chain, and odd
+// lengths that exercise the lane tails. Outputs must be BIT-identical —
+// "close" is a miscompiled kernel here.
+
+#include <gtest/gtest.h>
+
+#include <cstdint>
+#include <vector>
+
+#include "common/check.hpp"
+#include "common/prng.hpp"
+#include "math/hal/hal.hpp"
+#include "math/modarith.hpp"
+#include "math/ntt.hpp"
+#include "math/primes.hpp"
+
+namespace pphe {
+namespace {
+
+using hal::Isa;
+
+std::vector<Isa> simd_isas() {
+  std::vector<Isa> isas;
+  for (Isa isa : {Isa::kAvx2, Isa::kAvx512}) {
+    if (hal::available(isa)) isas.push_back(isa);
+  }
+  return isas;
+}
+
+// Every prime of a Table II-shaped chain (plus the 50-bit bench prime), all
+// ≡ 1 mod 2·4096 so a single list serves NTT sizes up to 4096.
+std::vector<std::uint64_t> test_primes() {
+  std::vector<std::uint64_t> primes =
+      generate_moduli_chain(4096, {40, 26, 26, 26, 26, 26, 26, 40});
+  const std::vector<std::uint64_t> extra = generate_ntt_primes(4096, 50, 1);
+  primes.push_back(extra[0]);
+  return primes;
+}
+
+// Lengths around the 4- and 8-lane widths: tails of every residue class,
+// sub-lane lengths, and a big slab.
+const std::size_t kLengths[] = {1, 2, 3, 4, 5, 6, 7, 8, 9, 10, 11, 12, 13,
+                                15, 16, 17, 31, 33, 100, 1000, 4096};
+
+// Fills `v` with draws that hammer the reduced-domain extremes: 0, 1, p-1
+// and uniform values, deterministic per (seed).
+std::vector<std::uint64_t> extreme_inputs(std::size_t n, std::uint64_t bound,
+                                          Prng& prng) {
+  std::vector<std::uint64_t> v(n);
+  for (std::size_t i = 0; i < n; ++i) {
+    switch (prng.uniform_below(5)) {
+      case 0: v[i] = 0; break;
+      case 1: v[i] = 1; break;
+      case 2: v[i] = bound - 1; break;
+      default: v[i] = prng.uniform_below(bound); break;
+    }
+  }
+  return v;
+}
+
+TEST(HalDispatch, ScalarAlwaysAvailable) {
+  EXPECT_TRUE(hal::available(Isa::kScalar));
+  EXPECT_STREQ(hal::kernels(Isa::kScalar).name, "scalar");
+  EXPECT_TRUE(hal::available(hal::best_available()));
+}
+
+TEST(HalDispatch, ParseIsaRoundTrips) {
+  EXPECT_EQ(hal::parse_isa("scalar"), Isa::kScalar);
+  EXPECT_EQ(hal::parse_isa("avx2"), Isa::kAvx2);
+  EXPECT_EQ(hal::parse_isa("avx512"), Isa::kAvx512);
+  EXPECT_THROW(hal::parse_isa("neon"), Error);
+  EXPECT_THROW(hal::parse_isa(""), Error);
+}
+
+TEST(HalDispatch, ScopedForcePinsAndRestores) {
+  const Isa before = hal::active_isa();
+  {
+    hal::ScopedForceIsa pin(Isa::kScalar);
+    EXPECT_EQ(hal::active_isa(), Isa::kScalar);
+    EXPECT_STREQ(hal::active().name, "scalar");
+  }
+  EXPECT_EQ(hal::active_isa(), before);
+}
+
+TEST(HalDispatch, ResetPicksAnAvailableIsa) {
+  hal::reset();
+  EXPECT_TRUE(hal::available(hal::active_isa()));
+}
+
+// --- Dyadic kernels: scalar vs each SIMD table, bitwise -------------------
+
+TEST(HalDifferential, DyadicKernelsMatchScalar) {
+  const auto& scalar = hal::kernels(Isa::kScalar);
+  Prng prng(20260809);
+  for (Isa isa : simd_isas()) {
+    const auto& simd = hal::kernels(isa);
+    for (const std::uint64_t p : test_primes()) {
+      const Modulus mod(p);
+      for (const std::size_t n : kLengths) {
+        const auto a = extreme_inputs(n, p, prng);
+        const auto b = extreme_inputs(n, p, prng);
+        std::vector<std::uint64_t> wq(n);
+        dyadic::shoup_precompute(b, wq, mod);
+
+        std::vector<std::uint64_t> want(n), got(n);
+        scalar.mul(a.data(), b.data(), want.data(), n, mod);
+        simd.mul(a.data(), b.data(), got.data(), n, mod);
+        ASSERT_EQ(want, got) << simd.name << " mul p=" << p << " n=" << n;
+
+        const auto acc = extreme_inputs(n, p, prng);
+        want = acc;
+        got = acc;
+        scalar.mul_acc(a.data(), b.data(), want.data(), n, mod);
+        simd.mul_acc(a.data(), b.data(), got.data(), n, mod);
+        ASSERT_EQ(want, got) << simd.name << " mul_acc p=" << p << " n=" << n;
+
+        scalar.mul_shoup(a.data(), b.data(), wq.data(), want.data(), n, p);
+        simd.mul_shoup(a.data(), b.data(), wq.data(), got.data(), n, p);
+        ASSERT_EQ(want, got) << simd.name << " mul_shoup p=" << p
+                             << " n=" << n;
+
+        want = acc;
+        got = acc;
+        scalar.mul_acc_shoup(a.data(), b.data(), wq.data(), want.data(), n, p);
+        simd.mul_acc_shoup(a.data(), b.data(), wq.data(), got.data(), n, p);
+        ASSERT_EQ(want, got) << simd.name << " mul_acc_shoup p=" << p
+                             << " n=" << n;
+
+        scalar.add(a.data(), b.data(), want.data(), n, p);
+        simd.add(a.data(), b.data(), got.data(), n, p);
+        ASSERT_EQ(want, got) << simd.name << " add p=" << p << " n=" << n;
+
+        scalar.sub(a.data(), b.data(), want.data(), n, p);
+        simd.sub(a.data(), b.data(), got.data(), n, p);
+        ASSERT_EQ(want, got) << simd.name << " sub p=" << p << " n=" << n;
+
+        scalar.neg(a.data(), want.data(), n, p);
+        simd.neg(a.data(), got.data(), n, p);
+        ASSERT_EQ(want, got) << simd.name << " neg p=" << p << " n=" << n;
+      }
+    }
+  }
+}
+
+// Naive __int128 reference on a SIMD table directly (not just scalar parity):
+// guards against the oracle and a SIMD port sharing one arithmetic slip.
+TEST(HalDifferential, SimdMulShoupMatchesNaiveReference) {
+  Prng prng(77);
+  const std::uint64_t p = test_primes().front();
+  const Modulus mod(p);
+  for (Isa isa : simd_isas()) {
+    const auto& simd = hal::kernels(isa);
+    const std::size_t n = 257;  // odd tail
+    const auto a = extreme_inputs(n, p, prng);
+    const auto w = extreme_inputs(n, p, prng);
+    std::vector<std::uint64_t> wq(n), got(n);
+    dyadic::shoup_precompute(w, wq, mod);
+    simd.mul_shoup(a.data(), w.data(), wq.data(), got.data(), n, p);
+    for (std::size_t i = 0; i < n; ++i) {
+      const std::uint64_t want = static_cast<std::uint64_t>(
+          (static_cast<unsigned __int128>(a[i]) * w[i]) % p);
+      ASSERT_EQ(got[i], want) << simd.name << " i=" << i;
+    }
+  }
+}
+
+// --- NTT kernels: lazy-bound extremes, every prime, many sizes ------------
+
+TEST(HalDifferential, NttForwardMatchesScalarOnLazyBounds) {
+  Prng prng(987);
+  for (Isa isa : simd_isas()) {
+    const auto& simd = hal::kernels(isa);
+    const auto& scalar = hal::kernels(Isa::kScalar);
+    for (const std::uint64_t p : test_primes()) {
+      const Modulus mod(p);
+      for (const std::size_t n : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}, std::size_t{16},
+                                  std::size_t{32}, std::size_t{256},
+                                  std::size_t{4096}}) {
+        const NttTable table(n, mod);
+        // forward() accepts the full lazy domain [0, 4p): stress the 2p and
+        // 4p boundaries explicitly, not just reduced inputs.
+        const std::uint64_t four_p = 4 * p;
+        std::vector<std::uint64_t> input(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          switch (prng.uniform_below(8)) {
+            case 0: input[i] = 0; break;
+            case 1: input[i] = p - 1; break;
+            case 2: input[i] = p; break;
+            case 3: input[i] = 2 * p - 1; break;
+            case 4: input[i] = 2 * p; break;
+            case 5: input[i] = four_p - 1; break;
+            default: input[i] = prng.uniform_below(four_p); break;
+          }
+        }
+        std::vector<std::uint64_t> want = input, got = input;
+        scalar.ntt_forward(want.data(), n, table.root_powers().data(), p);
+        simd.ntt_forward(got.data(), n, table.root_powers().data(), p);
+        ASSERT_EQ(want, got) << simd.name << " forward p=" << p
+                             << " n=" << n;
+        for (const std::uint64_t v : got) ASSERT_LT(v, p);
+      }
+    }
+  }
+}
+
+TEST(HalDifferential, NttInverseMatchesScalarOnLazyBounds) {
+  Prng prng(988);
+  for (Isa isa : simd_isas()) {
+    const auto& simd = hal::kernels(isa);
+    const auto& scalar = hal::kernels(Isa::kScalar);
+    for (const std::uint64_t p : test_primes()) {
+      const Modulus mod(p);
+      for (const std::size_t n : {std::size_t{2}, std::size_t{4},
+                                  std::size_t{8}, std::size_t{16},
+                                  std::size_t{64}, std::size_t{1024},
+                                  std::size_t{4096}}) {
+        const NttTable table(n, mod);
+        // inverse() accepts [0, 2p) between stages; stress the 2p boundary.
+        const std::uint64_t two_p = 2 * p;
+        std::vector<std::uint64_t> input(n);
+        for (std::size_t i = 0; i < n; ++i) {
+          switch (prng.uniform_below(6)) {
+            case 0: input[i] = 0; break;
+            case 1: input[i] = p - 1; break;
+            case 2: input[i] = p; break;
+            case 3: input[i] = two_p - 1; break;
+            default: input[i] = prng.uniform_below(two_p); break;
+          }
+        }
+        std::vector<std::uint64_t> want = input, got = input;
+        scalar.ntt_inverse(want.data(), n, table.inv_root_powers().data(),
+                           table.inv_n(), table.inv_n_root(), p);
+        simd.ntt_inverse(got.data(), n, table.inv_root_powers().data(),
+                         table.inv_n(), table.inv_n_root(), p);
+        ASSERT_EQ(want, got) << simd.name << " inverse p=" << p
+                             << " n=" << n;
+        for (const std::uint64_t v : got) ASSERT_LT(v, p);
+      }
+    }
+  }
+}
+
+TEST(HalDifferential, ForcedIsaRoundTripsThroughNttTable) {
+  // End-to-end through the public dispatch: forward+inverse under each ISA
+  // recovers the input and matches the scalar-pinned transform bitwise.
+  Prng prng(5150);
+  const std::uint64_t p = test_primes().back();
+  const Modulus mod(p);
+  const std::size_t n = 1024;
+  const NttTable table(n, mod);
+  std::vector<std::uint64_t> input(n);
+  for (auto& v : input) v = prng.uniform_below(p);
+
+  std::vector<std::uint64_t> scalar_fwd = input;
+  {
+    hal::ScopedForceIsa pin(Isa::kScalar);
+    table.forward(scalar_fwd);
+  }
+  for (Isa isa : simd_isas()) {
+    hal::ScopedForceIsa pin(isa);
+    std::vector<std::uint64_t> a = input;
+    table.forward(a);
+    EXPECT_EQ(a, scalar_fwd) << hal::isa_name(isa);
+    table.inverse(a);
+    EXPECT_EQ(a, input) << hal::isa_name(isa);
+  }
+}
+
+}  // namespace
+}  // namespace pphe

@@ -14,6 +14,8 @@
 #include "ckks/big_backend.hpp"
 #include "ckks/rns_backend.hpp"
 #include "common/prng.hpp"
+#include "core/he_model.hpp"
+#include "core/models.hpp"
 #include "math/hal/hal.hpp"
 #include "math/modarith.hpp"
 #include "math/ntt.hpp"
@@ -299,6 +301,63 @@ void BM_DyadicMulAccShoupIsa(benchmark::State& state,
                           static_cast<std::int64_t>(f.ntt.n()));
 }
 
+// Dense BSGS layer (DESIGN.md §14): three stacked dense 64->64 linear
+// stages with plaintext weights, evaluated end to end on the RNS backend.
+// `fused` runs the double-hoisted linear_bsgs path (one decomposition per
+// unique operand, one mod-down per giant group); `unfused` the legacy
+// per-rotation key-switch schedule. run_benches.sh gates fused >= 1.5x.
+struct DenseBsgsFixture {
+  std::unique_ptr<RnsBackend> backend;
+  std::unique_ptr<HeModel> model;
+  std::vector<Ciphertext> input;
+
+  explicit DenseBsgsFixture(bool fused)
+      : backend(std::make_unique<RnsBackend>(bench_params())) {
+    Prng prng(97);
+    ModelSpec spec;
+    spec.name = fused ? "dense-bsgs-fused" : "dense-bsgs-unfused";
+    for (int layer = 0; layer < 3; ++layer) {
+      ModelSpec::Stage s;
+      s.kind = ModelSpec::Stage::Kind::kLinear;
+      s.linear.in_dim = 64;
+      s.linear.out_dim = 64;
+      s.linear.weight.resize(64 * 64);
+      s.linear.bias.resize(64);
+      for (auto& w : s.linear.weight) {
+        w = static_cast<float>(prng.normal() * 0.1);
+      }
+      for (auto& b : s.linear.bias) {
+        b = static_cast<float>(prng.normal() * 0.05);
+      }
+      spec.stages.push_back(std::move(s));
+    }
+    HeModelOptions options;
+    options.encrypted_weights = false;
+    options.validate_inputs = false;
+    options.hoist_fusion = fused;
+    model = std::make_unique<HeModel>(*backend, spec, options);
+    std::vector<float> img(64);
+    for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+    input = model->encrypt_input(img);
+  }
+
+  static DenseBsgsFixture& get(bool fused) {
+    static DenseBsgsFixture hoisted(true);
+    static DenseBsgsFixture legacy(false);
+    return fused ? hoisted : legacy;
+  }
+};
+
+void BM_DenseBsgsLayer(benchmark::State& state, bool fused) {
+  auto& f = DenseBsgsFixture::get(fused);
+  run_with_mem(state, *f.backend, [&] { return f.model->eval(f.input); });
+}
+
+void BM_DenseBsgsLayerIsa(benchmark::State& state, bool fused, hal::Isa isa) {
+  const hal::ScopedForceIsa pin(isa);
+  BM_DenseBsgsLayer(state, fused);
+}
+
 // Ablation (DESIGN.md §6.1): relinearizing after every product vs deferring
 // a single relinearization to the end of an 8-term inner product.
 void BM_InnerProduct8_RelinEach(benchmark::State& state,
@@ -345,6 +404,11 @@ PPCNN_BENCH(BM_Encode);
 PPCNN_BENCH(BM_InnerProduct8_RelinEach);
 PPCNN_BENCH(BM_InnerProduct8_RelinDeferred);
 
+BENCHMARK_CAPTURE(BM_DenseBsgsLayer, fused, true)
+    ->Unit(benchmark::kMillisecond);
+BENCHMARK_CAPTURE(BM_DenseBsgsLayer, unfused, false)
+    ->Unit(benchmark::kMillisecond);
+
 }  // namespace
 
 // One row set per ISA this build+CPU can run (scalar always; avx2/avx512
@@ -370,6 +434,18 @@ void register_per_isa_kernel_rows() {
           ->Arg(1 << 12)
           ->Arg(1 << 14)
           ->Unit(benchmark::kMicrosecond);
+    }
+    // Layer-level fused/unfused rows with the dispatch pinned, so the drift
+    // report can compare the hoisted BSGS path like-for-like per ISA.
+    for (const bool fused : {true, false}) {
+      const std::string name = std::string("BM_DenseBsgsLayer_") +
+                               (fused ? "fused_" : "unfused_") + suffix;
+      benchmark::RegisterBenchmark(
+          name.c_str(),
+          [fused, isa](benchmark::State& st) {
+            BM_DenseBsgsLayerIsa(st, fused, isa);
+          })
+          ->Unit(benchmark::kMillisecond);
     }
   }
 }

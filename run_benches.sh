@@ -49,7 +49,7 @@ quick_args() {
     bench_micro_primitives)
       # RNS op rows plus the word-level NTT/dyadic kernel rows; --json drops
       # BENCH_micro.json at the repo root (we cd there above) for CI diffing.
-      echo "--benchmark_min_time=0.05 --benchmark_filter=rns|Ntt|Dyadic|Shoup --json" ;;
+      echo "--benchmark_min_time=0.05 --benchmark_filter=rns|Ntt|Dyadic|Shoup|Bsgs --json" ;;
     *) echo "" ;;
   esac
 }
@@ -220,6 +220,40 @@ print(f"{isa} NTT forward+inverse at N=16384: {speedup:.2f}x scalar")
 assert speedup >= 1.5, f"SIMD NTT speedup {speedup:.2f}x < 1.5x scalar"
 EOF
   echo "SIMD NTT gate OK"
+  echo
+
+  # Hoisted BSGS gate: the double-hoisted dense-layer path (one digit
+  # decomposition per unique operand, one mod-down per giant group) must be
+  # at least 1.5x faster than the legacy per-rotation key-switch schedule
+  # measured in the SAME run (same fixture, same host load). Skips when the
+  # rows are absent (older binary, filtered run) — schema-tolerant like the
+  # drift report above.
+  echo "==================================================================="
+  echo "=== hoisted BSGS speedup gate (BENCH_micro.json)"
+  echo "==================================================================="
+  python3 - BENCH_micro.json <<'EOF' || { echo "hoisted BSGS gate FAILED" >&2; exit 1; }
+import json, sys
+try:
+    with open(sys.argv[1]) as f:
+        d = json.load(f)
+except (OSError, ValueError) as e:
+    print(f"hoisted BSGS gate skipped: cannot read BENCH_micro.json ({e})")
+    raise SystemExit(0)
+# cpu_time, not real_time: same 1-core scheduling caveat as the NTT gate.
+rows = {b.get("name"): (b.get("cpu_time") or b.get("real_time"))
+        for b in d.get("benchmarks", [])
+        if b.get("run_type", "iteration") == "iteration"}
+fused = rows.get("BM_DenseBsgsLayer/fused")
+unfused = rows.get("BM_DenseBsgsLayer/unfused")
+if not fused or not unfused:
+    print("hoisted BSGS gate skipped: dense-layer rows missing from "
+          "BENCH_micro.json")
+    raise SystemExit(0)
+speedup = unfused / fused
+print(f"dense BSGS layer: hoisted path is {speedup:.2f}x the unfused schedule")
+assert speedup >= 1.5, f"hoisted BSGS speedup {speedup:.2f}x < 1.5x unfused"
+EOF
+  echo "hoisted BSGS gate OK"
   echo
 
   # Trace smoke: one CNN1-HE-RNS inference with --trace-out, then verify the

@@ -46,9 +46,16 @@ enum class OpKind : std::uint8_t {
   // the per-op kernel cost every latency above decomposes into.
   kNttForward,
   kNttInverse,
+  // Phased key-switching (DESIGN.md §14): one kKswInner per raised-basis
+  // inner product against a switching key (== one digit decomposition
+  // consumed), one kModDown per mod-down epilogue. Double hoisting shows up
+  // in these counters as kModDown dropping from one-per-rotation to
+  // one-per-giant-group.
+  kKswInner,
+  kModDown,
 };
 inline constexpr std::size_t kOpKindCount =
-    static_cast<std::size_t>(OpKind::kNttInverse) + 1;
+    static_cast<std::size_t>(OpKind::kModDown) + 1;
 
 /// Stable display/report name (these strings are the legacy op_counts() keys;
 /// bench tables and tests key on them).
@@ -74,6 +81,8 @@ constexpr const char* op_name(OpKind kind) {
     case OpKind::kGaloisKeys: return "galois_keys";
     case OpKind::kNttForward: return "ntt_forward";
     case OpKind::kNttInverse: return "ntt_inverse";
+    case OpKind::kKswInner: return "ksw_inner";
+    case OpKind::kModDown: return "mod_down";
   }
   return "?";
 }
@@ -121,6 +130,24 @@ class Plaintext {
   std::shared_ptr<void> impl_;
   double scale_ = 0.0;
   int level_ = 0;
+};
+
+/// One term of a BSGS group: multiply the baby-rotated input by a plaintext
+/// weight. `baby_step` is the FULL slot rotation (baby index already
+/// multiplied by the layer's rotation multiplier); 0 means the unrotated
+/// input. The pointed-to plaintext must outlive the linear_bsgs call.
+struct BsgsTerm {
+  int baby_step = 0;
+  const Plaintext* weight = nullptr;
+};
+
+/// One giant group of a BSGS diagonal layer: the group's weighted baby sum
+/// is rotated by `giant_step` (0 = no rotation) and added into the layer
+/// output. Together the groups describe
+///   out = sum_j rot(sum_b w_{j,b} * rot(x, baby_b), giant_j).
+struct BsgsGroupSpec {
+  int giant_step = 0;
+  std::vector<BsgsTerm> terms;
 };
 
 /// Abstract CKKS evaluator: the primitives of §II of the paper (KeyGen at
@@ -175,12 +202,30 @@ class HeBackend {
 
   /// Rotations of the SAME ciphertext by several steps. Backends may hoist
   /// the shared key-switching work (decompose + NTT once, permute per step);
-  /// the default just loops. Order of results matches `steps`.
+  /// the default just loops. Order of results matches `steps`. Steps that
+  /// are 0 modulo the slot count return the input handle unchanged, and
+  /// repeated steps return an alias of the first result — neither re-runs
+  /// key switching (handles are immutable, so sharing is safe).
   virtual std::vector<Ciphertext> rotate_batch(
       const Ciphertext& a, std::span<const int> steps) const {
     std::vector<Ciphertext> out;
     out.reserve(steps.size());
-    for (const int s : steps) out.push_back(rotate(a, s));
+    std::map<long long, std::size_t> seen;  // normalized step -> result index
+    const long long slots = static_cast<long long>(slot_count());
+    for (const int s : steps) {
+      const long long r = ((s % slots) + slots) % slots;
+      if (r == 0) {
+        out.push_back(a);
+        continue;
+      }
+      const auto it = seen.find(r);
+      if (it != seen.end()) {
+        out.push_back(out[it->second]);
+        continue;
+      }
+      seen.emplace(r, out.size());
+      out.push_back(rotate(a, s));
+    }
     return out;
   }
   /// Braced-list convenience (`rotate_batch(ct, {1, 2})`); std::span gains
@@ -202,6 +247,44 @@ class HeBackend {
                                   const Plaintext& b) const {
     const Ciphertext prod = multiply_plain(a, b);
     acc = acc.valid() ? add(acc, prod) : prod;
+  }
+
+  /// sum_i rot(cts[i], steps[i]) — the giant-step epilogue of a BSGS layer.
+  /// Backends may defer the mod-down epilogue across all rotations and pay
+  /// it once (double hoisting); the default rotates and adds. All inputs
+  /// must share level, scale, and size 2; steps that are 0 modulo the slot
+  /// count contribute the ciphertext unrotated.
+  virtual Ciphertext rotate_sum(std::span<const Ciphertext> cts,
+                                std::span<const int> steps) const {
+    PPHE_CHECK(cts.size() == steps.size(),
+               "rotate_sum: cts/steps size mismatch");
+    Ciphertext total;
+    const long long slots = static_cast<long long>(slot_count());
+    for (std::size_t i = 0; i < cts.size(); ++i) {
+      const long long r = ((steps[i] % slots) + slots) % slots;
+      Ciphertext term = r == 0 ? cts[i] : rotate(cts[i], steps[i]);
+      total = total.valid() ? add(total, term) : std::move(term);
+    }
+    return total;
+  }
+
+  /// True when linear_bsgs() is implemented (the planner uses this to pick
+  /// the fused cost model before compiling weights).
+  virtual bool supports_hoisted_bsgs() const { return false; }
+
+  /// Fully fused BSGS diagonal layer over PLAINTEXT weights (double
+  /// hoisting, DESIGN.md §14): accumulates every baby-step key-switch inner
+  /// product in the raised basis Q∪{p} and pays one mod-down epilogue per
+  /// giant group plus one for the layer, instead of one per rotation.
+  /// Returns an invalid handle when the backend (or this particular operand
+  /// set) does not support the fused path — callers must fall back to the
+  /// rotate/multiply_plain_acc loop. The result is size 2 (no
+  /// relinearization needed) at scale x.scale * weight_scale.
+  virtual Ciphertext linear_bsgs(const Ciphertext& x,
+                                 std::span<const BsgsGroupSpec> groups) const {
+    (void)x;
+    (void)groups;
+    return {};
   }
 
   /// Ciphertext health validation: checks the handle's mirrored metadata and

@@ -328,44 +328,45 @@ BigBackend::KswKey BigBackend::make_ksw_key(
   return key;
 }
 
-std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
-                                                   const KswKey& key) const {
-  trace::Span span("key_switch", "kernel");
-  span.attr("level", d.level);
-  PPHE_CHECK(!d.ntt, "key_switch expects coefficient form");
-  const int level = d.level;
+const BigBackend::KswKey& BigBackend::key_at_level(const KswKey& key,
+                                                   int level) const {
   const int top = max_level();
+  if (level == top) return key;
+  // Reduce the top-level key to Q_level * P (cached per level). Valid because
+  // Q_level*P divides Q_L*P; NTT forms are recomputed under the new modulus.
+  auto& cache = key_cache_[&key];
+  auto it = cache.find(level);
+  if (it == cache.end()) {
+    const BigBarrett& bar = barrett_aux(level);
+    const BigNtt& transform = ntt_aux(level);
+    const BigNtt& top_transform = ntt_aux(top);
+    KswKey r;
+    r.a = BigPoly{{}, false, level};
+    r.b = BigPoly{{}, false, level};
+    r.a.coeffs = key.a.coeffs;
+    r.b.coeffs = key.b.coeffs;
+    top_transform.inverse(r.a.coeffs);
+    top_transform.inverse(r.b.coeffs);
+    for (auto& c : r.a.coeffs) c = reduce_wide(bar, c);
+    for (auto& c : r.b.coeffs) c = reduce_wide(bar, c);
+    transform.forward(r.a.coeffs);
+    transform.forward(r.b.coeffs);
+    r.a.ntt = r.b.ntt = true;
+    it = cache.emplace(level, std::move(r)).first;
+  }
+  return it->second;
+}
+
+PooledVec<BigUInt> BigBackend::ksw_decompose(const BigPoly& d) const {
+  PPHE_CHECK(!d.ntt, "ksw_decompose expects coefficient form");
+  trace::Span span("ksw_decompose", "kernel");
+  span.attr("level", d.level);
+  const int level = d.level;
   const std::size_t n = params_.degree;
   const BigUInt aux = q_ladder_[level] * p_modulus_;
-  const BigBarrett& bar = barrett_aux(level);
   const BigNtt& transform = ntt_aux(level);
   const BigUInt& q_l = q_ladder_[level];
   const BigUInt half_q = q_l >> 1;
-
-  // Reduce the top-level key to Q_level * P (cached per level). Valid because
-  // Q_level*P divides Q_L*P; NTT forms are recomputed under the new modulus.
-  const KswKey* key_at_level = &key;
-  if (level != top) {
-    auto& cache = key_cache_[&key];
-    auto it = cache.find(level);
-    if (it == cache.end()) {
-      const BigNtt& top_transform = ntt_aux(top);
-      KswKey r;
-      r.a = BigPoly{{}, false, level};
-      r.b = BigPoly{{}, false, level};
-      r.a.coeffs = key.a.coeffs;
-      r.b.coeffs = key.b.coeffs;
-      top_transform.inverse(r.a.coeffs);
-      top_transform.inverse(r.b.coeffs);
-      for (auto& c : r.a.coeffs) c = reduce_wide(bar, c);
-      for (auto& c : r.b.coeffs) c = reduce_wide(bar, c);
-      transform.forward(r.a.coeffs);
-      transform.forward(r.b.coeffs);
-      r.a.ntt = r.b.ntt = true;
-      it = cache.emplace(level, std::move(r)).first;
-    }
-    key_at_level = &it->second;
-  }
 
   Stopwatch sw;
   // Centered lift of d from Q_level to Q_level*P: residues above Q_level/2
@@ -379,24 +380,53 @@ std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
         d.coeffs[i] > half_q ? d.coeffs[i] + lift_offset : d.coeffs[i];
   }
   transform.forward(lifted);
+  ParallelSim::global().record_serial(sw.seconds());
+  return lifted;
+}
 
-  PooledVec<BigUInt> acc0(big_pool_, n), acc1(big_pool_, n);
+BigBackend::BigExt BigBackend::ext_zero(int level) const {
+  const std::size_t n = params_.degree;
+  BigExt ext{PooledVec<BigUInt>(big_pool_, n), PooledVec<BigUInt>(big_pool_, n),
+             level};
+  for (auto& v : ext.c0) v = 0;  // pooled slabs recycle old contents
+  for (auto& v : ext.c1) v = 0;
+  return ext;
+}
+
+void BigBackend::ksw_inner_prod(const PooledVec<BigUInt>& digit,
+                                const KswKey& key, BigExt& acc) const {
+  OpScope op(*this, OpKind::kKswInner);
+  op.attr("level", acc.level);
+  const std::size_t n = params_.degree;
+  const BigBarrett& bar = barrett_aux(acc.level);
+  const KswKey& k = key_at_level(key, acc.level);
+  Stopwatch sw;
   for (std::size_t i = 0; i < n; ++i) {
-    acc0[i] = bar.mulmod(lifted[i], key_at_level->b.coeffs[i]);
-    acc1[i] = bar.mulmod(lifted[i], key_at_level->a.coeffs[i]);
+    acc.c0[i] = bar.addmod(acc.c0[i], bar.mulmod(digit[i], k.b.coeffs[i]));
+    acc.c1[i] = bar.addmod(acc.c1[i], bar.mulmod(digit[i], k.a.coeffs[i]));
   }
-  transform.inverse(acc0);
-  transform.inverse(acc1);
+  ParallelSim::global().record_serial(sw.seconds());
+}
+
+std::pair<BigPoly, BigPoly> BigBackend::ksw_mod_down(BigExt acc) const {
+  OpScope op(*this, OpKind::kModDown);
+  op.attr("level", acc.level);
+  const int level = acc.level;
+  const std::size_t n = params_.degree;
+  const BigNtt& transform = ntt_aux(level);
+  Stopwatch sw;
+  transform.inverse(acc.c0);
+  transform.inverse(acc.c1);
 
   // Mod-down: out = round(acc / P) mod Q_level.
   const BigBarrett& bar_q = barrett(level);
   std::pair<BigPoly, BigPoly> out{zero_poly(level, false),
                                   zero_poly(level, false)};
   for (int comp = 0; comp < 2; ++comp) {
-    auto& acc = comp == 0 ? acc0 : acc1;
+    auto& a = comp == 0 ? acc.c0 : acc.c1;
     auto& dst = comp == 0 ? out.first : out.second;
     for (std::size_t i = 0; i < n; ++i) {
-      BigUInt x = acc[i] + half_p_;
+      BigUInt x = a[i] + half_p_;
       const BigUInt r = reduce_wide(*barrett_p_, x);
       x -= r;  // divisible by P
       const BigUInt x_mod_q = reduce_wide(bar_q, x);
@@ -405,6 +435,16 @@ std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
   }
   ParallelSim::global().record_serial(sw.seconds());
   return out;
+}
+
+std::pair<BigPoly, BigPoly> BigBackend::key_switch(const BigPoly& d,
+                                                   const KswKey& key) const {
+  trace::Span span("key_switch", "kernel");
+  span.attr("level", d.level);
+  PooledVec<BigUInt> digit = ksw_decompose(d);
+  BigExt acc = ext_zero(d.level);
+  ksw_inner_prod(digit, key, acc);
+  return ksw_mod_down(std::move(acc));
 }
 
 // ---------------------------------------------------------------------------

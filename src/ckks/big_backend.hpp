@@ -118,6 +118,26 @@ class BigBackend final : public HeBackend {
 
   void generate_keys();
   KswKey make_ksw_key(std::span<const BigUInt> target_ntt_aux) const;
+
+  /// Key-switch accumulator in the raised ring mod Q_level * P, NTT form —
+  /// the multiprecision analogue of ExtAccumulator. Unfused (each key_switch
+  /// call still pays its own mod-down), but the phase split mirrors
+  /// RnsBackend so RNS-vs-Big agreement tests exercise the same pipeline
+  /// shape and the kKswInner / kModDown counters line up.
+  struct BigExt {
+    PooledVec<BigUInt> c0, c1;
+    int level = 0;
+  };
+  /// Top-level key reduced to Q_level * P (cached per level).
+  const KswKey& key_at_level(const KswKey& key, int level) const;
+  /// Centered lift of d from Q_level to Q_level*P plus the forward aux NTT —
+  /// the single "digit" of this backend's (trivial) decomposition.
+  PooledVec<BigUInt> ksw_decompose(const BigPoly& d) const;
+  BigExt ext_zero(int level) const;
+  void ksw_inner_prod(const PooledVec<BigUInt>& digit, const KswKey& key,
+                      BigExt& acc) const;
+  /// Mod-down epilogue: round(acc / P) mod Q_level, coeff form.
+  std::pair<BigPoly, BigPoly> ksw_mod_down(BigExt acc) const;
   /// d: coefficient form at `level`. Returns (delta0, delta1), coeff form.
   std::pair<BigPoly, BigPoly> key_switch(const BigPoly& d,
                                          const KswKey& key) const;

@@ -1,0 +1,41 @@
+#pragma once
+
+#include <cstdint>
+#include <span>
+
+#include "math/poly_buffer.hpp"
+
+namespace pphe {
+
+/// Polynomial in double-CRT form: residue channels stored as one contiguous
+/// 64-byte-aligned `channels x N` slab (PolyBuffer) checked out of the
+/// backend's arena; `ntt` says whether channels hold NTT (evaluation) or
+/// coefficient representation. Channels 0..level are the ciphertext primes
+/// q_0..q_level; key material carries one extra channel for the
+/// key-switching prime p.
+struct RnsPoly {
+  PolyBuffer buf;
+  bool ntt = false;
+  /// True when the LAST channel is the key-switching prime p rather than the
+  /// next ciphertext prime (key material and key-switching accumulators).
+  bool has_special = false;
+
+  std::size_t channels() const { return buf.channels(); }
+  std::span<std::uint64_t> ch(std::size_t c) { return buf[c]; }
+  std::span<const std::uint64_t> ch(std::size_t c) const { return buf[c]; }
+};
+
+/// Key-switch accumulator in the raised (extended) basis Q ∪ {p}: both
+/// output components of one or more key-switch inner products, in NTT form,
+/// BEFORE the mod-down epilogue. Double hoisting (DESIGN.md §14) works by
+/// summing many inner products — optionally scaled by plaintext weights —
+/// into one of these and paying RnsBackend::ksw_mod_down once for the whole
+/// sum instead of once per rotation.
+struct ExtAccumulator {
+  RnsPoly c0, c1;  // q channels + special, NTT form
+  int level = 0;
+
+  bool valid() const { return c0.buf.channels() != 0; }
+};
+
+}  // namespace pphe

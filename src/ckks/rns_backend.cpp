@@ -329,75 +329,136 @@ RnsBackend::KswKey RnsBackend::make_ksw_key(const RnsPoly& target_ntt) const {
 }
 
 // ---------------------------------------------------------------------------
-// Key switching
+// Key switching, phased (DESIGN.md §14): digit decompose -> raised-basis
+// inner product -> mod-down epilogue. The split exists so hoisted paths can
+// share one decomposition across many inner products, and — double hoisting —
+// accumulate many inner products in the raised basis and pay ONE mod-down
+// for the whole sum instead of one per rotation.
 // ---------------------------------------------------------------------------
 
-std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
-                                                   const KswKey& key) const {
-  trace::Span span("key_switch", "kernel");
-  span.attr("level", level);
-  span.attr("digits", level + 1);
-  PPHE_CHECK(!d.ntt, "key_switch expects coefficient form");
+RnsBackend::KswDigits RnsBackend::ksw_decompose(const RnsPoly& d,
+                                                int level) const {
+  PPHE_CHECK(!d.ntt, "ksw_decompose expects coefficient form");
   const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
   PPHE_CHECK(d.channels() >= q_channels, "digit source too small");
   const std::size_t n = params_.degree;
-  const std::size_t key_special = q_moduli_.size();  // key channel index of p
 
-  RnsPoly acc0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
-  RnsPoly acc1 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
-  const std::size_t channels = acc0.channels();  // q_channels + 1
+  KswDigits out;
+  out.q_channels = q_channels;
+  out.channels = q_channels + 1;  // + special
+  out.level = level;
+  out.rows =
+      PolyBuffer(pool_, q_channels * out.channels, n, /*zero_fill=*/false);
 
   // One digit per prime (the RNS gadget of Cheon et al. [9] / SEAL): digit j
-  // is the residue of d mod q_j, lifted to every channel, NTT'd, and dotted
-  // with the key. Digit loop bodies over channels are the parallel units.
-  // The lift scratch is one pooled slab (one row per channel) reused across
-  // digits instead of a fresh vector per channel per digit.
-  PolyBuffer lift_scratch(pool_, channels, n, /*zero_fill=*/false);
+  // is the residue of d mod q_j, lifted to every channel (q primes plus the
+  // special prime p) and NTT'd. Digit rows over channels are the parallel
+  // units.
+  trace::Span span("ksw_decompose", "kernel");
+  span.attr("digits", static_cast<double>(q_channels));
+  const std::size_t channels = out.channels;
+  Stopwatch sw;
   for (std::size_t j = 0; j < q_channels; ++j) {
     const auto digit = d.ch(j);
-    Stopwatch sw;
     ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
       const bool is_special = c == channels - 1;
       const Modulus& mod = is_special ? special_ : q_moduli_[c];
       const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
-      const std::size_t key_c = is_special ? key_special : c;
-
-      auto lift = lift_scratch[c];
+      auto lift = out.rows[j * channels + c];
       if (!is_special && c == j) {
         std::memcpy(lift.data(), digit.data(), n * sizeof(std::uint64_t));
       } else {
         for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
       }
       ntt.forward(lift);
-      // Fused digit accumulation: the key polys are fixed operands, so each
-      // channel row is one mul_acc_shoup pass (two muls per element) instead
-      // of Barrett-multiply followed by modular add.
-      dyadic::mul_acc_shoup(lift, key.digits[j][0].ch(key_c),
-                            key.shoup[j][0][key_c], acc0.ch(c), mod);
-      dyadic::mul_acc_shoup(lift, key.digits[j][1].ch(key_c),
-                            key.shoup[j][1][key_c], acc1.ch(c), mod);
     });
-    ParallelSim::global().record_parallel(channels, sw.seconds());
   }
+  ParallelSim::global().record_parallel(q_channels * channels, sw.seconds());
+  return out;
+}
+
+ExtAccumulator RnsBackend::ext_zero(int level) const {
+  ExtAccumulator acc;
+  acc.c0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+  acc.c1 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
+  acc.level = level;
+  return acc;
+}
+
+void RnsBackend::ksw_inner_prod(const KswDigits& digits, const KswKey& key,
+                                const std::uint32_t* perm,
+                                ExtAccumulator& acc) const {
+  OpScope op(*this, OpKind::kKswInner);
+  op.attr("digits", static_cast<double>(digits.q_channels));
+  op.attr("level", static_cast<double>(digits.level));
+  PPHE_CHECK(acc.level == digits.level, "ksw_inner_prod: level mismatch");
+  const std::size_t channels = digits.channels;
+  const std::size_t q_channels = digits.q_channels;
+  const std::size_t n = params_.degree;
+  const std::size_t key_special = q_moduli_.size();  // key channel index of p
+
+  // Rotated inner products gather each digit through the automorphism
+  // permutation ONCE into a scratch row, then run the same flat HAL
+  // mul_acc_shoup kernels as the unrotated case — one gather pass plus two
+  // SIMD passes per (digit, channel) instead of two scalar gather-multiply
+  // passes. Element order is unchanged, so the result is bit-identical to
+  // the scalar gather-multiply formulation.
+  PolyBuffer scratch;
+  if (perm != nullptr) {
+    scratch = PolyBuffer(pool_, channels, n, /*zero_fill=*/false);
+  }
+  Stopwatch sw;
+  ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
+    const bool is_special = c == channels - 1;
+    const Modulus& mod = is_special ? special_ : q_moduli_[c];
+    const std::size_t key_c = is_special ? key_special : c;
+    auto a0 = acc.c0.ch(c);
+    auto a1 = acc.c1.ch(c);
+    for (std::size_t j = 0; j < q_channels; ++j) {
+      auto dj = digits.rows[j * channels + c];
+      const auto kb = key.digits[j][0].ch(key_c);
+      const auto ka = key.digits[j][1].ch(key_c);
+      const auto kbq = key.shoup[j][0][key_c];
+      const auto kaq = key.shoup[j][1][key_c];
+      if (perm != nullptr) {
+        auto row = scratch[c];
+        for (std::size_t i = 0; i < n; ++i) row[i] = dj[perm[i]];
+        dj = row;
+      }
+      dyadic::mul_acc_shoup(dj, kb, kbq, a0, mod);
+      dyadic::mul_acc_shoup(dj, ka, kaq, a1, mod);
+    }
+  });
+  ParallelSim::global().record_parallel(channels, sw.seconds());
+}
+
+std::pair<RnsPoly, RnsPoly> RnsBackend::ksw_mod_down(
+    ExtAccumulator acc) const {
+  OpScope op(*this, OpKind::kModDown);
+  op.attr("level", static_cast<double>(acc.level));
+  const int level = acc.level;
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+  const std::size_t channels = q_channels + 1;
+  const std::size_t n = params_.degree;
 
   // Mod-down: out = round(acc / p) over the q channels.
-  to_coeff(acc0);
-  to_coeff(acc1);
+  to_coeff(acc.c0);
+  to_coeff(acc.c1);
   const std::uint64_t p = special_.value();
   const std::uint64_t half_p = p >> 1;
   std::pair<RnsPoly, RnsPoly> out{zero_poly(level, false, false),
                                   zero_poly(level, false, false)};
   for (int comp = 0; comp < 2; ++comp) {
-    RnsPoly& acc = comp == 0 ? acc0 : acc1;
+    RnsPoly& a = comp == 0 ? acc.c0 : acc.c1;
     RnsPoly& dst = comp == 0 ? out.first : out.second;
     // r' = (acc + p/2) mod p, taken from the special channel.
-    auto rp = acc.ch(channels - 1);
+    auto rp = a.ch(channels - 1);
     for (auto& v : rp) v = special_.add(v, half_p);
     parallel_channels(q_channels, [&](std::size_t c) {
       const Modulus& mod = q_moduli_[c];
       const std::uint64_t half_mod = mod.reduce(half_p);
       const std::uint64_t inv_p = inv_p_mod_q_[c];
-      const auto src = acc.ch(c);
+      const auto src = a.ch(c);
       auto d_out = dst.ch(c);
       for (std::size_t i = 0; i < n; ++i) {
         const std::uint64_t num =
@@ -407,6 +468,17 @@ std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
     });
   }
   return out;
+}
+
+std::pair<RnsPoly, RnsPoly> RnsBackend::key_switch(const RnsPoly& d, int level,
+                                                   const KswKey& key) const {
+  trace::Span span("key_switch", "kernel");
+  span.attr("level", level);
+  span.attr("digits", level + 1);
+  const KswDigits digits = ksw_decompose(d, level);
+  ExtAccumulator acc = ext_zero(level);
+  ksw_inner_prod(digits, key, /*perm=*/nullptr, acc);
+  return ksw_mod_down(std::move(acc));
 }
 
 std::uint64_t RnsBackend::rotation_exponent(int step) const {
@@ -438,7 +510,11 @@ Plaintext RnsBackend::encode(std::span<const double> values, double scale,
   op.attr("level", level);
   PPHE_CHECK(level >= 0 && level <= max_level(), "level out of range");
   const auto coeffs = encoder_.encode(values, scale);
-  RnsPoly p = lift_signed(coeffs, level, /*with_special=*/false);
+  // Plaintexts carry the special prime p as an extra trailing channel so the
+  // fused BSGS path can multiply them against raised-basis accumulators
+  // (DESIGN.md §14). Every q-only consumer truncates it away positionally;
+  // serialization strips it before the wire.
+  RnsPoly p = lift_signed(coeffs, level, /*with_special=*/true);
   to_ntt(p);
   auto impl = std::make_shared<RnsPtBody>();
   impl->poly = std::move(p);
@@ -759,11 +835,27 @@ const std::vector<std::uint32_t>& RnsBackend::ntt_permutation(
 
 std::vector<Ciphertext> RnsBackend::rotate_batch(
     const Ciphertext& a, std::span<const int> steps) const {
-  if (steps.size() <= 1) {
+  // Normalize first: steps that are 0 modulo the slot count alias the input
+  // and repeated steps alias the first materialized result, so only the
+  // unique non-zero steps decide whether hoisting pays.
+  const long long slots = static_cast<long long>(slot_count());
+  std::vector<long long> norm(steps.size());
+  std::size_t unique_nonzero = 0;
+  {
+    std::map<long long, std::size_t> seen;
+    for (std::size_t i = 0; i < steps.size(); ++i) {
+      norm[i] = ((steps[i] % slots) + slots) % slots;
+      if (norm[i] != 0 && seen.emplace(norm[i], i).second) ++unique_nonzero;
+    }
+  }
+  if (unique_nonzero <= 1) {
+    // At most one real rotation: the (aliasing) default loop is already
+    // optimal, and hoisting would only add the decompose overhead.
     return HeBackend::rotate_batch(a, steps);
   }
   trace::Span batch_span("rotate_batch", "kernel");
   batch_span.attr("steps", static_cast<double>(steps.size()));
+  batch_span.attr("unique_steps", static_cast<double>(unique_nonzero));
   batch_span.attr("level", a.level());
   const RnsCtBody& ba = body(a);
   PPHE_CHECK(ba.polys.size() == 2, "rotate expects size-2 ciphertexts");
@@ -772,42 +864,26 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
   const auto level = a.level();
   const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
   const std::size_t n = params_.degree;
-  const std::size_t channels = q_channels + 1;  // + special
 
-  // Hoist: decompose c1 once, lift every digit to every channel, NTT.
+  // Hoist: decompose c1 once; each step then only permutes the digit table
+  // inside its inner product.
   RnsPoly c1 = ba.polys[1];
   to_coeff(c1);
-  // Digit table: one pooled slab of q_channels * channels rows (digit j
-  // lifted to channel c at row j*channels + c, special last), NTT form.
-  PolyBuffer digits_ntt(pool_, q_channels * channels, n, /*zero_fill=*/false);
-  {
-    trace::Span hoist_span("rotate_hoist_decompose", "kernel");
-    hoist_span.attr("digits", static_cast<double>(q_channels));
-    Stopwatch sw;
-    for (std::size_t j = 0; j < q_channels; ++j) {
-      ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
-        const bool is_special = c == channels - 1;
-        const Modulus& mod = is_special ? special_ : q_moduli_[c];
-        const NttTable& ntt = is_special ? *special_ntt_ : q_ntt_[c];
-        auto lift = digits_ntt[j * channels + c];
-        const auto digit = c1.ch(j);
-        if (!is_special && c == j) {
-          std::memcpy(lift.data(), digit.data(), n * sizeof(std::uint64_t));
-        } else {
-          for (std::size_t i = 0; i < n; ++i) lift[i] = mod.reduce(digit[i]);
-        }
-        ntt.forward(lift);
-      });
-    }
-    ParallelSim::global().record_parallel(q_channels * channels, sw.seconds());
-  }
-
-  const std::uint64_t p = special_.value();
-  const std::uint64_t half_p = p >> 1;
+  const KswDigits digits = ksw_decompose(c1, level);
 
   std::vector<Ciphertext> out;
   out.reserve(steps.size());
-  for (const int step : steps) {
+  std::map<long long, std::size_t> done;  // normalized step -> out index
+  for (std::size_t s = 0; s < steps.size(); ++s) {
+    if (norm[s] == 0) {
+      out.push_back(a);
+      continue;
+    }
+    if (const auto it = done.find(norm[s]); it != done.end()) {
+      out.push_back(out[it->second]);
+      continue;
+    }
+    const int step = steps[s];
     OpScope op(*this, OpKind::kRotateHoisted, a);
     op.attr("step", step);
     const std::uint64_t exponent = rotation_exponent(step);
@@ -819,60 +895,11 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
     }
     PPHE_CHECK(key_ptr != nullptr,
                "missing Galois key for step " + std::to_string(step));
-    const KswKey& key = *key_ptr;
     const auto& perm = ntt_permutation(exponent);
 
-    RnsPoly acc0 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
-    RnsPoly acc1 = zero_poly(level, /*with_special=*/true, /*ntt=*/true);
-    Stopwatch sw;
-    ThreadPool::global().parallel_for(channels, [&](std::size_t c) {
-      const bool is_special = c == channels - 1;
-      const Modulus& mod = is_special ? special_ : q_moduli_[c];
-      const std::size_t key_c = is_special ? q_moduli_.size() : c;
-      auto a0 = acc0.ch(c);
-      auto a1 = acc1.ch(c);
-      const std::uint64_t pc = mod.value();
-      for (std::size_t j = 0; j < q_channels; ++j) {
-        const auto dj = digits_ntt[j * channels + c];
-        const auto kb = key.digits[j][0].ch(key_c);
-        const auto ka = key.digits[j][1].ch(key_c);
-        const auto kbq = key.shoup[j][0][key_c];
-        const auto kaq = key.shoup[j][1][key_c];
-        // Gather through the automorphism permutation, fused-accumulating
-        // against the fixed key operands (scalar Shoup path: the permuted
-        // read defeats the flat kernels).
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::uint64_t v = dj[perm[i]];
-          a0[i] = dyadic::mul_acc_shoup_scalar(a0[i], v, kb[i], kbq[i], pc);
-          a1[i] = dyadic::mul_acc_shoup_scalar(a1[i], v, ka[i], kaq[i], pc);
-        }
-      }
-    });
-    ParallelSim::global().record_parallel(channels, sw.seconds());
-
-    // Mod-down by the special prime (rounded), as in key_switch().
-    to_coeff(acc0);
-    to_coeff(acc1);
-    RnsPoly out0 = zero_poly(level, false, false);
-    RnsPoly out1 = zero_poly(level, false, false);
-    for (int comp = 0; comp < 2; ++comp) {
-      RnsPoly& acc = comp == 0 ? acc0 : acc1;
-      RnsPoly& dst = comp == 0 ? out0 : out1;
-      auto rp = acc.ch(channels - 1);
-      for (auto& v : rp) v = special_.add(v, half_p);
-      parallel_channels(q_channels, [&](std::size_t c) {
-        const Modulus& mod = q_moduli_[c];
-        const std::uint64_t half_mod = mod.reduce(half_p);
-        const std::uint64_t inv_p = inv_p_mod_q_[c];
-        const auto src = acc.ch(c);
-        auto d_out = dst.ch(c);
-        for (std::size_t i = 0; i < n; ++i) {
-          const std::uint64_t num =
-              mod.sub(mod.add(src[i], half_mod), mod.reduce(rp[i]));
-          d_out[i] = mod.mul(num, inv_p);
-        }
-      });
-    }
+    ExtAccumulator acc = ext_zero(level);
+    ksw_inner_prod(digits, *key_ptr, perm.data(), acc);
+    auto [out0, out1] = ksw_mod_down(std::move(acc));
     to_ntt(out0);
     to_ntt(out1);
     // Add sigma(c0), applied directly in the NTT domain via the permutation.
@@ -887,9 +914,304 @@ std::vector<Ciphertext> RnsBackend::rotate_batch(
     std::vector<RnsPoly> polys;
     polys.push_back(std::move(out0));
     polys.push_back(std::move(out1));
+    done.emplace(norm[s], out.size());
     out.push_back(wrap(std::move(polys), a.scale(), level));
   }
   return out;
+}
+
+Ciphertext RnsBackend::rotate_sum(std::span<const Ciphertext> cts,
+                                  std::span<const int> steps) const {
+  PPHE_CHECK(cts.size() == steps.size(), "rotate_sum: cts/steps size mismatch");
+  if (cts.empty()) return {};
+  trace::Span span("rotate_sum", "kernel");
+  span.attr("terms", static_cast<double>(cts.size()));
+  const long long slots = static_cast<long long>(slot_count());
+  const int level = cts[0].level();
+  const double scale = cts[0].scale();
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+  const std::size_t n = params_.degree;
+
+  // Running q-basis sum (NTT form) of the sigma(c0) halves and the unrotated
+  // inputs; every key-switch inner product lands in ONE raised-basis
+  // accumulator, so the whole sum pays a single mod-down epilogue instead of
+  // one per rotation (double hoisting).
+  RnsPoly sum0 = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+  RnsPoly sum1 = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+  ExtAccumulator ext = ext_zero(level);
+  bool used_ext = false;
+  for (std::size_t t = 0; t < cts.size(); ++t) {
+    check_same_level("rotate_sum", cts[0], cts[t]);
+    check_same_scale("rotate_sum", scale, cts[t].scale());
+    const RnsCtBody& bc = body(cts[t]);
+    PPHE_CHECK(bc.polys.size() == 2,
+               "rotate_sum expects size-2 ciphertexts (relinearize first)");
+    const long long r = ((steps[t] % slots) + slots) % slots;
+    if (r == 0) {
+      add_inplace(sum0, bc.polys[0]);
+      add_inplace(sum1, bc.polys[1]);
+      continue;
+    }
+    const std::uint64_t exponent = rotation_exponent(steps[t]);
+    const KswKey* key_ptr = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+      auto key_it = galois_keys_.find(exponent);
+      if (key_it != galois_keys_.end()) key_ptr = &key_it->second;
+    }
+    PPHE_CHECK(key_ptr != nullptr,
+               "missing Galois key for step " + std::to_string(steps[t]));
+    const auto& perm = ntt_permutation(exponent);
+
+    RnsPoly c1 = bc.polys[1];
+    to_coeff(c1);
+    const KswDigits digits = ksw_decompose(c1, level);
+    ksw_inner_prod(digits, *key_ptr, perm.data(), ext);
+    used_ext = true;
+    // sigma(c0) added in the NTT domain via the permutation.
+    parallel_channels(q_channels, [&](std::size_t c) {
+      const Modulus& mod = q_moduli_[c];
+      const auto src = bc.polys[0].ch(c);
+      auto dst = sum0.ch(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = mod.add(dst[i], src[perm[i]]);
+      }
+    });
+  }
+  if (used_ext) {
+    auto [g0, g1] = ksw_mod_down(std::move(ext));
+    to_ntt(g0);
+    to_ntt(g1);
+    add_inplace(sum0, g0);
+    add_inplace(sum1, g1);
+  }
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(sum0));
+  polys.push_back(std::move(sum1));
+  return wrap(std::move(polys), scale, level);
+}
+
+Ciphertext RnsBackend::linear_bsgs(const Ciphertext& x,
+                                   std::span<const BsgsGroupSpec> groups) const {
+  if (groups.empty()) return {};
+  const RnsCtBody& bx = body(x);
+  PPHE_CHECK(bx.polys.size() == 2,
+             "linear_bsgs expects a size-2 input (relinearize first)");
+  PPHE_CHECK(bx.polys[0].ntt && bx.polys[1].ntt,
+             "ciphertexts are stored in NTT form");
+  const int level = x.level();
+  const std::size_t q_channels = static_cast<std::size_t>(level) + 1;
+  const std::size_t channels = q_channels + 1;  // + special
+  const std::size_t n = params_.degree;
+  const long long slots = static_cast<long long>(slot_count());
+  const auto normalize = [slots](int step) {
+    return ((step % slots) + slots) % slots;
+  };
+
+  // Eligibility scan: the fused path multiplies weights against raised-basis
+  // accumulators, so every weight must carry the special channel, sit at (or
+  // above) the input level, and share one scale. Anything else returns an
+  // invalid handle and the caller falls back to the generic loop.
+  double w_scale = 0.0;
+  for (const BsgsGroupSpec& grp : groups) {
+    for (const BsgsTerm& term : grp.terms) {
+      if (term.weight == nullptr || !term.weight->valid()) return {};
+      if (term.weight->level() < level) return {};
+      if (w_scale == 0.0) {
+        w_scale = term.weight->scale();
+      } else if (relative_diff(w_scale, term.weight->scale()) > 1e-9) {
+        return {};
+      }
+      const RnsPtBody& w = body(*term.weight);
+      if (!w.poly.has_special || !w.poly.ntt) return {};
+      if (w.poly.channels() < channels) return {};
+    }
+  }
+  if (w_scale == 0.0) return {};
+
+  trace::Span span("linear_bsgs", "kernel");
+  span.attr("groups", static_cast<double>(groups.size()));
+  span.attr("level", level);
+
+  // Weight channel row for accumulator channel c: q rows align positionally,
+  // the special row is always LAST in the weight poly (whose level may
+  // exceed the ciphertext's).
+  const auto w_row = [&](const RnsPtBody& w, std::size_t c) {
+    return c == q_channels ? w.poly.channels() - 1 : c;
+  };
+
+  // Layer-wide accumulators: every giant group's rotated key-switch parts
+  // land in ONE raised-basis accumulator (one final mod-down), the q-basis
+  // parts in (out0, out1), NTT form. Per-group accumulators sit alongside:
+  // the giant-0 group writes straight into the layer accumulator (no
+  // rotation, no group mod-down of its own).
+  ExtAccumulator layer_ext = ext_zero(level);
+  RnsPoly out0 = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+  RnsPoly out1 = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+
+  const std::size_t n_groups = groups.size();
+  std::vector<long long> g_giant(n_groups, 0);
+  std::vector<ExtAccumulator> g_ext(n_groups);
+  std::vector<RnsPoly> g_s0(n_groups), g_s1(n_groups);
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (groups[g].terms.empty()) continue;
+    g_giant[g] = normalize(groups[g].giant_step);
+    if (g_giant[g] != 0) g_ext[g] = ext_zero(level);
+    g_s0[g] = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+  }
+  const auto ext_of = [&](std::size_t g) -> ExtAccumulator& {
+    return g_giant[g] == 0 ? layer_ext : g_ext[g];
+  };
+
+  // Phase 1 (scan): zero-baby terms keep both halves in the q basis (no key
+  // switch, flat kernels); rotated terms are indexed by baby step so each
+  // baby's raised-basis inner product can be consumed by every group that
+  // uses it while still cache-hot.
+  std::map<long long, std::vector<std::pair<std::size_t, const BsgsTerm*>>>
+      by_baby;
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    for (const BsgsTerm& term : groups[g].terms) {
+      const long long b = normalize(term.baby_step);
+      if (b != 0) {
+        by_baby[b].emplace_back(g, &term);
+        continue;
+      }
+      const RnsPtBody& w = body(*term.weight);
+      const PolyBuffer& wq = pt_shoup(w);
+      if (g_s1[g].buf.empty()) {
+        g_s1[g] = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+      }
+      RnsPoly& s1 = g_s1[g];
+      RnsPoly& s0 = g_s0[g];
+      parallel_channels(q_channels, [&](std::size_t c) {
+        const Modulus& mod = q_moduli_[c];
+        const auto wc = w.poly.ch(c);
+        dyadic::mul_acc_shoup(bx.polys[0].ch(c), wc, wq[c], s0.ch(c), mod);
+        dyadic::mul_acc_shoup(bx.polys[1].ch(c), wc, wq[c], s1.ch(c), mod);
+      });
+    }
+  }
+
+  // Phase 2 (hoist + accumulate): decompose c1 once; per unique baby, ONE
+  // raised-basis inner product (no mod-down) and ONE sigma_b(c0) gather,
+  // weight-scaled immediately into every group that uses the baby — all
+  // flat HAL kernels (this is where the AVX2/AVX-512 dyadic paths apply),
+  // and the ~0.6MB accumulator is freed before the next baby instead of a
+  // whole layer's worth of them competing for cache.
+  KswDigits digits;
+  bool have_digits = false;
+  for (const auto& entry : by_baby) {
+    const auto& uses = entry.second;
+    if (!have_digits) {
+      RnsPoly c1 = bx.polys[1];
+      to_coeff(c1);
+      digits = ksw_decompose(c1, level);
+      have_digits = true;
+    }
+    const int step = uses.front().second->baby_step;
+    const std::uint64_t exponent = rotation_exponent(step);
+    const KswKey* key_ptr = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+      auto key_it = galois_keys_.find(exponent);
+      if (key_it != galois_keys_.end()) key_ptr = &key_it->second;
+    }
+    PPHE_CHECK(key_ptr != nullptr,
+               "missing Galois key for step " + std::to_string(step));
+    const auto& perm = ntt_permutation(exponent);
+    ExtAccumulator ip = ext_zero(level);
+    ksw_inner_prod(digits, *key_ptr, perm.data(), ip);
+    RnsPoly rc0 = zero_poly(level, /*with_special=*/false, /*ntt=*/true);
+    parallel_channels(q_channels, [&](std::size_t c) {
+      const auto src = bx.polys[0].ch(c);
+      auto dst = rc0.ch(c);
+      for (std::size_t i = 0; i < n; ++i) dst[i] = src[perm[i]];
+    });
+    for (const auto& use : uses) {
+      const std::size_t g = use.first;
+      const RnsPtBody& w = body(*use.second->weight);
+      const PolyBuffer& wq = pt_shoup(w);
+      ExtAccumulator& ext = ext_of(g);
+      RnsPoly& s0 = g_s0[g];
+      parallel_channels(channels, [&](std::size_t c) {
+        const bool is_special = c == channels - 1;
+        const Modulus& mod = is_special ? special_ : q_moduli_[c];
+        const std::size_t wr = w_row(w, c);
+        const auto wc = w.poly.ch(wr);
+        dyadic::mul_acc_shoup(ip.c0.ch(c), wc, wq[wr], ext.c0.ch(c), mod);
+        dyadic::mul_acc_shoup(ip.c1.ch(c), wc, wq[wr], ext.c1.ch(c), mod);
+        if (!is_special) {
+          dyadic::mul_acc_shoup(rc0.ch(c), wc, wq[c], s0.ch(c), mod);
+        }
+      });
+    }
+  }
+
+  // Phase 3 (epilogues): a group with a giant rotation pays ONE mod-down
+  // (this is the fusion: the unfused path pays one per baby rotation),
+  // re-decomposes its comp1, and feeds the giant inner product into the
+  // layer accumulator.
+  for (std::size_t g = 0; g < n_groups; ++g) {
+    if (groups[g].terms.empty()) continue;
+    const long long giant = g_giant[g];
+    trace::Span group_span("bsgs_fused_group", "kernel");
+    group_span.attr("giant_step", static_cast<double>(groups[g].giant_step));
+    group_span.attr("terms", static_cast<double>(groups[g].terms.size()));
+    RnsPoly s0 = std::move(g_s0[g]);
+    RnsPoly s1 = std::move(g_s1[g]);
+    const bool s1_used = !s1.buf.empty();
+
+    if (giant == 0) {
+      add_inplace(out0, s0);
+      if (s1_used) add_inplace(out1, s1);
+      continue;
+    }
+
+    auto [md0, md1] = ksw_mod_down(std::move(g_ext[g]));
+    const std::uint64_t exponent = rotation_exponent(groups[g].giant_step);
+    const KswKey* key_ptr = nullptr;
+    {
+      std::shared_lock<std::shared_mutex> lock(galois_mutex_);
+      auto key_it = galois_keys_.find(exponent);
+      if (key_it != galois_keys_.end()) key_ptr = &key_it->second;
+    }
+    PPHE_CHECK(key_ptr != nullptr,
+               "missing Galois key for step " +
+                   std::to_string(groups[g].giant_step));
+    const auto& gperm = ntt_permutation(exponent);
+    // comp1 of the group result (coefficient form) feeds the giant-rotation
+    // inner product; its mod-down is deferred to the layer epilogue.
+    if (s1_used) {
+      to_coeff(s1);
+      add_inplace(md1, s1);
+    }
+    const KswDigits gd = ksw_decompose(md1, level);
+    ksw_inner_prod(gd, *key_ptr, gperm.data(), layer_ext);
+    // comp0: NTT back, add the q-basis baby sum, then sigma_giant via the
+    // permutation straight into the layer output.
+    to_ntt(md0);
+    add_inplace(md0, s0);
+    parallel_channels(q_channels, [&](std::size_t c) {
+      const Modulus& mod = q_moduli_[c];
+      const auto src = md0.ch(c);
+      auto dst = out0.ch(c);
+      for (std::size_t i = 0; i < n; ++i) {
+        dst[i] = mod.add(dst[i], src[gperm[i]]);
+      }
+    });
+  }
+
+  // Layer epilogue: the single mod-down every giant group (and the baby
+  // inner products of the giant-0 group) deferred to.
+  auto [g0, g1] = ksw_mod_down(std::move(layer_ext));
+  to_ntt(g0);
+  to_ntt(g1);
+  add_inplace(g0, out0);
+  add_inplace(g1, out1);
+  std::vector<RnsPoly> polys;
+  polys.push_back(std::move(g0));
+  polys.push_back(std::move(g1));
+  return wrap(std::move(polys), x.scale() * w_scale, level);
 }
 
 void RnsBackend::multiply_acc(Ciphertext& acc, const Ciphertext& a,

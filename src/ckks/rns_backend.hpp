@@ -11,6 +11,7 @@
 
 #include "ckks/backend.hpp"
 #include "ckks/encoder.hpp"
+#include "ckks/ext_accumulator.hpp"
 #include "ckks/params.hpp"
 #include "common/prng.hpp"
 #include "math/modarith.hpp"
@@ -19,24 +20,6 @@
 #include "math/rns.hpp"
 
 namespace pphe {
-
-/// Polynomial in double-CRT form: residue channels stored as one contiguous
-/// 64-byte-aligned `channels x N` slab (PolyBuffer) checked out of the
-/// backend's arena; `ntt` says whether channels hold NTT (evaluation) or
-/// coefficient representation. Channels 0..level are the ciphertext primes
-/// q_0..q_level; key material carries one extra channel for the
-/// key-switching prime p.
-struct RnsPoly {
-  PolyBuffer buf;
-  bool ntt = false;
-  /// True when the LAST channel is the key-switching prime p rather than the
-  /// next ciphertext prime (key material and key-switching accumulators).
-  bool has_special = false;
-
-  std::size_t channels() const { return buf.channels(); }
-  std::span<std::uint64_t> ch(std::size_t c) { return buf[c]; }
-  std::span<const std::uint64_t> ch(std::size_t c) const { return buf[c]; }
-};
 
 /// Payload behind a Ciphertext handle produced by RnsBackend.
 struct RnsCtBody {
@@ -50,7 +33,11 @@ struct RnsCtBody {
 
 /// Payload behind a Plaintext handle produced by RnsBackend.
 struct RnsPtBody {
-  RnsPoly poly;  // q channels 0..level, NTT form
+  RnsPoly poly;  // q channels 0..level plus the special prime p, NTT form.
+                 // The extra channel is what lets the fused BSGS path
+                 // multiply weights against raised-basis accumulators; every
+                 // q-only consumer truncates to the ciphertext's channels.
+                 // Serialization strips it (transport stays q-only).
   // Shoup form of `poly`, built lazily on the first ct-pt product
   // (RnsBackend::pt_shoup): weight plaintexts are multiplied against many
   // ciphertexts, so the precompute amortizes, while plaintexts that are only
@@ -105,6 +92,17 @@ class RnsBackend final : public HeBackend {
   std::vector<Ciphertext> rotate_batch(const Ciphertext& a,
                                        std::span<const int> steps) const override;
   using HeBackend::rotate_batch;  // braced-list overload
+  /// Double-hoisted giant-step epilogue: one key-switch inner product per
+  /// rotated input, all accumulated in the raised basis, ONE shared mod-down
+  /// for the whole sum (the unfused path pays one per rotation).
+  Ciphertext rotate_sum(std::span<const Ciphertext> cts,
+                        std::span<const int> steps) const override;
+  bool supports_hoisted_bsgs() const override { return true; }
+  /// Fully fused BSGS diagonal layer (double hoisting, DESIGN.md §14). Only
+  /// plaintext weights carrying the special channel qualify; otherwise
+  /// returns an invalid handle and the caller falls back.
+  Ciphertext linear_bsgs(const Ciphertext& x,
+                         std::span<const BsgsGroupSpec> groups) const override;
   /// Fused acc += a (x) b without materializing the tensor product.
   void multiply_acc(Ciphertext& acc, const Ciphertext& a,
                     const Ciphertext& b) const override;
@@ -183,7 +181,33 @@ class RnsBackend final : public HeBackend {
   // -- key material ----------------------------------------------------
   void generate_keys();
   KswKey make_ksw_key(const RnsPoly& target_ntt) const;
+
+  // -- phased key switching (DESIGN.md §14) -----------------------------
+  /// Digit decomposition of a coefficient-form poly at `level`, lifted to
+  /// the raised basis Q∪{p} and NTT'd: row j*channels + c holds digit j in
+  /// channel c. This is the hoistable half of a key switch — one table
+  /// serves any number of inner products (one per rotation step).
+  struct KswDigits {
+    PolyBuffer rows;  // q_channels * channels rows, NTT form
+    std::size_t q_channels = 0;
+    std::size_t channels = 0;  // q_channels + 1 (special last)
+    int level = 0;
+  };
+  KswDigits ksw_decompose(const RnsPoly& d, int level) const;
+  /// Fresh zero accumulator in the raised basis at `level` (NTT form).
+  ExtAccumulator ext_zero(int level) const;
+  /// acc += <digits, key> in the raised basis (counts OpKind::kKswInner).
+  /// `perm` != nullptr applies the NTT-domain automorphism permutation to
+  /// the digit rows while gathering (hoisted rotation); nullptr runs the
+  /// flat HAL kernels (relinearization / single key switch).
+  void ksw_inner_prod(const KswDigits& digits, const KswKey& key,
+                      const std::uint32_t* perm, ExtAccumulator& acc) const;
+  /// Mod-down epilogue: divides both accumulator components by the special
+  /// prime p with rounding, returning coefficient-form q-basis polys
+  /// (counts OpKind::kModDown — once for both components).
+  std::pair<RnsPoly, RnsPoly> ksw_mod_down(ExtAccumulator acc) const;
   /// d in coefficient form at `level`; returns (delta0, delta1) coeff form.
+  /// Composed from the three phases above.
   std::pair<RnsPoly, RnsPoly> key_switch(const RnsPoly& d, int level,
                                          const KswKey& key) const;
   std::uint64_t rotation_exponent(int step) const;

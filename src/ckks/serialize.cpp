@@ -308,7 +308,24 @@ void write_plaintext(std::ostream& out, const RnsBackend& backend,
   meta.put<std::int32_t>(pt.level());
   meta.put<double>(pt.scale());
   meta.write(out);
-  write_poly(out, body.poly);
+  if (body.poly.has_special) {
+    // In-memory plaintexts carry the key-switching prime as a trailing
+    // channel (fused BSGS, DESIGN.md §14); the wire format stays q-only, so
+    // strip it — the reader rejects special channels outright.
+    const std::size_t n = backend.params().degree;
+    const std::size_t q_channels = body.poly.channels() - 1;
+    RnsPoly stripped;
+    stripped.buf = PolyBuffer(backend.pool(), q_channels, n,
+                              /*zero_fill=*/false);
+    stripped.ntt = body.poly.ntt;
+    for (std::size_t c = 0; c < q_channels; ++c) {
+      std::memcpy(stripped.ch(c).data(), body.poly.ch(c).data(),
+                  n * sizeof(std::uint64_t));
+    }
+    write_poly(out, stripped);
+  } else {
+    write_poly(out, body.poly);
+  }
   PPHE_CHECK(static_cast<bool>(out), "failed writing plaintext");
 }
 

@@ -11,6 +11,7 @@
 
 #include "ckks/noise.hpp"
 #include "common/check.hpp"
+#include "core/rotation_plan.hpp"
 #include "common/fault.hpp"
 #include "common/parallel_sim.hpp"
 #include "common/stats.hpp"
@@ -271,11 +272,17 @@ void HeModel::plan() {
       --lvl;
     }
   };
-  // Giant-step size: hoisted baby rotations are ~3x cheaper than the
-  // relin+rotate a giant group costs, so bias the split toward more babies.
-  const auto log_tile = static_cast<std::size_t>(
-      std::log2(static_cast<double>(tile)));
-  const std::size_t g = std::size_t{1} << (log_tile / 2 + 1);
+  // Baby/giant split: the double-hoisted path derives it per stage from the
+  // RotationPlan cost model (fused mode needs plaintext weights and a
+  // backend with a raised-basis accumulator); otherwise the legacy
+  // sqrt-biased heuristic inside RotationPlan applies.
+  const bool fuse_stages = options_.hoist_fusion &&
+                           !options_.encrypted_weights &&
+                           backend_.supports_hoisted_bsgs();
+  std::size_t log_degree = 0;
+  while ((std::size_t{1} << (log_degree + 1)) <= backend_.params().degree) {
+    ++log_degree;
+  }
 
   bool first_linear = true;
   for (const auto& stage : spec_.stages) {
@@ -287,7 +294,6 @@ void HeModel::plan() {
       lp.in_dim = lin.in_dim;
       lp.out_dim = lin.out_dim;
       lp.tile = tile;
-      lp.giant = g;
       lp.level_in = level;
       lp.scale_in = scale;
 
@@ -300,6 +306,13 @@ void HeModel::plan() {
           }
         }
       }
+
+      const RotationPlan rp = RotationPlan::choose(
+          diag_set, tile, static_cast<std::size_t>(level) + 1, log_degree,
+          fuse_stages);
+      lp.giant = rp.giant;
+      lp.fused = rp.fused;
+      const std::size_t g = lp.giant;
 
       // Build per-branch pre-rotated diagonal operands. Branch m convolves
       // the m-th digit image; the recombination constant B^m and the pixel
@@ -587,6 +600,40 @@ Ciphertext HeModel::run_linear_single(
                       ", plan expects 2^" +
                       std::to_string(std::log2(plan.scale_in)) + ")");
 
+  // Double-hoisted fused path (DESIGN.md §14): hand the whole group/term
+  // table to the backend, which accumulates every baby inner product in the
+  // raised basis and pays ONE mod-down per giant group plus a layer
+  // epilogue. The backend declines (returns an invalid handle) when an
+  // operand is not eligible — plaintext missing the special channel, scale
+  // mismatch, weight level below the input — and we fall back to the
+  // generic loop below; missing Galois keys still throw inside.
+  if (plan.fused && backend_.supports_hoisted_bsgs()) {
+    std::vector<BsgsGroupSpec> specs;
+    specs.reserve(groups.size());
+    bool plain = true;
+    for (const auto& group : groups) {
+      BsgsGroupSpec spec;
+      spec.giant_step =
+          static_cast<int>(plan.giant * group.j * plan.rot_mult);
+      spec.terms.reserve(group.terms.size());
+      for (const auto& term : group.terms) {
+        const auto* pt = std::get_if<Plaintext>(&term.weight);
+        if (pt == nullptr) {
+          plain = false;
+          break;
+        }
+        spec.terms.push_back(
+            {static_cast<int>(term.baby * plan.rot_mult), pt});
+      }
+      if (!plain) break;
+      specs.push_back(std::move(spec));
+    }
+    if (plain) {
+      Ciphertext fused = backend_.linear_bsgs(x, specs);
+      if (fused.valid()) return fused;
+    }
+  }
+
   // All baby rotations of x at once (hoisted key switching in the backend).
   // Logical steps scale by rot_mult under the interleaved batch layout.
   std::set<std::size_t> baby_steps;
@@ -613,6 +660,8 @@ Ciphertext HeModel::run_linear_single(
   };
 
   Ciphertext total;
+  std::vector<Ciphertext> giant_cts;
+  std::vector<int> giant_steps;
   for (const auto& group : groups) {
     Ciphertext acc;
     for (const auto& term : group.terms) {
@@ -627,10 +676,22 @@ Ciphertext HeModel::run_linear_single(
     if (group.j != 0) {
       // Giant-step rotation needs a size-2 ciphertext.
       acc = backend_.relinearize(acc);
-      acc = backend_.rotate(
-          acc, static_cast<int>(plan.giant * group.j * plan.rot_mult));
+      const int step =
+          static_cast<int>(plan.giant * group.j * plan.rot_mult);
+      if (options_.hoist_fusion) {
+        // Defer: all giant rotations share one raised-basis accumulator and
+        // one mod-down epilogue in rotate_sum.
+        giant_cts.push_back(std::move(acc));
+        giant_steps.push_back(step);
+        continue;
+      }
+      acc = backend_.rotate(acc, step);
     }
     total = total.valid() ? backend_.add(total, acc) : std::move(acc);
+  }
+  if (!giant_cts.empty()) {
+    Ciphertext summed = backend_.rotate_sum(giant_cts, giant_steps);
+    total = total.valid() ? backend_.add(total, summed) : std::move(summed);
   }
   PPHE_CHECK(total.valid(), "linear stage produced no terms");
   return backend_.relinearize(total);
@@ -955,19 +1016,36 @@ std::vector<HeModel::StageCost> HeModel::cost_report() const {
         cost.diagonals += group.terms.size();
         if (group.j != 0) {
           ++giants;
-          ++cost.relins;
+          if (!lp.fused) ++cost.relins;
         }
         for (const auto& term : group.terms) {
           if (term.baby != 0) babies.insert(term.baby);
         }
       }
       cost.rotations = babies.size() + giants;
-      ++cost.relins;  // final deferred relinearization
+      if (!lp.fused) ++cost.relins;  // final deferred relinearization
+      cost.giant = lp.giant;
+      cost.fused = lp.fused;
+      cost.giant_groups = giants;
+      if (lp.fused) {
+        // One mod-down per nonzero giant group + the layer epilogue.
+        cost.moddowns = giants + (cost.diagonals != 0 ? 1 : 0);
+      } else {
+        // Single-hoisted babies each pay a mod-down; giants share one
+        // rotate_sum epilogue when the backend hoists, else one each. Relins
+        // that key-switch (encrypted weights) add their own on top.
+        const bool shared_epilogue =
+            options_.hoist_fusion && backend_.supports_hoisted_bsgs();
+        cost.moddowns =
+            babies.size() + (shared_epilogue ? (giants != 0 ? 1 : 0) : giants);
+      }
       const std::size_t branches =
           lp.branch_groups.empty() ? 1 : lp.branch_groups.size();
       cost.diagonals *= branches;
       cost.rotations *= branches;
       cost.relins *= branches;
+      cost.giant_groups *= branches;
+      cost.moddowns *= branches;
       cost.tile = lp.tile;
       cost.level_in = lp.level_in;
       cost.scale_in = lp.scale_in;

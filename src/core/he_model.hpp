@@ -100,6 +100,14 @@ struct HeModelOptions {
   /// (limb layout, NTT form, residue ranges, wire integrity digest). Off only
   /// for benches that want the unguarded number.
   bool validate_inputs = true;
+  /// Double-hoisted key switching (DESIGN.md §14): linear stages with
+  /// plaintext weights run through the backend's fused linear_bsgs path (one
+  /// digit decomposition per unique operand, one mod-down per giant group),
+  /// the baby/giant split is re-derived from the key-switch cost model, and
+  /// giant-group rotations on the generic path share one rotate_sum
+  /// epilogue. Off = the legacy per-rotation key-switch schedule (kept as
+  /// the bench baseline).
+  bool hoist_fusion = true;
   /// Noise-budget guardrail: eval() refuses to run (Error(kNoiseBudget))
   /// when the budget the logits would come out with — the plan's output
   /// budget minus any deficit the inputs arrived with — falls below this
@@ -190,6 +198,17 @@ class HeModel {
     std::size_t rotations = 0;
     std::size_t relins = 0;
     std::size_t tile = 0;
+    /// Giant-step size the rotation plan chose for this stage.
+    std::size_t giant = 0;
+    /// Nonzero giant groups (x branches, like the other counters).
+    std::size_t giant_groups = 0;
+    /// Planned kModDown count for the stage (x branches): fused = one per
+    /// nonzero giant group + the layer epilogue; unfused = one per hoisted
+    /// baby plus the giant epilogue(s). Relinearizations that key-switch
+    /// (encrypted weights) add their own on top.
+    std::size_t moddowns = 0;
+    /// True when the stage runs the double-hoisted linear_bsgs path.
+    bool fused = false;
     int level_in = 0;
     double scale_in = 0.0;
   };
@@ -214,6 +233,10 @@ class HeModel {
   struct LinearPlan {
     std::size_t in_dim = 0, out_dim = 0, tile = 0, giant = 0;
     std::size_t rot_mult = 1;  // slot stride per logical rotation step
+    /// Stage compiled for the double-hoisted linear_bsgs path (plaintext
+    /// weights, backend support, hoist_fusion on). Runtime still falls back
+    /// to the generic loop when the backend declines the operand set.
+    bool fused = false;
     // Group j -> baby step b -> pre-rotated weight operand for diagonal
     // i = giant*j + b (absent diagonals are skipped).
     struct Term {

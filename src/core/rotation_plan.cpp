@@ -1,0 +1,85 @@
+#include "core/rotation_plan.hpp"
+
+#include <limits>
+
+namespace pphe {
+
+RotationPlan RotationPlan::evaluate(const std::set<std::size_t>& diag_set,
+                                    std::size_t giant, std::size_t q_channels,
+                                    std::size_t log_degree, bool fused) {
+  RotationPlan p;
+  p.giant = giant;
+  p.fused = fused;
+  std::set<std::size_t> babies, giants, groups;
+  for (const std::size_t i : diag_set) {
+    groups.insert(i / giant);
+    if (i / giant != 0) giants.insert(i / giant);
+    if (i % giant != 0) babies.insert(i % giant);
+  }
+  p.unique_babies = babies.size();
+  p.unique_giants = giants.size();
+  p.groups = groups.size();
+
+  // Cost model in pointwise-pass units (one pass = N sequential memory
+  // touches), with q = q_channels ciphertext primes and one special prime.
+  // The per-primitive weights are calibrated against the dense-BSGS layer
+  // rows in BENCH_micro.json (not derived from butterfly counts): the SIMD
+  // NTT costs ~0.4*logN passes, while a rotated inner-product digit row
+  // costs one permutation GATHER (~2 passes of random reads) plus two flat
+  // mul_acc passes — at bench scale (q=8, logN=12) that puts
+  // (decompose + mod-down) / inner-product near the measured ~2x, where the
+  // old butterfly-count weights said ~9x and over-bought giant steps.
+  //  * digit decompose: q digit rows, reduced (half a pass) and
+  //    forward-NTT'd over q+1 channels;
+  //  * raised-basis inner product: q digit rows x (q+1) channels x (gather
+  //    + two components of flat multiply-accumulate);
+  //  * mod-down: inverse NTT of both components over q+1 channels, the
+  //    rounding division (~3 passes per q channel per component), and the
+  //    forward NTT back over q channels for the next use.
+  const auto q = static_cast<double>(q_channels);
+  const auto logn = static_cast<double>(log_degree);
+  const double ntt = 0.4 * logn;
+  const double dec = q * (q + 1.0) * (ntt + 0.5);
+  const double inner = 4.0 * q * (q + 1.0);
+  const double md = 2.0 * (q + 1.0) * ntt + 6.0 * q + 2.0 * q * ntt;
+
+  const auto b = static_cast<double>(p.unique_babies);
+  const auto j = static_cast<double>(p.unique_giants);
+  if (fused) {
+    // One hoisted decomposition of the input serves every baby; each nonzero
+    // giant group re-decomposes its mod-downed accumulator; ONE mod-down per
+    // giant group plus the layer epilogue.
+    p.decompositions = 1 + p.unique_giants;
+    p.moddowns = p.unique_giants + (diag_set.empty() ? 0 : 1);
+    p.cost = dec * (1.0 + j) + inner * (b + j) + md * (j + 1.0);
+  } else {
+    // rotate_batch single-hoists the babies (shared decomposition) but every
+    // baby still pays its own mod-down; each giant rotation is a full key
+    // switch on the group accumulator.
+    p.decompositions = 1 + p.unique_giants;
+    p.moddowns = p.unique_babies + p.unique_giants;
+    p.cost = dec * (1.0 + j) + inner * (b + j) + md * (b + j);
+  }
+  return p;
+}
+
+RotationPlan RotationPlan::choose(const std::set<std::size_t>& diag_set,
+                                  std::size_t tile, std::size_t q_channels,
+                                  std::size_t log_degree, bool fused) {
+  std::size_t log_tile = 0;
+  while ((std::size_t{1} << (log_tile + 1)) <= tile) ++log_tile;
+  const std::size_t legacy = std::size_t{1} << (log_tile / 2 + 1);
+  if (!fused || diag_set.empty()) {
+    return evaluate(diag_set, legacy, q_channels, log_degree, fused);
+  }
+  RotationPlan best;
+  best.cost = std::numeric_limits<double>::infinity();
+  for (std::size_t g = 1; g <= tile; g <<= 1) {
+    RotationPlan cand = evaluate(diag_set, g, q_channels, log_degree, fused);
+    // Strict < keeps the smallest g on ties: fewer distinct baby Galois keys.
+    if (cand.cost < best.cost) best = cand;
+  }
+  return best;
+}
+
+}  // namespace pphe

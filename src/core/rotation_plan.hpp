@@ -1,0 +1,50 @@
+#pragma once
+
+#include <cstddef>
+#include <set>
+#include <vector>
+
+namespace pphe {
+
+/// Baby-step/giant-step split of one linear stage's diagonal set, chosen by
+/// an explicit key-switch cost model instead of the fixed sqrt heuristic
+/// (DESIGN.md §14). The plan dedupes rotation steps across groups, records
+/// how many digit decompositions and mod-downs the stage will pay, and — in
+/// fused (double-hoisted) mode — picks the giant size g that minimizes total
+/// NTT work, which the sqrt split does not once baby inner products are
+/// cheaper than full key switches.
+struct RotationPlan {
+  /// Giant-step size g: diagonal i evaluates as group j = i/g, baby b = i%g.
+  std::size_t giant = 1;
+  /// True when the stage runs through the double-hoisted linear_bsgs path
+  /// (one decomposition per unique operand, one mod-down per giant group).
+  bool fused = false;
+
+  std::size_t unique_babies = 0;   // distinct nonzero baby steps
+  std::size_t unique_giants = 0;   // distinct nonzero giant steps (j != 0)
+  std::size_t groups = 0;          // giant groups incl. j == 0
+  /// Digit decompositions the stage pays: fused = 1 (input hoist) + one per
+  /// nonzero giant group; unfused = same (rotate_batch single-hoists babies).
+  std::size_t decompositions = 0;
+  /// Mod-down epilogues: fused = one per nonzero giant group + one for the
+  /// layer accumulator; unfused = one per hoisted baby + per giant.
+  std::size_t moddowns = 0;
+  /// Modeled cost in pointwise-pass units (one pass = N modmuls).
+  double cost = 0.0;
+
+  /// Evaluates the split at a specific giant size (no search).
+  static RotationPlan evaluate(const std::set<std::size_t>& diag_set,
+                               std::size_t giant, std::size_t q_channels,
+                               std::size_t log_degree, bool fused);
+
+  /// Picks the giant size. Unfused keeps the legacy sqrt-biased split
+  /// g = 2^(log2(tile)/2 + 1) so existing plans (and their Galois key sets)
+  /// are unchanged; fused minimizes the modeled cost over power-of-two g in
+  /// [1, tile]. `q_channels` is the ciphertext prime count at the stage's
+  /// input level, `log_degree` is log2(N) (the NTT pass count).
+  static RotationPlan choose(const std::set<std::size_t>& diag_set,
+                             std::size_t tile, std::size_t q_channels,
+                             std::size_t log_degree, bool fused);
+};
+
+}  // namespace pphe

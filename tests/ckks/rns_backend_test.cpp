@@ -143,7 +143,11 @@ TEST(RnsBackend, EncodeAtLowerLevelHasFewerChannels) {
   const RnsBackend be(small());
   const auto pt = be.encode(ramp(be.slot_count()), small().scale, 1);
   const auto& body = *static_cast<const RnsPtBody*>(pt.impl().get());
-  EXPECT_EQ(body.poly.channels(), 2u);
+  // level+1 ciphertext primes plus the key-switching prime: plaintexts carry
+  // the special channel so the fused BSGS path can weight raised-basis
+  // accumulators (ciphertext consumers truncate; serialization strips it).
+  EXPECT_EQ(body.poly.channels(), 3u);
+  EXPECT_TRUE(body.poly.has_special);
   const auto ct = be.encrypt(pt);
   EXPECT_EQ(ct.level(), 1);
   const auto got = be.decrypt_decode(ct);
@@ -177,6 +181,58 @@ TEST(RnsBackend, RotateBatchMatchesIndividualRotations) {
       ASSERT_NEAR(got[i], want, 8e-3) << "step " << steps[s] << " slot " << i;
       ASSERT_NEAR(got[i], ref[i], 8e-3);
     }
+  }
+}
+
+TEST(RnsBackend, RotateBatchAliasesZeroAndDuplicateSteps) {
+  RnsBackend be(small());
+  be.ensure_galois_keys({3, 7});
+  const auto slots = static_cast<int>(be.slot_count());
+  const auto v = ramp(be.slot_count());
+  const auto ct = be.encrypt(be.encode(v, small().scale, be.max_level()));
+  // Hoisted path (>= 2 unique nonzero steps): step 0 and the full-slot wrap
+  // alias the input handle, a repeated step aliases its first occurrence —
+  // no key switch, no copy.
+  const std::vector<int> steps{0, 3, 3, slots, 7};
+  const auto out = be.rotate_batch(ct, steps);
+  ASSERT_EQ(out.size(), steps.size());
+  EXPECT_EQ(out[0].impl().get(), ct.impl().get());
+  EXPECT_EQ(out[3].impl().get(), ct.impl().get());
+  EXPECT_EQ(out[2].impl().get(), out[1].impl().get());
+  EXPECT_NE(out[1].impl().get(), out[4].impl().get());
+  EXPECT_NEAR(be.decrypt_decode(out[1])[0], v[3], 8e-3);
+  EXPECT_NEAR(be.decrypt_decode(out[4])[0], v[7], 8e-3);
+
+  // Degenerate batch (<= 1 unique nonzero step) takes the default path and
+  // must alias the same way.
+  const std::vector<int> steps2{0, 7, 7};
+  const auto out2 = be.rotate_batch(ct, steps2);
+  ASSERT_EQ(out2.size(), steps2.size());
+  EXPECT_EQ(out2[0].impl().get(), ct.impl().get());
+  EXPECT_EQ(out2[2].impl().get(), out2[1].impl().get());
+  EXPECT_NEAR(be.decrypt_decode(out2[1])[5], v[12], 8e-3);
+}
+
+TEST(RnsBackend, RotateSumMatchesRotateThenAdd) {
+  RnsBackend be(small());
+  be.ensure_galois_keys({2, 9});
+  const auto n = be.slot_count();
+  const auto va = ramp(n), vb = ramp(n, 0.5), vc = ramp(n, -0.25);
+  const auto enc = [&](const std::vector<double>& v) {
+    return be.encrypt(be.encode(v, small().scale, be.max_level()));
+  };
+  const std::vector<Ciphertext> cts{enc(va), enc(vb), enc(vc)};
+  const std::vector<int> steps{2, 0, 9};
+  // One shared raised-basis accumulator, one mod-down epilogue for the whole
+  // sum — versus a key switch per rotation on the reference path. Same math,
+  // different rounding points: equal within noise, not bitwise.
+  const auto got = be.decrypt_decode(be.rotate_sum(cts, steps));
+  const auto ref = be.decrypt_decode(be.add(
+      be.add(be.rotate(cts[0], 2), cts[1]), be.rotate(cts[2], 9)));
+  for (std::size_t i = 0; i < n; i += 47) {
+    const double want = va[(i + 2) % n] + vb[i] + vc[(i + 9) % n];
+    ASSERT_NEAR(got[i], want, 1e-2) << "slot " << i;
+    ASSERT_NEAR(got[i], ref[i], 1e-2) << "slot " << i;
   }
 }
 

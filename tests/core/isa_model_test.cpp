@@ -106,6 +106,40 @@ TEST(IsaModel, EncryptedLogitsBitIdenticalScalarVsDispatched) {
   }
 }
 
+TEST(IsaModel, FusedBsgsLogitsBitIdenticalScalarVsDispatched) {
+  const Isa best = hal::best_available();
+  if (best == Isa::kScalar) {
+    GTEST_SKIP() << "no SIMD kernels on this host/build";
+  }
+  // Plaintext weights engage the double-hoisted linear_bsgs path (DESIGN.md
+  // §14): raised-basis accumulation and the deferred mod-down epilogue must
+  // be bit-identical across ISAs, same as the per-rotation schedule.
+  const ModelSpec spec = tiny_spec(12, 8, 4, 2, 44);
+  const auto img = random_image(12, 11);
+  const auto fused_logits_under = [&](Isa isa) {
+    hal::ScopedForceIsa pin(isa);
+    RnsBackend backend(tiny_params());
+    HeModelOptions options;
+    options.encrypted_weights = false;
+    const HeModel model(backend, spec, options);
+    for (const auto& cost : model.cost_report()) {
+      if (cost.name.rfind("linear", 0) == 0) {
+        EXPECT_TRUE(cost.fused) << cost.name;
+      }
+    }
+    const InferenceResult result = model.infer(img);
+    EXPECT_FALSE(result.degraded);
+    return result.logits;
+  };
+
+  const std::vector<double> scalar_logits = fused_logits_under(Isa::kScalar);
+  const std::vector<double> simd_logits = fused_logits_under(best);
+  ASSERT_EQ(scalar_logits.size(), simd_logits.size());
+  for (std::size_t i = 0; i < scalar_logits.size(); ++i) {
+    EXPECT_EQ(scalar_logits[i], simd_logits[i]) << "logit " << i;
+  }
+}
+
 TEST(IsaModel, WeightCacheKeysIdenticalAcrossIsas) {
   const Isa best = hal::best_available();
   if (best == Isa::kScalar) {

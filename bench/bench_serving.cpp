@@ -6,15 +6,26 @@
 // near-linearly with the batch until the slots run out.
 //
 //   bench_serving [--images=N] [--workers=N] [--linger-ms=MS] [--json]
+//                 [--net]
 //
 // --json drops BENCH_serving.json in the CWD, shaped like a
 // google-benchmark export ("benchmarks" rows with run_type "iteration" and
 // per-image "real_time" in ns) so run_benches.sh can reuse the BENCH_micro
 // drift machinery, plus a top-level batch-8-vs-1 speedup field the quick
 // gate asserts on.
+//
+// --net appends a loopback sweep through the full network stack (NetServer
+// + framed NetClient sessions over real TCP) at batch 8, measured
+// back-to-back against an identical in-process point, and drops
+// BENCH_net.json: both points, the socket overhead percentage the quick
+// gate bounds at <15%, and the raw /metrics payload scraped over HTTP so
+// the gate can validate the Prometheus exposition too.
 
+#include <algorithm>
 #include <cstdio>
+#include <memory>
 #include <string>
+#include <thread>
 #include <vector>
 
 #include "ckks/rns_backend.hpp"
@@ -22,6 +33,8 @@
 #include "common/prng.hpp"
 #include "common/stats.hpp"
 #include "common/table.hpp"
+#include "serve/net/net_client.hpp"
+#include "serve/net/net_server.hpp"
 #include "serve/server.hpp"
 
 using namespace pphe;
@@ -144,6 +157,173 @@ SweepPoint run_point(serve::BatchModelSet& models, std::size_t batch,
   return point;
 }
 
+/// Scrapes GET /metrics over a raw HTTP/1.0 connection and returns the body
+/// — the exposition exactly as a Prometheus scraper would see it.
+std::string scrape_metrics(std::uint16_t port) {
+  serve::net::TcpConn conn = serve::net::tcp_connect("127.0.0.1", port, 5.0);
+  conn.send_all("GET /metrics HTTP/1.0\r\n\r\n");
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = conn.recv_some(buf, sizeof(buf), 5.0);
+    if (n == 0) break;
+    text.append(buf, n);
+  }
+  const auto pos = text.find("\r\n\r\n");
+  return pos == std::string::npos ? text : text.substr(pos + 4);
+}
+
+/// One loopback point through the FULL network stack: a NetServer fronting
+/// the same BatchServer configuration, `batch` framed client sessions over
+/// real TCP, each classifying its share of the images synchronously. The
+/// handshake, key upload, and a parallel warm wave are untimed (they are
+/// per-session setup, not per-image cost); the timed region is exactly the
+/// request/reply traffic, so the point is directly comparable to the
+/// in-process run_point above.
+SweepPoint run_net_point(const RnsBackend& backend,
+                         serve::BatchModelSet& models, std::size_t batch,
+                         std::size_t images, std::size_t workers,
+                         double linger_ms, std::string* metrics_payload) {
+  serve::ServerOptions opts;
+  opts.workers = workers;
+  opts.max_batch = batch;
+  opts.linger_ms = linger_ms;
+  opts.queue_capacity = images + 16;
+  serve::BatchServer server(models, opts);
+  serve::net::NetServer net(server, backend, {});
+
+  const std::size_t clients = batch;
+  const std::size_t per_client = images / clients;
+  std::vector<std::unique_ptr<serve::net::NetClient>> sessions;
+  for (std::size_t c = 0; c < clients; ++c) {
+    serve::net::NetClientOptions copts;
+    copts.port = net.port();
+    copts.name = "bench-" + std::to_string(c);
+    sessions.push_back(std::make_unique<serve::net::NetClient>(
+        backend.params(), copts));
+    sessions.back()->upload_keys({});
+  }
+
+  auto make_image = [](std::uint64_t seed) {
+    Prng prng(seed);
+    std::vector<float> img(64);
+    for (auto& v : img) v = static_cast<float>(prng.uniform_double());
+    return img;
+  };
+
+  // Parallel warm wave (untimed): one aligned full batch pays any remaining
+  // lazy setup and leaves every session parked right before its first timed
+  // request.
+  {
+    std::vector<std::thread> warm;
+    for (std::size_t c = 0; c < clients; ++c) {
+      warm.emplace_back([&, c] {
+        const serve::net::NetReply r =
+            sessions[c]->classify(make_image(9000 + c));
+        if (!r.ok) {
+          std::fprintf(stderr, "bench_serving: net warm failed (%s)\n",
+                       r.message.c_str());
+          std::exit(1);
+        }
+      });
+    }
+    for (auto& t : warm) t.join();
+  }
+  const std::uint64_t warm_batches = server.stats().batches;
+
+  std::vector<std::vector<double>> latencies(clients);
+  Stopwatch wall;
+  std::vector<std::thread> threads;
+  for (std::size_t c = 0; c < clients; ++c) {
+    threads.emplace_back([&, c] {
+      latencies[c].reserve(per_client);
+      for (std::size_t i = 0; i < per_client; ++i) {
+        Stopwatch rt;
+        const serve::net::NetReply reply =
+            sessions[c]->classify(make_image(100 + c * per_client + i));
+        if (!reply.ok) {
+          std::fprintf(stderr, "bench_serving: net reply failed (%s)\n",
+                       reply.message.c_str());
+          std::exit(1);
+        }
+        latencies[c].push_back(rt.seconds());
+      }
+    });
+  }
+  for (auto& t : threads) t.join();
+  const double seconds = wall.seconds();
+
+  // Scrape over real HTTP while the traffic's counters are still live, so
+  // the gate validates the endpoint a Prometheus scraper would actually hit.
+  if (metrics_payload) *metrics_payload = scrape_metrics(net.port());
+
+  LatencyStats latency;
+  for (const auto& per : latencies) {
+    for (const double s : per) latency.add(s);
+  }
+  SweepPoint point;
+  point.batch = batch;
+  point.images = per_client * clients;
+  point.batches = server.stats().batches - warm_batches;
+  point.wall_seconds = seconds;
+  point.throughput = static_cast<double>(point.images) / seconds;
+  point.p50_ms = latency.percentile(0.5) * 1e3;
+  point.p99_ms = latency.percentile(0.99) * 1e3;
+  return point;
+}
+
+std::string json_escape(const std::string& s) {
+  std::string out;
+  out.reserve(s.size() + 16);
+  for (const unsigned char ch : s) {
+    switch (ch) {
+      case '"': out += "\\\""; break;
+      case '\\': out += "\\\\"; break;
+      case '\n': out += "\\n"; break;
+      case '\r': out += "\\r"; break;
+      case '\t': out += "\\t"; break;
+      default:
+        if (ch < 0x20) {
+          char hex[8];
+          std::snprintf(hex, sizeof(hex), "\\u%04x", ch);
+          out += hex;
+        } else {
+          out += static_cast<char>(ch);
+        }
+    }
+  }
+  return out;
+}
+
+bool write_net_json(const std::string& path, const SweepPoint& inproc,
+                    const SweepPoint& net, double overhead_pct,
+                    std::size_t workers, const std::string& metrics_payload) {
+  std::FILE* f = std::fopen(path.c_str(), "w");
+  if (!f) return false;
+  std::fprintf(f, "{\n  \"context\": {\"name\": \"bench_serving_net\", "
+               "\"workers\": %zu, \"clients\": %zu},\n  \"benchmarks\": [\n",
+               workers, net.batch);
+  const SweepPoint* rows[] = {&inproc, &net};
+  const char* names[] = {"inproc/batch:8", "net/batch:8"};
+  for (int i = 0; i < 2; ++i) {
+    const SweepPoint& p = *rows[i];
+    std::fprintf(
+        f,
+        "    {\"name\": \"%s\", \"run_type\": \"iteration\", "
+        "\"real_time\": %.1f, \"cpu_time\": %.1f, \"time_unit\": \"ns\", "
+        "\"iterations\": %zu, \"images_per_second\": %.3f, "
+        "\"batches\": %llu, \"p50_ms\": %.3f, \"p99_ms\": %.3f}%s\n",
+        names[i], 1e9 / p.throughput, 1e9 / p.throughput, p.images,
+        p.throughput, static_cast<unsigned long long>(p.batches), p.p50_ms,
+        p.p99_ms, i == 0 ? "," : "");
+  }
+  std::fprintf(f, "  ],\n  \"socket_overhead_pct\": %.3f,\n"
+               "  \"metrics_payload\": \"%s\"\n}\n",
+               overhead_pct, json_escape(metrics_payload).c_str());
+  std::fclose(f);
+  return true;
+}
+
 bool write_json(const std::string& path, const std::vector<SweepPoint>& points,
                 std::size_t workers, double speedup_8v1) {
   std::FILE* f = std::fopen(path.c_str(), "w");
@@ -235,6 +415,49 @@ int main(int argc, char** argv) {
       return 1;
     }
     std::printf("\nwrote %s\n", path.c_str());
+  }
+
+  if (flags.has("net")) {
+    // Loopback comparison at batch 8: the in-process reference and the
+    // network point run back-to-back, best-of-2 each, interleaved — the two
+    // measurements the overhead ratio divides should see the SAME host
+    // load, not two different moments of it. The net point needs enough
+    // images per rep that a single misaligned batch cut cannot dominate.
+    const std::size_t net_batch = std::min<std::size_t>(8, models.max_batch());
+    std::size_t net_images = std::max<std::size_t>(images, 48);
+    net_images = (net_images + net_batch - 1) / net_batch * net_batch;
+    std::printf("\nloopback sweep: batch %zu, %zu images, %zu framed TCP "
+                "sessions\n", net_batch, net_images, net_batch);
+
+    SweepPoint inproc{};
+    SweepPoint netp{};
+    std::string metrics_payload;
+    for (int rep = 0; rep < 2; ++rep) {
+      const SweepPoint i =
+          run_point(models, net_batch, net_images, workers, linger_ms);
+      if (i.throughput > inproc.throughput) inproc = i;
+      const SweepPoint n = run_net_point(backend, models, net_batch,
+                                         net_images, workers, linger_ms,
+                                         &metrics_payload);
+      if (n.throughput > netp.throughput) netp = n;
+    }
+    const double overhead_pct =
+        (inproc.throughput / netp.throughput - 1.0) * 100.0;
+    std::printf("in-process: %.2f img/s (p50 %.1f ms)  over TCP: %.2f img/s "
+                "(p50 %.1f ms)  socket overhead: %.1f%%\n",
+                inproc.throughput, inproc.p50_ms, netp.throughput, netp.p50_ms,
+                overhead_pct);
+    std::printf("/metrics scrape: %zu bytes\n", metrics_payload.size());
+
+    if (flags.has("json")) {
+      const std::string path = "BENCH_net.json";
+      if (!write_net_json(path, inproc, netp, overhead_pct, workers,
+                          metrics_payload)) {
+        std::fprintf(stderr, "bench_serving: cannot write %s\n", path.c_str());
+        return 1;
+      }
+      std::printf("wrote %s\n", path.c_str());
+    }
   }
   return finish_tracing(trace_out) ? 0 : 1;
 }

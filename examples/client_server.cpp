@@ -1,9 +1,10 @@
 // Fig. 1 as two actual parties exchanging BYTES: the "client" and the
-// "cloud" run in one process but communicate exclusively through the
-// serialized wire format (ckks/serialize.hpp) — the cloud half never touches
-// the secret key object, only ciphertext byte strings.
+// "cloud" communicate exclusively through serialized wire formats — the
+// cloud half never touches the secret key object, only ciphertext byte
+// strings (and, in the network modes, framed protocol bytes on a real TCP
+// socket).
 //
-// Two modes:
+// Modes:
 //
 //  * default: ONE hardened round trip (core/serving.hpp) — checksummed wire
 //    sections, pre-eval ciphertext validation, the noise-budget guardrail, a
@@ -12,14 +13,27 @@
 //      client_server --faults="seed=7,wire.upload:bitflip*1"
 //      client_server --faults="worker:crash*1" --watchdog-ms=30000
 //
-//  * --serve: the batch-serving front end (src/serve/) — a BatchServer
-//    coalesces concurrent client requests into slot-packed SIMD batches and
-//    evaluates each batch through the same hardened round trip. A
-//    multi-threaded synthetic load generator plays the clients:
+//  * --listen[=port]: bring up the networked serving stack (src/serve/net/)
+//    on a loopback TCP port — BatchServer + NetServer: versioned handshake,
+//    key registry, tiered admission, and GET /metrics on the same port.
+//    Runs until --serve-seconds elapses (default 60).
+//      client_server --listen=7001 --workers=2 --max-batch=8
+//
+//  * --connect host:port: the multi-threaded load generator as a NETWORK
+//    client — each client thread opens its own connection, completes the
+//    handshake, registers keys, and streams framed requests.
+//      client_server --connect 127.0.0.1:7001 --clients=4 --requests=32
+//
+//  * --serve: self-contained loopback demo — starts the NetServer on an
+//    ephemeral port, drives it with the network load generator in the same
+//    process, then scrapes /metrics and prints a sample. This is the
+//    in-process batching demo of earlier revisions, now over real sockets.
 //      client_server --serve --clients=4 --requests=32 --workers=2
 //                    --max-batch=8 --linger-ms=5 --queue-cap=64
 
+#include <chrono>
 #include <cstdio>
+#include <cstdlib>
 #include <mutex>
 #include <thread>
 #include <vector>
@@ -30,6 +44,8 @@
 #include "common/stats.hpp"
 #include "core/pipeline.hpp"
 #include "core/serving.hpp"
+#include "serve/net/net_client.hpp"
+#include "serve/net/net_server.hpp"
 #include "serve/server.hpp"
 
 using namespace pphe;
@@ -88,15 +104,7 @@ int run_single(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
   return outcome.predicted == exp.test_set().labels[0] ? 0 : 1;
 }
 
-int run_serve(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
-  // Plain weights for the serving demo: the throughput story is about
-  // slot-packed batching; the encrypted-weights ablation lives in the
-  // single-shot mode above and the table benches.
-  HeModelOptions base;
-  base.encrypted_weights = false;
-  serve::BatchModelSet models(backend, exp.spec(Arch::kCnn1, Activation::kSlaf),
-                              base);
-
+serve::ServerOptions server_options_from_flags(const CliFlags& flags) {
   serve::ServerOptions opts;
   opts.workers = static_cast<std::size_t>(flags.get_int("workers", 2));
   opts.max_batch = static_cast<std::size_t>(flags.get_int("max-batch", 8));
@@ -107,79 +115,213 @@ int run_serve(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
       static_cast<int>(flags.get_int("max-retries", 2));
   opts.serving.watchdog_seconds =
       flags.get_double("watchdog-ms", 60000.0) / 1000.0;
+  return opts;
+}
 
+/// The multi-threaded load generator, speaking the framed protocol over
+/// loopback TCP: each client thread owns one connection (handshake, key
+/// registration, framed request/reply stream), exactly what a remote party
+/// would run.
+int run_net_load(const CkksParams& params, const std::string& host,
+                 std::uint16_t port, Experiment& exp, const CliFlags& flags) {
   const std::size_t clients =
       static_cast<std::size_t>(flags.get_int("clients", 4));
   const std::size_t requests =
       static_cast<std::size_t>(flags.get_int("requests", 32));
+  const auto tier = static_cast<serve::net::Tier>(
+      flags.get_int("tier", 1));  // 0 batch, 1 standard, 2 premium
 
-  serve::BatchServer server(models, opts);
-  std::printf("[server] up: %zu worker%s, max batch %zu (model set holds up "
-              "to %zu), linger %.1f ms, queue capacity %zu\n",
-              server.options().workers, server.options().workers == 1 ? "" : "s",
-              server.options().max_batch, models.max_batch(),
-              server.options().linger_ms, server.options().queue_capacity);
-  std::printf("[load]   %zu client thread%s submitting %zu requests total\n\n",
-              clients, clients == 1 ? "" : "s", requests);
+  std::printf("[load]   %zu network client%s -> %s:%u, %zu requests total, "
+              "%s tier\n\n",
+              clients, clients == 1 ? "" : "s", host.c_str(), port, requests,
+              serve::net::tier_name(tier));
 
   const Dataset& test = exp.test_set();
   std::mutex agg_mutex;
   LatencyStats latency;
-  std::size_t correct = 0, answered = 0, overloaded = 0;
+  std::size_t correct = 0, answered = 0, shed = 0, evicted = 0;
 
   Stopwatch wall;
   std::vector<std::thread> threads;
   for (std::size_t c = 0; c < clients; ++c) {
     threads.emplace_back([&, c] {
+      serve::net::NetClientOptions copts;
+      copts.host = host;
+      copts.port = port;
+      copts.tier = tier;
+      copts.name = "client_server-load-" + std::to_string(c);
+      serve::net::NetClient client(params, copts);
+      // Register this session's evaluation keys before any request (an
+      // empty step list still pins the relinearization key's bytes).
+      client.upload_keys({});
       for (std::size_t r = c; r < requests; r += clients) {
         const std::size_t idx = r % test.size();
         const float* px = test.images.data() + idx * 784;
         Stopwatch sw;
-        std::future<serve::ServeReply> future;
-        try {
-          future = server.submit(std::vector<float>(px, px + 784));
-        } catch (const Error& e) {
-          if (e.code() != ErrorCode::kOverloaded) throw;
-          std::lock_guard<std::mutex> lock(agg_mutex);
-          ++overloaded;
-          continue;  // a real client would back off and resubmit
-        }
-        const serve::ServeReply reply = future.get();
+        const serve::net::NetReply reply =
+            client.classify(std::vector<float>(px, px + 784));
         std::lock_guard<std::mutex> lock(agg_mutex);
+        if (reply.rejected) {
+          if (reply.error == ErrorCode::kOverloaded) ++shed;
+          if (reply.error == ErrorCode::kKeyEvicted) ++evicted;
+          continue;  // a real client backs off and resubmits
+        }
         latency.add(sw.seconds());
         if (reply.ok) {
           ++answered;
           if (reply.predicted == test.labels[idx]) ++correct;
         }
       }
+      client.bye();
     });
   }
   for (auto& t : threads) t.join();
   const double seconds = wall.seconds();
-  server.shutdown();
 
-  const serve::ServerStats stats = server.stats();
-  std::printf("[load]   done in %.2f s: %zu answered (%zu correct), %zu "
-              "rejected kOverloaded\n",
-              seconds, answered, correct, overloaded);
+  std::printf("[load]   done in %.2f s: %zu answered (%zu correct), %zu shed "
+              "kOverloaded, %zu key-evicted\n",
+              seconds, answered, correct, shed, evicted);
   if (!latency.empty()) {
-    std::printf("[load]   throughput %.2f img/s; latency p50 %.0f ms, "
+    std::printf("[load]   throughput %.2f img/s; round-trip p50 %.0f ms, "
                 "p99 %.0f ms\n",
                 static_cast<double>(answered) / seconds,
                 latency.percentile(0.5) * 1e3, latency.percentile(0.99) * 1e3);
   }
-  std::printf("[server] %llu batches over %llu requests",
-              static_cast<unsigned long long>(stats.batches),
-              static_cast<unsigned long long>(stats.completed));
-  for (const auto& [size, count] : stats.batch_sizes) {
+  return answered > 0 ? 0 : 1;
+}
+
+/// Scrapes GET /metrics from the serving port over a raw HTTP/1.0 request
+/// (the same thing `curl` or a Prometheus agent would send) and prints a
+/// small sample of the exposition.
+void scrape_metrics(const std::string& host, std::uint16_t port) {
+  serve::net::TcpConn conn = serve::net::tcp_connect(host, port, 5.0);
+  conn.send_all("GET /metrics HTTP/1.0\r\n\r\n");
+  std::string text;
+  char buf[4096];
+  for (;;) {
+    const std::size_t n = conn.recv_some(buf, sizeof(buf), 5.0);
+    if (n == 0) break;
+    text.append(buf, n);
+  }
+  const std::size_t body = text.find("\r\n\r\n");
+  if (body == std::string::npos) {
+    std::printf("[metrics] scrape failed (no HTTP body)\n");
+    return;
+  }
+  std::size_t series = 0, shown = 0;
+  std::printf("\n[metrics] GET /metrics sample:\n");
+  for (std::size_t pos = body + 4; pos < text.size();) {
+    std::size_t eol = text.find('\n', pos);
+    if (eol == std::string::npos) eol = text.size();
+    const std::string line = text.substr(pos, eol - pos);
+    pos = eol + 1;
+    if (line.empty() || line[0] == '#') continue;
+    ++series;
+    if (line.rfind("pphe_requests_", 0) == 0 ||
+        line.rfind("pphe_net_connections", 0) == 0 ||
+        line.rfind("pphe_key_bytes", 0) == 0) {
+      if (shown < 8) {
+        std::printf("  %s\n", line.c_str());
+        ++shown;
+      }
+    }
+  }
+  std::printf("[metrics] %zu series total\n", series);
+}
+
+int run_listen(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
+  HeModelOptions base;
+  base.encrypted_weights = false;
+  serve::BatchModelSet models(backend, exp.spec(Arch::kCnn1, Activation::kSlaf),
+                              base);
+  serve::BatchServer server(models, server_options_from_flags(flags));
+
+  serve::net::NetServerOptions nopts;
+  // Bare --listen (flag value "true") means an ephemeral port.
+  const std::string listen_val = flags.get("listen", "0");
+  nopts.port = listen_val == "true"
+                   ? 0
+                   : static_cast<std::uint16_t>(std::atoi(listen_val.c_str()));
+  nopts.key_quota_bytes = static_cast<std::size_t>(
+      flags.get_int("key-quota-mb", 1024)) << 20;
+  serve::net::NetServer net(server, backend, nopts);
+
+  const double seconds = flags.get_double("serve-seconds", 60.0);
+  std::printf("[server] listening on 127.0.0.1:%u for %.0f s — connect with\n"
+              "         client_server --connect 127.0.0.1:%u --clients=4\n"
+              "         scrape with  curl http://127.0.0.1:%u/metrics\n",
+              net.port(), seconds, net.port(), net.port());
+  std::this_thread::sleep_for(
+      std::chrono::milliseconds(static_cast<long>(seconds * 1000)));
+
+  const serve::net::NetServerStats ns = net.stats();
+  const serve::StatsSnapshot snap = server.snapshot();
+  std::printf("[server] shutting down: %llu connections, %llu handshakes, "
+              "%llu requests (%llu ok)\n",
+              static_cast<unsigned long long>(ns.connections),
+              static_cast<unsigned long long>(ns.handshakes),
+              static_cast<unsigned long long>(ns.requests),
+              static_cast<unsigned long long>(snap.ok));
+  net.shutdown();
+  server.shutdown();
+  return 0;
+}
+
+int run_connect(const CliFlags& flags, Experiment& exp,
+                const CkksParams& params) {
+  const std::string target = flags.get("connect", "");
+  const std::size_t colon = target.rfind(':');
+  if (colon == std::string::npos) {
+    std::fprintf(stderr, "--connect expects host:port, got '%s'\n",
+                 target.c_str());
+    return 2;
+  }
+  const std::string host = target.substr(0, colon);
+  const auto port =
+      static_cast<std::uint16_t>(std::atoi(target.c_str() + colon + 1));
+  const int rc = run_net_load(params, host, port, exp, flags);
+  if (flags.has("scrape-metrics")) scrape_metrics(host, port);
+  return rc;
+}
+
+int run_serve(const CliFlags& flags, Experiment& exp, RnsBackend& backend) {
+  // Plain weights for the serving demo: the throughput story is about
+  // slot-packed batching; the encrypted-weights ablation lives in the
+  // single-shot mode above and the table benches.
+  HeModelOptions base;
+  base.encrypted_weights = false;
+  serve::BatchModelSet models(backend, exp.spec(Arch::kCnn1, Activation::kSlaf),
+                              base);
+  serve::BatchServer server(models, server_options_from_flags(flags));
+
+  serve::net::NetServer net(server, backend, {});
+  std::printf("[server] up on loopback port %u: %zu worker%s, max batch %zu "
+              "(model set holds up to %zu), linger %.1f ms, queue capacity "
+              "%zu\n",
+              net.port(), server.options().workers,
+              server.options().workers == 1 ? "" : "s",
+              server.options().max_batch, models.max_batch(),
+              server.options().linger_ms, server.options().queue_capacity);
+
+  const int rc =
+      run_net_load(backend.params(), "127.0.0.1", net.port(), exp, flags);
+  scrape_metrics("127.0.0.1", net.port());
+
+  net.shutdown();
+  server.shutdown();
+
+  const serve::StatsSnapshot snap = server.snapshot();
+  std::printf("\n[server] %llu batches over %llu requests",
+              static_cast<unsigned long long>(snap.batches),
+              static_cast<unsigned long long>(snap.completed));
+  for (const auto& [size, count] : snap.batch_sizes) {
     std::printf("  %zux%llu", size, static_cast<unsigned long long>(count));
   }
   std::printf("  (retries %llu)\n",
-              static_cast<unsigned long long>(stats.retries));
+              static_cast<unsigned long long>(snap.retries));
   std::printf("[server] queue p99 %.1f ms, eval p99 %.0f ms\n",
-              stats.queue_ns.percentile_ns(0.99) * 1e-6,
-              stats.eval_ns.percentile_ns(0.99) * 1e-6);
-  return answered > 0 ? 0 : 1;
+              snap.queue_p99_ns * 1e-6, snap.eval_p99_ns * 1e-6);
+  return rc;
 }
 
 }  // namespace
@@ -190,14 +332,22 @@ int main(int argc, char** argv) {
   cfg.train_size = static_cast<std::size_t>(flags.get_int("train-size", 2000));
 
   const bool serve_mode = flags.has("serve");
-  std::printf(serve_mode
-                  ? "== batch serving over serialized ciphertexts ==\n\n"
+  const bool listen_mode = flags.has("listen");
+  const bool connect_mode = flags.has("connect");
+  std::printf(serve_mode || listen_mode || connect_mode
+                  ? "== batch serving over loopback TCP ==\n\n"
                   : "== client/server round trip over serialized "
                     "ciphertexts ==\n\n");
   Experiment exp(cfg);
+  if (connect_mode) {
+    // The network client needs only the test images and the parameter set
+    // for the handshake digest — the model lives on the server.
+    return run_connect(flags, exp, cfg.ckks_params());
+  }
   exp.model(Arch::kCnn1, Activation::kSlaf);  // train (or load from cache)
 
   RnsBackend backend(cfg.ckks_params());
+  if (listen_mode) return run_listen(flags, exp, backend);
   return serve_mode ? run_serve(flags, exp, backend)
                     : run_single(flags, exp, backend);
 }

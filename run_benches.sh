@@ -43,9 +43,10 @@ quick_args() {
   case "$1" in
     bench_fig2_rns) echo "--ops=20000 --reps=5" ;;
     bench_serving)
-      # Small load, --json drops BENCH_serving.json at the repo root for the
-      # amortization gate and the drift report below.
-      echo "--images=16 --json" ;;
+      # Small load; --json drops BENCH_serving.json at the repo root for the
+      # amortization gate and the drift report below, --net adds the loopback
+      # TCP sweep and BENCH_net.json for the socket-overhead/metrics gate.
+      echo "--images=16 --json --net" ;;
     bench_micro_primitives)
       # RNS op rows plus the word-level NTT/dyadic kernel rows; --json drops
       # BENCH_micro.json at the repo root (we cd there above) for CI diffing.
@@ -101,6 +102,64 @@ print(f"batch=8 throughput is {speedup:.2f}x batch=1 "
 assert speedup >= 3.0, f"slot-packing amortization collapsed: {speedup:.2f}x < 3x"
 EOF
   echo "serving gate OK"
+  echo
+
+  # Network serving gate: the framed TCP loopback path must cost <15% in
+  # batch-8 throughput against the identical in-process point measured
+  # back-to-back in the same bench run (frame codecs + checksums + loopback
+  # copies are noise next to the HE evaluation — anything above that bound
+  # means a serialization or batching-alignment regression in the net
+  # stack). The same JSON carries the /metrics payload scraped over real
+  # HTTP; validate the Prometheus exposition line-by-line.
+  echo "==================================================================="
+  echo "=== network serving gate (BENCH_net.json)"
+  echo "==================================================================="
+  python3 - BENCH_net.json <<'EOF' || { echo "network serving gate FAILED" >&2; exit 1; }
+import json, math, re, sys
+d = json.load(open(sys.argv[1]))
+overhead = d["socket_overhead_pct"]
+rows = {b["name"]: b["images_per_second"] for b in d["benchmarks"]}
+print(f"socket overhead at batch 8: {overhead:+.1f}% "
+      f"({rows.get('net/batch:8', 0):.2f} img/s over TCP vs "
+      f"{rows.get('inproc/batch:8', 0):.2f} in-process)")
+assert overhead < 15.0, f"socket overhead {overhead:.1f}% >= 15%"
+
+text = d["metrics_payload"]
+assert text, "scraped /metrics payload is empty"
+sample_re = re.compile(
+    r'^(pphe_[a-z0-9_]+)(\{[a-z0-9_]+="[^"]*"(,[a-z0-9_]+="[^"]*")*\})? '
+    r'(-?[0-9]+(\.[0-9]+)?([eE][+-]?[0-9]+)?|nan|[+-]?inf)$')
+typed, samples = {}, {}
+for line in text.splitlines():
+    if not line.strip():
+        continue
+    if line.startswith("# TYPE "):
+        _, _, name, kind = line.split(" ", 3)
+        assert kind in ("counter", "gauge", "summary"), f"bad TYPE: {line}"
+        typed[name] = kind
+        continue
+    if line.startswith("#"):
+        continue
+    m = sample_re.match(line)
+    assert m, f"malformed sample line: {line!r}"
+    value = float(m.group(4))
+    assert math.isfinite(value) and value >= 0.0, f"bad value: {line!r}"
+    samples.setdefault(m.group(1), 0)
+    samples[m.group(1)] += 1
+for name in typed:
+    assert any(s == name or s.startswith(name + "_") for s in samples), \
+        f"TYPE-declared family {name} has no samples"
+required = ["pphe_requests_submitted_total", "pphe_requests_completed_total",
+            "pphe_latency_seconds", "pphe_net_handshakes_total",
+            "pphe_net_connections_total", "pphe_net_bytes_total",
+            "pphe_key_bytes_pinned", "pphe_key_quota_bytes",
+            "pphe_queue_capacity", "pphe_backend_ops_total"]
+missing = [n for n in required if n not in samples]
+assert not missing, f"required series missing from /metrics: {missing}"
+print(f"/metrics exposition OK: {sum(samples.values())} samples across "
+      f"{len(samples)} series, {len(typed)} TYPE-declared families")
+EOF
+  echo "network serving gate OK"
   echo
 
   # Serving drift report (informational, same noise caveat as the kernel

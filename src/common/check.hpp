@@ -45,9 +45,16 @@ enum class ErrorCode : std::uint8_t {
   /// Admission control: the serving queue is full, the request was rejected
   /// at submit time (backpressure — resubmit later or shed load upstream).
   kOverloaded,
+  /// The session's evaluation keys were evicted from the server-side key
+  /// registry (LRU under byte quota). Recoverable: re-send the keys and
+  /// resubmit — the request itself was fine.
+  kKeyEvicted,
+  /// Network protocol violation: wrong handshake version, parameter digest
+  /// mismatch, or a frame that is out of order for the session state.
+  kProtocol,
 };
 inline constexpr std::size_t kErrorCodeCount =
-    static_cast<std::size_t>(ErrorCode::kOverloaded) + 1;
+    static_cast<std::size_t>(ErrorCode::kProtocol) + 1;
 
 constexpr const char* error_code_name(ErrorCode code) {
   switch (code) {
@@ -63,6 +70,8 @@ constexpr const char* error_code_name(ErrorCode code) {
     case ErrorCode::kWorkerCrash: return "worker_crash";
     case ErrorCode::kInvalidArgument: return "invalid_argument";
     case ErrorCode::kOverloaded: return "overloaded";
+    case ErrorCode::kKeyEvicted: return "key_evicted";
+    case ErrorCode::kProtocol: return "protocol";
   }
   return "?";
 }

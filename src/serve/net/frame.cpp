@@ -1,0 +1,216 @@
+#include "serve/net/frame.hpp"
+
+#include <cstring>
+#include <sstream>
+
+#include "ckks/params.hpp"
+#include "ckks/serialize.hpp"
+
+namespace pphe::serve::net {
+
+namespace {
+
+void put_u16(std::string& out, std::uint16_t v) {
+  for (int i = 0; i < 2; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_u32(std::string& out, std::uint32_t v) {
+  for (int i = 0; i < 4; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+void put_u64(std::string& out, std::uint64_t v) {
+  for (int i = 0; i < 8; ++i) out.push_back(static_cast<char>(v >> (8 * i)));
+}
+std::uint64_t get_u64(const unsigned char* p) {
+  std::uint64_t v = 0;
+  for (int i = 0; i < 8; ++i) v |= static_cast<std::uint64_t>(p[i]) << (8 * i);
+  return v;
+}
+std::uint32_t get_u32(const unsigned char* p) {
+  std::uint32_t v = 0;
+  for (int i = 0; i < 4; ++i) v |= static_cast<std::uint32_t>(p[i]) << (8 * i);
+  return v;
+}
+
+}  // namespace
+
+const char* frame_type_name(FrameType type) {
+  switch (type) {
+    case FrameType::kHello: return "hello";
+    case FrameType::kHelloAck: return "hello_ack";
+    case FrameType::kKeyUpload: return "key_upload";
+    case FrameType::kKeyAck: return "key_ack";
+    case FrameType::kRequest: return "request";
+    case FrameType::kReply: return "reply";
+    case FrameType::kError: return "error";
+    case FrameType::kBye: return "bye";
+  }
+  return "?";
+}
+
+std::uint64_t params_digest(const CkksParams& params) {
+  std::ostringstream os;
+  write_params(os, params);
+  const std::string bytes = os.str();
+  return wire_checksum(bytes.data(), bytes.size());
+}
+
+std::string encode_frame(FrameType type, const std::string& payload) {
+  std::string out;
+  out.reserve(kFrameHeaderBytes + payload.size());
+  put_u32(out, kFrameMagic);
+  out.push_back(static_cast<char>(kProtocolVersion));
+  out.push_back(static_cast<char>(type));
+  put_u16(out, 0);  // reserved
+  put_u64(out, payload.size());
+  put_u64(out, wire_checksum(payload.data(), payload.size()));
+  // Header checksum covers everything above it.
+  put_u64(out, wire_checksum(out.data(), 24));
+  out += payload;
+  return out;
+}
+
+namespace {
+
+bool decode_header(const unsigned char* h, Frame& out,
+                   std::size_t max_frame_bytes, std::uint64_t& payload_len,
+                   std::uint64_t& payload_checksum) {
+  PPHE_CHECK_CODE(get_u32(h) == kFrameMagic, ErrorCode::kSerialization,
+                  "frame: bad magic (not a PPN1 stream)");
+  PPHE_CHECK_CODE(get_u64(h + 24) == wire_checksum(h, 24),
+                  ErrorCode::kChecksumMismatch,
+                  "frame: header checksum mismatch (header corrupted in "
+                  "transit; framing lost)");
+  PPHE_CHECK_CODE(h[4] == kProtocolVersion, ErrorCode::kProtocol,
+                  "frame: protocol version " + std::to_string(h[4]) +
+                      ", this side speaks " +
+                      std::to_string(kProtocolVersion));
+  const std::uint8_t type = h[5];
+  PPHE_CHECK_CODE(type >= static_cast<std::uint8_t>(FrameType::kHello) &&
+                      type <= static_cast<std::uint8_t>(FrameType::kBye),
+                  ErrorCode::kProtocol,
+                  "frame: unknown frame type " + std::to_string(type));
+  payload_len = get_u64(h + 8);
+  PPHE_CHECK_CODE(payload_len <= max_frame_bytes, ErrorCode::kSerialization,
+                  "frame: payload of " + std::to_string(payload_len) +
+                      " bytes exceeds the " +
+                      std::to_string(max_frame_bytes) + "-byte frame limit");
+  payload_checksum = get_u64(h + 16);
+  out.type = static_cast<FrameType>(type);
+  return true;
+}
+
+}  // namespace
+
+bool read_frame_after_sniff(const TcpConn& conn, const char* sniffed,
+                            std::size_t preread, Frame& out,
+                            double timeout_seconds,
+                            std::size_t max_frame_bytes,
+                            bool* framing_intact) {
+  if (framing_intact) *framing_intact = false;
+  unsigned char header[kFrameHeaderBytes];
+  PPHE_CHECK(preread <= kFrameHeaderBytes, "sniff larger than a header");
+  std::memcpy(header, sniffed, preread);
+  conn.recv_exact(header + preread, kFrameHeaderBytes - preread,
+                  timeout_seconds);
+  std::uint64_t payload_len = 0, payload_checksum = 0;
+  decode_header(header, out, max_frame_bytes, payload_len, payload_checksum);
+  out.payload.resize(payload_len);
+  if (payload_len > 0) {
+    conn.recv_exact(out.payload.data(), payload_len, timeout_seconds);
+  }
+  // Every advertised byte was consumed, so the stream is aligned on the
+  // next frame even if this payload turns out corrupt.
+  if (framing_intact) *framing_intact = true;
+  // The v2 trust boundary: payload bytes are only handed to a decoder after
+  // their section checksum matches.
+  PPHE_CHECK_CODE(
+      wire_checksum(out.payload.data(), out.payload.size()) ==
+          payload_checksum,
+      ErrorCode::kChecksumMismatch,
+      std::string("frame: payload checksum mismatch on a '") +
+          frame_type_name(out.type) + "' frame (payload corrupted in transit)");
+  return true;
+}
+
+bool read_frame(const TcpConn& conn, Frame& out, double timeout_seconds,
+                std::size_t max_frame_bytes, bool* framing_intact) {
+  if (framing_intact) *framing_intact = false;
+  unsigned char first;
+  const std::size_t n = conn.recv_some(&first, 1, timeout_seconds);
+  if (n == 0) return false;  // clean EOF at a frame boundary
+  return read_frame_after_sniff(conn, reinterpret_cast<const char*>(&first), 1,
+                                out, timeout_seconds, max_frame_bytes,
+                                framing_intact);
+}
+
+// --- payload codecs -------------------------------------------------------
+
+void PayloadWriter::u16(std::uint16_t v) { put_u16(bytes_, v); }
+void PayloadWriter::u32(std::uint32_t v) { put_u32(bytes_, v); }
+void PayloadWriter::u64(std::uint64_t v) { put_u64(bytes_, v); }
+void PayloadWriter::f64(double v) {
+  std::uint64_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u64(bits);
+}
+void PayloadWriter::f32(float v) {
+  std::uint32_t bits;
+  std::memcpy(&bits, &v, sizeof(bits));
+  u32(bits);
+}
+void PayloadWriter::str(const std::string& s) {
+  u32(static_cast<std::uint32_t>(s.size()));
+  bytes_ += s;
+}
+
+const void* PayloadReader::need(std::size_t n, const char* field) {
+  PPHE_CHECK_CODE(pos_ + n <= bytes_.size(), ErrorCode::kSerialization,
+                  std::string("payload: truncated while reading '") + field +
+                      "' (" + std::to_string(bytes_.size() - pos_) + " of " +
+                      std::to_string(n) + " bytes left)");
+  const void* p = bytes_.data() + pos_;
+  pos_ += n;
+  return p;
+}
+
+std::uint8_t PayloadReader::u8(const char* field) {
+  return *static_cast<const unsigned char*>(need(1, field));
+}
+std::uint16_t PayloadReader::u16(const char* field) {
+  const auto* p = static_cast<const unsigned char*>(need(2, field));
+  return static_cast<std::uint16_t>(p[0] | (p[1] << 8));
+}
+std::uint32_t PayloadReader::u32(const char* field) {
+  return get_u32(static_cast<const unsigned char*>(need(4, field)));
+}
+std::uint64_t PayloadReader::u64(const char* field) {
+  return get_u64(static_cast<const unsigned char*>(need(8, field)));
+}
+double PayloadReader::f64(const char* field) {
+  const std::uint64_t bits = u64(field);
+  double v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+float PayloadReader::f32(const char* field) {
+  const std::uint32_t bits = u32(field);
+  float v;
+  std::memcpy(&v, &bits, sizeof(v));
+  return v;
+}
+std::string PayloadReader::str(const char* field) {
+  const std::uint32_t len = u32(field);
+  PPHE_CHECK_CODE(len <= remaining(), ErrorCode::kSerialization,
+                  std::string("payload: string '") + field + "' claims " +
+                      std::to_string(len) + " bytes, " +
+                      std::to_string(remaining()) + " remain");
+  const char* p = static_cast<const char*>(need(len, field));
+  return std::string(p, len);
+}
+void PayloadReader::expect_done(const char* what) const {
+  PPHE_CHECK_CODE(pos_ == bytes_.size(), ErrorCode::kProtocol,
+                  std::string(what) + ": " +
+                      std::to_string(bytes_.size() - pos_) +
+                      " trailing payload bytes");
+}
+
+}  // namespace pphe::serve::net

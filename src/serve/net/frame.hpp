@@ -1,0 +1,149 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/net/socket.hpp"
+
+namespace pphe {
+struct CkksParams;
+}
+
+namespace pphe::serve::net {
+
+/// Streaming frame layer of the network serving protocol (DESIGN.md §15).
+///
+/// Every message on the wire is one frame:
+///
+///   header (32 bytes, little-endian):
+///     u32  magic            'PPN1'
+///     u8   protocol version (kProtocolVersion)
+///     u8   frame type       (FrameType)
+///     u16  reserved (0)
+///     u64  payload length   (bounded by the receiver's max_frame_bytes)
+///     u64  payload checksum (wire_checksum of the payload bytes)
+///     u64  header checksum  (wire_checksum of the 24 bytes above)
+///   payload (payload-length bytes)
+///
+/// The checksums are the SAME splitmix64 section checksums the v2 ciphertext
+/// wire format uses (ckks/serialize.hpp) — one trust boundary, two framings.
+/// The header is self-checking so a corrupted length can never cause an
+/// over-allocation or a desynchronized read: header damage is detected
+/// before any payload byte is trusted. Detection is typed:
+///
+///   * kSerialization    — bad magic, truncation/EOF mid-frame, oversize
+///   * kChecksumMismatch — header or payload checksum failed
+///   * kProtocol         — right frame, wrong protocol version
+///   * kTimeout          — read deadline expired mid-frame
+///
+/// A payload-checksum failure leaves the stream FRAMED (the header was
+/// intact, the right number of bytes was consumed), so a server can reject
+/// the message and keep the connection. Header damage loses framing — the
+/// connection must be dropped after the typed error is recorded.
+
+inline constexpr std::uint32_t kFrameMagic = 0x314E5050u;  // "PPN1"
+inline constexpr std::uint8_t kProtocolVersion = 1;
+inline constexpr std::size_t kFrameHeaderBytes = 32;
+/// Default ceiling a receiver imposes on one frame's payload.
+inline constexpr std::size_t kDefaultMaxFrameBytes = 8u << 20;
+
+enum class FrameType : std::uint8_t {
+  kHello = 1,      // client -> server: version, params digest, tier
+  kHelloAck = 2,   // server -> client: session id, limits, model identity
+  kKeyUpload = 3,  // client -> server: evaluation-key registration
+  kKeyAck = 4,     // server -> client: registry accounting for the upload
+  kRequest = 5,    // client -> server: one classification request
+  kReply = 6,      // server -> client: the request's outcome
+  kError = 7,      // server -> client: connection-level typed error
+  kBye = 8,        // either side: graceful close
+};
+const char* frame_type_name(FrameType type);
+
+struct Frame {
+  FrameType type = FrameType::kError;
+  std::string payload;
+};
+
+/// Encodes a frame into raw wire bytes (header + payload).
+std::string encode_frame(FrameType type, const std::string& payload);
+
+/// The value both sides compare in the handshake: the v2 wire checksum of
+/// the serialized parameter block. Equal digests mean byte-identical
+/// parameter sets — a client compiled against different moduli is refused
+/// at hello time, before any ciphertext allocation.
+std::uint64_t params_digest(const CkksParams& params);
+
+/// Reads exactly one frame off `conn` within `timeout_seconds`, enforcing
+/// `max_frame_bytes` on the payload. Throws the typed errors listed above.
+/// Returns false on a clean EOF at a frame boundary (peer hung up).
+/// `framing_intact`, when given, reports whether the stream is still
+/// aligned on a frame boundary after a throw: true for payload-level
+/// corruption (reject the message, keep the connection), false for header
+/// damage / truncation / timeout (drop the connection).
+bool read_frame(const TcpConn& conn, Frame& out, double timeout_seconds,
+                std::size_t max_frame_bytes = kDefaultMaxFrameBytes,
+                bool* framing_intact = nullptr);
+
+/// Same, but the first `preread` bytes of the header were already consumed
+/// by the caller (the HTTP-vs-frame sniff on a fresh connection).
+bool read_frame_after_sniff(const TcpConn& conn, const char* sniffed,
+                            std::size_t preread, Frame& out,
+                            double timeout_seconds,
+                            std::size_t max_frame_bytes,
+                            bool* framing_intact = nullptr);
+
+// --- bounds-checked little-endian payload codecs --------------------------
+
+/// Append-only payload builder. All integers little-endian fixed-width.
+class PayloadWriter {
+ public:
+  void u8(std::uint8_t v) { bytes_.push_back(static_cast<char>(v)); }
+  void u16(std::uint16_t v);
+  void u32(std::uint32_t v);
+  void u64(std::uint64_t v);
+  void i32(std::int32_t v) { u32(static_cast<std::uint32_t>(v)); }
+  void f64(double v);
+  void f32(float v);
+  /// Length-prefixed (u32) byte string.
+  void str(const std::string& s);
+
+  std::string take() { return std::move(bytes_); }
+  const std::string& bytes() const { return bytes_; }
+
+ private:
+  std::string bytes_;
+};
+
+/// Cursor-based reader; every overrun throws Error(kSerialization) with the
+/// field name, so a malformed payload is rejected with a typed error instead
+/// of read out of bounds.
+class PayloadReader {
+ public:
+  explicit PayloadReader(const std::string& bytes) : bytes_(bytes) {}
+
+  std::uint8_t u8(const char* field);
+  std::uint16_t u16(const char* field);
+  std::uint32_t u32(const char* field);
+  std::uint64_t u64(const char* field);
+  std::int32_t i32(const char* field) {
+    return static_cast<std::int32_t>(u32(field));
+  }
+  double f64(const char* field);
+  float f32(const char* field);
+  std::string str(const char* field);
+
+  std::size_t remaining() const { return bytes_.size() - pos_; }
+  /// Asserts the payload was fully consumed (trailing garbage is a typed
+  /// protocol error, not silently ignored).
+  void expect_done(const char* what) const;
+
+ private:
+  const void* need(std::size_t n, const char* field);
+  const std::string& bytes_;
+  std::size_t pos_ = 0;
+};
+
+}  // namespace pphe::serve::net

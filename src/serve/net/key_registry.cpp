@@ -1,0 +1,81 @@
+#include "serve/net/key_registry.hpp"
+
+#include <string>
+
+namespace pphe::serve::net {
+
+KeyRegistry::KeyRegistry(std::size_t quota_bytes)
+    : quota_bytes_(quota_bytes) {
+  PPHE_CHECK(quota_bytes > 0, "KeyRegistry: quota must be positive");
+}
+
+std::vector<std::uint64_t> KeyRegistry::register_session(std::uint64_t session,
+                                                         std::size_t bytes) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  if (bytes > quota_bytes_) {
+    ++rejected_oversize_;
+    throw Error(ErrorCode::kInvalidArgument,
+                "key registry: upload of " + std::to_string(bytes) +
+                    " bytes exceeds the whole " +
+                    std::to_string(quota_bytes_) +
+                    "-byte quota — no eviction can admit it");
+  }
+  // Re-registration: drop the old accounting first so the fit check below
+  // sees only OTHER sessions' bytes.
+  if (auto it = index_.find(session); it != index_.end()) {
+    bytes_pinned_ -= it->second->bytes;
+    lru_.erase(it->second);
+    index_.erase(it);
+  }
+  std::vector<std::uint64_t> evicted;
+  while (bytes_pinned_ + bytes > quota_bytes_) {
+    // Evict from the LRU tail; the loop terminates because bytes <= quota.
+    const Entry victim = lru_.back();
+    lru_.pop_back();
+    index_.erase(victim.session);
+    bytes_pinned_ -= victim.bytes;
+    ++evictions_;
+    evicted.push_back(victim.session);
+  }
+  lru_.push_front(Entry{session, bytes, ++tick_});
+  index_[session] = lru_.begin();
+  bytes_pinned_ += bytes;
+  ++registrations_;
+  return evicted;
+}
+
+bool KeyRegistry::touch(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(session);
+  if (it == index_.end()) return false;
+  lru_.splice(lru_.begin(), lru_, it->second);  // promote to MRU
+  return true;
+}
+
+bool KeyRegistry::contains(std::uint64_t session) const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  return index_.count(session) > 0;
+}
+
+void KeyRegistry::release(std::uint64_t session) {
+  std::lock_guard<std::mutex> lock(mutex_);
+  const auto it = index_.find(session);
+  if (it == index_.end()) return;
+  bytes_pinned_ -= it->second->bytes;
+  lru_.erase(it->second);
+  index_.erase(it);
+}
+
+KeyRegistry::Stats KeyRegistry::stats() const {
+  std::lock_guard<std::mutex> lock(mutex_);
+  Stats s;
+  s.sessions = index_.size();
+  s.bytes_pinned = bytes_pinned_;
+  s.quota_bytes = quota_bytes_;
+  s.registrations = registrations_;
+  s.evictions = evictions_;
+  s.rejected_oversize = rejected_oversize_;
+  return s;
+}
+
+}  // namespace pphe::serve::net

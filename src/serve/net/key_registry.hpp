@@ -1,0 +1,84 @@
+#pragma once
+
+#include <cstddef>
+#include <cstdint>
+#include <list>
+#include <mutex>
+#include <unordered_map>
+#include <vector>
+
+#include "common/check.hpp"
+
+namespace pphe::serve::net {
+
+/// Per-client evaluation-key registry with LRU eviction under a byte quota.
+///
+/// Every session that wants evaluation must first register its key material
+/// (relin + Galois keys); the registry pins those bytes in the server's RAM
+/// budget. Millions of clients cannot all stay pinned, so when a new
+/// registration would exceed the quota, the least-recently-USED sessions are
+/// evicted to make room. An evicted session's next request fails with the
+/// typed, recoverable Error(kKeyEvicted) — "re-send keys" — never a crash or
+/// a silent mis-evaluation; re-registering the same session id is always
+/// legal and re-pins it as most recently used.
+///
+/// Thread-safe: connection handlers register/touch concurrently. In this
+/// reproduction the HE key material itself is process-shared (one demo
+/// keyset), so the registry manages the admission-layer pinning budget; a
+/// multi-key deployment would hang the per-client KswKey handles off
+/// Entry.
+class KeyRegistry {
+ public:
+  struct Entry {
+    std::uint64_t session = 0;
+    std::size_t bytes = 0;
+    std::uint64_t registered_at = 0;  ///< monotonic tick of registration
+  };
+
+  struct Stats {
+    std::size_t sessions = 0;        ///< currently registered
+    std::size_t bytes_pinned = 0;    ///< sum of registered key bytes
+    std::size_t quota_bytes = 0;
+    std::uint64_t registrations = 0;  ///< register_session calls that stuck
+    std::uint64_t evictions = 0;      ///< sessions displaced by quota
+    std::uint64_t rejected_oversize = 0;  ///< uploads larger than the quota
+  };
+
+  explicit KeyRegistry(std::size_t quota_bytes);
+
+  /// Pins `bytes` of key material for `session`, evicting least-recently-
+  /// used OTHER sessions until it fits. Re-registration replaces the
+  /// session's previous accounting. Returns the ids evicted to make room
+  /// (so the caller can tear down their state). Throws
+  /// Error(kInvalidArgument) when `bytes` alone exceeds the whole quota —
+  /// no amount of eviction could admit it.
+  std::vector<std::uint64_t> register_session(std::uint64_t session,
+                                              std::size_t bytes);
+
+  /// Marks `session` most recently used. False when it is not registered
+  /// (never was, or evicted) — the caller must fail the request with
+  /// ErrorCode::kKeyEvicted and ask the client to re-send keys.
+  bool touch(std::uint64_t session);
+
+  /// True without promoting — peek for tests/metrics.
+  bool contains(std::uint64_t session) const;
+
+  /// Drops a session voluntarily (connection close); no-op if absent.
+  void release(std::uint64_t session);
+
+  Stats stats() const;
+
+ private:
+  // LRU list front = most recently used. The map points into the list.
+  mutable std::mutex mutex_;
+  std::size_t quota_bytes_;
+  std::size_t bytes_pinned_ = 0;
+  std::uint64_t tick_ = 0;
+  std::uint64_t registrations_ = 0;
+  std::uint64_t evictions_ = 0;
+  std::uint64_t rejected_oversize_ = 0;
+  std::list<Entry> lru_;
+  std::unordered_map<std::uint64_t, std::list<Entry>::iterator> index_;
+};
+
+}  // namespace pphe::serve::net

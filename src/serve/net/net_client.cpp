@@ -1,0 +1,148 @@
+#include "serve/net/net_client.hpp"
+
+#include "ckks/params.hpp"
+#include "common/fault.hpp"
+
+namespace pphe::serve::net {
+
+namespace {
+
+[[noreturn]] void rethrow_error_frame(const Frame& frame) {
+  PayloadReader r(frame.payload);
+  const auto code = static_cast<ErrorCode>(r.u8("error_code"));
+  const std::string message = r.str("message");
+  throw Error(code, "server: " + message);
+}
+
+}  // namespace
+
+NetClient::NetClient(const CkksParams& params, NetClientOptions options)
+    : options_(std::move(options)),
+      conn_(tcp_connect(options_.host, options_.port,
+                        options_.timeout_seconds)) {
+  PayloadWriter hello;
+  hello.u32(kProtocolVersion);
+  hello.u64(params_digest(params));
+  hello.u8(static_cast<std::uint8_t>(options_.tier));
+  hello.str(options_.name);
+  const Frame ack = transact(FrameType::kHello, hello.take(), false);
+  PPHE_CHECK_CODE(ack.type == FrameType::kHelloAck, ErrorCode::kProtocol,
+                  std::string("handshake: expected hello_ack, got '") +
+                      frame_type_name(ack.type) + "'");
+  PayloadReader r(ack.payload);
+  session_.session_id = r.u64("session_id");
+  session_.input_dim = r.u32("input_dim");
+  session_.max_frame_bytes = r.u64("max_frame_bytes");
+  session_.key_quota_bytes = r.u64("key_quota_bytes");
+  r.expect_done("hello_ack");
+}
+
+NetClient::~NetClient() {
+  try {
+    bye();
+  } catch (...) {
+  }
+}
+
+Frame NetClient::transact(FrameType type, const std::string& payload,
+                          bool upload_fault) {
+  std::string bytes = encode_frame(type, payload);
+  // The chaos harness's client->cloud wire site, applied to the actual
+  // socket bytes of request frames.
+  if (upload_fault && fault::armed()) {
+    fault::corrupt_wire(fault::Site::kWireUpload, bytes);
+  }
+  conn_.send_all(bytes);
+  Frame reply;
+  PPHE_CHECK_CODE(read_frame(conn_, reply, options_.timeout_seconds,
+                             options_.max_frame_bytes),
+                  ErrorCode::kSerialization,
+                  "server closed the connection mid-transaction");
+  if (reply.type == FrameType::kError) rethrow_error_frame(reply);
+  return reply;
+}
+
+void NetClient::upload_keys(const std::vector<int>& steps,
+                            std::uint64_t declared_bytes) {
+  PayloadWriter w;
+  w.u32(static_cast<std::uint32_t>(steps.size()));
+  for (const int s : steps) w.i32(s);
+  w.u64(declared_bytes);
+  const Frame ack = transact(FrameType::kKeyUpload, w.take(), false);
+  PPHE_CHECK_CODE(ack.type == FrameType::kKeyAck, ErrorCode::kProtocol,
+                  std::string("key upload: expected key_ack, got '") +
+                      frame_type_name(ack.type) + "'");
+  PayloadReader r(ack.payload);
+  r.u64("session_bytes");
+  r.u64("registry_bytes");
+  r.u64("quota_bytes");
+  r.u32("evicted_count");
+  r.expect_done("key_ack");
+  remembered_steps_ = steps;
+  remembered_declared_bytes_ = declared_bytes;
+  keys_uploaded_ = true;
+}
+
+NetReply NetClient::roundtrip(const std::vector<float>& image) {
+  PayloadWriter w;
+  const std::uint64_t request_id = next_request_++;
+  w.u64(request_id);
+  w.u32(static_cast<std::uint32_t>(image.size()));
+  for (const float v : image) w.f32(v);
+  const Frame frame = transact(FrameType::kRequest, w.take(), true);
+  PPHE_CHECK_CODE(frame.type == FrameType::kReply, ErrorCode::kProtocol,
+                  std::string("classify: expected reply, got '") +
+                      frame_type_name(frame.type) + "'");
+  PayloadReader r(frame.payload);
+  NetReply out;
+  out.request_id = r.u64("request_id");
+  PPHE_CHECK_CODE(out.request_id == request_id, ErrorCode::kProtocol,
+                  "classify: reply correlates to request " +
+                      std::to_string(out.request_id) + ", expected " +
+                      std::to_string(request_id));
+  const std::uint8_t status = r.u8("status");
+  PPHE_CHECK_CODE(status <= 3, ErrorCode::kProtocol,
+                  "classify: unknown reply status " + std::to_string(status));
+  out.ok = status == 0;
+  out.degraded = status == 1;
+  out.rejected = status == 3;
+  out.error = static_cast<ErrorCode>(r.u8("error_code"));
+  out.predicted = r.i32("predicted");
+  out.attempts = static_cast<int>(r.u32("attempts"));
+  out.batch_size = r.u32("batch_size");
+  out.queue_seconds = r.f64("queue_seconds");
+  out.eval_seconds = r.f64("eval_seconds");
+  const std::uint32_t n_logits = r.u32("n_logits");
+  PPHE_CHECK_CODE(
+      static_cast<std::size_t>(n_logits) * 8 <= r.remaining(),
+      ErrorCode::kSerialization,
+      "classify: reply claims more logits than the payload holds");
+  out.logits.resize(n_logits);
+  for (std::uint32_t i = 0; i < n_logits; ++i) out.logits[i] = r.f64("logit");
+  out.message = r.str("message");
+  r.expect_done("reply");
+  return out;
+}
+
+NetReply NetClient::classify(const std::vector<float>& image) {
+  NetReply reply = roundtrip(image);
+  if (reply.rejected && reply.error == ErrorCode::kKeyEvicted &&
+      options_.auto_resend_keys && keys_uploaded_) {
+    // The server shed us from the key registry under quota pressure: the
+    // typed recovery path is re-send keys, resubmit once.
+    upload_keys(remembered_steps_, remembered_declared_bytes_);
+    reply = roundtrip(image);
+  }
+  return reply;
+}
+
+void NetClient::bye() {
+  if (!conn_.valid()) return;
+  try {
+    conn_.send_all(encode_frame(FrameType::kBye, std::string()));
+  } catch (...) {
+  }
+  conn_.close();
+}
+
+}  // namespace pphe::serve::net

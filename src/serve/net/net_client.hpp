@@ -1,0 +1,113 @@
+#pragma once
+
+#include <cstdint>
+#include <string>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/net/frame.hpp"
+#include "serve/net/net_server.hpp"
+#include "serve/net/socket.hpp"
+
+namespace pphe {
+struct CkksParams;
+}
+
+namespace pphe::serve::net {
+
+struct NetClientOptions {
+  std::string host = "127.0.0.1";
+  std::uint16_t port = 0;
+  Tier tier = Tier::kStandard;
+  /// Deadline for connect and for every frame read.
+  double timeout_seconds = 30.0;
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// When a request is rejected with kKeyEvicted, transparently re-upload
+  /// the remembered rotation steps and resubmit once.
+  bool auto_resend_keys = true;
+  /// Informational name sent in the hello (shows up in server traces).
+  std::string name = "pphe-client";
+};
+
+/// One classification outcome as seen over the wire (the network mirror of
+/// ServeReply, minus the batch-internal fault history which stays
+/// server-side).
+struct NetReply {
+  std::uint64_t request_id = 0;
+  bool ok = false;
+  bool degraded = false;
+  /// True when the server refused before evaluation (shed, evicted keys,
+  /// queue full); `error` carries the typed code.
+  bool rejected = false;
+  ErrorCode error = ErrorCode::kGeneric;
+  int predicted = -1;
+  int attempts = 0;
+  std::size_t batch_size = 0;
+  double queue_seconds = 0.0;
+  double eval_seconds = 0.0;
+  std::vector<double> logits;
+  std::string message;
+};
+
+/// What the server advertised in its hello_ack.
+struct SessionInfo {
+  std::uint64_t session_id = 0;
+  std::size_t input_dim = 0;
+  std::size_t max_frame_bytes = 0;
+  std::size_t key_quota_bytes = 0;
+};
+
+/// Blocking protocol client for the NetServer (DESIGN.md §15): connects and
+/// completes the versioned hello in the constructor, uploads evaluation-key
+/// registrations, then issues framed classify() round trips. Not
+/// thread-safe — one NetClient per connection per thread (the load
+/// generators open one each).
+///
+/// Error frames from the server re-throw locally as pphe::Error with the
+/// server's code, so a network client fails exactly as typed as an
+/// in-process caller. When chaos injection is armed, request frames pass
+/// through the Site::kWireUpload byte-corruption hook before send — the
+/// same trust boundary the ciphertext wire format exercises.
+class NetClient {
+ public:
+  NetClient(const CkksParams& params, NetClientOptions options);
+  ~NetClient();
+
+  NetClient(const NetClient&) = delete;
+  NetClient& operator=(const NetClient&) = delete;
+
+  const SessionInfo& session() const { return session_; }
+
+  /// Registers this session's evaluation keys: the rotation steps the
+  /// server-side model needs, plus the relinearization key that always
+  /// rides along. `declared_bytes` overrides the server's size estimate
+  /// (0 = let the server charge its own accounting). The steps are
+  /// remembered for kKeyEvicted auto-recovery.
+  void upload_keys(const std::vector<int>& steps,
+                   std::uint64_t declared_bytes = 0);
+
+  /// One framed classification round trip. Throws typed pphe::Error on
+  /// transport/protocol failure; server-side refusals come back as
+  /// NetReply{rejected=true} (after one transparent key re-upload when the
+  /// cause was kKeyEvicted and auto_resend_keys is on).
+  NetReply classify(const std::vector<float>& image);
+
+  /// Graceful bye (releases the server-side key registration) and close.
+  /// Idempotent; the destructor calls it.
+  void bye();
+
+ private:
+  NetReply roundtrip(const std::vector<float>& image);
+  Frame transact(FrameType type, const std::string& payload,
+                 bool upload_fault);
+
+  NetClientOptions options_;
+  TcpConn conn_;
+  SessionInfo session_;
+  std::vector<int> remembered_steps_;
+  std::uint64_t remembered_declared_bytes_ = 0;
+  bool keys_uploaded_ = false;
+  std::uint64_t next_request_ = 1;
+};
+
+}  // namespace pphe::serve::net

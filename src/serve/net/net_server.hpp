@@ -1,0 +1,151 @@
+#pragma once
+
+#include <array>
+#include <atomic>
+#include <cstdint>
+#include <list>
+#include <memory>
+#include <mutex>
+#include <string>
+#include <thread>
+
+#include "serve/net/frame.hpp"
+#include "serve/net/key_registry.hpp"
+#include "serve/net/socket.hpp"
+#include "serve/server.hpp"
+
+namespace pphe {
+class RnsBackend;
+}
+
+namespace pphe::serve::net {
+
+/// Client admission classes, negotiated in the hello frame. Lower tiers are
+/// shed FIRST as the batch queue fills: each tier may only occupy its
+/// fraction of the queue, so premium traffic still lands when background
+/// load has saturated admission (the queue's own kOverloaded path remains
+/// the terminal backstop for everyone).
+enum class Tier : std::uint8_t {
+  kBatch = 0,     // offline/bulk traffic — shed earliest
+  kStandard = 1,  // interactive default
+  kPremium = 2,   // sheds only when the queue is truly full
+};
+inline constexpr std::size_t kTierCount = 3;
+const char* tier_name(Tier tier);
+
+struct NetServerOptions {
+  /// 0 binds an ephemeral port; NetServer::port() reports the real one.
+  std::uint16_t port = 0;
+  /// Deadline for the remainder of a frame once its first byte arrived (a
+  /// half-sent frame must not wedge the handler).
+  double read_timeout_seconds = 10.0;
+  /// Deadline waiting for the NEXT frame on an idle connection.
+  double idle_timeout_seconds = 60.0;
+  /// Ceiling on one frame's payload (checked before any allocation).
+  std::size_t max_frame_bytes = kDefaultMaxFrameBytes;
+  /// Key-registry byte quota shared by all sessions (LRU evicts past it).
+  std::size_t key_quota_bytes = std::size_t{1} << 30;
+  /// Per-tier admission: a tier-t request is shed with kOverloaded once the
+  /// batch queue holds >= admit_fill[t] * queue_capacity requests.
+  std::array<double, kTierCount> admit_fill = {0.5, 0.8, 1.0};
+  /// Listener backlog + soft cap on live connections (excess connections
+  /// are accepted and immediately refused with a typed error frame).
+  std::size_t max_connections = 256;
+};
+
+/// Transport-level telemetry (separate from the BatchServer's StatsSnapshot;
+/// the metrics endpoint exports both).
+struct NetServerStats {
+  std::uint64_t connections = 0;         ///< accepted, lifetime
+  std::uint64_t active_connections = 0;  ///< currently handled
+  std::uint64_t refused_connections = 0; ///< over max_connections
+  std::uint64_t http_scrapes = 0;        ///< GET /metrics hits
+  std::uint64_t frames_in = 0;
+  std::uint64_t frames_out = 0;
+  std::uint64_t bytes_in = 0;
+  std::uint64_t bytes_out = 0;
+  std::uint64_t handshakes = 0;          ///< completed hellos
+  std::uint64_t requests = 0;            ///< request frames admitted
+  std::uint64_t replies_ok = 0;
+  std::uint64_t replies_degraded = 0;
+  std::uint64_t replies_failed = 0;
+  std::uint64_t replies_rejected = 0;    ///< typed pre-submit rejections
+  /// Connection-level typed rejections (bad frames, protocol violations),
+  /// by ErrorCode — the chaos matrix asserts these stay TYPED.
+  std::array<std::uint64_t, kErrorCodeCount> frame_rejects{};
+  /// Admission sheds by tier (kOverloaded replies before submit()).
+  std::array<std::uint64_t, kTierCount> sheds{};
+  /// Requests refused because the session's keys were LRU-evicted.
+  std::uint64_t key_evicted_rejects = 0;
+};
+
+/// TCP front end over a BatchServer: a listener thread accepts loopback
+/// connections and hands each to its own handler thread (thread-per-
+/// connection), which speaks the framed protocol of DESIGN.md §15:
+///
+///   hello/hello_ack  version + parameter-digest negotiation, session id
+///   key_upload       registers evaluation keys in the LRU KeyRegistry
+///   request/reply    framed classification through BatchServer::submit
+///   GET /metrics     same port: Prometheus text exposition, then close
+///
+/// Typed failure semantics: a payload-checksum failure rejects the message
+/// and KEEPS the connection (the stream is still framed); header corruption
+/// or truncation records the typed code, sends a best-effort error frame,
+/// and drops only that connection — the server always stays up.
+class NetServer {
+ public:
+  NetServer(BatchServer& server, const RnsBackend& backend,
+            NetServerOptions options = {});
+  ~NetServer();
+
+  NetServer(const NetServer&) = delete;
+  NetServer& operator=(const NetServer&) = delete;
+
+  std::uint16_t port() const { return listener_.port(); }
+  const NetServerOptions& options() const { return options_; }
+
+  NetServerStats stats() const;
+  KeyRegistry::Stats key_stats() const { return registry_.stats(); }
+
+  /// The Prometheus text payload `GET /metrics` serves — exposed directly
+  /// so benches/tests can validate it without a socket.
+  std::string metrics_text() const;
+
+  /// Stops accepting, unblocks and joins every connection handler. The
+  /// underlying BatchServer is NOT shut down (the caller owns it).
+  void shutdown();
+
+ private:
+  struct Handler {
+    std::thread thread;
+    std::atomic<bool> done{false};
+    int fd = -1;  ///< for shutdown() to interrupt a blocked read
+  };
+
+  void accept_main();
+  void handle_connection(std::shared_ptr<Handler> self, TcpConn conn);
+  void handle_http(TcpConn& conn, const char* sniffed);
+  void serve_session(TcpConn& conn, std::uint64_t session, Tier tier);
+  void reap_handlers();
+
+  void send_frame(TcpConn& conn, FrameType type, const std::string& payload,
+                  bool allow_download_fault = false);
+  void count_frame_reject(ErrorCode code);
+
+  BatchServer& batch_server_;
+  const RnsBackend& backend_;
+  NetServerOptions options_;
+  TcpListener listener_;
+  KeyRegistry registry_;
+  std::atomic<bool> running_{true};
+  std::atomic<std::uint64_t> next_session_{1};
+  std::thread accept_thread_;
+
+  mutable std::mutex handlers_mutex_;
+  std::list<std::shared_ptr<Handler>> handlers_;
+
+  mutable std::mutex stats_mutex_;
+  NetServerStats stats_;
+};
+
+}  // namespace pphe::serve::net

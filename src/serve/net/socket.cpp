@@ -1,0 +1,263 @@
+#include "serve/net/socket.hpp"
+
+#include <arpa/inet.h>
+#include <cerrno>
+#include <chrono>
+#include <cstring>
+#include <fcntl.h>
+#include <netinet/in.h>
+#include <netinet/tcp.h>
+#include <poll.h>
+#include <sys/socket.h>
+#include <unistd.h>
+
+namespace pphe::serve::net {
+
+namespace {
+
+using Clock = std::chrono::steady_clock;
+
+std::string errno_text(const char* what) {
+  return std::string(what) + ": " + std::strerror(errno);
+}
+
+/// Remaining whole-milliseconds until `deadline` for poll(); -1 = infinite,
+/// clamped to >= 1 so a not-yet-expired deadline never degenerates to a
+/// busy-spin 0ms poll.
+int poll_timeout_ms(bool has_deadline, Clock::time_point deadline) {
+  if (!has_deadline) return -1;
+  const auto left = std::chrono::duration_cast<std::chrono::milliseconds>(
+                        deadline - Clock::now())
+                        .count();
+  if (left <= 0) return 0;
+  return static_cast<int>(std::min<long long>(left, 1000 * 3600));
+}
+
+/// poll() for readability, retrying EINTR. True = readable (or error/EOF
+/// pending, which the following recv will report), false = deadline hit.
+bool wait_readable(int fd, bool has_deadline, Clock::time_point deadline) {
+  for (;;) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLIN;
+    pfd.revents = 0;
+    const int timeout = poll_timeout_ms(has_deadline, deadline);
+    if (has_deadline && timeout == 0) return false;
+    const int rc = ::poll(&pfd, 1, timeout);
+    if (rc > 0) return true;
+    if (rc == 0) {
+      if (has_deadline) continue;  // re-derive; poll_timeout_ms clamps
+      return false;
+    }
+    if (errno == EINTR) continue;
+    return true;  // let recv surface the error with its errno
+  }
+}
+
+}  // namespace
+
+TcpConn& TcpConn::operator=(TcpConn&& other) noexcept {
+  if (this != &other) {
+    close();
+    fd_ = other.fd_;
+    other.fd_ = -1;
+  }
+  return *this;
+}
+
+void TcpConn::send_all(const void* data, std::size_t bytes) const {
+  PPHE_CHECK(valid(), "send_all on a closed connection");
+  const char* p = static_cast<const char*>(data);
+  std::size_t sent = 0;
+  while (sent < bytes) {
+    // MSG_NOSIGNAL: a vanished peer must surface as a typed Error on THIS
+    // thread, not a process-wide SIGPIPE.
+    const ssize_t n = ::send(fd_, p + sent, bytes - sent, MSG_NOSIGNAL);
+    if (n >= 0) {
+      sent += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (errno == EINTR) continue;
+    throw Error(errno_text("send"));
+  }
+}
+
+void TcpConn::recv_exact(void* data, std::size_t bytes,
+                         double timeout_seconds) const {
+  PPHE_CHECK(valid(), "recv_exact on a closed connection");
+  const bool has_deadline = timeout_seconds > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             has_deadline ? timeout_seconds : 0.0));
+  char* p = static_cast<char*>(data);
+  std::size_t got = 0;
+  while (got < bytes) {
+    if (!wait_readable(fd_, has_deadline, deadline)) {
+      throw Error(ErrorCode::kTimeout,
+                  "recv: deadline expired with " + std::to_string(bytes - got) +
+                      " of " + std::to_string(bytes) + " bytes outstanding");
+    }
+    const ssize_t n = ::recv(fd_, p + got, bytes - got, 0);
+    if (n > 0) {
+      got += static_cast<std::size_t>(n);
+      continue;
+    }
+    if (n == 0) {
+      throw Error(ErrorCode::kSerialization,
+                  "recv: peer closed with " + std::to_string(bytes - got) +
+                      " of " + std::to_string(bytes) +
+                      " bytes outstanding (truncated stream)");
+    }
+    if (errno == EINTR) continue;
+    throw Error(errno_text("recv"));
+  }
+}
+
+std::size_t TcpConn::recv_some(void* data, std::size_t max_bytes,
+                               double timeout_seconds) const {
+  PPHE_CHECK(valid(), "recv_some on a closed connection");
+  const bool has_deadline = timeout_seconds > 0.0;
+  const auto deadline =
+      Clock::now() + std::chrono::duration_cast<Clock::duration>(
+                         std::chrono::duration<double>(
+                             has_deadline ? timeout_seconds : 0.0));
+  for (;;) {
+    if (!wait_readable(fd_, has_deadline, deadline)) {
+      throw Error(ErrorCode::kTimeout, "recv: idle deadline expired");
+    }
+    const ssize_t n = ::recv(fd_, data, max_bytes, 0);
+    if (n > 0) return static_cast<std::size_t>(n);
+    if (n == 0) return 0;  // clean EOF between objects
+    if (errno == EINTR) continue;
+    throw Error(errno_text("recv"));
+  }
+}
+
+void TcpConn::shutdown_both() const {
+  if (valid()) ::shutdown(fd_, SHUT_RDWR);
+}
+
+void TcpConn::close() {
+  if (fd_ >= 0) {
+    ::close(fd_);
+    fd_ = -1;
+  }
+}
+
+TcpListener::TcpListener(std::uint16_t port, int backlog) {
+  fd_ = ::socket(AF_INET, SOCK_STREAM, 0);
+  PPHE_CHECK(fd_ >= 0, errno_text("socket"));
+  const int one = 1;
+  ::setsockopt(fd_, SOL_SOCKET, SO_REUSEADDR, &one, sizeof(one));
+
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_addr.s_addr = htonl(INADDR_LOOPBACK);
+  addr.sin_port = htons(port);
+  if (::bind(fd_, reinterpret_cast<struct sockaddr*>(&addr), sizeof(addr)) !=
+      0) {
+    const std::string msg = errno_text("bind");
+    close();
+    throw Error(msg + " (port " + std::to_string(port) + ")");
+  }
+  if (::listen(fd_, backlog) != 0) {
+    const std::string msg = errno_text("listen");
+    close();
+    throw Error(msg);
+  }
+  socklen_t len = sizeof(addr);
+  PPHE_CHECK(::getsockname(fd_, reinterpret_cast<struct sockaddr*>(&addr),
+                           &len) == 0,
+             errno_text("getsockname"));
+  port_ = ntohs(addr.sin_port);
+}
+
+TcpConn TcpListener::accept(double timeout_seconds) const {
+  // One atomic load for the whole call: close() from another thread claims
+  // the slot first, so a stale descriptor here polls as POLLNVAL/EBADF and
+  // falls through to the invalid-conn return.
+  const int listen_fd = fd_.load(std::memory_order_acquire);
+  if (listen_fd < 0) return TcpConn();
+  struct pollfd pfd;
+  pfd.fd = listen_fd;
+  pfd.events = POLLIN;
+  pfd.revents = 0;
+  const int timeout =
+      timeout_seconds <= 0.0 ? -1
+                             : static_cast<int>(timeout_seconds * 1000.0);
+  const int rc = ::poll(&pfd, 1, timeout);
+  if (rc <= 0 || (pfd.revents & (POLLERR | POLLHUP | POLLNVAL)) != 0) {
+    return TcpConn();  // timeout, or closed under us
+  }
+  const int fd = ::accept(listen_fd, nullptr, nullptr);
+  if (fd < 0) return TcpConn();
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return TcpConn(fd);
+}
+
+void TcpListener::close() {
+  const int fd = fd_.exchange(-1, std::memory_order_acq_rel);
+  if (fd >= 0) {
+    // shutdown() first so a thread parked in poll()/accept() wakes with an
+    // error instead of racing the fd number being reused.
+    ::shutdown(fd, SHUT_RDWR);
+    ::close(fd);
+  }
+}
+
+TcpConn tcp_connect(const std::string& host, std::uint16_t port,
+                    double timeout_seconds) {
+  struct sockaddr_in addr;
+  std::memset(&addr, 0, sizeof(addr));
+  addr.sin_family = AF_INET;
+  addr.sin_port = htons(port);
+  PPHE_CHECK_CODE(inet_pton(AF_INET, host.c_str(), &addr.sin_addr) == 1,
+                  ErrorCode::kInvalidArgument,
+                  "tcp_connect: '" + host +
+                      "' is not a numeric IPv4 address (loopback demo)");
+
+  const int fd = ::socket(AF_INET, SOCK_STREAM, 0);
+  PPHE_CHECK(fd >= 0, errno_text("socket"));
+  TcpConn conn(fd);  // owns the fd from here; throws below close it
+
+  // Non-blocking connect + poll so the deadline applies to the handshake.
+  const int flags = ::fcntl(fd, F_GETFL, 0);
+  ::fcntl(fd, F_SETFL, flags | O_NONBLOCK);
+  int rc = ::connect(fd, reinterpret_cast<struct sockaddr*>(&addr),
+                     sizeof(addr));
+  if (rc != 0 && errno != EINPROGRESS) {
+    throw Error(errno_text("connect") + " (" + host + ":" +
+                std::to_string(port) + ")");
+  }
+  if (rc != 0) {
+    struct pollfd pfd;
+    pfd.fd = fd;
+    pfd.events = POLLOUT;
+    pfd.revents = 0;
+    const int timeout =
+        timeout_seconds <= 0.0 ? -1
+                               : static_cast<int>(timeout_seconds * 1000.0);
+    rc = ::poll(&pfd, 1, timeout);
+    if (rc == 0) {
+      throw Error(ErrorCode::kTimeout,
+                  "connect: deadline expired (" + host + ":" +
+                      std::to_string(port) + ")");
+    }
+    int err = 0;
+    socklen_t len = sizeof(err);
+    ::getsockopt(fd, SOL_SOCKET, SO_ERROR, &err, &len);
+    if (rc < 0 || err != 0) {
+      throw Error("connect: " + std::string(std::strerror(err ? err : errno)) +
+                  " (" + host + ":" + std::to_string(port) + ")");
+    }
+  }
+  ::fcntl(fd, F_SETFL, flags);  // back to blocking; reads poll explicitly
+  const int one = 1;
+  ::setsockopt(fd, IPPROTO_TCP, TCP_NODELAY, &one, sizeof(one));
+  return conn;
+}
+
+}  // namespace pphe::serve::net

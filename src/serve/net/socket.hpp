@@ -1,0 +1,102 @@
+#pragma once
+
+#include <atomic>
+#include <cstddef>
+#include <cstdint>
+#include <string>
+
+#include "common/check.hpp"
+
+namespace pphe::serve::net {
+
+/// Thin RAII layer over POSIX TCP sockets — everything the transport needs
+/// and nothing more. All failures surface as typed pphe::Error:
+///
+///   * kSerialization    — the peer closed mid-object (EOF inside a read)
+///   * kTimeout          — a deadline expired with bytes still outstanding
+///   * kGeneric          — OS-level failures (bind, connect, send)
+///
+/// Reads are deadline-driven (poll + recv loops), so a stalled or malicious
+/// peer can never wedge a server thread; writes are full-delivery
+/// (send_all loops over short writes with SIGPIPE suppressed).
+
+/// One connected TCP stream. Move-only owner of the fd.
+class TcpConn {
+ public:
+  TcpConn() = default;
+  explicit TcpConn(int fd) : fd_(fd) {}
+  ~TcpConn() { close(); }
+
+  TcpConn(TcpConn&& other) noexcept : fd_(other.fd_) { other.fd_ = -1; }
+  TcpConn& operator=(TcpConn&& other) noexcept;
+  TcpConn(const TcpConn&) = delete;
+  TcpConn& operator=(const TcpConn&) = delete;
+
+  bool valid() const { return fd_ >= 0; }
+  int fd() const { return fd_; }
+
+  /// Writes all `bytes`, looping over short writes. Throws Error(kGeneric)
+  /// when the peer is gone (EPIPE/ECONNRESET) or the OS rejects the write.
+  void send_all(const void* data, std::size_t bytes) const;
+  void send_all(const std::string& bytes) const {
+    send_all(bytes.data(), bytes.size());
+  }
+
+  /// Reads exactly `bytes` within `timeout_seconds` (<=0 waits forever).
+  /// Throws Error(kTimeout) on deadline expiry, Error(kSerialization) when
+  /// the peer closes with the object incomplete ("truncated stream").
+  void recv_exact(void* data, std::size_t bytes, double timeout_seconds) const;
+
+  /// Reads 1..`max_bytes` within the deadline. Returns 0 on clean EOF
+  /// BEFORE any byte arrived (a peer hanging up between objects is not an
+  /// error); throws Error(kTimeout) on deadline expiry.
+  std::size_t recv_some(void* data, std::size_t max_bytes,
+                        double timeout_seconds) const;
+
+  /// Half-close both directions (wakes a peer blocked in recv) without
+  /// releasing the fd — shutdown() is how another thread interrupts this
+  /// connection's blocking reads safely.
+  void shutdown_both() const;
+
+  void close();
+
+ private:
+  int fd_ = -1;
+};
+
+/// Listening socket bound to 127.0.0.1. Port 0 binds an ephemeral port;
+/// port() reports the one the kernel picked.
+class TcpListener {
+ public:
+  /// Binds and listens; throws Error(kGeneric) when the port is taken.
+  explicit TcpListener(std::uint16_t port, int backlog = 64);
+  ~TcpListener() { close(); }
+
+  TcpListener(const TcpListener&) = delete;
+  TcpListener& operator=(const TcpListener&) = delete;
+
+  std::uint16_t port() const { return port_; }
+  bool valid() const { return fd_.load(std::memory_order_acquire) >= 0; }
+
+  /// Waits up to `timeout_seconds` for a connection. Returns an invalid
+  /// TcpConn on timeout or when the listener was closed from another thread
+  /// (the accept-loop poll pattern: check a running flag, accept again).
+  TcpConn accept(double timeout_seconds) const;
+
+  /// Unblocks any accept() in progress and releases the port. Safe to call
+  /// from a different thread than the one blocked in accept(): the fd slot
+  /// is atomic, and close() claims it before releasing the descriptor.
+  void close();
+
+ private:
+  std::atomic<int> fd_{-1};
+  std::uint16_t port_ = 0;
+};
+
+/// Connects to host:port within the deadline; throws Error(kGeneric) on
+/// refusal/unreachability, Error(kTimeout) on expiry. Only numeric IPv4
+/// hosts ("127.0.0.1") are accepted — the serving demo is loopback-scoped.
+TcpConn tcp_connect(const std::string& host, std::uint16_t port,
+                    double timeout_seconds);
+
+}  // namespace pphe::serve::net

@@ -225,4 +225,33 @@ ServerStats BatchServer::stats() const {
   return out;
 }
 
+StatsSnapshot ServerStats::snapshot() const {
+  StatsSnapshot s;
+  s.queue_depth = queue_depth;
+  s.batches_in_flight = batches_in_flight;
+  s.submitted = submitted;
+  s.completed = completed;
+  s.ok = ok;
+  s.degraded = degraded;
+  s.failed = failed;
+  s.batches = batches;
+  s.retries = retries;
+  s.rejected = rejected;
+  for (const std::uint64_t n : rejected) s.rejected_total += n;
+  s.batch_sizes = batch_sizes;
+  s.queue_count = queue_ns.count();
+  s.queue_p50_ns = queue_ns.percentile_ns(0.5);
+  s.queue_p99_ns = queue_ns.percentile_ns(0.99);
+  s.queue_avg_ns = queue_ns.avg_ns();
+  s.linger_count = linger_ns.count();
+  s.linger_p50_ns = linger_ns.percentile_ns(0.5);
+  s.linger_p99_ns = linger_ns.percentile_ns(0.99);
+  s.eval_count = eval_ns.count();
+  s.eval_p50_ns = eval_ns.percentile_ns(0.5);
+  s.eval_p99_ns = eval_ns.percentile_ns(0.99);
+  s.eval_avg_ns = eval_ns.avg_ns();
+  s.eval_total_ns = eval_ns.total_ns();
+  return s;
+}
+
 }  // namespace pphe::serve

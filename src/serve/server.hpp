@@ -60,6 +60,35 @@ struct ServeReply {
   double eval_seconds = 0.0;   ///< batch round trip (shared across the batch)
 };
 
+/// One consistent scalar read of the server telemetry, for exporters and
+/// stat prints: every counter and every derived latency quantile comes from
+/// the SAME locked copy of the stats, so a scrape can never pair an ok-count
+/// from one instant with a percentile from another. Produced by
+/// ServerStats::snapshot() (and BatchServer::snapshot(), which takes the
+/// stats lock exactly once).
+struct StatsSnapshot {
+  std::size_t queue_depth = 0;
+  std::size_t batches_in_flight = 0;
+  std::uint64_t submitted = 0;
+  std::uint64_t completed = 0;
+  std::uint64_t ok = 0;
+  std::uint64_t degraded = 0;
+  std::uint64_t failed = 0;
+  std::uint64_t batches = 0;
+  std::uint64_t retries = 0;
+  std::array<std::uint64_t, kErrorCodeCount> rejected{};
+  std::uint64_t rejected_total = 0;
+  std::map<std::size_t, std::uint64_t> batch_sizes;
+  /// Derived latency series (nanoseconds), all from the same histograms.
+  std::uint64_t queue_count = 0;
+  double queue_p50_ns = 0.0, queue_p99_ns = 0.0, queue_avg_ns = 0.0;
+  std::uint64_t linger_count = 0;
+  double linger_p50_ns = 0.0, linger_p99_ns = 0.0;
+  std::uint64_t eval_count = 0;
+  double eval_p50_ns = 0.0, eval_p99_ns = 0.0, eval_avg_ns = 0.0;
+  double eval_total_ns = 0.0;
+};
+
 /// Point-in-time server telemetry (copy, safe to read after the server is
 /// gone). Latency histograms use the tracer's log2-ns buckets.
 struct ServerStats {
@@ -81,6 +110,10 @@ struct ServerStats {
   Histogram queue_ns;   ///< per request: submit -> batch cut
   Histogram linger_ns;  ///< per batch: oldest arrival -> cut
   Histogram eval_ns;    ///< per batch: hardened round trip wall time
+
+  /// Flattens this copy into the exporter-facing scalar view. Pure derived
+  /// read — call it on the copy stats()/snapshot() handed out.
+  StatsSnapshot snapshot() const;
 };
 
 /// Deadline-aware batch-serving front end over the hardened round trip:
@@ -115,6 +148,19 @@ class BatchServer {
   void shutdown();
 
   ServerStats stats() const;
+
+  /// One-lock consistent scalar snapshot (stats().snapshot() fused): what
+  /// the metrics endpoint and the CLI stat prints read.
+  StatsSnapshot snapshot() const { return stats().snapshot(); }
+
+  /// Requests currently awaiting batching — the admission-control signal
+  /// tiered shedding reads on every request (cheap: one queue mutex, no
+  /// histogram copies).
+  std::size_t queue_depth() const { return queue_.size(); }
+
+  /// Image dimension submit() accepts (forwarded from the model set, so the
+  /// network handshake can advertise it).
+  std::size_t input_dim() const { return models_.input_dim(); }
 
   const ServerOptions& options() const { return options_; }
 

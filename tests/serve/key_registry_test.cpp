@@ -1,0 +1,153 @@
+// The per-client evaluation-key registry: LRU eviction order under the byte
+// quota, exact accounting across re-registration and release, the typed
+// oversize refusal, and (for the TSan sweep) concurrent sessions hammering
+// register/touch/release on one registry.
+
+#include <gtest/gtest.h>
+
+#include <atomic>
+#include <thread>
+#include <vector>
+
+#include "common/check.hpp"
+#include "serve/net/key_registry.hpp"
+
+namespace pphe::serve::net {
+namespace {
+
+TEST(KeyRegistryTest, RegistersAndAccounts) {
+  KeyRegistry reg(100);
+  EXPECT_TRUE(reg.register_session(1, 40).empty());
+  EXPECT_TRUE(reg.register_session(2, 40).empty());
+  EXPECT_TRUE(reg.contains(1));
+  EXPECT_TRUE(reg.contains(2));
+  const auto s = reg.stats();
+  EXPECT_EQ(s.sessions, 2u);
+  EXPECT_EQ(s.bytes_pinned, 80u);
+  EXPECT_EQ(s.quota_bytes, 100u);
+  EXPECT_EQ(s.registrations, 2u);
+  EXPECT_EQ(s.evictions, 0u);
+}
+
+TEST(KeyRegistryTest, EvictsLeastRecentlyUsedFirst) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 40);
+  reg.register_session(2, 40);
+  // Touch 1 so 2 becomes the LRU tail.
+  EXPECT_TRUE(reg.touch(1));
+  const auto evicted = reg.register_session(3, 40);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  EXPECT_TRUE(reg.contains(1));
+  EXPECT_FALSE(reg.contains(2));
+  EXPECT_TRUE(reg.contains(3));
+  EXPECT_EQ(reg.stats().evictions, 1u);
+  // The evicted session's next touch reports "not registered" — the caller
+  // turns that into the typed kKeyEvicted reply.
+  EXPECT_FALSE(reg.touch(2));
+}
+
+TEST(KeyRegistryTest, EvictsAsManySessionsAsTheUploadNeeds) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 30);
+  reg.register_session(2, 30);
+  reg.register_session(3, 30);
+  // 90 pinned; a 95-byte upload must displace all three, oldest first.
+  const auto evicted = reg.register_session(4, 95);
+  ASSERT_EQ(evicted.size(), 3u);
+  EXPECT_EQ(evicted[0], 1u);
+  EXPECT_EQ(evicted[1], 2u);
+  EXPECT_EQ(evicted[2], 3u);
+  const auto s = reg.stats();
+  EXPECT_EQ(s.sessions, 1u);
+  EXPECT_EQ(s.bytes_pinned, 95u);
+}
+
+TEST(KeyRegistryTest, ReRegistrationReplacesAccountingAndPromotes) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 40);
+  reg.register_session(2, 40);
+  // Session 1 re-registers with a bigger upload: its old 40 bytes are
+  // RELEASED first (not double-counted), and it must not evict itself.
+  EXPECT_TRUE(reg.register_session(1, 60).empty());
+  const auto s = reg.stats();
+  EXPECT_EQ(s.sessions, 2u);
+  EXPECT_EQ(s.bytes_pinned, 100u);
+  EXPECT_EQ(s.evictions, 0u);
+  // And it is now most recently used: a squeeze evicts 2, not 1.
+  const auto evicted = reg.register_session(3, 40);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+}
+
+TEST(KeyRegistryTest, ReRegistrationAfterEvictionWorks) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 60);
+  reg.register_session(2, 60);  // evicts 1
+  EXPECT_FALSE(reg.contains(1));
+  // The kKeyEvicted recovery path: the client re-sends keys and is re-pinned.
+  const auto evicted = reg.register_session(1, 60);
+  ASSERT_EQ(evicted.size(), 1u);
+  EXPECT_EQ(evicted[0], 2u);
+  EXPECT_TRUE(reg.touch(1));
+  EXPECT_EQ(reg.stats().bytes_pinned, 60u);
+}
+
+TEST(KeyRegistryTest, OversizeUploadIsTypedRejectionNotEvictionStorm) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 40);
+  try {
+    reg.register_session(2, 101);
+    FAIL() << "oversize registration should throw";
+  } catch (const Error& e) {
+    EXPECT_EQ(e.code(), ErrorCode::kInvalidArgument);
+  }
+  // Nobody was evicted to make room for an upload that could never fit.
+  EXPECT_TRUE(reg.contains(1));
+  const auto s = reg.stats();
+  EXPECT_EQ(s.rejected_oversize, 1u);
+  EXPECT_EQ(s.evictions, 0u);
+  EXPECT_EQ(s.bytes_pinned, 40u);
+}
+
+TEST(KeyRegistryTest, ReleaseFreesBytesAndIsIdempotent) {
+  KeyRegistry reg(100);
+  reg.register_session(1, 70);
+  reg.release(1);
+  reg.release(1);  // no-op
+  EXPECT_FALSE(reg.contains(1));
+  EXPECT_EQ(reg.stats().bytes_pinned, 0u);
+  // The freed room admits a new full-size registration without eviction.
+  EXPECT_TRUE(reg.register_session(2, 100).empty());
+}
+
+TEST(KeyRegistryTest, ConcurrentSessionsStayConsistent) {
+  // The TSan target runs this binary: many threads register/touch/release
+  // against one registry; afterwards the accounting must be exact.
+  KeyRegistry reg(1 << 20);
+  constexpr int kThreads = 8;
+  constexpr int kRounds = 200;
+  std::atomic<std::uint64_t> evicted_seen{0};
+  std::vector<std::thread> threads;
+  for (int t = 0; t < kThreads; ++t) {
+    threads.emplace_back([&, t] {
+      for (int r = 0; r < kRounds; ++r) {
+        const std::uint64_t session =
+            static_cast<std::uint64_t>(t) * kRounds + r;
+        const auto evicted = reg.register_session(session, 4096);
+        evicted_seen.fetch_add(evicted.size(), std::memory_order_relaxed);
+        reg.touch(session);
+        if (r % 3 == 0) reg.release(session);
+      }
+    });
+  }
+  for (auto& th : threads) th.join();
+  const auto s = reg.stats();
+  EXPECT_EQ(s.bytes_pinned, s.sessions * 4096u);
+  EXPECT_LE(s.bytes_pinned, s.quota_bytes);
+  EXPECT_EQ(s.registrations, static_cast<std::uint64_t>(kThreads) * kRounds);
+  EXPECT_EQ(s.evictions, evicted_seen.load());
+}
+
+}  // namespace
+}  // namespace pphe::serve::net
